@@ -1,0 +1,241 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// benchmark per artifact), plus micro-benchmarks of the core algorithms.
+// The table/figure benches report the headline metrics of each experiment
+// (polls, fidelity) alongside the usual ns/op, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a compact reproduction run.
+package broadway_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"broadway"
+
+	"broadway/internal/core"
+	"broadway/internal/experiments"
+	"broadway/internal/simtime"
+	"broadway/internal/tracegen"
+)
+
+// benchResult asserts the experiment succeeded and surfaces a couple of
+// its numbers as benchmark metrics.
+func reportSeries(b *testing.B, res *experiments.Result, chart int, series string, metric string) {
+	b.Helper()
+	if chart >= len(res.Charts) {
+		return
+	}
+	for _, s := range res.Charts[chart].Series {
+		if s.Name == series && len(s.Y) > 0 {
+			b.ReportMetric(s.Y[0], metric)
+			return
+		}
+	}
+}
+
+func BenchmarkTable2_TraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, tr := range tracegen.NewsPresets() {
+			if tr.NumUpdates() == 0 {
+				b.Fatal("empty preset")
+			}
+		}
+	}
+}
+
+func BenchmarkTable3_TraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, tr := range tracegen.StockPresets() {
+			if tr.NumUpdates() == 0 {
+				b.Fatal("empty preset")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure3_LIMDvsBaseline(b *testing.B) {
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, res, 0, "LIMD", "limd_polls_d1m")
+	reportSeries(b, res, 0, "Baseline", "base_polls_d1m")
+	reportSeries(b, res, 1, "LIMD", "limd_fidelity_d1m")
+}
+
+func BenchmarkFigure4_LIMDAdaptivity(b *testing.B) {
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(res.Charts) > 1 && len(res.Charts[1].Series) > 0 {
+		ys := res.Charts[1].Series[0].Y
+		max := 0.0
+		for _, v := range ys {
+			if v > max {
+				max = v
+			}
+		}
+		b.ReportMetric(max, "max_ttr_min")
+	}
+}
+
+func BenchmarkFigure5_MutualTemporal(b *testing.B) {
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Figure5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, res, 1, "LIMD with triggered polls", "triggered_fidelity")
+	reportSeries(b, res, 1, "LIMD with heuristic", "heuristic_fidelity")
+	reportSeries(b, res, 1, "Baseline LIMD", "baseline_fidelity")
+}
+
+func BenchmarkFigure6_HeuristicAdaptivity(b *testing.B) {
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Figure6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(res.Charts) > 1 && len(res.Charts[1].Series) > 0 {
+		total := 0.0
+		for _, v := range res.Charts[1].Series[0].Y {
+			total += v
+		}
+		b.ReportMetric(total, "extra_polls_total")
+	}
+}
+
+func BenchmarkFigure7_MutualValue(b *testing.B) {
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Figure7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, res, 0, "Adaptive TTR Approach", "adaptive_polls_d025")
+	reportSeries(b, res, 0, "Partitioned Approach", "partitioned_polls_d025")
+}
+
+func BenchmarkFigure8_Tracking(b *testing.B) {
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.Figure8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(res.Tables) == 1 && len(res.Tables[0].Rows) == 2 {
+		var ad, part float64
+		if _, err := sscan(res.Tables[0].Rows[0][1], &ad); err == nil {
+			b.ReportMetric(ad, "adaptive_drift_$")
+		}
+		if _, err := sscan(res.Tables[0].Rows[1][1], &part); err == nil {
+			b.ReportMetric(part, "partitioned_drift_$")
+		}
+	}
+}
+
+// --- Micro-benchmarks of the core state machines. ---
+
+func BenchmarkLIMDNextTTR(b *testing.B) {
+	l := core.NewLIMD(core.LIMDConfig{Delta: 10 * time.Minute})
+	now := simtime.Epoch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prev := now
+		now = now.Add(10 * time.Minute)
+		o := core.PollOutcome{Now: now, Prev: prev}
+		if i%3 == 0 {
+			o.Modified = true
+			o.LastModified = now.Add(-time.Minute)
+			o.HasLastModified = true
+		}
+		l.NextTTR(o)
+	}
+}
+
+func BenchmarkAdaptiveTTRNextTTR(b *testing.B) {
+	a := core.NewAdaptiveTTR(core.AdaptiveTTRConfig{Delta: 0.5})
+	now := simtime.Epoch
+	val := 100.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prev := now
+		prevVal := val
+		now = now.Add(30 * time.Second)
+		val += float64(i%7-3) / 10
+		a.NextTTR(core.PollOutcome{
+			Now: now, Prev: prev, HasValue: true, Value: val, PrevValue: prevVal,
+		})
+	}
+}
+
+func BenchmarkMutualValueAdaptiveNextTTR(b *testing.B) {
+	m := core.NewMutualValueAdaptive(core.MutualValueConfig{Delta: 0.6})
+	now := simtime.Epoch
+	va, vb := 165.0, 36.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prev := now
+		pa, pb := va, vb
+		now = now.Add(15 * time.Second)
+		va += float64(i%9-4) / 20
+		vb += float64(i%3-1) / 100
+		m.NextTTR(core.PairOutcome{
+			Now: now, Prev: prev,
+			ValueA: va, ValueB: vb, PrevValueA: pa, PrevValueB: pb,
+		})
+	}
+}
+
+func BenchmarkTemporalScenarioEndToEnd(b *testing.B) {
+	tr := broadway.TraceCNNFN()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := broadway.RunTemporal(broadway.TemporalScenario{
+			Trace: tr, Delta: 10 * time.Minute,
+			Policy: func() broadway.Policy {
+				return broadway.NewLIMD(broadway.LIMDConfig{Delta: 10 * time.Minute})
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHTMLExtractEmbedded(b *testing.B) {
+	const page = `<html><head><link rel="stylesheet" href="/s.css"><script src="/a.js"></script></head>
+<body><img src="/1.png"><img src="/2.png"><video src="/v.mp4"></video></body></html>`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := broadway.ExtractEmbedded(page); len(got) != 5 {
+			b.Fatalf("extracted %d", len(got))
+		}
+	}
+}
+
+// sscan parses a float out of a table cell.
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

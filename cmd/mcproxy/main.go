@@ -1,0 +1,185 @@
+// Command mcproxy runs the live consistency-maintaining caching proxy,
+// optionally together with a demo origin whose objects update themselves
+// (a miniature "breaking news" site), so the whole system can be
+// exercised with any HTTP client:
+//
+//	# Terminal 1: demo origin + proxy
+//	mcproxy -demo -listen :8089
+//
+//	# Terminal 2:
+//	curl -i http://localhost:8089/news/story.html
+//
+// Against a real upstream:
+//
+//	mcproxy -origin https://example.com -listen :8089 -delta 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"broadway/internal/core"
+	"broadway/internal/httpx"
+	"broadway/internal/webproxy"
+	"broadway/internal/webserver"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcproxy", flag.ContinueOnError)
+	listen := fs.String("listen", ":8089", "proxy listen address")
+	originURL := fs.String("origin", "", "upstream origin base URL")
+	demo := fs.Bool("demo", false, "run a self-updating demo origin and proxy it")
+	demoListen := fs.String("demo-listen", "127.0.0.1:0", "demo origin listen address")
+	delta := fs.Duration("delta", 30*time.Second, "default Δt tolerance")
+	groupDelta := fs.Duration("mdelta", 10*time.Second, "default mutual δ tolerance")
+	mode := fs.String("mode", "triggered", "mutual mode: baseline | triggered | heuristic")
+	ttrMax := fs.Duration("ttr-max", 10*time.Minute, "TTR upper bound")
+	runFor := fs.Duration("run-for", 0, "exit after this long (0 = run until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var triggerMode core.TriggerMode
+	switch *mode {
+	case "baseline":
+		triggerMode = core.TriggerNone
+	case "triggered":
+		triggerMode = core.TriggerAll
+	case "heuristic":
+		triggerMode = core.TriggerFaster
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	var stopDemo func()
+	if *demo {
+		if *originURL != "" {
+			return fmt.Errorf("-demo and -origin are mutually exclusive")
+		}
+		u, stop, err := startDemoOrigin(*demoListen)
+		if err != nil {
+			return err
+		}
+		stopDemo = stop
+		defer stopDemo()
+		*originURL = u
+		fmt.Printf("demo origin listening on %s\n", u)
+	}
+	if *originURL == "" {
+		return fmt.Errorf("either -origin or -demo is required")
+	}
+	origin, err := url.Parse(*originURL)
+	if err != nil {
+		return fmt.Errorf("parsing origin URL: %w", err)
+	}
+
+	px, err := webproxy.New(webproxy.Config{
+		Origin:            origin,
+		DefaultDelta:      *delta,
+		DefaultGroupDelta: *groupDelta,
+		Mode:              triggerMode,
+		Bounds:            core.TTRBounds{Min: *delta, Max: *ttrMax},
+	})
+	if err != nil {
+		return err
+	}
+	px.Start()
+	defer px.Close()
+
+	srv := &http.Server{Addr: *listen, Handler: px}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- srv.ListenAndServe()
+	}()
+	fmt.Printf("mcproxy listening on %s (origin %s, Δ=%v, δ=%v, mode %s)\n",
+		*listen, origin, *delta, *groupDelta, *mode)
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	var timeout <-chan time.Time
+	if *runFor > 0 {
+		timeout = time.After(*runFor)
+	}
+	select {
+	case err := <-errCh:
+		return err
+	case <-interrupt:
+	case <-timeout:
+	}
+	return srv.Close()
+}
+
+// startDemoOrigin launches a self-updating origin: a news story page plus
+// two embedded objects forming one consistency group, and a stock quote
+// (numeric body with a Δv tolerance) updating every few seconds.
+func startDemoOrigin(addr string) (string, func(), error) {
+	origin := webserver.NewOrigin(webserver.WithHistoryExtension(true))
+
+	const group = "frontpage"
+	set := func(rev int) {
+		origin.Set("/news/story.html", []byte(fmt.Sprintf(
+			`<html><body><h1>Breaking news, revision %d</h1>`+
+				`<img src="/news/photo.jpg"><script src="/news/score.js"></script></body></html>`, rev)),
+			"text/html")
+		origin.Set("/news/photo.jpg", []byte(fmt.Sprintf("photo bytes rev %d", rev)), "image/jpeg")
+		origin.Set("/news/score.js", []byte(fmt.Sprintf("var score=%d;", rev*7)), "application/javascript")
+		// A drifting quote: the proxy maintains Δv-consistency for it.
+		origin.Set("/quote/acme", []byte(fmt.Sprintf("%.2f", 100.0+float64(rev%40)*0.15)), "text/plain")
+	}
+	set(1)
+	for _, p := range []string{"/news/story.html", "/news/photo.jpg", "/news/score.js"} {
+		origin.SetTolerances(p, httpx.Tolerances{Group: group, GroupDelta: 5 * time.Second})
+	}
+	origin.SetTolerances("/quote/acme", httpx.Tolerances{ValueDelta: 0.25})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: origin}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.Serve(ln) // returns on Close
+	}()
+
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(7 * time.Second)
+		defer ticker.Stop()
+		rev := 1
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				rev++
+				set(rev)
+			}
+		}
+	}()
+
+	stop := func() {
+		close(done)
+		srv.Close()
+		wg.Wait()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDemoOriginServesAndUpdates(t *testing.T) {
+	url, stop, err := startDemoOrigin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	resp, err := http.Get(url + "/news/story.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "Breaking news") {
+		t.Errorf("body = %q", body)
+	}
+	if resp.Header.Get("Last-Modified") == "" {
+		t.Error("demo origin must set Last-Modified")
+	}
+	// The group tolerances are advertised.
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "x-mc-group=frontpage") {
+		t.Errorf("Cache-Control = %q", cc)
+	}
+}
+
+func TestDemoOriginStopIsClean(t *testing.T) {
+	url, stop, err := startDemoOrigin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if _, err := http.Get(url + "/news/story.html"); err == nil {
+		t.Error("origin must be unreachable after stop")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Reserve a port for the proxy.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-demo", "-listen", addr,
+			"-delta", "1s", "-mdelta", "1s", "-run-for", "2s"})
+	}()
+
+	// Wait for the proxy to come up, then fetch through it.
+	var resp *http.Response
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err = http.Get(fmt.Sprintf("http://%s/news/story.html", addr))
+		if err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("proxy never came up: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "Breaking news") {
+		t.Errorf("body through proxy = %q", body)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	tests := [][]string{
+		{},                          // neither -origin nor -demo
+		{"-mode", "bogus", "-demo"}, // bad mode
+		{"-demo", "-origin", "http://x"},
+		{"-origin", "://bad"},
+		{"-bad-flag"},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) must fail", args)
+		}
+	}
+}

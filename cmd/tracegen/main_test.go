@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"broadway/internal/trace"
+)
+
+func TestPresetToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "att.trace")
+	var buf bytes.Buffer
+	if err := run([]string{"-preset", "att", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "att" || tr.NumUpdates() != 653 {
+		t.Errorf("trace = %s/%d", tr.Name, tr.NumUpdates())
+	}
+}
+
+func TestPresetToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-preset", "cnn-fn"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumUpdates() != 113 {
+		t.Errorf("updates = %d", tr.NumUpdates())
+	}
+}
+
+func TestCustomNews(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "n.trace")
+	var buf bytes.Buffer
+	err := run([]string{"-news", "-name", "mysite", "-duration", "24h",
+		"-updates", "42", "-start-hour", "8", "-o", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(path)
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "mysite" || tr.NumUpdates() != 42 {
+		t.Errorf("trace = %s/%d", tr.Name, tr.NumUpdates())
+	}
+}
+
+func TestCustomStock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.trace")
+	var buf bytes.Buffer
+	err := run([]string{"-stock", "-name", "mystock", "-duration", "1h",
+		"-ticks", "99", "-initial", "50", "-min", "48", "-max", "52", "-o", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(path)
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumUpdates() != 99 {
+		t.Errorf("ticks = %d", tr.NumUpdates())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "y.trace")
+	var buf bytes.Buffer
+	if err := run([]string{"-preset", "yahoo", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-summarize", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2204 updates") {
+		t.Errorf("summary = %q", buf.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tests := [][]string{
+		{},                      // no action
+		{"-preset", "bogus"},    // unknown preset
+		{"-summarize", "/nope"}, // unreadable file
+		{"-news", "-updates", "-5"},
+		{"-stock", "-min", "10", "-max", "5", "-initial", "7"},
+		{"-bad-flag"},
+	}
+	for _, args := range tests {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) must fail", args)
+		}
+	}
+}

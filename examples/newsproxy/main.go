@@ -1,0 +1,80 @@
+// Newsproxy: keep a breaking-news page and its sibling feed mutually
+// consistent — the paper's motivating scenario (§1). The example first
+// discovers the related-object group by scanning the page's HTML for
+// embedded objects (§5.2), then compares the three mutual-consistency
+// approaches of §3.2 on a pair of real-rate news workloads.
+//
+// Run with:
+//
+//	go run ./examples/newsproxy
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"broadway"
+)
+
+const storyHTML = `<html>
+<head><link rel="stylesheet" href="/news/style.css"></head>
+<body>
+  <h1>Breaking: markets move</h1>
+  <img src="/news/chart.png">
+  <img src="/news/floor-photo.jpg">
+  <script src="/news/live-score.js"></script>
+</body>
+</html>`
+
+func main() {
+	// Step 1: deduce the syntactic relationships. The page and its
+	// embedded objects form one consistency group.
+	graph := broadway.NewDependencyGraph()
+	urls := graph.RelateDocument("/news/story.html", storyHTML)
+	fmt.Println("embedded objects discovered in /news/story.html:")
+	for _, u := range urls {
+		fmt.Println("  ", u)
+	}
+	group := graph.GroupOf("/news/story.html")
+	fmt.Printf("consistency group (%d objects): %v\n\n", len(group), group)
+
+	// Step 2: evaluate the mutual-consistency approaches on a pair of
+	// feeds with different update rates (the AP and Reuters stand-ins:
+	// one changes every ~12 minutes, the other every ~20).
+	trA, trB := broadway.TraceNYTAP(), broadway.TraceNYTReuters()
+	fmt.Println("workload A:", trA.Summarize())
+	fmt.Println("workload B:", trB.Summarize())
+
+	const (
+		delta  = 10 * time.Minute // per-object Δt
+		mdelta = 5 * time.Minute  // mutual δ
+	)
+	fmt.Printf("\nΔ=%v per object, mutual δ=%v\n", delta, mdelta)
+	fmt.Printf("\n%-28s %8s %10s %14s %14s\n",
+		"approach", "polls", "triggered", "mutual fid.", "interval fid.")
+
+	for _, mode := range []broadway.TriggerMode{
+		broadway.TriggerNone, broadway.TriggerAll, broadway.TriggerFaster,
+	} {
+		res, err := broadway.RunMutualTemporal(broadway.MutualTemporalScenario{
+			TraceA:          trA,
+			TraceB:          trB,
+			DeltaIndividual: delta,
+			DeltaMutual:     mdelta,
+			Mode:            mode,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := res.Report
+		fmt.Printf("%-28s %8d %10d %14.3f %14.3f\n",
+			mode, rep.Polls, rep.TriggeredPolls, rep.FidelityBySync, rep.FidelityByViolations)
+	}
+
+	fmt.Println(`
+Reading the table: triggered polls guarantee mutual fidelity 1.0 but poll
+the most; the heuristic skips slower-changing siblings and lands between
+the baseline and the triggered approach on both axes — the paper's
+incremental-cost result.`)
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"broadway/internal/stats"
+)
+
+// AdaptiveTTRConfig parameterizes the value-domain Δv-consistency policy
+// of paper §4.1 (the adaptive-TTR technique of Srinivasan et al. [8] that
+// the paper builds its mutual value-domain mechanisms on).
+type AdaptiveTTRConfig struct {
+	// Delta is the Δv tolerance: the cached value must stay within
+	// Delta of the server's. Required (positive).
+	Delta float64
+	// Bounds clamp every computed TTR. Min defaults to 10 seconds, Max
+	// to 60 minutes.
+	Bounds TTRBounds
+	// Weight is w in TTR ← w·TTR_est + (1−w)·TTR_prev: the weight given
+	// to the newest rate extrapolation versus history. Must lie in
+	// (0, 1]; defaults to 0.5.
+	Weight float64
+	// Alpha is α in Eq. 10: the final TTR is α·TTR + (1−α)·TTR_observed_min.
+	// Small α biases toward the most conservative (smallest) TTR ever
+	// observed, increasing poll frequency for data with poor temporal
+	// locality. Must lie in (0, 1]; defaults to 0.5.
+	Alpha float64
+	// NoChangeGrowth scales the previous TTR when a poll observes no
+	// value change at all. A zero observed rate carries no information
+	// about the true rate (the next tick may be imminent), so instead
+	// of extrapolating an unbounded TTR the policy backs off gently.
+	// Must be > 1; defaults to 2.
+	NoChangeGrowth float64
+}
+
+// DefaultValueTTRMin is the default lower TTR bound for value-domain
+// policies. Stock quotes change every few seconds, so the floor is much
+// lower than temporal-domain settings.
+const DefaultValueTTRMin = 10 * time.Second
+
+func (c AdaptiveTTRConfig) withDefaults() AdaptiveTTRConfig {
+	if c.Delta <= 0 {
+		panic("core: AdaptiveTTR requires a positive Delta")
+	}
+	c.Bounds = NormalizeBounds(c.Bounds, DefaultValueTTRMin)
+	if c.Weight == 0 {
+		c.Weight = 0.5
+	}
+	if c.Weight < 0 || c.Weight > 1 {
+		panic(fmt.Sprintf("core: AdaptiveTTR weight %v outside (0,1]", c.Weight))
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		panic(fmt.Sprintf("core: AdaptiveTTR alpha %v outside (0,1]", c.Alpha))
+	}
+	if c.NoChangeGrowth == 0 {
+		c.NoChangeGrowth = 2
+	}
+	if c.NoChangeGrowth <= 1 {
+		panic(fmt.Sprintf("core: AdaptiveTTR no-change growth %v must exceed 1", c.NoChangeGrowth))
+	}
+	return c
+}
+
+// AdaptiveTTR maintains Δv-consistency by polling the server roughly every
+// time the object's value is expected to have changed by Δ. It estimates
+// the value's rate of change from the two most recent polls (Eq. 9),
+// smooths the resulting TTR estimate, and anchors it against the smallest
+// estimate observed so far (Eq. 10).
+type AdaptiveTTR struct {
+	cfg AdaptiveTTRConfig
+
+	prevTTR time.Duration
+	obsMin  stats.MinTracker
+	polls   uint64
+}
+
+var _ Policy = (*AdaptiveTTR)(nil)
+
+// NewAdaptiveTTR returns an adaptive value-domain policy. It panics on
+// invalid configuration.
+func NewAdaptiveTTR(cfg AdaptiveTTRConfig) *AdaptiveTTR {
+	a := &AdaptiveTTR{cfg: cfg.withDefaults()}
+	a.Reset()
+	return a
+}
+
+// Name implements Policy.
+func (a *AdaptiveTTR) Name() string { return "adaptive-ttr" }
+
+// Config returns the normalized configuration.
+func (a *AdaptiveTTR) Config() AdaptiveTTRConfig { return a.cfg }
+
+// Delta returns the current Δv tolerance.
+func (a *AdaptiveTTR) Delta() float64 { return a.cfg.Delta }
+
+// SetDelta changes the Δv tolerance. The partitioned mutual-consistency
+// controller re-apportions tolerances between polls (paper §4.2), so the
+// tolerance must be adjustable at run time.
+func (a *AdaptiveTTR) SetDelta(delta float64) {
+	if delta <= 0 {
+		panic("core: AdaptiveTTR delta must stay positive")
+	}
+	a.cfg.Delta = delta
+}
+
+// InitialTTR implements Policy: polling starts at the floor, the most
+// conservative choice before any rate information exists.
+func (a *AdaptiveTTR) InitialTTR() time.Duration { return a.cfg.Bounds.Min }
+
+// Reset implements Policy.
+func (a *AdaptiveTTR) Reset() {
+	a.prevTTR = a.cfg.Bounds.Min
+	a.obsMin = stats.MinTracker{}
+	a.polls = 0
+}
+
+// NextTTR implements Policy using the Eq. 9–10 pipeline.
+func (a *AdaptiveTTR) NextTTR(o PollOutcome) time.Duration {
+	a.polls++
+	elapsed := o.Now.Sub(o.Prev)
+	if elapsed <= 0 {
+		return a.prevTTR
+	}
+
+	est := a.estimate(o.Value, o.PrevValue, elapsed)
+	if o.Value != o.PrevValue {
+		// Only informative estimates anchor the observed minimum;
+		// no-change backoffs carry no rate information.
+		a.obsMin.Observe(float64(est))
+	}
+
+	// Exponential smoothing against the previous TTR.
+	smoothed := time.Duration(a.cfg.Weight*float64(est) + (1-a.cfg.Weight)*float64(a.prevTTR))
+
+	// Anchor against the smallest estimate seen so far and clamp.
+	final := smoothed
+	if min, ok := a.obsMin.Value(); ok {
+		final = time.Duration(a.cfg.Alpha*float64(smoothed) + (1-a.cfg.Alpha)*min)
+	}
+	final = a.cfg.Bounds.clamp(final)
+	a.prevTTR = final
+	return final
+}
+
+// estimate extrapolates how long the value will take to drift by Δ at the
+// rate observed over the last polling interval (Eq. 9).
+func (a *AdaptiveTTR) estimate(cur, prev float64, elapsed time.Duration) time.Duration {
+	change := cur - prev
+	if change < 0 {
+		change = -change
+	}
+	if change == 0 {
+		// No observed movement: zero rate carries no information, so
+		// back off gently from the previous TTR rather than
+		// extrapolating an unbounded one.
+		est := time.Duration(float64(a.prevTTR) * a.cfg.NoChangeGrowth)
+		if est > a.cfg.Bounds.Max || est <= 0 {
+			est = a.cfg.Bounds.Max
+		}
+		return est
+	}
+	r := change / float64(elapsed) // value units per nanosecond
+	est := time.Duration(a.cfg.Delta / r)
+	if est < 0 { // overflow of the division result
+		return a.cfg.Bounds.Max
+	}
+	return est
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"broadway/internal/simtime"
+)
+
+func valueOutcome(prev, now time.Duration, prevVal, val float64) PollOutcome {
+	return PollOutcome{
+		Now: simtime.At(now), Prev: simtime.At(prev),
+		Modified: val != prevVal, HasValue: true,
+		Value: val, PrevValue: prevVal,
+	}
+}
+
+func TestAdaptiveTTRDefaults(t *testing.T) {
+	a := NewAdaptiveTTR(AdaptiveTTRConfig{Delta: 0.5})
+	cfg := a.Config()
+	if cfg.Bounds.Min != DefaultValueTTRMin || cfg.Bounds.Max != DefaultTTRMax {
+		t.Errorf("bounds = %+v", cfg.Bounds)
+	}
+	if cfg.Weight != 0.5 || cfg.Alpha != 0.5 {
+		t.Errorf("w=%v α=%v", cfg.Weight, cfg.Alpha)
+	}
+	if a.InitialTTR() != cfg.Bounds.Min {
+		t.Errorf("InitialTTR = %v", a.InitialTTR())
+	}
+	if a.Name() != "adaptive-ttr" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}
+
+func TestAdaptiveTTRExtrapolation(t *testing.T) {
+	// Δ = 1.0, w = 1, α = 1: the TTR equals the raw extrapolation.
+	a := NewAdaptiveTTR(AdaptiveTTRConfig{
+		Delta:  1.0,
+		Bounds: TTRBounds{Min: time.Second, Max: time.Hour},
+		Weight: 1, Alpha: 1,
+	})
+	// Value moved 0.5 in 100s → rate 0.005/s → Δ/r = 200s.
+	got := a.NextTTR(valueOutcome(0, 100*time.Second, 10, 10.5))
+	if got != 200*time.Second {
+		t.Errorf("TTR = %v, want 200s", got)
+	}
+	// Direction must not matter: a drop of 0.5 gives the same TTR.
+	a.Reset()
+	got = a.NextTTR(valueOutcome(0, 100*time.Second, 10, 9.5))
+	if got != 200*time.Second {
+		t.Errorf("TTR (falling value) = %v, want 200s", got)
+	}
+}
+
+func TestAdaptiveTTRNoChangeBacksOffGently(t *testing.T) {
+	a := NewAdaptiveTTR(AdaptiveTTRConfig{
+		Delta:  1.0,
+		Bounds: TTRBounds{Min: time.Second, Max: time.Hour},
+		Weight: 1, Alpha: 1,
+	})
+	// No observed change: the TTR doubles from its previous value
+	// (zero rate carries no information) rather than jumping to TTRmax.
+	got := a.NextTTR(valueOutcome(0, 100*time.Second, 10, 10))
+	if got != 2*time.Second {
+		t.Errorf("TTR = %v, want 2s (doubled from the 1s floor)", got)
+	}
+	// Repeated quiet polls keep doubling until the cap.
+	now := 100 * time.Second
+	for i := 0; i < 20; i++ {
+		prev := now
+		now += got
+		got = a.NextTTR(valueOutcome(prev, now, 10, 10))
+	}
+	if got != time.Hour {
+		t.Errorf("TTR = %v, want TTRmax after a long quiet stretch", got)
+	}
+}
+
+func TestAdaptiveTTRFastChangeFloorsAtMin(t *testing.T) {
+	a := NewAdaptiveTTR(AdaptiveTTRConfig{
+		Delta:  0.01,
+		Bounds: TTRBounds{Min: 10 * time.Second, Max: time.Hour},
+		Weight: 1, Alpha: 1,
+	})
+	// Huge move: extrapolated TTR far below the floor.
+	got := a.NextTTR(valueOutcome(0, 10*time.Second, 10, 20))
+	if got != 10*time.Second {
+		t.Errorf("TTR = %v, want TTRmin floor", got)
+	}
+}
+
+func TestAdaptiveTTRSmoothing(t *testing.T) {
+	// w = 0.5, α = 1: TTR = (est + prevTTR)/2.
+	a := NewAdaptiveTTR(AdaptiveTTRConfig{
+		Delta:  1.0,
+		Bounds: TTRBounds{Min: time.Second, Max: time.Hour},
+		Weight: 0.5, Alpha: 1,
+	})
+	// First estimate 200s, prev = TTRmin (1s) → 100.5s.
+	got := a.NextTTR(valueOutcome(0, 100*time.Second, 10, 10.5))
+	if got != 100*time.Second+500*time.Millisecond {
+		t.Errorf("TTR = %v, want 100.5s", got)
+	}
+}
+
+func TestAdaptiveTTRObservedMinAnchors(t *testing.T) {
+	// α = 0.5: final mixes the smoothed estimate with the smallest raw
+	// estimate so far, biasing toward conservative polling.
+	a := NewAdaptiveTTR(AdaptiveTTRConfig{
+		Delta:  1.0,
+		Bounds: TTRBounds{Min: time.Second, Max: 10 * time.Hour},
+		Weight: 1, Alpha: 0.5,
+	})
+	// Burst: est 10s → min 10s. TTR = 0.5·10 + 0.5·10 = 10s.
+	a.NextTTR(valueOutcome(0, 10*time.Second, 10, 11))
+	// Quiet spell: raw est 1000s; final = 0.5·1000 + 0.5·10 = 505s.
+	got := a.NextTTR(valueOutcome(10*time.Second, 20*time.Second, 11, 11.01))
+	if got != 505*time.Second {
+		t.Errorf("TTR = %v, want 505s (anchored)", got)
+	}
+}
+
+func TestAdaptiveTTRZeroElapsed(t *testing.T) {
+	a := NewAdaptiveTTR(AdaptiveTTRConfig{Delta: 1.0})
+	before := a.InitialTTR()
+	got := a.NextTTR(valueOutcome(10*time.Second, 10*time.Second, 10, 11))
+	if got != before {
+		t.Errorf("zero-elapsed poll changed TTR: %v", got)
+	}
+}
+
+func TestAdaptiveTTRSetDelta(t *testing.T) {
+	a := NewAdaptiveTTR(AdaptiveTTRConfig{Delta: 1.0})
+	a.SetDelta(2.5)
+	if a.Delta() != 2.5 {
+		t.Errorf("Delta = %v", a.Delta())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetDelta(0) must panic")
+		}
+	}()
+	a.SetDelta(0)
+}
+
+func TestAdaptiveTTRReset(t *testing.T) {
+	a := NewAdaptiveTTR(AdaptiveTTRConfig{Delta: 1.0, Weight: 1, Alpha: 1})
+	// A burst drives the observed-min anchor down to a small estimate.
+	a.NextTTR(valueOutcome(0, 10*time.Second, 10, 11))
+	a.Reset()
+	// After reset the anchor and the previous TTR are gone: a slow
+	// drift extrapolates freely, unanchored by the pre-reset burst.
+	// Value moved 0.001 in 100s → est = 1.0/(0.001/100s) = 100000s,
+	// clamped to TTRmax.
+	got := a.NextTTR(valueOutcome(0, 100*time.Second, 10, 10.001))
+	if got != a.Config().Bounds.Max {
+		t.Errorf("TTR after reset = %v, want TTRmax (anchor cleared)", got)
+	}
+}
+
+func TestAdaptiveTTRConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  AdaptiveTTRConfig
+	}{
+		{"zero delta", AdaptiveTTRConfig{}},
+		{"negative delta", AdaptiveTTRConfig{Delta: -1}},
+		{"weight too big", AdaptiveTTRConfig{Delta: 1, Weight: 1.5}},
+		{"alpha too big", AdaptiveTTRConfig{Delta: 1, Alpha: 1.5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			NewAdaptiveTTR(tt.cfg)
+		})
+	}
+}
+
+// TestPropertyAdaptiveTTRWithinBounds drives the policy with arbitrary
+// value walks and asserts the clamp invariant of Eq. 10.
+func TestPropertyAdaptiveTTRWithinBounds(t *testing.T) {
+	f := func(moves []int8) bool {
+		a := NewAdaptiveTTR(AdaptiveTTRConfig{Delta: 0.25})
+		bounds := a.Config().Bounds
+		now := time.Duration(0)
+		val := 100.0
+		for _, mv := range moves {
+			prev := now
+			prevVal := val
+			now += time.Duration(mv&0x3f)*time.Second + time.Second
+			val += float64(mv) / 64
+			ttr := a.NextTTR(valueOutcome(prev, now, prevVal, val))
+			if ttr < bounds.Min || ttr > bounds.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodicPolicy(t *testing.T) {
+	p := NewPeriodic(5 * time.Minute)
+	if p.Name() != "periodic" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.InitialTTR() != 5*time.Minute {
+		t.Errorf("InitialTTR = %v", p.InitialTTR())
+	}
+	got := p.NextTTR(modifiedOutcome(0, minutes(5), minutes(3)))
+	if got != 5*time.Minute {
+		t.Errorf("NextTTR = %v: baseline must never adapt", got)
+	}
+	p.Reset() // must not panic
+	if p.NextTTR(outcome(0, minutes(5))) != 5*time.Minute {
+		t.Error("NextTTR after Reset changed")
+	}
+}
+
+func TestPeriodicRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPeriodic(0)
+}

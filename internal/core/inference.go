@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"broadway/internal/stats"
+)
+
+// ViolationInference estimates whether a poll that observed a modification
+// concealed an earlier, violating update. Plain HTTP responses reveal only
+// the most recent change; if the object was modified several times since
+// the last poll, the first of those updates may have occurred more than Δ
+// before the poll without the proxy being able to tell (paper Fig. 1(b)).
+// The paper (§3.1, §5) proposes inferring the probability of such hidden
+// violations from past statistics; this estimator realizes that proposal.
+//
+// The model: updates are approximated as a Poisson process whose rate is
+// estimated online from the observed modification instants. Conditioned on
+// "at least one update in (prev, now]", the probability that the first
+// update fell in the violating prefix (prev, now−Δ] is
+//
+//	p = (1 − e^{−λ(I−Δ)}) / (1 − e^{−λI}),  I = now − prev,
+//
+// which the estimator compares against Threshold. When it flags a hidden
+// violation it also reports the expected out-of-sync time under the same
+// model, which LIMD's adaptive multiplicative factor consumes.
+type ViolationInference struct {
+	// Threshold is the probability above which a hidden violation is
+	// assumed. Defaults to 0.5.
+	Threshold float64
+
+	rate *stats.RateEstimator
+}
+
+// NewViolationInference returns an estimator with the given decision
+// threshold (0 selects the default of 0.5).
+func NewViolationInference(threshold float64) *ViolationInference {
+	if threshold == 0 {
+		threshold = 0.5
+	}
+	if threshold < 0 || threshold > 1 {
+		panic("core: inference threshold outside [0,1]")
+	}
+	return &ViolationInference{
+		Threshold: threshold,
+		rate:      stats.NewRateEstimator(0.3),
+	}
+}
+
+// ObservePoll feeds the estimator the modification evidence from a poll.
+func (v *ViolationInference) ObservePoll(o PollOutcome) {
+	if !o.Modified {
+		return
+	}
+	// With the history extension every update instant is visible; plain
+	// HTTP reveals only the most recent one. Either way the estimator
+	// learns the process rate from what the protocol exposes.
+	if len(o.History) > 0 {
+		for _, at := range o.History {
+			v.rate.ObserveEvent(at.Duration())
+		}
+		return
+	}
+	if o.HasLastModified {
+		v.rate.ObserveEvent(o.LastModified.Duration())
+	}
+}
+
+// InferHiddenViolation decides whether the poll outcome likely concealed a
+// violating first update. It returns the estimated out-of-sync time and
+// true when the estimated probability exceeds the threshold.
+func (v *ViolationInference) InferHiddenViolation(o PollOutcome, delta time.Duration) (time.Duration, bool) {
+	if !o.Modified || !v.rate.Known() {
+		return 0, false
+	}
+	interval := o.Now.Sub(o.Prev)
+	if interval <= delta {
+		// The whole window fits within the tolerance: no instant in it
+		// can violate.
+		return 0, false
+	}
+	gap := v.rate.MeanGap()
+	if gap <= 0 {
+		return 0, false
+	}
+	lambda := 1 / gap.Seconds()
+	iSec := interval.Seconds()
+	prefix := (interval - delta).Seconds()
+
+	denom := 1 - math.Exp(-lambda*iSec)
+	if denom <= 0 {
+		return 0, false
+	}
+	p := (1 - math.Exp(-lambda*prefix)) / denom
+	if p <= v.Threshold {
+		return 0, false
+	}
+	// Expected first-update instant conditioned on falling in the
+	// violating prefix: a truncated exponential from prev. out-of-sync
+	// time = now − E[first].
+	ef := expectedTruncExp(lambda, prefix)
+	est := interval - time.Duration(ef*float64(time.Second))
+	if est <= delta {
+		est = delta + time.Second // flagged as violation: report a positive out-of-sync time
+	}
+	return est, true
+}
+
+// expectedTruncExp returns E[X | X ≤ c] for X ~ Exp(λ), in seconds.
+func expectedTruncExp(lambda, c float64) float64 {
+	if lambda <= 0 || c <= 0 {
+		return 0
+	}
+	e := math.Exp(-lambda * c)
+	den := 1 - e
+	if den <= 0 {
+		return c / 2
+	}
+	return 1/lambda - c*e/den
+}
+
+// Reset discards learned statistics.
+func (v *ViolationInference) Reset() {
+	v.rate = stats.NewRateEstimator(0.3)
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"broadway/internal/simtime"
+)
+
+func TestInferenceUnknownRateNeverFlags(t *testing.T) {
+	v := NewViolationInference(0.5)
+	o := modifiedOutcome(0, minutes(30), minutes(29))
+	if _, ok := v.InferHiddenViolation(o, 10*time.Minute); ok {
+		t.Error("no rate evidence must mean no inference")
+	}
+}
+
+func TestInferenceWindowWithinDeltaNeverFlags(t *testing.T) {
+	v := NewViolationInference(0.5)
+	teachRate(v, time.Minute, 10)
+	// Poll window of 5m with Δ=10m: no instant in the window violates.
+	o := modifiedOutcome(0, minutes(5), minutes(4))
+	if _, ok := v.InferHiddenViolation(o, 10*time.Minute); ok {
+		t.Error("window shorter than Δ cannot contain a violation")
+	}
+}
+
+// teachRate feeds the estimator updates with the given period.
+func teachRate(v *ViolationInference, period time.Duration, n int) {
+	at := time.Duration(0)
+	for i := 0; i < n; i++ {
+		at += period
+		v.ObservePoll(PollOutcome{
+			Now: simtime.At(at + time.Second), Prev: simtime.At(at - period),
+			Modified: true, HasLastModified: true, LastModified: simtime.At(at),
+		})
+	}
+}
+
+func TestInferenceFastObjectLongWindowFlags(t *testing.T) {
+	v := NewViolationInference(0.5)
+	// Object updates every minute.
+	teachRate(v, time.Minute, 20)
+	// A 60-minute window with Δ=10m: almost surely the first update in
+	// the window happened within its first minutes, far more than Δ ago.
+	o := modifiedOutcome(0, minutes(60), minutes(59))
+	est, ok := v.InferHiddenViolation(o, 10*time.Minute)
+	if !ok {
+		t.Fatal("fast object over a long window must be flagged")
+	}
+	if est <= 10*time.Minute {
+		t.Errorf("estimated out-of-sync %v must exceed Δ", est)
+	}
+	if est > 60*time.Minute {
+		t.Errorf("estimated out-of-sync %v cannot exceed the window", est)
+	}
+}
+
+func TestInferenceSlowObjectRarelyFlags(t *testing.T) {
+	v := NewViolationInference(0.5)
+	// Object updates every 10 hours; window barely exceeds Δ.
+	teachRate(v, 10*time.Hour, 5)
+	o := modifiedOutcome(0, minutes(12), minutes(11))
+	if _, ok := v.InferHiddenViolation(o, 10*time.Minute); ok {
+		t.Error("slow object with a barely-exceeding window should not be flagged")
+	}
+}
+
+func TestInferenceLearnsFromHistory(t *testing.T) {
+	v := NewViolationInference(0.5)
+	v.ObservePoll(PollOutcome{
+		Now: simtime.At(minutes(30)), Prev: simtime.At(0),
+		Modified: true, HasLastModified: true, LastModified: simtime.At(minutes(25)),
+		History: []simtime.Time{
+			simtime.At(minutes(5)), simtime.At(minutes(15)), simtime.At(minutes(25)),
+		},
+	})
+	o := modifiedOutcome(minutes(30), minutes(90), minutes(89))
+	if _, ok := v.InferHiddenViolation(o, 10*time.Minute); !ok {
+		t.Error("history-taught estimator should flag a long window")
+	}
+}
+
+func TestInferenceIgnoresUnmodifiedPolls(t *testing.T) {
+	v := NewViolationInference(0.5)
+	for i := 1; i <= 10; i++ {
+		v.ObservePoll(outcome(time.Duration(i-1)*time.Minute, time.Duration(i)*time.Minute))
+	}
+	o := modifiedOutcome(0, minutes(60), minutes(59))
+	if _, ok := v.InferHiddenViolation(o, 10*time.Minute); ok {
+		t.Error("unmodified polls must not teach a rate")
+	}
+}
+
+func TestInferenceUnmodifiedOutcomeNeverFlags(t *testing.T) {
+	v := NewViolationInference(0.5)
+	teachRate(v, time.Minute, 10)
+	if _, ok := v.InferHiddenViolation(outcome(0, minutes(60)), 10*time.Minute); ok {
+		t.Error("unmodified outcome cannot be a violation")
+	}
+}
+
+func TestInferenceReset(t *testing.T) {
+	v := NewViolationInference(0.5)
+	teachRate(v, time.Minute, 10)
+	v.Reset()
+	o := modifiedOutcome(0, minutes(60), minutes(59))
+	if _, ok := v.InferHiddenViolation(o, 10*time.Minute); ok {
+		t.Error("Reset must discard rate evidence")
+	}
+}
+
+func TestInferenceThresholdValidation(t *testing.T) {
+	if NewViolationInference(0).Threshold != 0.5 {
+		t.Error("zero threshold must default to 0.5")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for threshold > 1")
+		}
+	}()
+	NewViolationInference(1.5)
+}
+
+func TestExpectedTruncExp(t *testing.T) {
+	// For λ=1 and a very long cutoff, E[X | X ≤ c] → 1/λ = 1.
+	if got := expectedTruncExp(1, 100); got < 0.99 || got > 1.01 {
+		t.Errorf("expectedTruncExp(1, 100) = %v, want ≈1", got)
+	}
+	// For a tiny cutoff, the conditional mean approaches c/2.
+	if got := expectedTruncExp(1, 0.001); got < 0.0004 || got > 0.0006 {
+		t.Errorf("expectedTruncExp(1, 0.001) = %v, want ≈0.0005", got)
+	}
+	if expectedTruncExp(0, 1) != 0 || expectedTruncExp(1, 0) != 0 {
+		t.Error("degenerate inputs must return 0")
+	}
+}
+
+func TestLIMDWithInferenceBacksOffOnProbableViolations(t *testing.T) {
+	// End-to-end: a fast-changing object polled over long windows with
+	// plain HTTP. Without inference LIMD sees case 3 and drifts the TTR
+	// up; with inference it treats probable hidden violations as case 2.
+	run := func(withInference bool) time.Duration {
+		cfg := LIMDConfig{Delta: 5 * time.Minute,
+			Bounds: TTRBounds{Min: 5 * time.Minute, Max: 120 * time.Minute}}
+		if withInference {
+			cfg.Inference = NewViolationInference(0.5)
+		}
+		l := NewLIMD(cfg)
+		now := time.Duration(0)
+		for i := 0; i < 30; i++ {
+			prev := now
+			now += l.TTR()
+			// Object updates every minute: last modification is always
+			// a few seconds before the poll (case 3 to plain HTTP).
+			l.NextTTR(modifiedOutcome(prev, now, now-30*time.Second))
+		}
+		return l.TTR()
+	}
+	plain := run(false)
+	inferred := run(true)
+	if inferred >= plain {
+		t.Errorf("inference must keep the TTR lower: %v >= %v", inferred, plain)
+	}
+}

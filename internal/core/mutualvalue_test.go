@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"broadway/internal/simtime"
+)
+
+func pairOutcome(prev, now time.Duration, prevA, prevB, a, b float64) PairOutcome {
+	return PairOutcome{
+		Now: simtime.At(now), Prev: simtime.At(prev),
+		ValueA: a, ValueB: b, PrevValueA: prevA, PrevValueB: prevB,
+	}
+}
+
+func TestFuncs(t *testing.T) {
+	tests := []struct {
+		f    Func
+		a, b float64
+		want float64
+		name string
+	}{
+		{DifferenceFunc{}, 5, 3, 2, "difference"},
+		{SumFunc{}, 5, 3, 8, "sum"},
+		{RatioFunc{}, 6, 3, 2, "ratio"},
+		{RatioFunc{}, 6, 0, 0, "ratio"},
+	}
+	for _, tt := range tests {
+		if got := tt.f.Eval(tt.a, tt.b); got != tt.want {
+			t.Errorf("%s(%v,%v) = %v, want %v", tt.f.Name(), tt.a, tt.b, got, tt.want)
+		}
+		if tt.f.Name() != tt.name {
+			t.Errorf("Name = %q, want %q", tt.f.Name(), tt.name)
+		}
+	}
+}
+
+func TestMutualValueAdaptiveDefaults(t *testing.T) {
+	m := NewMutualValueAdaptive(MutualValueConfig{Delta: 0.6})
+	cfg := m.Config()
+	if cfg.F.Name() != "difference" {
+		t.Error("default f must be the difference function")
+	}
+	if m.Gamma() != 1 {
+		t.Errorf("initial γ = %v", m.Gamma())
+	}
+	if m.InitialTTR() != cfg.Bounds.Min {
+		t.Errorf("InitialTTR = %v", m.InitialTTR())
+	}
+}
+
+func TestMutualValueAdaptiveExtrapolation(t *testing.T) {
+	// δ = 1, w = α = 1, γ starts at 1: TTR = δ/r exactly.
+	m := NewMutualValueAdaptive(MutualValueConfig{
+		Delta:  1.0,
+		Bounds: TTRBounds{Min: time.Second, Max: time.Hour},
+		Weight: 1, Alpha: 1,
+	})
+	// f = a−b drifted from 2 to 2.5 in 100s → r = 0.005/s → TTR = 200s.
+	got := m.NextTTR(pairOutcome(0, 100*time.Second, 5, 3, 6, 3.5))
+	if got != 200*time.Second {
+		t.Errorf("TTR = %v, want 200s", got)
+	}
+}
+
+func TestMutualValueAdaptiveViolationShrinksGamma(t *testing.T) {
+	m := NewMutualValueAdaptive(MutualValueConfig{
+		Delta:  0.5,
+		Bounds: TTRBounds{Min: time.Second, Max: time.Hour},
+	})
+	// Drift of 1.0 ≥ δ=0.5: the poll reveals a violation.
+	m.NextTTR(pairOutcome(0, 100*time.Second, 5, 3, 6, 3))
+	if m.Gamma() != 0.7 {
+		t.Errorf("γ = %v, want 0.7 after violation", m.Gamma())
+	}
+	if m.DetectedViolations() != 1 {
+		t.Errorf("DetectedViolations = %d", m.DetectedViolations())
+	}
+	// Clean poll: γ recovers by the increase factor.
+	m.NextTTR(pairOutcome(100*time.Second, 200*time.Second, 6, 3, 6.1, 3))
+	want := 0.7 * 1.05
+	if math.Abs(m.Gamma()-want) > 1e-12 {
+		t.Errorf("γ = %v, want %v", m.Gamma(), want)
+	}
+}
+
+func TestMutualValueAdaptiveGammaBounds(t *testing.T) {
+	m := NewMutualValueAdaptive(MutualValueConfig{
+		Delta:    0.1,
+		GammaMin: 0.2,
+	})
+	now := time.Duration(0)
+	diff := 0.0
+	// Repeated violations: γ floors at GammaMin.
+	for i := 0; i < 50; i++ {
+		prev := now
+		now += 100 * time.Second
+		prevDiff := diff
+		diff += 1.0
+		m.NextTTR(pairOutcome(prev, now, prevDiff+3, 3, diff+3, 3))
+	}
+	if m.Gamma() != 0.2 {
+		t.Errorf("γ = %v, want floor 0.2", m.Gamma())
+	}
+	// Long clean stretch: γ caps at 1.
+	for i := 0; i < 200; i++ {
+		prev := now
+		now += 100 * time.Second
+		m.NextTTR(pairOutcome(prev, now, diff+3, 3, diff+3, 3))
+	}
+	if m.Gamma() != 1 {
+		t.Errorf("γ = %v, want cap 1", m.Gamma())
+	}
+}
+
+func TestMutualValueAdaptiveStaticPairBacksOff(t *testing.T) {
+	m := NewMutualValueAdaptive(MutualValueConfig{
+		Delta:  1.0,
+		Bounds: TTRBounds{Min: time.Second, Max: time.Hour},
+		Weight: 1, Alpha: 1,
+	})
+	// Static pair: TTR doubles per quiet poll (no-change backoff) and
+	// eventually caps at TTRmax.
+	got := m.NextTTR(pairOutcome(0, 100*time.Second, 5, 3, 5, 3))
+	if got != 2*time.Second {
+		t.Errorf("TTR = %v, want 2s (doubled from the 1s floor)", got)
+	}
+	now := 100 * time.Second
+	for i := 0; i < 20; i++ {
+		prev := now
+		now += got
+		got = m.NextTTR(pairOutcome(prev, now, 5, 3, 5, 3))
+	}
+	if got != time.Hour {
+		t.Errorf("TTR = %v, want TTRmax after a long static stretch", got)
+	}
+}
+
+func TestMutualValueAdaptiveCommonModeCancels(t *testing.T) {
+	// Both values rise by the same amount: the difference is unchanged,
+	// so no violation is detected and the TTR backs off as if static.
+	m := NewMutualValueAdaptive(MutualValueConfig{
+		Delta:  0.5,
+		Bounds: TTRBounds{Min: time.Second, Max: time.Hour},
+		Weight: 1, Alpha: 1,
+	})
+	got := m.NextTTR(pairOutcome(0, 100*time.Second, 5, 3, 105, 103))
+	if got != 2*time.Second {
+		t.Errorf("TTR = %v: common-mode movement must not count as drift", got)
+	}
+	if m.DetectedViolations() != 0 {
+		t.Error("common-mode movement flagged as violation")
+	}
+}
+
+func TestMutualValueAdaptiveZeroElapsed(t *testing.T) {
+	m := NewMutualValueAdaptive(MutualValueConfig{Delta: 1})
+	before := m.InitialTTR()
+	if got := m.NextTTR(pairOutcome(5*time.Second, 5*time.Second, 1, 2, 3, 4)); got != before {
+		t.Errorf("zero-elapsed pair poll changed TTR: %v", got)
+	}
+}
+
+func TestMutualValueAdaptiveReset(t *testing.T) {
+	m := NewMutualValueAdaptive(MutualValueConfig{Delta: 0.1})
+	m.NextTTR(pairOutcome(0, 100*time.Second, 5, 3, 7, 3))
+	m.Reset()
+	if m.Gamma() != 1 || m.DetectedViolations() != 0 {
+		t.Error("Reset did not restore initial state")
+	}
+}
+
+func TestMutualValueConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  MutualValueConfig
+	}{
+		{"zero delta", MutualValueConfig{}},
+		{"weight", MutualValueConfig{Delta: 1, Weight: 2}},
+		{"alpha", MutualValueConfig{Delta: 1, Alpha: -1}},
+		{"gamma dec", MutualValueConfig{Delta: 1, GammaDecrease: 1}},
+		{"gamma inc", MutualValueConfig{Delta: 1, GammaIncrease: 0.5}},
+		{"gamma min", MutualValueConfig{Delta: 1, GammaMin: 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			NewMutualValueAdaptive(tt.cfg)
+		})
+	}
+}
+
+func TestPartitionedEvenSplitInitially(t *testing.T) {
+	p := NewMutualValuePartitioned(MutualValueConfig{Delta: 1.0})
+	da, db := p.Deltas()
+	if da != 0.5 || db != 0.5 {
+		t.Errorf("initial split = %v/%v, want even", da, db)
+	}
+	if p.Name() != "mutual-value-partitioned" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestPartitionedFasterObjectGetsTighterTolerance(t *testing.T) {
+	p := NewMutualValuePartitioned(MutualValueConfig{Delta: 1.0})
+	// Object A moves fast (1.0 per 100s), object B slowly (0.1 per 100s).
+	p.PolicyA().NextTTR(valueOutcome(0, 100*time.Second, 10, 11))
+	p.PolicyB().NextTTR(valueOutcome(0, 100*time.Second, 50, 50.1))
+	da, db := p.Deltas()
+	if da >= db {
+		t.Errorf("δa=%v δb=%v: the faster object must get the tighter share", da, db)
+	}
+	// Exact shares: δa = δ·rb/(ra+rb) = 0.1/1.1.
+	if math.Abs(da-0.1/1.1) > 1e-9 {
+		t.Errorf("δa = %v, want %v", da, 0.1/1.1)
+	}
+}
+
+func TestPartitionedSplitInvariant(t *testing.T) {
+	f := func(moves []struct{ A, B int8 }) bool {
+		p := NewMutualValuePartitioned(MutualValueConfig{Delta: 2.0})
+		now := time.Duration(0)
+		va, vb := 100.0, 50.0
+		for _, mv := range moves {
+			prev := now
+			now += 30 * time.Second
+			pa, pb := va, vb
+			va += float64(mv.A) / 32
+			vb += float64(mv.B) / 32
+			p.PolicyA().NextTTR(valueOutcome(prev, now, pa, va))
+			p.PolicyB().NextTTR(valueOutcome(prev, now, pb, vb))
+			da, db := p.Deltas()
+			if math.Abs(da+db-2.0) > 1e-9 {
+				return false
+			}
+			if da <= 0 || db <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionedQuiescentPairSplitsEvenly(t *testing.T) {
+	p := NewMutualValuePartitioned(MutualValueConfig{Delta: 1.0})
+	p.PolicyA().NextTTR(valueOutcome(0, 100*time.Second, 10, 10))
+	p.PolicyB().NextTTR(valueOutcome(0, 100*time.Second, 50, 50))
+	da, db := p.Deltas()
+	if da != 0.5 || db != 0.5 {
+		t.Errorf("quiescent split = %v/%v, want even", da, db)
+	}
+}
+
+func TestPartitionedMinShareFloor(t *testing.T) {
+	p := NewMutualValuePartitioned(MutualValueConfig{Delta: 1.0})
+	// B completely static, A violently moving: B's rate is 0, so A
+	// would get share rb/(ra+rb) = 0 without the floor.
+	p.PolicyA().NextTTR(valueOutcome(0, 10*time.Second, 10, 20))
+	p.PolicyB().NextTTR(valueOutcome(0, 10*time.Second, 50, 50))
+	da, db := p.Deltas()
+	if da < 0.01-1e-12 {
+		t.Errorf("δa = %v, below the 1%% floor", da)
+	}
+	if math.Abs(da+db-1.0) > 1e-9 {
+		t.Errorf("split sum = %v", da+db)
+	}
+}
+
+func TestPartitionedReset(t *testing.T) {
+	p := NewMutualValuePartitioned(MutualValueConfig{Delta: 1.0})
+	p.PolicyA().NextTTR(valueOutcome(0, 100*time.Second, 10, 11))
+	p.PolicyB().NextTTR(valueOutcome(0, 100*time.Second, 50, 50.1))
+	p.PolicyA().Reset() // resetting either member resets the pair
+	da, db := p.Deltas()
+	if da != 0.5 || db != 0.5 {
+		t.Errorf("split after reset = %v/%v", da, db)
+	}
+}
+
+// TestPartitionedImpliesMutual verifies the paper's triangle-inequality
+// argument end to end: if each member's cached value stays within its δ
+// share, the difference function stays within δ.
+func TestPartitionedImpliesMutual(t *testing.T) {
+	f := func(errA, errB int8, split uint8) bool {
+		delta := 1.0
+		shareA := 0.01 + 0.98*float64(split)/255 // any split in [0.01, 0.99]
+		shareB := delta - shareA
+		// Individual errors within tolerance shares.
+		ea := (float64(errA) / 129) * shareA // |ea| < shareA
+		eb := (float64(errB) / 129) * shareB
+		// Mutual drift of the difference function.
+		drift := math.Abs(ea - eb)
+		return drift < delta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import "time"
+
+// Periodic is the baseline consistency mechanism the paper's evaluation
+// compares against: poll the server every Δ time units unconditionally.
+// By construction it provides perfect Δt-fidelity — a violation would
+// require an update to go undetected for longer than Δ, which a poll every
+// Δ rules out — at the cost of polling static objects as often as hot
+// ones.
+type Periodic struct {
+	period time.Duration
+}
+
+var _ Policy = (*Periodic)(nil)
+
+// NewPeriodic returns the poll-every-period baseline. It panics if period
+// is not positive.
+func NewPeriodic(period time.Duration) *Periodic {
+	if period <= 0 {
+		panic("core: Periodic requires a positive period")
+	}
+	return &Periodic{period: period}
+}
+
+// Name implements Policy.
+func (p *Periodic) Name() string { return "periodic" }
+
+// InitialTTR implements Policy.
+func (p *Periodic) InitialTTR() time.Duration { return p.period }
+
+// NextTTR implements Policy: the TTR never adapts.
+func (p *Periodic) NextTTR(PollOutcome) time.Duration { return p.period }
+
+// Reset implements Policy (stateless).
+func (p *Periodic) Reset() {}

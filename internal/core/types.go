@@ -1,0 +1,112 @@
+package core
+
+import (
+	"time"
+
+	"broadway/internal/simtime"
+)
+
+// ObjectID identifies a cached web object (in practice, its URL).
+type ObjectID string
+
+// PollOutcome carries everything a proxy learns from one poll of the
+// origin server, i.e. only protocol-visible information. Consistency
+// policies must base their decisions exclusively on these fields; the
+// privileged ground truth lives in the evaluator, never here.
+type PollOutcome struct {
+	// Now is the instant of this poll.
+	Now simtime.Time
+	// Prev is the instant of the previous poll of this object.
+	Prev simtime.Time
+	// Modified reports whether the object changed since Prev (the
+	// If-Modified-Since result).
+	Modified bool
+	// LastModified is the server's most recent modification instant.
+	// Valid only when HasLastModified is true (an object that has never
+	// been modified carries no Last-Modified header).
+	LastModified simtime.Time
+	// HasLastModified reports whether LastModified is meaningful.
+	HasLastModified bool
+	// History holds the modification instants in (Prev, Now], oldest
+	// first, when the server supports the paper's proposed
+	// modification-history extension (§5.1). Nil when the extension is
+	// unavailable; policies then see only LastModified, like plain
+	// HTTP/1.1.
+	History []simtime.Time
+	// HasValue reports whether the object carries a numeric value
+	// (value-domain consistency).
+	HasValue bool
+	// Value is the object's value at Now (when HasValue).
+	Value float64
+	// PrevValue is the cached value prior to this poll (when HasValue).
+	PrevValue float64
+}
+
+// FirstUpdateSincePrev returns the instant of the earliest known update in
+// (Prev, Now]. With the history extension this is exact; otherwise it
+// falls back to LastModified, which HTTP/1.1 provides but which hides any
+// earlier updates in the window (the difficulty Fig. 1(b) of the paper
+// illustrates). The result is meaningful only when Modified is true.
+func (o *PollOutcome) FirstUpdateSincePrev() simtime.Time {
+	if len(o.History) > 0 {
+		return o.History[0]
+	}
+	return o.LastModified
+}
+
+// Policy computes the time-to-refresh (TTR) sequence for one cached
+// object. Implementations are deterministic state machines and are not
+// safe for concurrent use; callers serialize access (the simulator is
+// single-threaded, the live proxy locks per entry).
+type Policy interface {
+	// Name returns a short identifier used in reports.
+	Name() string
+	// InitialTTR returns the TTR to use before the first poll outcome
+	// is available.
+	InitialTTR() time.Duration
+	// NextTTR consumes the latest poll outcome and returns the time to
+	// wait before the next poll.
+	NextTTR(o PollOutcome) time.Duration
+	// Reset discards adaptive state, as a proxy does after recovering
+	// from a failure (paper §3.1: recovery simply resets TTRs).
+	Reset()
+}
+
+// TTRBounds is the [TTRmin, TTRmax] clamp applied to every computed TTR
+// (paper §3.1). The zero value is invalid; use NormalizeBounds to apply
+// defaults.
+type TTRBounds struct {
+	Min time.Duration
+	Max time.Duration
+}
+
+// DefaultTTRMax mirrors the paper's experimental setting of 60 minutes.
+const DefaultTTRMax = 60 * time.Minute
+
+// NormalizeBounds fills defaults: Min defaults to fallbackMin (typically
+// Δ, "the minimum interval between polls necessary to maintain consistency
+// guarantees"), Max to DefaultTTRMax. It panics if the result is invalid,
+// which indicates a configuration error.
+func NormalizeBounds(b TTRBounds, fallbackMin time.Duration) TTRBounds {
+	if b.Min <= 0 {
+		b.Min = fallbackMin
+	}
+	if b.Max <= 0 {
+		b.Max = DefaultTTRMax
+	}
+	if b.Min <= 0 || b.Max < b.Min {
+		panic("core: invalid TTR bounds")
+	}
+	return b
+}
+
+// clamp applies the bounds to a computed TTR.
+func (b TTRBounds) clamp(d time.Duration) time.Duration {
+	if d < b.Min {
+		return b.Min
+	}
+	if d > b.Max {
+		return b.Max
+	}
+	return d
+}

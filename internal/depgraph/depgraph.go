@@ -1,0 +1,148 @@
+// Package depgraph determines groups of related web objects (paper §5.2).
+// Relationships can be declared explicitly (semantic relationships require
+// domain knowledge) or deduced syntactically by scanning HTML documents
+// for embedded objects. Related objects form a dependency graph whose
+// connected components are the groups a mutual-consistency mechanism
+// operates on.
+//
+// As the paper notes, the graph itself does not maintain consistency — it
+// only identifies which objects must be kept mutually consistent; the
+// algorithms in internal/core do the rest.
+package depgraph
+
+import (
+	"sort"
+
+	"broadway/internal/core"
+)
+
+// Graph is an undirected dependency graph over object IDs. The zero value
+// is not usable; construct with New. Graph is not safe for concurrent
+// use.
+type Graph struct {
+	adj map[core.ObjectID]map[core.ObjectID]bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[core.ObjectID]map[core.ObjectID]bool)}
+}
+
+// AddObject ensures the object exists in the graph, with or without
+// relations.
+func (g *Graph) AddObject(id core.ObjectID) {
+	if _, ok := g.adj[id]; !ok {
+		g.adj[id] = make(map[core.ObjectID]bool)
+	}
+}
+
+// Relate records that a and b are related (symmetric). Self-relations are
+// ignored.
+func (g *Graph) Relate(a, b core.ObjectID) {
+	if a == b {
+		g.AddObject(a)
+		return
+	}
+	g.AddObject(a)
+	g.AddObject(b)
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+// RelateAll relates every pair drawn from ids (a clique): the typical
+// outcome of parsing one HTML page with several embedded objects.
+func (g *Graph) RelateAll(ids []core.ObjectID) {
+	for i := range ids {
+		g.AddObject(ids[i])
+		for j := i + 1; j < len(ids); j++ {
+			g.Relate(ids[i], ids[j])
+		}
+	}
+}
+
+// Related reports whether a and b are directly related.
+func (g *Graph) Related(a, b core.ObjectID) bool {
+	return g.adj[a][b]
+}
+
+// Neighbors returns the objects directly related to id, sorted.
+func (g *Graph) Neighbors(id core.ObjectID) []core.ObjectID {
+	out := make([]core.ObjectID, 0, len(g.adj[id]))
+	for n := range g.adj[id] {
+		out = append(out, n)
+	}
+	sortIDs(out)
+	return out
+}
+
+// Objects returns all objects in the graph, sorted.
+func (g *Graph) Objects() []core.ObjectID {
+	out := make([]core.ObjectID, 0, len(g.adj))
+	for id := range g.adj {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+// Groups returns the connected components with at least two members —
+// the related-object groups mutual consistency applies to. Components
+// and members are sorted for determinism.
+func (g *Graph) Groups() [][]core.ObjectID {
+	visited := make(map[core.ObjectID]bool, len(g.adj))
+	var groups [][]core.ObjectID
+	for _, start := range g.Objects() {
+		if visited[start] {
+			continue
+		}
+		// Iterative DFS.
+		var comp []core.ObjectID
+		stack := []core.ObjectID{start}
+		visited[start] = true
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, cur)
+			for n := range g.adj[cur] {
+				if !visited[n] {
+					visited[n] = true
+					stack = append(stack, n)
+				}
+			}
+		}
+		if len(comp) >= 2 {
+			sortIDs(comp)
+			groups = append(groups, comp)
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}
+
+// GroupOf returns the connected component containing id (including id),
+// or nil if the object is unknown. Members are sorted.
+func (g *Graph) GroupOf(id core.ObjectID) []core.ObjectID {
+	if _, ok := g.adj[id]; !ok {
+		return nil
+	}
+	visited := map[core.ObjectID]bool{id: true}
+	comp := []core.ObjectID{id}
+	stack := []core.ObjectID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for n := range g.adj[cur] {
+			if !visited[n] {
+				visited[n] = true
+				comp = append(comp, n)
+				stack = append(stack, n)
+			}
+		}
+	}
+	sortIDs(comp)
+	return comp
+}
+
+func sortIDs(ids []core.ObjectID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,119 @@
+package depgraph
+
+import (
+	"testing"
+
+	"broadway/internal/core"
+)
+
+func TestRelateAndRelated(t *testing.T) {
+	g := New()
+	g.Relate("a", "b")
+	if !g.Related("a", "b") || !g.Related("b", "a") {
+		t.Error("relation must be symmetric")
+	}
+	if g.Related("a", "c") {
+		t.Error("unrelated objects reported related")
+	}
+}
+
+func TestSelfRelationIgnored(t *testing.T) {
+	g := New()
+	g.Relate("a", "a")
+	if g.Related("a", "a") {
+		t.Error("self-relation must be ignored")
+	}
+	if len(g.Objects()) != 1 {
+		t.Error("object must still be added")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New()
+	g.Relate("m", "z")
+	g.Relate("m", "a")
+	g.Relate("m", "k")
+	got := g.Neighbors("m")
+	want := []core.ObjectID{"a", "k", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("neighbors = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbors = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRelateAllClique(t *testing.T) {
+	g := New()
+	g.RelateAll([]core.ObjectID{"x", "y", "z"})
+	for _, pair := range [][2]core.ObjectID{{"x", "y"}, {"y", "z"}, {"x", "z"}} {
+		if !g.Related(pair[0], pair[1]) {
+			t.Errorf("%v not related", pair)
+		}
+	}
+}
+
+func TestGroups(t *testing.T) {
+	g := New()
+	g.Relate("a", "b")
+	g.Relate("b", "c") // component {a,b,c}
+	g.Relate("x", "y") // component {x,y}
+	g.AddObject("lone")
+
+	groups := g.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 3 || groups[0][0] != "a" || groups[0][2] != "c" {
+		t.Errorf("first group = %v", groups[0])
+	}
+	if len(groups[1]) != 2 || groups[1][0] != "x" {
+		t.Errorf("second group = %v", groups[1])
+	}
+}
+
+func TestGroupsExcludesSingletons(t *testing.T) {
+	g := New()
+	g.AddObject("solo")
+	if len(g.Groups()) != 0 {
+		t.Error("singleton components are not groups")
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	g := New()
+	g.Relate("a", "b")
+	g.Relate("b", "c")
+	got := g.GroupOf("c")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("GroupOf = %v", got)
+	}
+	if g.GroupOf("missing") != nil {
+		t.Error("unknown object must return nil")
+	}
+	solo := New()
+	solo.AddObject("s")
+	if got := solo.GroupOf("s"); len(got) != 1 || got[0] != "s" {
+		t.Errorf("GroupOf singleton = %v", got)
+	}
+}
+
+func TestGroupsDeterministic(t *testing.T) {
+	build := func() [][]core.ObjectID {
+		g := New()
+		g.Relate("n2", "n1")
+		g.Relate("n3", "n2")
+		g.Relate("m1", "m9")
+		return g.Groups()
+	}
+	a, b := build(), build()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("Groups not deterministic")
+			}
+		}
+	}
+}

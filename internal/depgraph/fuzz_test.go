@@ -1,0 +1,21 @@
+package depgraph
+
+import "testing"
+
+// FuzzExtractEmbedded throws arbitrary bytes at the HTML scanner: it
+// parses untrusted documents in the live proxy, so it must never panic or
+// hang.
+func FuzzExtractEmbedded(f *testing.F) {
+	f.Add("<html><img src='/a.png'></html>")
+	f.Add("<!-- <img src=x> -->")
+	f.Add("<img src=")
+	f.Add("<<<>>><img  src = unquoted>")
+	f.Fuzz(func(t *testing.T, html string) {
+		urls := ExtractEmbedded(html)
+		for _, u := range urls {
+			if u == "" {
+				t.Fatal("extracted an empty URL")
+			}
+		}
+	})
+}

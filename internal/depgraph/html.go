@@ -1,0 +1,198 @@
+package depgraph
+
+import (
+	"strings"
+
+	"broadway/internal/core"
+)
+
+// embeddedAttrs maps HTML elements to the attribute that references an
+// embedded object. Per §5.2, syntactic relationships are deduced "by
+// parsing html documents for embedded links and objects": a page and the
+// objects it embeds render together, so they must stay mutually
+// consistent (the breaking-news story and its images, in the paper's
+// motivating example).
+var embeddedAttrs = map[string]string{
+	"img":    "src",
+	"script": "src",
+	"iframe": "src",
+	"frame":  "src",
+	"embed":  "src",
+	"audio":  "src",
+	"video":  "src",
+	"source": "src",
+	"track":  "src",
+	"input":  "src", // <input type=image>
+	"link":   "href",
+	"object": "data",
+}
+
+// ExtractEmbedded scans an HTML document and returns the URLs of embedded
+// objects (images, scripts, stylesheets, media, sub-documents), in
+// document order with duplicates removed. Anchor hrefs are not embedded
+// content and are excluded.
+//
+// The scanner is a small hand-rolled tokenizer: it understands comments,
+// quoted attribute values, and case-insensitive names — ample for
+// deducing syntactic relationships without pulling a full HTML5 parse
+// tree into the repository.
+func ExtractEmbedded(html string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	i := 0
+	n := len(html)
+	for i < n {
+		lt := strings.IndexByte(html[i:], '<')
+		if lt < 0 {
+			break
+		}
+		i += lt
+		// Comments: skip to -->.
+		if strings.HasPrefix(html[i:], "<!--") {
+			end := strings.Index(html[i+4:], "-->")
+			if end < 0 {
+				break
+			}
+			i += 4 + end + 3
+			continue
+		}
+		tag, attrs, next := scanTag(html, i)
+		i = next
+		if tag == "" {
+			continue
+		}
+		attrName, ok := embeddedAttrs[tag]
+		if !ok {
+			continue
+		}
+		val, ok := attrs[attrName]
+		if !ok || val == "" {
+			continue
+		}
+		// Stylesheet/preload links embed; alternate/canonical links do
+		// not.
+		if tag == "link" {
+			rel := strings.ToLower(attrs["rel"])
+			if rel != "stylesheet" && rel != "preload" && rel != "icon" {
+				continue
+			}
+		}
+		if !seen[val] {
+			seen[val] = true
+			out = append(out, val)
+		}
+	}
+	return out
+}
+
+// scanTag parses the tag starting at html[start] (which is '<'). It
+// returns the lowercase tag name (empty for closing/declaration tags),
+// its attributes, and the index just past the closing '>'.
+func scanTag(html string, start int) (string, map[string]string, int) {
+	i := start + 1
+	n := len(html)
+	if i >= n {
+		return "", nil, n
+	}
+	if html[i] == '/' || html[i] == '!' || html[i] == '?' {
+		// Closing tag or declaration: skip to '>'.
+		gt := strings.IndexByte(html[i:], '>')
+		if gt < 0 {
+			return "", nil, n
+		}
+		return "", nil, i + gt + 1
+	}
+	// Tag name.
+	j := i
+	for j < n && isNameByte(html[j]) {
+		j++
+	}
+	if j == i {
+		return "", nil, i
+	}
+	tag := strings.ToLower(html[i:j])
+	attrs := make(map[string]string)
+	i = j
+	for i < n {
+		// Skip whitespace and slashes.
+		for i < n && (html[i] == ' ' || html[i] == '\t' || html[i] == '\n' || html[i] == '\r' || html[i] == '/') {
+			i++
+		}
+		if i >= n {
+			return tag, attrs, n
+		}
+		if html[i] == '>' {
+			return tag, attrs, i + 1
+		}
+		// Attribute name.
+		j = i
+		for j < n && isNameByte(html[j]) {
+			j++
+		}
+		if j == i {
+			i++ // stray character; skip it
+			continue
+		}
+		name := strings.ToLower(html[i:j])
+		i = j
+		for i < n && (html[i] == ' ' || html[i] == '\t' || html[i] == '\n' || html[i] == '\r') {
+			i++
+		}
+		if i >= n || html[i] != '=' {
+			attrs[name] = "" // boolean attribute
+			continue
+		}
+		i++ // consume '='
+		for i < n && (html[i] == ' ' || html[i] == '\t' || html[i] == '\n' || html[i] == '\r') {
+			i++
+		}
+		if i >= n {
+			return tag, attrs, n
+		}
+		var val string
+		if html[i] == '"' || html[i] == '\'' {
+			quote := html[i]
+			i++
+			end := strings.IndexByte(html[i:], quote)
+			if end < 0 {
+				return tag, attrs, n
+			}
+			val = html[i : i+end]
+			i += end + 1
+		} else {
+			j = i
+			for j < n && html[j] != ' ' && html[j] != '\t' && html[j] != '\n' &&
+				html[j] != '\r' && html[j] != '>' {
+				j++
+			}
+			val = html[i:j]
+			i = j
+		}
+		attrs[name] = val
+	}
+	return tag, attrs, n
+}
+
+func isNameByte(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		return true
+	case b == '-' || b == '_' || b == ':':
+		return true
+	}
+	return false
+}
+
+// RelateDocument adds the syntactic relationships of one HTML document to
+// the graph: the page and every object it embeds become one clique. It
+// returns the embedded URLs found.
+func (g *Graph) RelateDocument(page core.ObjectID, html string) []string {
+	urls := ExtractEmbedded(html)
+	ids := make([]core.ObjectID, 0, len(urls)+1)
+	ids = append(ids, page)
+	for _, u := range urls {
+		ids = append(ids, core.ObjectID(u))
+	}
+	g.RelateAll(ids)
+	return urls
+}

@@ -1,0 +1,130 @@
+package depgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+const newsPage = `<!DOCTYPE html>
+<html>
+<head>
+  <title>Breaking News</title>
+  <link rel="stylesheet" href="/styles/news.css">
+  <link rel="alternate" href="/rss.xml">
+  <script src="/js/ticker.js"></script>
+</head>
+<body>
+  <!-- lead photo: <img src="/img/ignored-in-comment.jpg"> -->
+  <h1>Market turmoil</h1>
+  <img src="/img/chart.png" alt="chart">
+  <IMG SRC='/img/floor.jpg'>
+  <video src=/media/report.mp4 controls></video>
+  <a href="/story/2">Related story</a>
+  <img src="/img/chart.png">
+</body>
+</html>`
+
+func TestExtractEmbedded(t *testing.T) {
+	got := ExtractEmbedded(newsPage)
+	want := []string{
+		"/styles/news.css",
+		"/js/ticker.js",
+		"/img/chart.png",
+		"/img/floor.jpg",
+		"/media/report.mp4",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ExtractEmbedded = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("url %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExtractEmbeddedExclusions(t *testing.T) {
+	tests := []struct {
+		name string
+		html string
+	}{
+		{"anchor", `<a href="/x">link</a>`},
+		{"alternate link", `<link rel="alternate" href="/rss">`},
+		{"comment", `<!-- <img src="/x.png"> -->`},
+		{"img without src", `<img alt="no source">`},
+		{"empty src", `<img src="">`},
+		{"closing tags", `</img></body>`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ExtractEmbedded(tt.html); len(got) != 0 {
+				t.Errorf("ExtractEmbedded = %v, want none", got)
+			}
+		})
+	}
+}
+
+func TestExtractEmbeddedVariants(t *testing.T) {
+	tests := []struct {
+		name string
+		html string
+		want string
+	}{
+		{"unquoted", `<img src=/a.png>`, "/a.png"},
+		{"single quotes", `<img src='/a.png'>`, "/a.png"},
+		{"uppercase", `<IMG SRC="/a.png">`, "/a.png"},
+		{"spaces around =", `<img src = "/a.png">`, "/a.png"},
+		{"self closing", `<img src="/a.png"/>`, "/a.png"},
+		{"boolean attrs", `<video muted src="/v.mp4" autoplay>`, "/v.mp4"},
+		{"icon link", `<link rel="icon" href="/fav.ico">`, "/fav.ico"},
+		{"object data", `<object data="/movie.swf"></object>`, "/movie.swf"},
+		{"newlines", "<img\n  src=\"/a.png\"\n>", "/a.png"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := ExtractEmbedded(tt.html)
+			if len(got) != 1 || got[0] != tt.want {
+				t.Errorf("ExtractEmbedded = %v, want [%s]", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExtractEmbeddedMalformed(t *testing.T) {
+	// Truncated and pathological inputs must not panic and not hang.
+	for _, html := range []string{
+		"<", "<img", `<img src="unterminated`, "<img src=", "<!--", "<>", "< img>",
+		strings.Repeat("<x ", 1000),
+	} {
+		ExtractEmbedded(html) // must simply not panic
+	}
+}
+
+func TestRelateDocument(t *testing.T) {
+	g := New()
+	urls := g.RelateDocument("/news/story1.html", newsPage)
+	if len(urls) != 5 {
+		t.Fatalf("urls = %v", urls)
+	}
+	if !g.Related("/news/story1.html", "/img/chart.png") {
+		t.Error("page must relate to its embedded image")
+	}
+	if !g.Related("/img/chart.png", "/js/ticker.js") {
+		t.Error("embedded objects must relate to each other (clique)")
+	}
+	group := g.GroupOf("/news/story1.html")
+	if len(group) != 6 {
+		t.Errorf("group = %v", group)
+	}
+}
+
+func TestRelateDocumentNoEmbeds(t *testing.T) {
+	g := New()
+	urls := g.RelateDocument("/plain.html", "<html><body>text only</body></html>")
+	if len(urls) != 0 {
+		t.Errorf("urls = %v", urls)
+	}
+	if len(g.Groups()) != 0 {
+		t.Error("a page with no embeds forms no group")
+	}
+}

@@ -1,0 +1,107 @@
+// Package eventq implements the deterministic priority queue that orders
+// events in the discrete-event simulator. Events are dequeued in
+// nondecreasing time order; events scheduled for the same instant are
+// dequeued in the order they were inserted (FIFO), which makes every
+// simulation run fully deterministic.
+package eventq
+
+import (
+	"container/heap"
+
+	"broadway/internal/simtime"
+)
+
+// Item is a scheduled entry in the queue.
+type Item struct {
+	// At is the instant the item fires.
+	At simtime.Time
+	// Payload is the caller's event data.
+	Payload any
+
+	seq   uint64 // insertion order, breaks ties deterministically
+	index int    // position in the heap; -1 once removed
+}
+
+// Queue is a time-ordered event queue. The zero value is ready to use.
+// Queue is not safe for concurrent use; the simulator is single-threaded
+// by design.
+type Queue struct {
+	h       itemHeap
+	nextSeq uint64
+}
+
+// Len returns the number of pending items.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push schedules payload to fire at the given instant and returns a handle
+// that can later be passed to Remove.
+func (q *Queue) Push(at simtime.Time, payload any) *Item {
+	it := &Item{At: at, Payload: payload, seq: q.nextSeq}
+	q.nextSeq++
+	heap.Push(&q.h, it)
+	return it
+}
+
+// Pop removes and returns the earliest item. It returns nil when the queue
+// is empty.
+func (q *Queue) Pop() *Item {
+	if len(q.h) == 0 {
+		return nil
+	}
+	it := heap.Pop(&q.h).(*Item)
+	return it
+}
+
+// Peek returns the earliest item without removing it, or nil when empty.
+func (q *Queue) Peek() *Item {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Remove cancels a previously pushed item. It reports whether the item was
+// still pending. Removing an item twice is safe and returns false.
+func (q *Queue) Remove(it *Item) bool {
+	if it == nil || it.index < 0 || it.index >= len(q.h) || q.h[it.index] != it {
+		return false
+	}
+	heap.Remove(&q.h, it.index)
+	return true
+}
+
+// itemHeap implements heap.Interface ordered by (At, seq).
+type itemHeap []*Item
+
+var _ heap.Interface = (*itemHeap)(nil)
+
+func (h itemHeap) Len() int { return len(h) }
+
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h itemHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *itemHeap) Push(x any) {
+	it := x.(*Item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}

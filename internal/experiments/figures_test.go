@@ -1,0 +1,399 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"broadway/internal/tracegen"
+)
+
+// These tests assert the *shape* of each reproduced figure against the
+// paper's qualitative claims: who wins, in which direction curves move,
+// and where the crossovers lie. Absolute values are workload-dependent
+// and are recorded in EXPERIMENTS.md instead.
+
+func runFigure(t *testing.T, f func() (*Result, error)) *Result {
+	t.Helper()
+	res, err := f()
+	if err != nil {
+		t.Fatalf("figure: %v", err)
+	}
+	for _, c := range res.Charts {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("chart %q: %v", c.Title, err)
+		}
+	}
+	return res
+}
+
+func seriesByName(t *testing.T, res *Result, chartIdx int, name string) []float64 {
+	t.Helper()
+	if chartIdx >= len(res.Charts) {
+		t.Fatalf("chart %d missing", chartIdx)
+	}
+	for _, s := range res.Charts[chartIdx].Series {
+		if strings.Contains(s.Name, name) {
+			return s.Y
+		}
+	}
+	t.Fatalf("series %q not found in chart %d", name, chartIdx)
+	return nil
+}
+
+func TestFigure3Shape(t *testing.T) {
+	res := runFigure(t, Figure3)
+
+	limdPolls := seriesByName(t, res, 0, "LIMD")
+	basePolls := seriesByName(t, res, 0, "Baseline")
+	limdF13 := seriesByName(t, res, 1, "LIMD")
+	baseF13 := seriesByName(t, res, 1, "Baseline")
+	limdF14 := seriesByName(t, res, 2, "LIMD")
+
+	// Claim 1: at tight Δ, LIMD polls far less than the baseline (paper:
+	// ~6x at Δ=1m) at a bounded fidelity cost (paper: ~20% loss).
+	if ratio := basePolls[0] / limdPolls[0]; ratio < 3 {
+		t.Errorf("poll reduction at Δ=1m = %.1fx, want ≥ 3x", ratio)
+	}
+	if limdF13[0] < 0.7 || limdF13[0] >= 1 {
+		t.Errorf("LIMD fidelity at Δ=1m = %.3f, want lossy but usable", limdF13[0])
+	}
+
+	// Claim 2: the baseline has perfect fidelity by definition.
+	for i, f := range baseF13 {
+		if f != 1 {
+			t.Errorf("baseline fidelity[%d] = %v, want 1", i, f)
+		}
+	}
+
+	// Claim 3: at loose Δ, LIMD converges to the baseline (poll counts
+	// comparable, fidelity → 1).
+	last := len(limdPolls) - 1
+	if limdPolls[last] > basePolls[last]*1.5 {
+		t.Errorf("LIMD polls at Δ=60m = %v vs baseline %v, want comparable",
+			limdPolls[last], basePolls[last])
+	}
+	if limdF13[last] < 0.95 {
+		t.Errorf("LIMD fidelity at Δ=60m = %.3f, want ≈1", limdF13[last])
+	}
+
+	// Claim 4: both fidelity measures tell the same story (paper: "both
+	// measures demonstrate a similar behavior").
+	for i := range limdF13 {
+		if diff := limdF13[i] - limdF14[i]; diff > 0.25 || diff < -0.25 {
+			t.Errorf("fidelity measures diverge at point %d: f13=%.3f f14=%.3f",
+				i, limdF13[i], limdF14[i])
+		}
+	}
+
+	// Claim 5: LIMD polls decrease monotonically with Δ.
+	for i := 1; i < len(limdPolls); i++ {
+		if limdPolls[i] > limdPolls[i-1] {
+			t.Errorf("LIMD polls increased from Δ point %d to %d: %v → %v",
+				i-1, i, limdPolls[i-1], limdPolls[i])
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	res := runFigure(t, Figure4)
+
+	updates := seriesByName(t, res, 0, "updates")
+	ttrs := seriesByName(t, res, 1, "TTR")
+
+	// Claim 1: the workload has quiet windows (overnight).
+	minUpd := updates[0]
+	for _, u := range updates {
+		if u < minUpd {
+			minUpd = u
+		}
+	}
+	if minUpd > 1 {
+		t.Errorf("quietest 2h window has %v updates, want ≈0", minUpd)
+	}
+
+	// Claim 2: the TTR spans the full adaptive range: it reaches TTRmax
+	// (60m) during quiet periods and returns to TTRmin (=Δ=10m).
+	maxTTR, minTTR := ttrs[0], ttrs[0]
+	for _, v := range ttrs {
+		if v > maxTTR {
+			maxTTR = v
+		}
+		if v < minTTR {
+			minTTR = v
+		}
+	}
+	if maxTTR < 59 {
+		t.Errorf("max TTR = %.1fm, want to reach TTRmax 60m", maxTTR)
+	}
+	if minTTR > 10.5 {
+		t.Errorf("min TTR = %.1fm, want to return to TTRmin 10m", minTTR)
+	}
+
+	// Claim 3: the sawtooth repeats — the TTR climbs high (≥50m) on both
+	// nights the trace spans and collapses in between.
+	peaks := 0
+	inPeak := false
+	for _, v := range ttrs {
+		if v >= 50 && !inPeak {
+			peaks++
+			inPeak = true
+		} else if v < 30 {
+			inPeak = false
+		}
+	}
+	if peaks < 2 {
+		t.Errorf("TTR peaks = %d, want ≥ 2 (one per night)", peaks)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	res := runFigure(t, Figure5)
+
+	basePolls := seriesByName(t, res, 0, "Baseline")
+	trigPolls := seriesByName(t, res, 0, "triggered")
+	heurPolls := seriesByName(t, res, 0, "heuristic")
+	baseF := seriesByName(t, res, 1, "Baseline")
+	trigF := seriesByName(t, res, 1, "triggered")
+	heurF := seriesByName(t, res, 1, "heuristic")
+
+	var trigTotal, heurTotal float64
+	for i := range basePolls {
+		trigTotal += trigPolls[i]
+		heurTotal += heurPolls[i]
+		// Claim 1: triggered ≥ heuristic ≥ baseline in polls (the
+		// heuristic triggers selectively). Per-point comparisons allow
+		// a few polls of slack: extra refreshes perturb the LIMD
+		// trajectories, so the modes' schedules are not nested
+		// poll-for-poll.
+		if trigPolls[i] < heurPolls[i]-3 {
+			t.Errorf("point %d: triggered polls %v < heuristic %v", i, trigPolls[i], heurPolls[i])
+		}
+		if heurPolls[i] < basePolls[i]-3 {
+			t.Errorf("point %d: heuristic polls %v < baseline %v", i, heurPolls[i], basePolls[i])
+		}
+		// Claim 2: triggered fidelity is 1 by definition.
+		if trigF[i] != 1 {
+			t.Errorf("point %d: triggered fidelity = %v, want exactly 1", i, trigF[i])
+		}
+		// Claim 3: heuristic fidelity between baseline and triggered.
+		if heurF[i] < baseF[i]-1e-9 {
+			t.Errorf("point %d: heuristic fidelity %v below baseline %v", i, heurF[i], baseF[i])
+		}
+	}
+
+	// Claim 1 (aggregate): over the whole sweep, triggered polls the
+	// most and the heuristic sits between it and the baseline.
+	if trigTotal < heurTotal {
+		t.Errorf("aggregate: triggered %v < heuristic %v", trigTotal, heurTotal)
+	}
+
+	// Claim 4: the incremental cost of mutual consistency is modest and
+	// shrinks with δ (paper: heuristic < 20% extra polls).
+	overheadAtTightest := (heurPolls[0] - basePolls[0]) / basePolls[0]
+	if overheadAtTightest > 0.25 {
+		t.Errorf("heuristic overhead at δ=1m = %.0f%%, want < 25%%", 100*overheadAtTightest)
+	}
+	last := len(basePolls) - 1
+	overheadAtLoosest := (heurPolls[last] - basePolls[last]) / basePolls[last]
+	if overheadAtLoosest > overheadAtTightest {
+		t.Errorf("overhead grew with δ: %.2f → %.2f", overheadAtTightest, overheadAtLoosest)
+	}
+
+	// Claim 5: baseline fidelity improves with δ (more tolerance, fewer
+	// violations) and is the worst of the three.
+	if baseF[0] >= baseF[len(baseF)-1] {
+		t.Errorf("baseline fidelity did not improve with δ: %v → %v",
+			baseF[0], baseF[len(baseF)-1])
+	}
+	if baseF[0] > heurF[0] || baseF[0] > trigF[0] {
+		t.Error("baseline must offer the worst fidelity at tight δ")
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	res := runFigure(t, Figure6)
+
+	ratios := seriesByName(t, res, 0, "ratio")
+	extras := seriesByName(t, res, 1, "extra")
+
+	// Claim 1: the rate ratio between the two feeds varies over time
+	// (that variation is what the heuristic adapts to).
+	lo, hi := ratios[0], ratios[0]
+	for _, r := range ratios {
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if hi/lo < 1.5 {
+		t.Errorf("rate ratio varies only %.2f–%.2f, want ≥1.5x spread", lo, hi)
+	}
+
+	// Claim 2: the heuristic triggers extra polls, unevenly over time
+	// (selectivity: some windows quiet, some busy).
+	total := 0.0
+	quiet := 0
+	for _, e := range extras {
+		total += e
+		if e == 0 {
+			quiet++
+		}
+	}
+	if total < 10 {
+		t.Errorf("total extra polls = %v, want a visible triggering level", total)
+	}
+	if quiet == 0 {
+		t.Error("extra polls in every window: heuristic not selective")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	res := runFigure(t, Figure7)
+
+	adPolls := seriesByName(t, res, 0, "Adaptive")
+	partPolls := seriesByName(t, res, 0, "Partitioned")
+	adF := seriesByName(t, res, 1, "Adaptive")
+	partF := seriesByName(t, res, 1, "Partitioned")
+
+	// Claim 1: the partitioned approach polls more than the adaptive
+	// approach (it buys fidelity with polls).
+	for i := range adPolls {
+		if partPolls[i] < adPolls[i] {
+			t.Errorf("point %d: partitioned polls %v < adaptive %v", i, partPolls[i], adPolls[i])
+		}
+	}
+
+	// Claim 2: the partitioned approach offers higher fidelity across
+	// the mid-range of the sweep (paper: "the partitioned approach can
+	// offer higher fidelities").
+	better := 0
+	for i := 1; i < len(adF); i++ {
+		if partF[i] >= adF[i] {
+			better++
+		}
+	}
+	if better < (len(adF)-1)*3/4 {
+		t.Errorf("partitioned fidelity ≥ adaptive at only %d/%d points", better, len(adF)-1)
+	}
+
+	// Claim 3: both approaches poll less at looser δ.
+	last := len(adPolls) - 1
+	if adPolls[last] >= adPolls[0] || partPolls[last] >= partPolls[0] {
+		t.Error("poll counts must fall as δ grows")
+	}
+
+	// Claim 4: both fidelities improve toward 1 at loose δ.
+	if adF[last] < 0.95 || partF[last] < 0.95 {
+		t.Errorf("fidelity at δ=$5: adaptive %.3f partitioned %.3f, want ≈1", adF[last], partF[last])
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	res := runFigure(t, Figure8)
+	if len(res.Charts) != 2 {
+		t.Fatalf("charts = %d, want 2", len(res.Charts))
+	}
+	for i, c := range res.Charts {
+		for _, s := range c.Series {
+			if len(s.X) == 0 {
+				t.Errorf("chart %d series %q empty", i, s.Name)
+			}
+		}
+	}
+
+	// The partitioned proxy must track the server's f more tightly than
+	// the adaptive proxy: compare the time-weighted mean absolute drift
+	// the figure reports.
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 2 {
+		t.Fatal("fig8 must report the tracking-error table")
+	}
+	var adaptiveDev, partitionedDev float64
+	if _, err := fmt.Sscanf(res.Tables[0].Rows[0][1], "%f", &adaptiveDev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscanf(res.Tables[0].Rows[1][1], "%f", &partitionedDev); err != nil {
+		t.Fatal(err)
+	}
+	if partitionedDev >= adaptiveDev {
+		t.Errorf("partitioned drift %.4f >= adaptive %.4f: tracking order inverted",
+			partitionedDev, adaptiveDev)
+	}
+}
+
+func TestTables(t *testing.T) {
+	for _, f := range []func() (*Result, error){Table1, Table2, Table3} {
+		res, err := f()
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		if len(res.Tables) == 0 {
+			t.Errorf("%s: no tables", res.ID)
+		}
+		for _, tbl := range res.Tables {
+			if len(tbl.Rows) == 0 {
+				t.Errorf("%s/%s: empty table", res.ID, tbl.Name)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Headers) {
+					t.Errorf("%s/%s: row width %d != headers %d",
+						res.ID, tbl.Name, len(row), len(tbl.Headers))
+				}
+			}
+		}
+	}
+}
+
+func TestAllRunnersSucceed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction is slow")
+	}
+	seen := map[string]bool{}
+	for _, r := range AllRunners() {
+		res, err := r.Run()
+		if err != nil {
+			t.Errorf("%s: %v", r.ID, err)
+			continue
+		}
+		if res.ID != r.ID {
+			t.Errorf("runner %s produced result %s", r.ID, res.ID)
+		}
+		if seen[res.ID] {
+			t.Errorf("duplicate result id %s", res.ID)
+		}
+		seen[res.ID] = true
+		if len(res.Charts) == 0 && len(res.Tables) == 0 {
+			t.Errorf("%s: result carries no data", res.ID)
+		}
+	}
+}
+
+func TestValueApproachString(t *testing.T) {
+	if ApproachAdaptive.String() != "adaptive" || ApproachPartitioned.String() != "partitioned" {
+		t.Error("approach names wrong")
+	}
+	if ValueApproach(9).String() == "" {
+		t.Error("unknown approach must format")
+	}
+}
+
+func TestRunTemporalRejectsBadTrace(t *testing.T) {
+	bad := tracegen.CNNFN()
+	bad.Name = ""
+	_, err := RunTemporal(TemporalScenario{
+		Trace: bad, Delta: Fig4Delta,
+		Policy: nil,
+	})
+	if err == nil {
+		t.Error("invalid trace must fail")
+	}
+}
+
+func TestCharacteristicsHelper(t *testing.T) {
+	c := characteristicsOf(tracegen.ATT())
+	if c.NumUpdates != 653 {
+		t.Errorf("NumUpdates = %d", c.NumUpdates)
+	}
+}

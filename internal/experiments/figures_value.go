@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"broadway/internal/core"
+	"broadway/internal/metrics"
+	"broadway/internal/plot"
+	"broadway/internal/trace"
+	"broadway/internal/tracegen"
+)
+
+// Fig7Deltas is the δ sweep of Figure 7 (the paper varies δ from $0.25 to
+// $5).
+var Fig7Deltas = []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 4, 5}
+
+// Figure7 reproduces Fig. 7: mutual consistency in the value domain on
+// the Yahoo + AT&T pair — (a) number of polls and (b) fidelity versus the
+// mutual tolerance δ, for the adaptive (virtual-object) and partitioned
+// approaches. f is the difference of the two prices.
+func Figure7() (*Result, error) {
+	// The paper plots the difference of the two prices (~$130); Yahoo is
+	// the first operand.
+	trA, trB := tracegen.Yahoo(), tracegen.ATT()
+
+	approaches := []ValueApproach{ApproachAdaptive, ApproachPartitioned}
+	names := map[ValueApproach]string{
+		ApproachAdaptive:    "Adaptive TTR Approach",
+		ApproachPartitioned: "Partitioned Approach",
+	}
+	polls := map[ValueApproach][]float64{}
+	fids := map[ValueApproach][]float64{}
+	var xs []float64
+
+	for _, delta := range Fig7Deltas {
+		xs = append(xs, delta)
+		for _, ap := range approaches {
+			run, err := RunMutualValue(MutualValueScenario{
+				TraceA: trA, TraceB: trB,
+				DeltaMutual: delta,
+				Approach:    ap,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig7: %v δ=%v: %w", ap, delta, err)
+			}
+			polls[ap] = append(polls[ap], float64(run.Report.Polls))
+			fids[ap] = append(fids[ap], run.Report.FidelityByViolations)
+		}
+	}
+
+	mkSeries := func(data map[ValueApproach][]float64) []plot.Series {
+		var out []plot.Series
+		for _, ap := range approaches {
+			out = append(out, plot.Series{Name: names[ap], X: xs, Y: data[ap]})
+		}
+		return out
+	}
+	res := &Result{
+		ID:    "fig7",
+		Title: "Figure 7: Mutual consistency approaches, value domain (Yahoo + AT&T)",
+		Charts: []*plot.Chart{
+			{
+				Title:  "Fig 7(a): Number of polls vs mutual δ",
+				XLabel: "mutual consistency constraint ($)",
+				YLabel: "number of polls",
+				Series: mkSeries(polls),
+			},
+			{
+				Title:  "Fig 7(b): Fidelity vs mutual δ",
+				XLabel: "mutual consistency constraint ($)",
+				YLabel: "fidelity (Eq. 13)",
+				Series: mkSeries(fids),
+			},
+		},
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("At δ=$0.25: partitioned %d polls / fidelity %.3f vs adaptive %d / %.3f — paper: partitioned polls more and tracks better.",
+			int(polls[ApproachPartitioned][0]), fids[ApproachPartitioned][0],
+			int(polls[ApproachAdaptive][0]), fids[ApproachAdaptive][0]),
+		"Both approaches poll less and achieve higher fidelity as δ grows (paper: same monotone trends).",
+	)
+	return res, nil
+}
+
+// Fig8Delta is the mutual tolerance of Figure 8 ($0.6 in the paper).
+const Fig8Delta = 0.6
+
+// Fig8Window is the time slice the paper's Fig. 8 displays (2500–5000 s).
+var Fig8Window = [2]time.Duration{2500 * time.Second, 5000 * time.Second}
+
+// Figure8 reproduces Fig. 8: the value of f = Yahoo − AT&T at the server
+// and at the proxy over time, under the adaptive and the partitioned
+// approach (δ = $0.6). The tightness of the proxy curve around the server
+// curve visualizes the fidelity difference quantified in Fig. 7.
+func Figure8() (*Result, error) {
+	trA, trB := tracegen.Yahoo(), tracegen.ATT()
+
+	charts := make([]*plot.Chart, 0, 2)
+	titles := map[ValueApproach]string{
+		ApproachAdaptive:    "Fig 8(a): Adaptive TTR approach, δ=$0.6",
+		ApproachPartitioned: "Fig 8(b): Partitioned approach, δ=$0.6",
+	}
+	horizon := trA.Duration
+	if trB.Duration < horizon {
+		horizon = trB.Duration
+	}
+	drift := map[ValueApproach]float64{}
+	for _, ap := range []ValueApproach{ApproachAdaptive, ApproachPartitioned} {
+		run, err := RunMutualValue(MutualValueScenario{
+			TraceA: trA, TraceB: trB,
+			DeltaMutual: Fig8Delta,
+			Approach:    ap,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig8: %v: %w", ap, err)
+		}
+		drift[ap] = metrics.MeanAbsoluteDrift(trA, trB, run.LogA, run.LogB,
+			core.DifferenceFunc{}, horizon)
+		sx, sy := serverDifferenceSeries(trA, trB, Fig8Window)
+		px, py := proxyDifferenceSeries(run.LogA, run.LogB, Fig8Window)
+		charts = append(charts, &plot.Chart{
+			Title:  titles[ap],
+			XLabel: "time (sec)",
+			YLabel: "difference in stock prices ($)",
+			Series: []plot.Series{
+				{Name: "Server", X: sx, Y: sy},
+				{Name: "Proxy", X: px, Y: py},
+			},
+		})
+	}
+
+	return &Result{
+		ID:     "fig8",
+		Title:  "Figure 8: Variation in f at the proxy and the server (Yahoo − AT&T)",
+		Charts: charts,
+		Tables: []TableResult{{
+			Name:    "tracking error",
+			Headers: []string{"Approach", "Time-weighted mean |drift| ($)"},
+			Rows: [][]string{
+				{"Adaptive TTR", fmt.Sprintf("%.4f", drift[ApproachAdaptive])},
+				{"Partitioned", fmt.Sprintf("%.4f", drift[ApproachPartitioned])},
+			},
+		}},
+		Notes: []string{
+			fmt.Sprintf("Mean |drift|: partitioned $%.4f vs adaptive $%.4f — the partitioned proxy hugs the server curve more tightly (paper: same visual).",
+				drift[ApproachPartitioned], drift[ApproachAdaptive]),
+		},
+	}, nil
+}
+
+// serverDifferenceSeries samples f = A − B at the server at every update
+// instant inside the window.
+func serverDifferenceSeries(trA, trB *trace.Trace, window [2]time.Duration) ([]float64, []float64) {
+	var xs, ys []float64
+	emit := func(at time.Duration) {
+		xs = append(xs, at.Seconds())
+		ys = append(ys, trA.ValueAt(at)-trB.ValueAt(at))
+	}
+	emit(window[0])
+	for _, u := range trA.Updates {
+		if u.At > window[0] && u.At <= window[1] {
+			emit(u.At)
+		}
+	}
+	for _, u := range trB.Updates {
+		if u.At > window[0] && u.At <= window[1] {
+			emit(u.At)
+		}
+	}
+	// Merge sort order: emit produced A-updates then B-updates; sort by x.
+	sortPairs(xs, ys)
+	return xs, ys
+}
+
+// proxyDifferenceSeries reconstructs the cached f = A − B over time from
+// the two refresh logs, sampled at every refresh inside the window.
+func proxyDifferenceSeries(logA, logB []metrics.Refresh, window [2]time.Duration) ([]float64, []float64) {
+	type ev struct {
+		at time.Duration
+		a  bool
+		v  float64
+	}
+	var evs []ev
+	for _, r := range logA {
+		evs = append(evs, ev{at: r.At.Duration(), a: true, v: r.Value})
+	}
+	for _, r := range logB {
+		evs = append(evs, ev{at: r.At.Duration(), a: false, v: r.Value})
+	}
+	sortEvents := func() {
+		for i := 1; i < len(evs); i++ {
+			for j := i; j > 0 && evs[j].at < evs[j-1].at; j-- {
+				evs[j], evs[j-1] = evs[j-1], evs[j]
+			}
+		}
+	}
+	sortEvents()
+
+	var xs, ys []float64
+	var va, vb float64
+	var haveA, haveB bool
+	for _, e := range evs {
+		if e.a {
+			va, haveA = e.v, true
+		} else {
+			vb, haveB = e.v, true
+		}
+		if !haveA || !haveB {
+			continue
+		}
+		if e.at >= window[0] && e.at <= window[1] {
+			xs = append(xs, e.at.Seconds())
+			ys = append(ys, va-vb)
+		}
+	}
+	return xs, ys
+}
+
+// sortPairs sorts parallel x/y slices by x (insertion sort; series are
+// small and nearly sorted).
+func sortPairs(xs, ys []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+			ys[j], ys[j-1] = ys[j-1], ys[j]
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// TestProbeNumbers logs headline numbers for manual inspection during
+// development. It never fails; the shape assertions live in
+// figures_test.go.
+func TestProbeNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe only")
+	}
+	for _, r := range AllRunners() {
+		res, err := r.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		t.Logf("=== %s: %s", res.ID, res.Title)
+		for _, n := range res.Notes {
+			t.Logf("  note: %s", n)
+		}
+		for _, c := range res.Charts {
+			for _, s := range c.Series {
+				if len(s.Y) > 0 {
+					t.Logf("  %s / %s: first=%.3f last=%.3f n=%d", c.Title, s.Name, s.Y[0], s.Y[len(s.Y)-1], len(s.Y))
+				}
+			}
+		}
+	}
+}

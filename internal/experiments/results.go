@@ -1,0 +1,47 @@
+package experiments
+
+import "broadway/internal/plot"
+
+// TableResult is one reproduced table.
+type TableResult struct {
+	Name    string
+	Headers []string
+	Rows    [][]string
+}
+
+// Result is the reproduction of one paper table or figure: charts for
+// figures, tables for tables, plus free-form notes comparing against the
+// paper's reported behavior.
+type Result struct {
+	// ID is the experiment identifier, e.g. "fig3" or "table2".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Charts hold the figure's data series (one chart per sub-figure).
+	Charts []*plot.Chart
+	// Tables hold reproduced table rows.
+	Tables []TableResult
+	// Notes record headline observations (who wins, by what factor).
+	Notes []string
+}
+
+// Runner produces one experiment result.
+type Runner struct {
+	ID  string
+	Run func() (*Result, error)
+}
+
+// AllRunners lists every reproduction in paper order.
+func AllRunners() []Runner {
+	return []Runner{
+		{ID: "table1", Run: Table1},
+		{ID: "table2", Run: Table2},
+		{ID: "table3", Run: Table3},
+		{ID: "fig3", Run: Figure3},
+		{ID: "fig4", Run: Figure4},
+		{ID: "fig5", Run: Figure5},
+		{ID: "fig6", Run: Figure6},
+		{ID: "fig7", Run: Figure7},
+		{ID: "fig8", Run: Figure8},
+	}
+}

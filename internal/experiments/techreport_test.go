@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTRFigure3AllTraces(t *testing.T) {
+	res, err := TRFigure3AllTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 8 { // 4 traces × 2 Δ
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		limdPolls, _ := strconv.Atoi(row[2])
+		basePolls, _ := strconv.Atoi(row[4])
+		// LIMD must never poll more than the baseline.
+		if limdPolls > basePolls {
+			t.Errorf("%s Δ=%s: LIMD %d > baseline %d", row[0], row[1], limdPolls, basePolls)
+		}
+		// At Δ=1m every trace must show a substantial reduction (the
+		// paper's "similar results" claim).
+		if row[1] == "1m0s" {
+			red, _ := strconv.ParseFloat(strings.TrimSuffix(row[5], "x"), 64)
+			if red < 2 {
+				t.Errorf("%s: reduction %.1fx at Δ=1m too small", row[0], red)
+			}
+		}
+	}
+}
+
+func TestTRFigure5AllPairs(t *testing.T) {
+	res, err := TRFigure5AllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 6 { // C(4,2) pairs
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		base, _ := strconv.ParseFloat(row[1], 64)
+		heur, _ := strconv.ParseFloat(row[2], 64)
+		trig, _ := strconv.ParseFloat(row[3], 64)
+		if trig != 1 {
+			t.Errorf("%s: triggered fidelity %v, want exactly 1", row[0], trig)
+		}
+		if heur < base-1e-9 {
+			t.Errorf("%s: heuristic %v below baseline %v", row[0], heur, base)
+		}
+		if base > trig {
+			t.Errorf("%s: baseline above triggered", row[0])
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package httpx
+
+import "testing"
+
+// Fuzz targets: the parsers face attacker-controlled header bytes in the
+// live proxy, so they must never panic, whatever the input.
+
+func FuzzParseHistory(f *testing.F) {
+	f.Add("")
+	f.Add("Tue, 07 Aug 2001 13:04:00 GMT")
+	f.Add("Tue, 07 Aug 2001 13:04:00 GMT, Wed, 08 Aug 2001 09:00:00 GMT")
+	f.Add("GMT,GMT,GMT")
+	f.Add("garbage GMT trailing")
+	f.Fuzz(func(t *testing.T, value string) {
+		times, err := ParseHistory(value)
+		if err == nil {
+			// Whatever parses must re-serialize and re-parse cleanly.
+			back, err2 := ParseHistory(FormatHistory(times))
+			if err2 != nil {
+				t.Fatalf("round trip failed: %v", err2)
+			}
+			if len(back) != len(times) {
+				t.Fatalf("round trip length %d != %d", len(back), len(times))
+			}
+		}
+	})
+}
+
+func FuzzParseCacheControl(f *testing.F) {
+	f.Add("")
+	f.Add("max-age=300, x-cc-delta=15")
+	f.Add(`x-mc-group="a,b", x-mc-delta=9`)
+	f.Add("x-cc-vdelta=250,,,=,x=,=y")
+	f.Fuzz(func(t *testing.T, value string) {
+		tol, err := ParseCacheControl(value)
+		if err == nil && !tol.IsZero() {
+			if _, err2 := ParseCacheControl(tol.FormatCacheControl()); err2 != nil {
+				t.Fatalf("round trip failed: %v", err2)
+			}
+		}
+	})
+}

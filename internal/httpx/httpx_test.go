@@ -1,0 +1,242 @@
+package httpx
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistoryRoundTrip(t *testing.T) {
+	times := []time.Time{
+		time.Date(2001, 8, 7, 13, 4, 0, 0, time.UTC),
+		time.Date(2001, 8, 7, 13, 30, 12, 0, time.UTC),
+		time.Date(2001, 8, 7, 14, 2, 59, 0, time.UTC),
+	}
+	got, err := ParseHistory(FormatHistory(times))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("len = %d, want %d", len(got), len(times))
+	}
+	for i := range times {
+		if !got[i].Equal(times[i]) {
+			t.Errorf("time %d = %v, want %v", i, got[i], times[i])
+		}
+	}
+}
+
+func TestHistoryEmpty(t *testing.T) {
+	if FormatHistory(nil) != "" {
+		t.Error("empty history must format to empty string")
+	}
+	got, err := ParseHistory("")
+	if err != nil || got != nil {
+		t.Errorf("ParseHistory(\"\") = %v, %v", got, err)
+	}
+}
+
+func TestHistoryTruncation(t *testing.T) {
+	base := time.Date(2001, 8, 7, 0, 0, 0, 0, time.UTC)
+	var times []time.Time
+	for i := 0; i < MaxHistoryEntries+10; i++ {
+		times = append(times, base.Add(time.Duration(i)*time.Minute))
+	}
+	got, err := ParseHistory(FormatHistory(times))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != MaxHistoryEntries {
+		t.Fatalf("len = %d, want %d", len(got), MaxHistoryEntries)
+	}
+	// The newest entries survive.
+	if !got[len(got)-1].Equal(times[len(times)-1]) {
+		t.Error("truncation must keep the most recent entries")
+	}
+}
+
+func TestParseHistoryErrors(t *testing.T) {
+	for _, bad := range []string{
+		"not a date",
+		"Mon, 99 Jan 2001 00:00:00 GMT",
+		"Tue, 07 Aug 2001 13:04:00 GMT, garbage",
+	} {
+		if _, err := ParseHistory(bad); err == nil {
+			t.Errorf("ParseHistory(%q) must fail", bad)
+		}
+	}
+}
+
+func TestHistoryHeaderHelpers(t *testing.T) {
+	h := http.Header{}
+	times := []time.Time{time.Date(2001, 8, 7, 13, 4, 0, 0, time.UTC)}
+	SetHistory(h, times)
+	got, err := HistoryFrom(h)
+	if err != nil || len(got) != 1 || !got[0].Equal(times[0]) {
+		t.Errorf("HistoryFrom = %v, %v", got, err)
+	}
+	SetHistory(h, nil)
+	if h.Get(HeaderModificationHistory) != "" {
+		t.Error("SetHistory(nil) must remove the header")
+	}
+}
+
+func TestPropertyHistoryRoundTrip(t *testing.T) {
+	f := func(offsets []uint32) bool {
+		base := time.Date(2001, 1, 1, 0, 0, 0, 0, time.UTC)
+		var times []time.Time
+		for _, off := range offsets {
+			times = append(times, base.Add(time.Duration(off)*time.Second))
+		}
+		if len(times) > MaxHistoryEntries {
+			times = times[len(times)-MaxHistoryEntries:]
+		}
+		got, err := ParseHistory(FormatHistory(times))
+		if err != nil || len(got) != len(times) {
+			return false
+		}
+		for i := range times {
+			if !got[i].Equal(times[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTolerancesFormat(t *testing.T) {
+	tol := Tolerances{
+		Delta:      30 * time.Second,
+		Group:      "news-front",
+		GroupDelta: time.Minute,
+	}
+	got := tol.FormatCacheControl()
+	want := "x-cc-delta=30, x-mc-group=news-front, x-mc-delta=60"
+	if got != want {
+		t.Errorf("FormatCacheControl = %q, want %q", got, want)
+	}
+}
+
+func TestTolerancesRoundTrip(t *testing.T) {
+	tol := Tolerances{Delta: 5 * time.Second, Group: "g", GroupDelta: 10 * time.Second}
+	got, err := ParseCacheControl(tol.FormatCacheControl())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tol {
+		t.Errorf("round trip = %+v, want %+v", got, tol)
+	}
+}
+
+func TestParseCacheControlIgnoresStandardDirectives(t *testing.T) {
+	got, err := ParseCacheControl(`max-age=300, no-transform, x-cc-delta=15, private="set-cookie"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Delta != 15*time.Second || got.Group != "" || got.GroupDelta != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestParseCacheControlQuotedGroup(t *testing.T) {
+	got, err := ParseCacheControl(`x-mc-group="breaking news"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Group != "breaking news" {
+		t.Errorf("Group = %q", got.Group)
+	}
+}
+
+func TestParseCacheControlErrors(t *testing.T) {
+	for _, bad := range []string{
+		"x-cc-delta",      // missing value
+		"x-cc-delta=abc",  // non-numeric
+		"x-cc-delta=-5",   // negative
+		"x-mc-group=",     // empty group
+		"x-mc-delta=12.5", // non-integer
+	} {
+		if _, err := ParseCacheControl(bad); err == nil {
+			t.Errorf("ParseCacheControl(%q) must fail", bad)
+		}
+	}
+}
+
+func TestParseCacheControlEmpty(t *testing.T) {
+	got, err := ParseCacheControl("")
+	if err != nil || !got.IsZero() {
+		t.Errorf("empty parse = %+v, %v", got, err)
+	}
+}
+
+func TestSetCacheControl(t *testing.T) {
+	h := http.Header{}
+	SetCacheControl(h, Tolerances{Delta: 30 * time.Second})
+	if got := h.Get("Cache-Control"); got != "x-cc-delta=30" {
+		t.Errorf("Cache-Control = %q", got)
+	}
+	// Appends to an existing value.
+	h = http.Header{}
+	h.Set("Cache-Control", "max-age=60")
+	SetCacheControl(h, Tolerances{Group: "g"})
+	got := h.Get("Cache-Control")
+	if !strings.HasPrefix(got, "max-age=60, ") || !strings.Contains(got, "x-mc-group=g") {
+		t.Errorf("Cache-Control = %q", got)
+	}
+	// No-op for zero tolerances.
+	h = http.Header{}
+	SetCacheControl(h, Tolerances{})
+	if h.Get("Cache-Control") != "" {
+		t.Error("zero tolerances must not set a header")
+	}
+}
+
+func TestTolerancesFrom(t *testing.T) {
+	h := http.Header{}
+	h.Set("Cache-Control", "x-cc-delta=7, x-mc-group=sports, x-mc-delta=14")
+	got, err := TolerancesFrom(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Tolerances{Delta: 7 * time.Second, Group: "sports", GroupDelta: 14 * time.Second}
+	if got != want {
+		t.Errorf("TolerancesFrom = %+v, want %+v", got, want)
+	}
+}
+
+func TestValueDeltaDirective(t *testing.T) {
+	tol := Tolerances{ValueDelta: 0.25}
+	got := tol.FormatCacheControl()
+	if got != "x-cc-vdelta=250" {
+		t.Errorf("FormatCacheControl = %q", got)
+	}
+	back, err := ParseCacheControl(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ValueDelta != 0.25 {
+		t.Errorf("ValueDelta = %v", back.ValueDelta)
+	}
+	// Combined with other directives.
+	tol = Tolerances{Delta: 30 * time.Second, ValueDelta: 1.5, Group: "g"}
+	back, err = ParseCacheControl(tol.FormatCacheControl())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != tol {
+		t.Errorf("round trip = %+v, want %+v", back, tol)
+	}
+}
+
+func TestValueDeltaDirectiveErrors(t *testing.T) {
+	for _, bad := range []string{"x-cc-vdelta", "x-cc-vdelta=abc", "x-cc-vdelta=-3"} {
+		if _, err := ParseCacheControl(bad); err == nil {
+			t.Errorf("ParseCacheControl(%q) must fail", bad)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package origin implements the simulated origin server. Each hosted
+// object is driven by a workload trace; the server answers
+// If-Modified-Since polls with exactly the information HTTP/1.1 exposes
+// (modification status, Last-Modified) and, when enabled per object, with
+// the paper's proposed modification-history extension (§5.1).
+//
+// The server also offers privileged ground-truth accessors used only by
+// the fidelity evaluator — consistency policies never see them.
+package origin
+
+import (
+	"fmt"
+
+	"broadway/internal/core"
+	"broadway/internal/simtime"
+	"broadway/internal/trace"
+)
+
+// Response is what a poll returns: the protocol-visible view of the
+// object.
+type Response struct {
+	// Modified reports whether the object changed after the poll's
+	// If-Modified-Since instant.
+	Modified bool
+	// Version is the object's current version number (the number of
+	// updates applied so far; 0 = as created).
+	Version int
+	// LastModified is the instant of the most recent update, valid when
+	// HasLastModified is set (an object never updated carries none).
+	LastModified    simtime.Time
+	HasLastModified bool
+	// HasValue reports whether the object carries a numeric value.
+	HasValue bool
+	// Value is the object's current value (when HasValue).
+	Value float64
+	// History lists the update instants after the If-Modified-Since
+	// instant, oldest first. Populated only for objects registered with
+	// the history extension enabled.
+	History []simtime.Time
+}
+
+// Errors returned by Poll.
+var (
+	ErrUnknownObject = fmt.Errorf("origin: unknown object")
+	ErrUnavailable   = fmt.Errorf("origin: server unavailable")
+)
+
+// hostedObject couples a trace with per-object serving options.
+type hostedObject struct {
+	tr          *trace.Trace
+	withHistory bool
+	polls       uint64
+}
+
+// Server is a simulated origin. The zero value is not usable; construct
+// with New. Server is not safe for concurrent use (the simulator is
+// single-threaded).
+type Server struct {
+	objects   map[core.ObjectID]*hostedObject
+	available bool
+	polls     uint64
+}
+
+// New returns an empty, available origin server.
+func New() *Server {
+	return &Server{
+		objects:   make(map[core.ObjectID]*hostedObject),
+		available: true,
+	}
+}
+
+// Host registers an object driven by the given trace. The trace's offset
+// zero coincides with the simulation epoch. withHistory enables the
+// modification-history protocol extension for this object.
+func (s *Server) Host(id core.ObjectID, tr *trace.Trace, withHistory bool) error {
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("origin: hosting %q: %w", id, err)
+	}
+	if _, dup := s.objects[id]; dup {
+		return fmt.Errorf("origin: object %q already hosted", id)
+	}
+	s.objects[id] = &hostedObject{tr: tr, withHistory: withHistory}
+	return nil
+}
+
+// SetAvailable toggles the server up or down. While down, every poll
+// fails with ErrUnavailable (used for failure-injection tests).
+func (s *Server) SetAvailable(up bool) { s.available = up }
+
+// Poll serves an If-Modified-Since request for the object at simulated
+// instant now. since is the client's validation timestamp (the server
+// instant its cached copy reflects).
+func (s *Server) Poll(id core.ObjectID, now, since simtime.Time) (Response, error) {
+	if !s.available {
+		return Response{}, ErrUnavailable
+	}
+	obj, ok := s.objects[id]
+	if !ok {
+		return Response{}, fmt.Errorf("%w: %q", ErrUnknownObject, id)
+	}
+	s.polls++
+	obj.polls++
+
+	at := now.Duration()
+	resp := Response{
+		Version:  obj.tr.VersionAt(at),
+		Modified: obj.tr.VersionAt(at) > obj.tr.VersionAt(since.Duration()),
+	}
+	if lm, ok := obj.tr.LastModifiedAt(at); ok {
+		resp.LastModified = simtime.At(lm)
+		resp.HasLastModified = true
+	}
+	if obj.tr.Kind == trace.Value {
+		resp.HasValue = true
+		resp.Value = obj.tr.ValueAt(at)
+	}
+	if obj.withHistory && resp.Modified {
+		for _, u := range obj.tr.UpdatesIn(since.Duration(), at) {
+			resp.History = append(resp.History, simtime.At(u.At))
+		}
+	}
+	return resp, nil
+}
+
+// PollCount returns the number of polls served for the object.
+func (s *Server) PollCount(id core.ObjectID) uint64 {
+	if obj, ok := s.objects[id]; ok {
+		return obj.polls
+	}
+	return 0
+}
+
+// TotalPolls returns the number of polls served across all objects.
+func (s *Server) TotalPolls() uint64 { return s.polls }
+
+// Trace returns the ground-truth trace for the object. It is privileged
+// information for the evaluator; policies must never consult it.
+func (s *Server) Trace(id core.ObjectID) (*trace.Trace, bool) {
+	obj, ok := s.objects[id]
+	if !ok {
+		return nil, false
+	}
+	return obj.tr, true
+}
+
+// Objects returns the IDs of all hosted objects (order unspecified).
+func (s *Server) Objects() []core.ObjectID {
+	ids := make([]core.ObjectID, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	return ids
+}

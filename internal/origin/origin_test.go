@@ -1,0 +1,246 @@
+package origin
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"broadway/internal/simtime"
+	"broadway/internal/trace"
+)
+
+func at(d time.Duration) simtime.Time { return simtime.At(d) }
+
+func newsTrace() *trace.Trace {
+	return &trace.Trace{
+		Name: "news", Kind: trace.Temporal, Duration: time.Hour,
+		Updates: []trace.Update{
+			{At: 10 * time.Minute},
+			{At: 20 * time.Minute},
+			{At: 45 * time.Minute},
+		},
+	}
+}
+
+func stockTrace() *trace.Trace {
+	return &trace.Trace{
+		Name: "stock", Kind: trace.Value, Duration: time.Hour, InitialValue: 100,
+		Updates: []trace.Update{
+			{At: 10 * time.Minute, Value: 101},
+			{At: 20 * time.Minute, Value: 99.5},
+		},
+	}
+}
+
+func TestHostRejectsInvalidTrace(t *testing.T) {
+	s := New()
+	bad := &trace.Trace{Name: "", Kind: trace.Temporal, Duration: time.Hour}
+	if err := s.Host("x", bad, false); err == nil {
+		t.Fatal("Host must validate the trace")
+	}
+}
+
+func TestHostRejectsDuplicates(t *testing.T) {
+	s := New()
+	if err := s.Host("x", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Host("x", newsTrace(), false); err == nil {
+		t.Fatal("duplicate Host must fail")
+	}
+}
+
+func TestPollUnknownObject(t *testing.T) {
+	s := New()
+	_, err := s.Poll("nope", at(time.Minute), at(0))
+	if !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("err = %v, want ErrUnknownObject", err)
+	}
+}
+
+func TestPollModifiedSemantics(t *testing.T) {
+	s := New()
+	if err := s.Host("n", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name         string
+		now, since   time.Duration
+		wantModified bool
+		wantVersion  int
+	}{
+		{"before first update", 5 * time.Minute, 0, false, 0},
+		{"first update seen", 15 * time.Minute, 0, true, 1},
+		{"no change since", 15 * time.Minute, 12 * time.Minute, false, 1},
+		{"exactly at update", 20 * time.Minute, 15 * time.Minute, true, 2},
+		{"since at update instant", 15 * time.Minute, 10 * time.Minute, false, 1},
+		{"all updates", time.Hour, 0, true, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, err := s.Poll("n", at(tt.now), at(tt.since))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Modified != tt.wantModified || resp.Version != tt.wantVersion {
+				t.Errorf("modified=%v version=%d, want %v/%d",
+					resp.Modified, resp.Version, tt.wantModified, tt.wantVersion)
+			}
+		})
+	}
+}
+
+func TestPollLastModified(t *testing.T) {
+	s := New()
+	if err := s.Host("n", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Poll("n", at(5*time.Minute), at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.HasLastModified {
+		t.Error("object never updated must carry no Last-Modified")
+	}
+	resp, err = s.Poll("n", at(25*time.Minute), at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.HasLastModified || resp.LastModified != at(20*time.Minute) {
+		t.Errorf("LastModified = %v,%v", resp.LastModified, resp.HasLastModified)
+	}
+}
+
+func TestPollValue(t *testing.T) {
+	s := New()
+	if err := s.Host("s", stockTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Poll("s", at(15*time.Minute), at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.HasValue || resp.Value != 101 {
+		t.Errorf("value = %v,%v", resp.Value, resp.HasValue)
+	}
+
+	// Temporal objects carry no value.
+	if err := s.Host("n", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = s.Poll("n", at(15*time.Minute), at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.HasValue {
+		t.Error("temporal object must not carry a value")
+	}
+}
+
+func TestPollHistoryExtension(t *testing.T) {
+	s := New()
+	if err := s.Host("with", newsTrace(), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Host("without", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := s.Poll("with", at(25*time.Minute), at(5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.History) != 2 ||
+		resp.History[0] != at(10*time.Minute) || resp.History[1] != at(20*time.Minute) {
+		t.Errorf("History = %v", resp.History)
+	}
+
+	resp, err = s.Poll("without", at(25*time.Minute), at(5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.History != nil {
+		t.Error("history extension disabled but History returned")
+	}
+
+	// Unmodified poll: no history either way.
+	resp, err = s.Poll("with", at(15*time.Minute), at(12*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Modified || resp.History != nil {
+		t.Error("unmodified poll must carry no history")
+	}
+}
+
+func TestAvailabilityToggle(t *testing.T) {
+	s := New()
+	if err := s.Host("n", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	s.SetAvailable(false)
+	if _, err := s.Poll("n", at(time.Minute), at(0)); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	s.SetAvailable(true)
+	if _, err := s.Poll("n", at(time.Minute), at(0)); err != nil {
+		t.Fatalf("recovered server must serve: %v", err)
+	}
+	// Failed polls must not be counted.
+	if s.TotalPolls() != 1 {
+		t.Errorf("TotalPolls = %d, want 1", s.TotalPolls())
+	}
+}
+
+func TestPollCounters(t *testing.T) {
+	s := New()
+	if err := s.Host("a", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Host("b", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Poll("a", at(time.Minute), at(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Poll("b", at(time.Minute), at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.PollCount("a") != 3 || s.PollCount("b") != 1 || s.TotalPolls() != 4 {
+		t.Errorf("counts = %d/%d/%d", s.PollCount("a"), s.PollCount("b"), s.TotalPolls())
+	}
+	if s.PollCount("nope") != 0 {
+		t.Error("unknown object count must be 0")
+	}
+}
+
+func TestTraceAccessor(t *testing.T) {
+	s := New()
+	tr := newsTrace()
+	if err := s.Host("n", tr, false); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Trace("n")
+	if !ok || got != tr {
+		t.Error("Trace accessor wrong")
+	}
+	if _, ok := s.Trace("nope"); ok {
+		t.Error("unknown object must report !ok")
+	}
+}
+
+func TestObjects(t *testing.T) {
+	s := New()
+	if err := s.Host("a", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Host("b", stockTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	ids := s.Objects()
+	if len(ids) != 2 {
+		t.Errorf("Objects = %v", ids)
+	}
+}

@@ -1,0 +1,521 @@
+package proxy
+
+import (
+	"testing"
+	"time"
+
+	"broadway/internal/core"
+	"broadway/internal/metrics"
+	"broadway/internal/origin"
+	"broadway/internal/sim"
+	"broadway/internal/simtime"
+	"broadway/internal/trace"
+)
+
+func newsTrace() *trace.Trace {
+	return &trace.Trace{
+		Name: "news", Kind: trace.Temporal, Duration: 2 * time.Hour,
+		Updates: []trace.Update{
+			{At: 10 * time.Minute}, {At: 20 * time.Minute}, {At: 45 * time.Minute},
+			{At: 80 * time.Minute},
+		},
+	}
+}
+
+func stockTrace(name string, vals ...float64) *trace.Trace {
+	tr := &trace.Trace{Name: name, Kind: trace.Value, Duration: 2 * time.Hour, InitialValue: vals[0]}
+	for i, v := range vals[1:] {
+		tr.Updates = append(tr.Updates, trace.Update{
+			At: time.Duration(i+1) * 10 * time.Minute, Value: v,
+		})
+	}
+	return tr
+}
+
+func setup(t *testing.T) (*sim.Engine, *origin.Server, *Proxy) {
+	t.Helper()
+	engine := sim.New(0)
+	org := origin.New()
+	return engine, org, New(engine, org)
+}
+
+func TestPeriodicPollingSchedule(t *testing.T) {
+	engine, org, px := setup(t)
+	if err := org.Host("n", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterObject("n", core.NewPeriodic(10*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(simtime.At(2 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Initial fetch at 0 plus polls every 10m through 120m inclusive.
+	if got := px.Polls("n"); got != 13 {
+		t.Errorf("Polls = %d, want 13", got)
+	}
+	log := px.Log("n")
+	if len(log) != 13 {
+		t.Fatalf("log length = %d", len(log))
+	}
+	for i, r := range log {
+		want := simtime.At(time.Duration(i) * 10 * time.Minute)
+		if r.At != want {
+			t.Errorf("poll %d at %v, want %v", i, r.At, want)
+		}
+	}
+	// The 10m poll must see the 10m update: version 1, modified.
+	if !log[1].Modified || log[1].Version != 1 {
+		t.Errorf("poll@10m = %+v", log[1])
+	}
+	// The 30m poll sees version 2 (from 20m).
+	if log[3].Version != 2 {
+		t.Errorf("poll@30m version = %d", log[3].Version)
+	}
+}
+
+func TestVersionsMonotoneAtProxy(t *testing.T) {
+	engine, org, px := setup(t)
+	if err := org.Host("n", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterObject("n", core.NewLIMD(core.LIMDConfig{Delta: 5 * time.Minute})); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(simtime.At(2 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for i, r := range px.Log("n") {
+		if r.Version < prev {
+			t.Fatalf("version regressed at poll %d: %d < %d", i, r.Version, prev)
+		}
+		prev = r.Version
+	}
+}
+
+func TestLIMDBacksOffOnQuietObject(t *testing.T) {
+	engine, org, px := setup(t)
+	static := &trace.Trace{Name: "s", Kind: trace.Temporal, Duration: 12 * time.Hour}
+	if err := org.Host("s", static, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterObject("s", core.NewLIMD(core.LIMDConfig{Delta: 10 * time.Minute})); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(simtime.At(12 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	limdPolls := px.Polls("s")
+	// A periodic poller would poll 73 times; LIMD must back off toward
+	// TTRmax = 60m, i.e. well under half of that.
+	if limdPolls > 30 {
+		t.Errorf("LIMD polled a static object %d times", limdPolls)
+	}
+}
+
+func TestRegistrationErrors(t *testing.T) {
+	_, org, px := setup(t)
+	if err := org.Host("n", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterObject("n", core.NewPeriodic(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterObject("n", core.NewPeriodic(time.Minute)); err == nil {
+		t.Error("duplicate registration must fail")
+	}
+	if err := px.RegisterObject("m", nil); err == nil {
+		t.Error("nil policy must fail")
+	}
+}
+
+func TestGroupRegistrationErrors(t *testing.T) {
+	_, org, px := setup(t)
+	if err := org.Host("a", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterObject("a", core.NewPeriodic(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	ctrl := core.NewMutualTimeController(core.MutualTimeConfig{
+		Delta: time.Minute, Mode: core.TriggerAll,
+	})
+	if err := px.RegisterGroup([]core.ObjectID{"a"}, ctrl); err == nil {
+		t.Error("single-member group must fail")
+	}
+	if err := px.RegisterGroup([]core.ObjectID{"a", "missing"}, ctrl); err == nil {
+		t.Error("unregistered member must fail")
+	}
+}
+
+func TestTriggeredPollsSynchronizeGroup(t *testing.T) {
+	engine, org, px := setup(t)
+	// A changes at 30m; B never changes. With TriggerAll, the update to
+	// A must trigger a poll of B even though B's own LIMD schedule has
+	// backed off.
+	trA := &trace.Trace{Name: "a", Kind: trace.Temporal, Duration: 4 * time.Hour,
+		Updates: []trace.Update{{At: 150 * time.Minute}}}
+	trB := &trace.Trace{Name: "b", Kind: trace.Temporal, Duration: 4 * time.Hour}
+	if err := org.Host("a", trA, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := org.Host("b", trB, false); err != nil {
+		t.Fatal(err)
+	}
+	// Different Δs desynchronize the two LIMD schedules; an in-phase
+	// pair would (correctly) never need triggering.
+	if err := px.RegisterObject("a", core.NewLIMD(core.LIMDConfig{Delta: 10 * time.Minute})); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterObject("b", core.NewLIMD(core.LIMDConfig{Delta: 7 * time.Minute})); err != nil {
+		t.Fatal(err)
+	}
+	ctrl := core.NewMutualTimeController(core.MutualTimeConfig{
+		Delta: 5 * time.Minute, Mode: core.TriggerAll,
+	})
+	if err := px.RegisterGroup([]core.ObjectID{"a", "b"}, ctrl); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(simtime.At(4 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if px.TriggeredPolls("b") == 0 {
+		t.Error("update to a must have triggered a poll of b")
+	}
+	// Triggered polls are flagged in the log.
+	found := false
+	for _, r := range px.Log("b") {
+		if r.Triggered {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no triggered refresh recorded in b's log")
+	}
+	if ctrl.Triggered() == 0 {
+		t.Error("controller must count its triggers")
+	}
+}
+
+func TestBaselineModeNeverTriggers(t *testing.T) {
+	engine, org, px := setup(t)
+	if err := org.Host("a", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := org.Host("b", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterObject("a", core.NewLIMD(core.LIMDConfig{Delta: 10 * time.Minute})); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterObject("b", core.NewLIMD(core.LIMDConfig{Delta: 10 * time.Minute})); err != nil {
+		t.Fatal(err)
+	}
+	ctrl := core.NewMutualTimeController(core.MutualTimeConfig{
+		Delta: 5 * time.Minute, Mode: core.TriggerNone,
+	})
+	if err := px.RegisterGroup([]core.ObjectID{"a", "b"}, ctrl); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(simtime.At(2 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if px.TriggeredPolls("a")+px.TriggeredPolls("b") != 0 {
+		t.Error("baseline mode must never trigger")
+	}
+}
+
+func TestPairPolling(t *testing.T) {
+	engine, org, px := setup(t)
+	trA := stockTrace("a", 100, 101, 102, 103)
+	trB := stockTrace("b", 50, 50.5, 51, 51.5)
+	if err := org.Host("a", trA, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := org.Host("b", trB, false); err != nil {
+		t.Fatal(err)
+	}
+	pol := core.NewMutualValueAdaptive(core.MutualValueConfig{
+		Delta:  0.5,
+		Bounds: core.TTRBounds{Min: time.Minute, Max: 30 * time.Minute},
+	})
+	if err := px.RegisterPair("a", "b", pol); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(simtime.At(2 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Pair polls happen jointly: equal counts, aligned instants.
+	if px.Polls("a") != px.Polls("b") {
+		t.Errorf("pair polls diverged: %d vs %d", px.Polls("a"), px.Polls("b"))
+	}
+	logA, logB := px.Log("a"), px.Log("b")
+	for i := range logA {
+		if logA[i].At != logB[i].At {
+			t.Fatalf("pair poll %d not aligned: %v vs %v", i, logA[i].At, logB[i].At)
+		}
+	}
+	if px.Polls("a") < 2 {
+		t.Error("pair must poll repeatedly")
+	}
+}
+
+func TestPairRegistrationErrors(t *testing.T) {
+	_, org, px := setup(t)
+	if err := org.Host("a", stockTrace("a", 1, 2), false); err != nil {
+		t.Fatal(err)
+	}
+	pol := core.NewMutualValueAdaptive(core.MutualValueConfig{Delta: 1})
+	if err := px.RegisterPair("a", "a", pol); err == nil {
+		t.Error("identical pair members must fail")
+	}
+	if err := px.RegisterObject("a", core.NewPeriodic(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterPair("a", "b", pol); err == nil {
+		t.Error("already-registered member must fail")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	engine, org, px := setup(t)
+	if err := org.Host("s", stockTrace("s", 100, 105), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := px.Lookup("s"); ok {
+		t.Error("lookup before registration must miss")
+	}
+	if err := px.RegisterObject("s", core.NewPeriodic(5*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(simtime.At(30 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	copy, ok := px.Lookup("s")
+	if !ok {
+		t.Fatal("lookup after initial fetch must hit")
+	}
+	if !copy.HasValue || copy.Value != 105 || copy.Version != 1 {
+		t.Errorf("cached copy = %+v", copy)
+	}
+	if copy.AsOf != simtime.At(30*time.Minute) {
+		t.Errorf("AsOf = %v", copy.AsOf)
+	}
+}
+
+func TestOriginFailureAndRecovery(t *testing.T) {
+	engine, org, px := setup(t)
+	if err := org.Host("n", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterObject("n", core.NewLIMD(core.LIMDConfig{Delta: 10 * time.Minute})); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(simtime.At(30 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	pollsBefore := px.Polls("n")
+
+	// Origin goes down for 30 minutes: polls fail but retries continue.
+	org.SetAvailable(false)
+	if err := engine.Run(simtime.At(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if px.FailedPolls() == 0 {
+		t.Error("downtime must produce failed polls")
+	}
+	if px.Polls("n") != pollsBefore {
+		t.Error("failed polls must not count as successes")
+	}
+
+	// Origin recovers: polling resumes.
+	org.SetAvailable(true)
+	if err := engine.Run(simtime.At(2 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if px.Polls("n") <= pollsBefore {
+		t.Error("polling must resume after recovery")
+	}
+}
+
+func TestProxyRecoverResetsPolicies(t *testing.T) {
+	engine, org, px := setup(t)
+	static := &trace.Trace{Name: "s", Kind: trace.Temporal, Duration: 12 * time.Hour}
+	if err := org.Host("s", static, false); err != nil {
+		t.Fatal(err)
+	}
+	limd := core.NewLIMD(core.LIMDConfig{Delta: 10 * time.Minute})
+	if err := px.RegisterObject("s", limd); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(simtime.At(6 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if limd.TTR() != 60*time.Minute {
+		t.Fatalf("setup: TTR = %v, want TTRmax", limd.TTR())
+	}
+	px.Recover()
+	if limd.TTR() != limd.InitialTTR() {
+		t.Errorf("TTR after Recover = %v, want initial", limd.TTR())
+	}
+	// The proxy must poll immediately after recovery, not wait for the
+	// stale 60m schedule.
+	now := engine.Now()
+	if err := engine.Run(now.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	log := px.Log("s")
+	if log[len(log)-1].At != now {
+		t.Errorf("no immediate revalidation after Recover: last poll at %v, want %v",
+			log[len(log)-1].At, now)
+	}
+}
+
+func TestStatsForUnknownObject(t *testing.T) {
+	_, _, px := setup(t)
+	if px.Polls("x") != 0 || px.TriggeredPolls("x") != 0 || px.Log("x") != nil {
+		t.Error("unknown object stats must be zero")
+	}
+}
+
+func TestLogIsACopy(t *testing.T) {
+	engine, org, px := setup(t)
+	if err := org.Host("n", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterObject("n", core.NewPeriodic(10*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(simtime.At(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	log := px.Log("n")
+	log[0].Version = 999
+	if px.Log("n")[0].Version == 999 {
+		t.Error("Log must return a copy")
+	}
+}
+
+func TestPushObjectStrongConsistency(t *testing.T) {
+	engine, org, px := setup(t)
+	tr := newsTrace()
+	if err := org.Host("n", tr, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterPushObject("n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterPushObject("n"); err == nil {
+		t.Fatal("duplicate push registration must fail")
+	}
+	if err := px.RegisterPushObject("missing"); err == nil {
+		t.Fatal("unknown object must fail")
+	}
+	if err := engine.Run(simtime.At(2 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// One initial transfer + one push per update.
+	if got := px.Polls("n"); got != uint64(1+tr.NumUpdates()) {
+		t.Errorf("messages = %d, want %d", got, 1+tr.NumUpdates())
+	}
+	// The cached copy is always the current version: zero violations
+	// and zero out-of-sync time for any Δ.
+	rep := metrics.EvaluateTemporal(tr, px.Log("n"), time.Nanosecond, 2*time.Hour)
+	if rep.Violations != 0 || rep.OutOfSync != 0 {
+		t.Errorf("push must give strong consistency: %+v", rep)
+	}
+	copy, ok := px.Lookup("n")
+	if !ok || copy.Version != tr.NumUpdates() {
+		t.Errorf("cached copy = %+v", copy)
+	}
+}
+
+func TestHandleRequestHitsAndMisses(t *testing.T) {
+	engine, org, px := setup(t)
+	if err := org.Host("n", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	mk := func() core.Policy { return core.NewLIMD(core.LIMDConfig{Delta: 10 * time.Minute}) }
+
+	// First request: miss, admits the object.
+	hit, err := px.HandleRequest("n", mk)
+	if err != nil || hit {
+		t.Fatalf("first request: hit=%v err=%v, want miss", hit, err)
+	}
+	// Same-instant request: still a miss (initial fetch pending).
+	hit, err = px.HandleRequest("n", mk)
+	if err != nil || hit {
+		t.Fatalf("second request: hit=%v err=%v, want miss", hit, err)
+	}
+	if err := engine.Run(simtime.At(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// After the fetch: hit.
+	hit, err = px.HandleRequest("n", mk)
+	if err != nil || !hit {
+		t.Fatalf("third request: hit=%v err=%v, want hit", hit, err)
+	}
+	if px.Hits() != 1 || px.Misses() != 2 {
+		t.Errorf("hits/misses = %d/%d, want 1/2", px.Hits(), px.Misses())
+	}
+	// The admitted object is refreshed like any registered object.
+	if err := engine.Run(simtime.At(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if px.Polls("n") < 2 {
+		t.Errorf("admitted object not refreshed: polls=%d", px.Polls("n"))
+	}
+}
+
+func TestNetworkLatencyDelaysRefresh(t *testing.T) {
+	// With a one-way latency L, a poll initiated at t observes the
+	// server at t+L and is applied at t+2L.
+	engine := sim.New(30 * time.Second)
+	org := origin.New()
+	if err := org.Host("n", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	px := New(engine, org)
+	if err := px.RegisterObject("n", core.NewPeriodic(10*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(simtime.At(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	log := px.Log("n")
+	if len(log) == 0 {
+		t.Fatal("no polls")
+	}
+	// The initial fetch was scheduled at t=0; its server observation is
+	// at t=30s (one-way latency).
+	if log[0].At != simtime.At(30*time.Second) {
+		t.Errorf("first observation at %v, want 30s", log[0].At)
+	}
+	// The second poll departs at apply time (60s) + TTR (10m).
+	if len(log) > 1 && log[1].At != simtime.At(time.Minute+10*time.Minute+30*time.Second) {
+		t.Errorf("second observation at %v", log[1].At)
+	}
+}
+
+func TestZeroLatencyMatchesLegacyBehavior(t *testing.T) {
+	// With zero latency the whole poll exchange completes at the poll
+	// instant — the configuration used by all paper experiments.
+	engine, org, px := setup(t)
+	if err := org.Host("n", newsTrace(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RegisterObject("n", core.NewPeriodic(10*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(simtime.At(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	log := px.Log("n")
+	for i, r := range log {
+		if want := simtime.At(time.Duration(i) * 10 * time.Minute); r.At != want {
+			t.Fatalf("poll %d at %v, want %v", i, r.At, want)
+		}
+	}
+}

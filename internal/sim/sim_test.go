@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"broadway/internal/simtime"
+)
+
+func TestRunFiresInOrder(t *testing.T) {
+	e := New(0)
+	var got []string
+	rec := func(s string) Event {
+		return EventFunc(func(*Engine) { got = append(got, s) })
+	}
+	e.ScheduleAt(simtime.At(3*time.Second), rec("c"))
+	e.ScheduleAt(simtime.At(1*time.Second), rec("a"))
+	e.ScheduleAt(simtime.At(2*time.Second), rec("b"))
+
+	if err := e.Run(simtime.At(time.Minute)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed = %d", e.Processed())
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	e := New(0)
+	var at simtime.Time
+	e.ScheduleAt(simtime.At(42*time.Second), EventFunc(func(e *Engine) {
+		at = e.Now()
+	}))
+	if err := e.Run(simtime.At(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if at != simtime.At(42*time.Second) {
+		t.Errorf("event saw Now=%v", at)
+	}
+	if e.Now() != simtime.At(time.Minute) {
+		t.Errorf("clock after Run = %v, want horizon", e.Now())
+	}
+}
+
+func TestHorizonInclusive(t *testing.T) {
+	e := New(0)
+	fired := 0
+	e.ScheduleAt(simtime.At(time.Minute), EventFunc(func(*Engine) { fired++ }))
+	e.ScheduleAt(simtime.At(time.Minute+time.Nanosecond), EventFunc(func(*Engine) { fired++ }))
+	if err := e.Run(simtime.At(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want exactly the event at the horizon", fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+}
+
+func TestEventsScheduleFollowUps(t *testing.T) {
+	e := New(0)
+	count := 0
+	var tick Event
+	tick = EventFunc(func(e *Engine) {
+		count++
+		e.ScheduleAfter(time.Second, tick)
+	})
+	e.ScheduleAt(simtime.Epoch, tick)
+	if err := e.Run(simtime.At(10*time.Second - time.Nanosecond)); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 { // fires at 0s..9s
+		t.Errorf("count = %d, want 10", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New(0)
+	e.ScheduleAt(simtime.At(5*time.Second), EventFunc(func(e *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.ScheduleAt(simtime.At(time.Second), EventFunc(func(*Engine) {}))
+	}))
+	if err := e.Run(simtime.At(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleAfterNegativeClamps(t *testing.T) {
+	e := New(0)
+	fired := false
+	e.ScheduleAfter(-time.Hour, EventFunc(func(*Engine) { fired = true }))
+	if err := e.Run(simtime.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("negative delay should fire immediately")
+	}
+}
+
+func TestAfterLatency(t *testing.T) {
+	e := New(250 * time.Millisecond)
+	var at simtime.Time
+	e.AfterLatency(EventFunc(func(e *Engine) { at = e.Now() }))
+	if err := e.Run(simtime.At(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if at != simtime.At(250*time.Millisecond) {
+		t.Errorf("latency event at %v", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(0)
+	fired := false
+	h := e.ScheduleAt(simtime.At(time.Second), EventFunc(func(*Engine) { fired = true }))
+	if !e.Cancel(h) {
+		t.Fatal("Cancel of pending event must succeed")
+	}
+	if e.Cancel(h) {
+		t.Fatal("double Cancel must fail")
+	}
+	if err := e.Run(simtime.At(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(0)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.ScheduleAt(simtime.At(time.Duration(i)*time.Second), EventFunc(func(e *Engine) {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		}))
+	}
+	err := e.Run(simtime.At(time.Minute))
+	if err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+	// A subsequent Run resumes processing.
+	if err := e.Run(simtime.At(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("count after resume = %d, want 5", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := New(0)
+	count := 0
+	e.ScheduleAt(simtime.At(time.Second), EventFunc(func(*Engine) { count++ }))
+	e.ScheduleAt(simtime.At(2*time.Second), EventFunc(func(*Engine) { count++ }))
+	if !e.Step() || count != 1 {
+		t.Fatal("first Step failed")
+	}
+	if e.Now() != simtime.At(time.Second) {
+		t.Errorf("Now = %v", e.Now())
+	}
+	if !e.Step() || count != 2 {
+		t.Fatal("second Step failed")
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue must return false")
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := New(0)
+	fired := 0
+	e.ScheduleAt(simtime.At(30*time.Second), EventFunc(func(*Engine) { fired++ }))
+	e.ScheduleAt(simtime.At(90*time.Second), EventFunc(func(*Engine) { fired++ }))
+	if err := e.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d after first minute", fired)
+	}
+	if err := e.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d after second minute", fired)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	runOnce := func() []int {
+		e := New(0)
+		var order []int
+		for i := 0; i < 100; i++ {
+			i := i
+			// Many events at identical instants: FIFO tie-break must hold.
+			e.ScheduleAt(simtime.At(time.Duration(i%7)*time.Second), EventFunc(func(*Engine) {
+				order = append(order, i)
+			}))
+		}
+		if err := e.Run(simtime.At(time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

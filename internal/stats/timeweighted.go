@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// BoolTimeline accumulates the total time a boolean condition held, fed by
+// state-change notifications. It backs the paper's out-of-sync-time
+// fidelity metric (Eq. 14): f = 1 − (total out-of-sync time)/(trace
+// duration).
+//
+// The zero value starts at instant 0 with the condition false; use
+// NewBoolTimeline to start elsewhere.
+type BoolTimeline struct {
+	lastAt    time.Duration
+	state     bool
+	trueTotal time.Duration
+	started   bool
+}
+
+// NewBoolTimeline returns a timeline beginning at the given offset with
+// the given initial state.
+func NewBoolTimeline(start time.Duration, state bool) *BoolTimeline {
+	return &BoolTimeline{lastAt: start, state: state, started: true}
+}
+
+// Set records that the condition transitioned to state at the given
+// offset. Instants must be nondecreasing; Set panics on regression since a
+// time-weighted accumulator cannot un-count elapsed time.
+func (b *BoolTimeline) Set(at time.Duration, state bool) {
+	if !b.started {
+		b.lastAt, b.started = at, true
+	}
+	if at < b.lastAt {
+		panic(fmt.Sprintf("stats: BoolTimeline time regression: %v < %v", at, b.lastAt))
+	}
+	if b.state {
+		b.trueTotal += at - b.lastAt
+	}
+	b.lastAt = at
+	b.state = state
+}
+
+// TrueTotal returns the accumulated time the condition was true up to the
+// given offset (which must be ≥ the last Set instant).
+func (b *BoolTimeline) TrueTotal(now time.Duration) time.Duration {
+	if !b.started || now < b.lastAt {
+		return b.trueTotal
+	}
+	total := b.trueTotal
+	if b.state {
+		total += now - b.lastAt
+	}
+	return total
+}
+
+// State returns the current condition value.
+func (b *BoolTimeline) State() bool { return b.state }
+
+// StepSeries records a piecewise-constant time series (value changes at
+// discrete instants) and can integrate or sample it. It is used to track
+// computed TTR values and object values over a run (Figs. 4(b) and 8).
+type StepSeries struct {
+	times  []time.Duration
+	values []float64
+}
+
+// Set appends a value change at the given offset. Offsets must be
+// nondecreasing; setting at the same offset overwrites the latest value.
+func (s *StepSeries) Set(at time.Duration, v float64) {
+	n := len(s.times)
+	if n > 0 && at < s.times[n-1] {
+		panic(fmt.Sprintf("stats: StepSeries time regression: %v < %v", at, s.times[n-1]))
+	}
+	if n > 0 && at == s.times[n-1] {
+		s.values[n-1] = v
+		return
+	}
+	s.times = append(s.times, at)
+	s.values = append(s.values, v)
+}
+
+// Len returns the number of change points.
+func (s *StepSeries) Len() int { return len(s.times) }
+
+// At samples the series at the given offset: the value of the latest
+// change point at or before the offset. It returns 0 before the first
+// change point.
+func (s *StepSeries) At(at time.Duration) float64 {
+	// Binary search for the last change point ≤ at.
+	lo, hi := 0, len(s.times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.times[mid] <= at {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return s.values[lo-1]
+}
+
+// Points returns copies of the change instants and values, suitable for
+// plotting. The returned slices are safe for the caller to modify.
+func (s *StepSeries) Points() ([]time.Duration, []float64) {
+	ts := make([]time.Duration, len(s.times))
+	vs := make([]float64, len(s.values))
+	copy(ts, s.times)
+	copy(vs, s.values)
+	return ts, vs
+}
+
+// Counter2h buckets event counts into fixed-width windows of simulated
+// time. The paper's Fig. 4(a) plots "updates per 2 hours"; the window
+// width is configurable.
+type Counter2h struct {
+	width  time.Duration
+	counts map[int]int
+	maxIdx int
+}
+
+// NewWindowCounter returns a counter with the given positive window width.
+func NewWindowCounter(width time.Duration) *Counter2h {
+	if width <= 0 {
+		panic("stats: window width must be positive")
+	}
+	return &Counter2h{width: width, counts: make(map[int]int), maxIdx: -1}
+}
+
+// Observe counts one event at the given offset.
+func (c *Counter2h) Observe(at time.Duration) {
+	idx := int(at / c.width)
+	c.counts[idx]++
+	if idx > c.maxIdx {
+		c.maxIdx = idx
+	}
+}
+
+// Series returns one entry per window from 0 through the latest observed
+// window: the window start offset and its event count.
+func (c *Counter2h) Series() ([]time.Duration, []int) {
+	if c.maxIdx < 0 {
+		return nil, nil
+	}
+	times := make([]time.Duration, c.maxIdx+1)
+	counts := make([]int, c.maxIdx+1)
+	for i := 0; i <= c.maxIdx; i++ {
+		times[i] = time.Duration(i) * c.width
+		counts[i] = c.counts[i]
+	}
+	return times, counts
+}

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the trace-file parser with arbitrary bytes: it must
+// reject garbage gracefully (error, not panic) and round-trip whatever it
+// accepts.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, &Trace{
+		Name: "seed", Kind: Value, Duration: 1000, InitialValue: 1,
+		Updates: []Update{{At: 1, Value: 2}, {At: 5, Value: 3}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("# broadway trace v1\nname: x\nkind: temporal\nduration: 1h\n---\n")
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumUpdates() != tr.NumUpdates() {
+			t.Fatal("round trip changed update count")
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// File format: a small line-oriented header followed by one CSV record per
+// update. Durations use Go duration syntax; values are decimal.
+//
+//	# broadway trace v1
+//	name: cnn-fn
+//	kind: temporal
+//	duration: 49h30m0s
+//	initial: 0
+//	---
+//	26m3s,0
+//	55m10s,0
+//
+// The format is deliberately trivial so traces can be generated or audited
+// with standard text tools.
+
+const fileMagic = "# broadway trace v1"
+
+// Write serializes the trace. It validates first and refuses to write an
+// invalid trace.
+func Write(w io.Writer, tr *Trace) error {
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("trace: refusing to write invalid trace: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, fileMagic)
+	fmt.Fprintf(bw, "name: %s\n", tr.Name)
+	fmt.Fprintf(bw, "kind: %s\n", tr.Kind)
+	fmt.Fprintf(bw, "duration: %s\n", tr.Duration)
+	fmt.Fprintf(bw, "initial: %s\n", strconv.FormatFloat(tr.InitialValue, 'f', -1, 64))
+	fmt.Fprintln(bw, "---")
+	for _, u := range tr.Updates {
+		fmt.Fprintf(bw, "%s,%s\n", u.At, strconv.FormatFloat(u.Value, 'f', -1, 64))
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace previously written by Write and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	if strings.TrimSpace(sc.Text()) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", sc.Text())
+	}
+
+	tr := &Trace{}
+	inHeader := true
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if inHeader {
+			if text == "---" {
+				inHeader = false
+				continue
+			}
+			key, val, ok := strings.Cut(text, ":")
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: malformed header %q", line, text)
+			}
+			val = strings.TrimSpace(val)
+			switch strings.TrimSpace(key) {
+			case "name":
+				tr.Name = val
+			case "kind":
+				switch val {
+				case "temporal":
+					tr.Kind = Temporal
+				case "value":
+					tr.Kind = Value
+				default:
+					return nil, fmt.Errorf("trace: line %d: unknown kind %q", line, val)
+				}
+			case "duration":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: duration: %w", line, err)
+				}
+				tr.Duration = d
+			case "initial":
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: initial: %w", line, err)
+				}
+				tr.InitialValue = v
+			default:
+				return nil, fmt.Errorf("trace: line %d: unknown header key %q", line, key)
+			}
+			continue
+		}
+		atStr, valStr, ok := strings.Cut(text, ",")
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: malformed record %q", line, text)
+		}
+		at, err := time.ParseDuration(atStr)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: instant: %w", line, err)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: value: %w", line, err)
+		}
+		tr.Updates = append(tr.Updates, Update{At: at, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if inHeader {
+		return nil, fmt.Errorf("trace: missing --- separator")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,162 @@
+package tracegen
+
+import (
+	"fmt"
+	"time"
+
+	"broadway/internal/trace"
+)
+
+// Preset seeds. Fixed so every experiment in the repository is exactly
+// reproducible; change a seed and the workload changes everywhere.
+const (
+	seedCNNFN      = 1001
+	seedNYTAP      = 1002
+	seedNYTReuters = 1003
+	seedGuardian   = 1004
+	seedATT        = 2001
+	seedYahoo      = 2002
+)
+
+// The preset configurations below mirror the trace characteristics the
+// paper reports in Table 2 (news pages, temporal domain) and Table 3
+// (stock quotes, value domain). Window lengths and update counts are taken
+// directly from the tables; start hours come from the collection
+// timestamps (e.g. CNN/FN collection began Aug 7 at 13:04).
+
+// CNNFN returns the synthetic stand-in for the "CNN Financial News
+// Briefs" trace: 113 updates over 49.5 hours (one every ≈26 minutes).
+func CNNFN() *trace.Trace {
+	return mustNews(NewsConfig{
+		Name:          "cnn-fn",
+		Seed:          seedCNNFN,
+		Duration:      49*time.Hour + 30*time.Minute,
+		Updates:       113,
+		StartHour:     13.07,
+		ProfileJitter: 0.4,
+		BurstFraction: 0.15,
+	})
+}
+
+// NYTAP returns the stand-in for "NY Times Breaking News (AP)": 233
+// updates over ≈45.3 hours (one every ≈11.6 minutes).
+func NYTAP() *trace.Trace {
+	return mustNews(NewsConfig{
+		Name:          "nyt-ap",
+		Seed:          seedNYTAP,
+		Duration:      45*time.Hour + 18*time.Minute,
+		Updates:       233,
+		StartHour:     14.12,
+		ProfileJitter: 0.4,
+		BurstFraction: 0.2,
+	})
+}
+
+// NYTReuters returns the stand-in for "NY Times Breaking News (Reuters)":
+// 133 updates over ≈45.2 hours (one every ≈20.3 minutes).
+func NYTReuters() *trace.Trace {
+	return mustNews(NewsConfig{
+		Name:          "nyt-reuters",
+		Seed:          seedNYTReuters,
+		Duration:      45*time.Hour + 13*time.Minute,
+		Updates:       133,
+		StartHour:     14.2,
+		ProfileJitter: 0.4,
+		BurstFraction: 0.2,
+	})
+}
+
+// Guardian returns the stand-in for "Guardian Breaking News": 902 updates
+// over ≈73.9 hours (one every ≈4.9 minutes).
+func Guardian() *trace.Trace {
+	return mustNews(NewsConfig{
+		Name:          "guardian",
+		Seed:          seedGuardian,
+		Duration:      73*time.Hour + 52*time.Minute,
+		Updates:       902,
+		StartHour:     13.67,
+		ProfileJitter: 0.4,
+		BurstFraction: 0.25,
+	})
+}
+
+// ATT returns the stand-in for the AT&T quote trace of Table 3: 653 ticks
+// over a three-hour trading window, price confined to $35.8–$36.5
+// (infrequent, small moves).
+func ATT() *trace.Trace {
+	return mustStock(StockConfig{
+		Name:       "att",
+		Seed:       seedATT,
+		Duration:   3 * time.Hour,
+		Ticks:      653,
+		Initial:    36.15,
+		Min:        35.8,
+		Max:        36.5,
+		Reversion:  0.02,
+		Volatility: 0.03,
+	})
+}
+
+// Yahoo returns the stand-in for the Yahoo quote trace of Table 3: 2204
+// ticks over three hours, price ranging $160.2–$171.2 (frequent, large
+// moves).
+func Yahoo() *trace.Trace {
+	return mustStock(StockConfig{
+		Name:       "yahoo",
+		Seed:       seedYahoo,
+		Duration:   3 * time.Hour,
+		Ticks:      2204,
+		Initial:    165.7,
+		Min:        160.2,
+		Max:        171.2,
+		Reversion:  0.01,
+		Volatility: 0.22,
+	})
+}
+
+// NewsPresets returns the four Table 2 stand-ins in the paper's order.
+func NewsPresets() []*trace.Trace {
+	return []*trace.Trace{CNNFN(), NYTAP(), NYTReuters(), Guardian()}
+}
+
+// StockPresets returns the two Table 3 stand-ins in the paper's order.
+func StockPresets() []*trace.Trace {
+	return []*trace.Trace{ATT(), Yahoo()}
+}
+
+// ByName returns the preset trace with the given name, or an error listing
+// the valid names.
+func ByName(name string) (*trace.Trace, error) {
+	switch name {
+	case "cnn-fn":
+		return CNNFN(), nil
+	case "nyt-ap":
+		return NYTAP(), nil
+	case "nyt-reuters":
+		return NYTReuters(), nil
+	case "guardian":
+		return Guardian(), nil
+	case "att":
+		return ATT(), nil
+	case "yahoo":
+		return Yahoo(), nil
+	default:
+		return nil, fmt.Errorf("tracegen: unknown preset %q (valid: cnn-fn, nyt-ap, nyt-reuters, guardian, att, yahoo)", name)
+	}
+}
+
+func mustNews(cfg NewsConfig) *trace.Trace {
+	tr, err := News(cfg)
+	if err != nil {
+		panic(err) // preset configs are compile-time constants; cannot fail
+	}
+	return tr
+}
+
+func mustStock(cfg StockConfig) *trace.Trace {
+	tr, err := Stock(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}

@@ -1,0 +1,156 @@
+package tracegen
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"broadway/internal/trace"
+)
+
+// TestTable2Characteristics checks that the news presets match the paper's
+// Table 2 headline numbers: update counts exactly, mean gaps within 5%.
+func TestTable2Characteristics(t *testing.T) {
+	tests := []struct {
+		tr          *trace.Trace
+		wantUpdates int
+		wantGap     time.Duration
+	}{
+		{CNNFN(), 113, 26 * time.Minute},
+		{NYTAP(), 233, time.Duration(11.6 * float64(time.Minute))},
+		{NYTReuters(), 133, time.Duration(20.3 * float64(time.Minute))},
+		{Guardian(), 902, time.Duration(4.9 * float64(time.Minute))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.tr.Name, func(t *testing.T) {
+			if err := tt.tr.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if got := tt.tr.NumUpdates(); got != tt.wantUpdates {
+				t.Errorf("updates = %d, want %d", got, tt.wantUpdates)
+			}
+			gap := tt.tr.MeanGap()
+			if ratio := float64(gap) / float64(tt.wantGap); ratio < 0.95 || ratio > 1.05 {
+				t.Errorf("mean gap = %v, want ≈%v", gap, tt.wantGap)
+			}
+		})
+	}
+}
+
+// TestTable3Characteristics checks the stock presets against Table 3:
+// tick counts exactly, price range within the paper's bounds.
+func TestTable3Characteristics(t *testing.T) {
+	tests := []struct {
+		tr         *trace.Trace
+		wantTicks  int
+		boundLo    float64
+		boundHi    float64
+		wantSpread float64 // generated range should cover most of the band
+	}{
+		{ATT(), 653, 35.8, 36.5, 0.4},
+		{Yahoo(), 2204, 160.2, 171.2, 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.tr.Name, func(t *testing.T) {
+			if err := tt.tr.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if got := tt.tr.NumUpdates(); got != tt.wantTicks {
+				t.Errorf("ticks = %d, want %d", got, tt.wantTicks)
+			}
+			c := tt.tr.Summarize()
+			if c.MinValue < tt.boundLo-1e-9 || c.MaxValue > tt.boundHi+1e-9 {
+				t.Errorf("range [%v, %v] outside paper bounds [%v, %v]",
+					c.MinValue, c.MaxValue, tt.boundLo, tt.boundHi)
+			}
+			if spread := c.MaxValue - c.MinValue; spread < tt.wantSpread {
+				t.Errorf("price spread %v too narrow (want ≥ %v)", spread, tt.wantSpread)
+			}
+			if c.Duration != 3*time.Hour {
+				t.Errorf("duration = %v, want 3h", c.Duration)
+			}
+		})
+	}
+}
+
+// TestNewsPresetsQuietOvernight verifies the diurnal structure the paper's
+// Fig. 4(a) relies on: each news preset has a multi-hour overnight window
+// with at most a stray update.
+func TestNewsPresetsQuietOvernight(t *testing.T) {
+	for _, tr := range NewsPresets() {
+		t.Run(tr.Name, func(t *testing.T) {
+			// Find the quietest 5-hour window; it should be almost empty.
+			quietest := math.MaxInt
+			for start := time.Duration(0); start+5*time.Hour <= tr.Duration; start += time.Hour {
+				n := len(tr.UpdatesIn(start, start+5*time.Hour))
+				if n < quietest {
+					quietest = n
+				}
+			}
+			if quietest > 2 {
+				t.Errorf("quietest 5h window has %d updates, want ≤ 2", quietest)
+			}
+		})
+	}
+}
+
+func TestPresetsAreDeterministic(t *testing.T) {
+	a, b := CNNFN(), CNNFN()
+	for i := range a.Updates {
+		if a.Updates[i] != b.Updates[i] {
+			t.Fatal("CNNFN preset not deterministic")
+		}
+	}
+	ya, yb := Yahoo(), Yahoo()
+	for i := range ya.Updates {
+		if ya.Updates[i] != yb.Updates[i] {
+			t.Fatal("Yahoo preset not deterministic")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"cnn-fn", "nyt-ap", "nyt-reuters", "guardian", "att", "yahoo"} {
+		tr, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if tr.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, tr.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName must reject unknown names")
+	}
+}
+
+// TestRatesDiverge verifies that the AP and Reuters presets change at
+// different rates in different hours (the dynamics of Fig. 6(a)): the
+// per-hour update-count ratio between them must vary substantially.
+func TestRatesDiverge(t *testing.T) {
+	ap, reuters := NYTAP(), NYTReuters()
+	horizon := ap.Duration
+	if reuters.Duration < horizon {
+		horizon = reuters.Duration
+	}
+	var ratios []float64
+	for start := time.Duration(0); start+2*time.Hour <= horizon; start += 2 * time.Hour {
+		a := len(ap.UpdatesIn(start, start+2*time.Hour))
+		r := len(reuters.UpdatesIn(start, start+2*time.Hour))
+		if a > 0 && r > 0 {
+			ratios = append(ratios, float64(a)/float64(r))
+		}
+	}
+	if len(ratios) < 5 {
+		t.Fatalf("too few active windows: %d", len(ratios))
+	}
+	lo, hi := ratios[0], ratios[0]
+	for _, r := range ratios {
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	if hi/lo < 1.5 {
+		t.Errorf("update-rate ratio barely varies: [%v, %v]", lo, hi)
+	}
+}

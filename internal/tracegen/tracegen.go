@@ -1,0 +1,367 @@
+// Package tracegen generates synthetic workload traces that stand in for
+// the real-world traces of the paper's evaluation (§6.1.2).
+//
+// The paper polled live news pages (CNN/FN, NY Times AP and Reuters feeds,
+// the Guardian) once a minute for several days and recorded stock quotes
+// (AT&T, Yahoo) from quote.yahoo.com. Those recordings are not available,
+// so this package produces statistically matched substitutes:
+//
+//   - News traces are drawn from a nonhomogeneous Poisson-like process
+//     with a diurnal intensity profile: activity collapses overnight and
+//     peaks during the day, reproducing the on/off dynamics that drive the
+//     paper's Fig. 4. Optional burst clustering models breaking-news
+//     flurries, and per-hour intensity jitter makes the *ratio* of two
+//     traces' rates fluctuate over time (the dynamics behind Fig. 6).
+//   - Stock traces place ticks with exponential gaps and evolve the price
+//     as a mean-reverting bounded random walk quantized to cents.
+//
+// Generators use exact-count sampling — the requested number of updates is
+// placed according to the intensity profile — so the generated trace
+// characteristics match the paper's Tables 2 and 3 headline numbers
+// exactly, not merely in expectation. All generators are deterministic
+// given their seed.
+package tracegen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"broadway/internal/trace"
+)
+
+// minSeparation is the minimum gap enforced between consecutive updates.
+// The paper's collection program polled once a minute, so sub-second
+// resolution is already finer than the original data.
+const minSeparation = time.Second
+
+// DefaultNewsProfile is the default diurnal intensity profile: one
+// relative weight per hour of day. It models a newsroom that is silent
+// between 1am and 6am — the paper observes that the CNN/FN update
+// frequency "reduces to zero for a few hours every night" (Fig. 4(a)) —
+// and busiest through the working day.
+var DefaultNewsProfile = [24]float64{
+	0.10, 0.00, 0.00, 0.00, 0.00, 0.00, // 00:00–05:59
+	0.20, 0.60, 0.90, 1.00, 1.00, 1.00, // 06:00–11:59
+	0.90, 1.00, 1.00, 1.00, 1.00, 0.90, // 12:00–17:59
+	0.80, 0.70, 0.60, 0.50, 0.35, 0.25, // 18:00–23:59
+}
+
+// NewsConfig parameterizes a synthetic news-update trace.
+type NewsConfig struct {
+	// Name labels the generated trace.
+	Name string
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Duration is the observation window length.
+	Duration time.Duration
+	// Updates is the exact number of updates to place.
+	Updates int
+	// StartHour is the hour of day (0–24) at trace offset zero. The
+	// paper's traces begin mid-afternoon.
+	StartHour float64
+	// Profile holds 24 relative hourly intensities. The zero value
+	// selects DefaultNewsProfile.
+	Profile *[24]float64
+	// ProfileJitter is the standard deviation of multiplicative
+	// lognormal noise applied independently to every *absolute* hour of
+	// the window. Zero disables jitter. Jitter makes two traces' update
+	// rates diverge hour by hour even though they share a profile.
+	ProfileJitter float64
+	// BurstFraction is the fraction of updates placed as burst children
+	// that follow a parent update closely (breaking-news flurries).
+	// Zero disables bursts.
+	BurstFraction float64
+	// BurstGap is the mean offset of a burst child from its parent
+	// (default 3 minutes when bursts are enabled).
+	BurstGap time.Duration
+}
+
+func (c *NewsConfig) validate() error {
+	switch {
+	case c.Name == "":
+		return errors.New("tracegen: news: empty name")
+	case c.Duration <= 0:
+		return errors.New("tracegen: news: non-positive duration")
+	case c.Updates < 0:
+		return errors.New("tracegen: news: negative update count")
+	case c.StartHour < 0 || c.StartHour >= 24:
+		return fmt.Errorf("tracegen: news: start hour %v outside [0,24)", c.StartHour)
+	case c.BurstFraction < 0 || c.BurstFraction >= 1:
+		return fmt.Errorf("tracegen: news: burst fraction %v outside [0,1)", c.BurstFraction)
+	case c.ProfileJitter < 0:
+		return errors.New("tracegen: news: negative profile jitter")
+	}
+	return nil
+}
+
+// News generates a temporal-domain trace according to cfg.
+func News(cfg NewsConfig) (*trace.Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	profile := DefaultNewsProfile
+	if cfg.Profile != nil {
+		profile = *cfg.Profile
+	}
+
+	segs := buildSegments(cfg.Duration, cfg.StartHour, profile, cfg.ProfileJitter, rng)
+
+	burstGap := cfg.BurstGap
+	if burstGap <= 0 {
+		burstGap = 3 * time.Minute
+	}
+	nChildren := int(float64(cfg.Updates) * cfg.BurstFraction)
+	nParents := cfg.Updates - nChildren
+
+	instants := make([]time.Duration, 0, cfg.Updates)
+	for i := 0; i < nParents; i++ {
+		instants = append(instants, segs.sample(rng))
+	}
+	parents := append([]time.Duration(nil), instants...)
+	for i := 0; i < nChildren; i++ {
+		var base time.Duration
+		if len(parents) > 0 {
+			base = parents[rng.Intn(len(parents))]
+		} else {
+			base = segs.sample(rng)
+		}
+		off := time.Duration(rng.ExpFloat64() * float64(burstGap))
+		at := base + off
+		if at > cfg.Duration {
+			at = segs.sample(rng)
+		}
+		instants = append(instants, at)
+	}
+
+	instants = enforceSpacing(instants, cfg.Duration)
+	tr := &trace.Trace{
+		Name:     cfg.Name,
+		Kind:     trace.Temporal,
+		Duration: cfg.Duration,
+		Updates:  make([]trace.Update, len(instants)),
+	}
+	for i, at := range instants {
+		tr.Updates[i] = trace.Update{At: at}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("tracegen: news: generated invalid trace: %w", err)
+	}
+	return tr, nil
+}
+
+// segments is a piecewise-constant intensity over the window, used for
+// inverse-CDF sampling of update instants.
+type segments struct {
+	starts  []time.Duration // segment start offsets
+	ends    []time.Duration
+	weights []float64 // non-negative intensity of each segment
+	cum     []float64 // cumulative mass up to segment end
+	total   float64
+}
+
+// buildSegments slices the window into hour-aligned segments, assigning
+// each the profile weight for its hour of day, optionally perturbed by
+// lognormal jitter per absolute hour.
+func buildSegments(duration time.Duration, startHour float64, profile [24]float64, jitter float64, rng *rand.Rand) *segments {
+	s := &segments{}
+	phase := time.Duration(startHour * float64(time.Hour))
+	at := time.Duration(0)
+	for at < duration {
+		abs := phase + at
+		hourOfDay := int(abs/time.Hour) % 24
+		// Segment runs to the next hour boundary or the window end.
+		segEnd := abs.Truncate(time.Hour) + time.Hour - phase
+		if segEnd > duration {
+			segEnd = duration
+		}
+		w := profile[hourOfDay]
+		if jitter > 0 {
+			w *= math.Exp(rng.NormFloat64() * jitter)
+		}
+		mass := w * float64(segEnd-at)
+		s.starts = append(s.starts, at)
+		s.ends = append(s.ends, segEnd)
+		s.weights = append(s.weights, w)
+		s.total += mass
+		s.cum = append(s.cum, s.total)
+		at = segEnd
+	}
+	return s
+}
+
+// sample draws one instant from the density proportional to the segment
+// weights via inverse-CDF sampling.
+func (s *segments) sample(rng *rand.Rand) time.Duration {
+	if s.total <= 0 {
+		// Degenerate profile: fall back to uniform over the window.
+		last := s.ends[len(s.ends)-1]
+		return time.Duration(rng.Int63n(int64(last)))
+	}
+	u := rng.Float64() * s.total
+	idx := sort.SearchFloat64s(s.cum, u)
+	if idx >= len(s.cum) {
+		idx = len(s.cum) - 1
+	}
+	prev := 0.0
+	if idx > 0 {
+		prev = s.cum[idx-1]
+	}
+	segMass := s.cum[idx] - prev
+	frac := 0.5
+	if segMass > 0 {
+		frac = (u - prev) / segMass
+	}
+	span := s.ends[idx] - s.starts[idx]
+	return s.starts[idx] + time.Duration(frac*float64(span))
+}
+
+// weightAt returns the (possibly jittered) intensity in effect at the
+// given offset. Exposed for tests.
+func (s *segments) weightAt(at time.Duration) float64 {
+	for i := range s.starts {
+		if at >= s.starts[i] && at < s.ends[i] {
+			return s.weights[i]
+		}
+	}
+	return 0
+}
+
+// enforceSpacing sorts instants and enforces the minimum separation,
+// dropping any updates pushed past the window end.
+func enforceSpacing(instants []time.Duration, duration time.Duration) []time.Duration {
+	sort.Slice(instants, func(i, j int) bool { return instants[i] < instants[j] })
+	out := instants[:0]
+	prev := -minSeparation
+	for _, at := range instants {
+		if at < 0 {
+			at = 0
+		}
+		if at < prev+minSeparation {
+			at = prev + minSeparation
+		}
+		if at > duration {
+			break
+		}
+		out = append(out, at)
+		prev = at
+	}
+	return out
+}
+
+// StockConfig parameterizes a synthetic stock-quote trace.
+type StockConfig struct {
+	// Name labels the generated trace.
+	Name string
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Duration is the observation window (the paper's quote traces span
+	// a three-hour trading window).
+	Duration time.Duration
+	// Ticks is the exact number of quote updates to place.
+	Ticks int
+	// Initial is the price at offset zero.
+	Initial float64
+	// Mean is the level the walk reverts toward (defaults to Initial).
+	Mean float64
+	// Min and Max bound the price; the walk reflects off them.
+	Min, Max float64
+	// Reversion in [0,1] is the per-tick pull toward Mean (0 = pure
+	// random walk).
+	Reversion float64
+	// Volatility is the per-tick standard deviation in dollars.
+	Volatility float64
+}
+
+func (c *StockConfig) validate() error {
+	switch {
+	case c.Name == "":
+		return errors.New("tracegen: stock: empty name")
+	case c.Duration <= 0:
+		return errors.New("tracegen: stock: non-positive duration")
+	case c.Ticks < 0:
+		return errors.New("tracegen: stock: negative tick count")
+	case c.Min >= c.Max:
+		return fmt.Errorf("tracegen: stock: price bounds inverted [%v, %v]", c.Min, c.Max)
+	case c.Initial < c.Min || c.Initial > c.Max:
+		return fmt.Errorf("tracegen: stock: initial price %v outside [%v, %v]", c.Initial, c.Min, c.Max)
+	case c.Reversion < 0 || c.Reversion > 1:
+		return fmt.Errorf("tracegen: stock: reversion %v outside [0,1]", c.Reversion)
+	case c.Volatility < 0:
+		return errors.New("tracegen: stock: negative volatility")
+	}
+	return nil
+}
+
+// Stock generates a value-domain trace according to cfg.
+func Stock(cfg StockConfig) (*trace.Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mean := cfg.Mean
+	if mean == 0 {
+		mean = cfg.Initial
+	}
+
+	// Tick instants: exponential gaps renormalized so that exactly
+	// cfg.Ticks ticks land inside the window (Poisson-like spacing with
+	// an exact count).
+	gaps := make([]float64, cfg.Ticks)
+	var gapSum float64
+	for i := range gaps {
+		gaps[i] = rng.ExpFloat64()
+		gapSum += gaps[i]
+	}
+	instants := make([]time.Duration, 0, cfg.Ticks)
+	if cfg.Ticks > 0 {
+		// Reserve a half-gap tail so the last tick lands inside the window.
+		scale := float64(cfg.Duration) / (gapSum + 0.5)
+		at := 0.0
+		for _, g := range gaps {
+			at += g * scale
+			instants = append(instants, time.Duration(at))
+		}
+	}
+	instants = enforceSpacing(instants, cfg.Duration)
+
+	tr := &trace.Trace{
+		Name:         cfg.Name,
+		Kind:         trace.Value,
+		Duration:     cfg.Duration,
+		InitialValue: roundCents(cfg.Initial),
+		Updates:      make([]trace.Update, len(instants)),
+	}
+	price := cfg.Initial
+	for i, at := range instants {
+		drift := cfg.Reversion * (mean - price)
+		price += drift + rng.NormFloat64()*cfg.Volatility
+		price = reflect(price, cfg.Min, cfg.Max)
+		tr.Updates[i] = trace.Update{At: at, Value: roundCents(price)}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("tracegen: stock: generated invalid trace: %w", err)
+	}
+	return tr, nil
+}
+
+// reflect folds v back into [lo, hi] by reflecting off the bounds
+// (triangular folding with period 2·(hi−lo)).
+func reflect(v, lo, hi float64) float64 {
+	span := hi - lo
+	x := math.Mod(v-lo, 2*span)
+	if x < 0 {
+		x += 2 * span
+	}
+	if x > span {
+		x = 2*span - x
+	}
+	return lo + x
+}
+
+// roundCents quantizes a price to whole cents, as quote feeds do.
+func roundCents(v float64) float64 { return math.Round(v*100) / 100 }

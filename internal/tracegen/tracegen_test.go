@@ -1,0 +1,312 @@
+package tracegen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"broadway/internal/trace"
+)
+
+func TestNewsExactCount(t *testing.T) {
+	tr, err := News(NewsConfig{
+		Name: "t", Seed: 1, Duration: 48 * time.Hour, Updates: 200, StartHour: 13,
+	})
+	if err != nil {
+		t.Fatalf("News: %v", err)
+	}
+	if tr.NumUpdates() != 200 {
+		t.Errorf("NumUpdates = %d, want 200", tr.NumUpdates())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNewsDeterministic(t *testing.T) {
+	cfg := NewsConfig{Name: "t", Seed: 7, Duration: 24 * time.Hour, Updates: 100,
+		StartHour: 9, BurstFraction: 0.2, ProfileJitter: 0.3}
+	a, err := News(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := News(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Updates) != len(b.Updates) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Updates {
+		if a.Updates[i] != b.Updates[i] {
+			t.Fatalf("update %d differs: %v vs %v", i, a.Updates[i], b.Updates[i])
+		}
+	}
+}
+
+func TestNewsSeedsDiffer(t *testing.T) {
+	mk := func(seed int64) *trace.Trace {
+		tr, err := News(NewsConfig{Name: "t", Seed: seed, Duration: 24 * time.Hour,
+			Updates: 100, StartHour: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := mk(1), mk(2)
+	same := true
+	for i := range a.Updates {
+		if a.Updates[i] != b.Updates[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestNewsDiurnalProfile(t *testing.T) {
+	// Trace starting at midnight: the first six hours should be far
+	// quieter than the working day.
+	tr, err := News(NewsConfig{
+		Name: "t", Seed: 3, Duration: 24 * time.Hour, Updates: 500, StartHour: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	night := len(tr.UpdatesIn(1*time.Hour, 6*time.Hour)) // 01:00–06:00
+	day := len(tr.UpdatesIn(9*time.Hour, 14*time.Hour))  // 09:00–14:00
+	if night*10 >= day {
+		t.Errorf("diurnal profile too weak: night=%d day=%d", night, day)
+	}
+}
+
+func TestNewsValidationErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  NewsConfig
+	}{
+		{"empty name", NewsConfig{Duration: time.Hour, Updates: 1}},
+		{"zero duration", NewsConfig{Name: "x", Updates: 1}},
+		{"negative updates", NewsConfig{Name: "x", Duration: time.Hour, Updates: -1}},
+		{"bad start hour", NewsConfig{Name: "x", Duration: time.Hour, Updates: 1, StartHour: 25}},
+		{"bad burst fraction", NewsConfig{Name: "x", Duration: time.Hour, Updates: 1, BurstFraction: 1}},
+		{"negative jitter", NewsConfig{Name: "x", Duration: time.Hour, Updates: 1, ProfileJitter: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := News(tt.cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestNewsZeroUpdates(t *testing.T) {
+	tr, err := News(NewsConfig{Name: "t", Seed: 1, Duration: time.Hour, Updates: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumUpdates() != 0 {
+		t.Errorf("NumUpdates = %d", tr.NumUpdates())
+	}
+}
+
+func TestNewsBurstsCluster(t *testing.T) {
+	// With heavy bursting, the fraction of short gaps should exceed that
+	// of an unbursted trace with the same parameters.
+	shortGapFrac := func(burst float64) float64 {
+		tr, err := News(NewsConfig{Name: "t", Seed: 11, Duration: 48 * time.Hour,
+			Updates: 400, StartHour: 9, BurstFraction: burst, BurstGap: 2 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		short := 0
+		for i := 1; i < len(tr.Updates); i++ {
+			if tr.Updates[i].At-tr.Updates[i-1].At < 3*time.Minute {
+				short++
+			}
+		}
+		return float64(short) / float64(len(tr.Updates)-1)
+	}
+	if burstFrac, plainFrac := shortGapFrac(0.5), shortGapFrac(0); burstFrac <= plainFrac {
+		t.Errorf("bursting did not increase clustering: %v <= %v", burstFrac, plainFrac)
+	}
+}
+
+func TestStockExactCount(t *testing.T) {
+	tr, err := Stock(StockConfig{
+		Name: "s", Seed: 5, Duration: 3 * time.Hour, Ticks: 500,
+		Initial: 100, Min: 95, Max: 105, Volatility: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumUpdates() != 500 {
+		t.Errorf("NumUpdates = %d, want 500", tr.NumUpdates())
+	}
+	if tr.Kind != trace.Value {
+		t.Error("stock trace must be a value trace")
+	}
+}
+
+func TestStockBounds(t *testing.T) {
+	tr, err := Stock(StockConfig{
+		Name: "s", Seed: 6, Duration: time.Hour, Ticks: 2000,
+		Initial: 100, Min: 99, Max: 101, Volatility: 0.5, // violent walk, tight bounds
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range tr.Updates {
+		if u.Value < 99 || u.Value > 101 {
+			t.Fatalf("tick %d value %v outside bounds", i, u.Value)
+		}
+	}
+}
+
+func TestStockCentQuantization(t *testing.T) {
+	tr, err := Stock(StockConfig{
+		Name: "s", Seed: 7, Duration: time.Hour, Ticks: 100,
+		Initial: 100, Min: 90, Max: 110, Volatility: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range tr.Updates {
+		cents := u.Value * 100
+		if math.Abs(cents-math.Round(cents)) > 1e-9 {
+			t.Fatalf("tick %d value %v not cent-quantized", i, u.Value)
+		}
+	}
+}
+
+func TestStockValidationErrors(t *testing.T) {
+	base := StockConfig{Name: "s", Duration: time.Hour, Ticks: 10,
+		Initial: 100, Min: 95, Max: 105, Volatility: 0.1}
+	tests := []struct {
+		name   string
+		mutate func(*StockConfig)
+	}{
+		{"empty name", func(c *StockConfig) { c.Name = "" }},
+		{"zero duration", func(c *StockConfig) { c.Duration = 0 }},
+		{"negative ticks", func(c *StockConfig) { c.Ticks = -1 }},
+		{"inverted bounds", func(c *StockConfig) { c.Min, c.Max = 105, 95 }},
+		{"initial outside", func(c *StockConfig) { c.Initial = 200 }},
+		{"bad reversion", func(c *StockConfig) { c.Reversion = 2 }},
+		{"negative volatility", func(c *StockConfig) { c.Volatility = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := Stock(cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestStockMeanReversionKeepsWalkCentered(t *testing.T) {
+	tr, err := Stock(StockConfig{
+		Name: "s", Seed: 8, Duration: 3 * time.Hour, Ticks: 2000,
+		Initial: 100, Mean: 100, Min: 80, Max: 120, Reversion: 0.1, Volatility: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, u := range tr.Updates {
+		sum += u.Value
+	}
+	mean := sum / float64(len(tr.Updates))
+	if math.Abs(mean-100) > 2 {
+		t.Errorf("walk mean %v drifted from 100", mean)
+	}
+}
+
+func TestReflect(t *testing.T) {
+	tests := []struct {
+		v, lo, hi, want float64
+	}{
+		{5, 0, 10, 5},
+		{-2, 0, 10, 2},
+		{12, 0, 10, 8},
+		{0, 0, 10, 0},
+		{10, 0, 10, 10},
+		{-50, 0, 10, 10}, // extreme overshoot folds: -50 ≡ 10 mod 20
+		{100, 0, 10, 0},  // extreme overshoot folds: 100 ≡ 0 mod 20
+		{25, 0, 10, 5},   // one full period plus 5
+	}
+	for _, tt := range tests {
+		if got := reflect(tt.v, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("reflect(%v) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestEnforceSpacing(t *testing.T) {
+	in := []time.Duration{5 * time.Second, 5 * time.Second, 5 * time.Second, 2 * time.Second}
+	out := enforceSpacing(in, time.Minute)
+	if len(out) != 4 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i]-out[i-1] < minSeparation {
+			t.Fatalf("spacing violated at %d: %v", i, out)
+		}
+	}
+	// Overflow drops.
+	in = []time.Duration{time.Minute, time.Minute}
+	out = enforceSpacing(in, time.Minute)
+	if len(out) != 1 {
+		t.Errorf("overflow not dropped: %v", out)
+	}
+}
+
+func TestSegmentsWeightAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	profile := [24]float64{}
+	for i := range profile {
+		profile[i] = 1
+	}
+	profile[1] = 0 // silence 01:00–02:00
+	segs := buildSegments(3*time.Hour, 0, profile, 0, rng)
+	if w := segs.weightAt(30 * time.Minute); w != 1 {
+		t.Errorf("weight at 00:30 = %v", w)
+	}
+	if w := segs.weightAt(90 * time.Minute); w != 0 {
+		t.Errorf("weight at 01:30 = %v", w)
+	}
+}
+
+func TestSegmentsPartialHours(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	profile := [24]float64{}
+	for i := range profile {
+		profile[i] = 1
+	}
+	// Start at 09:30: first segment must end at the 10:00 boundary.
+	segs := buildSegments(2*time.Hour, 9.5, profile, 0, rng)
+	if segs.ends[0] != 30*time.Minute {
+		t.Errorf("first segment ends at %v, want 30m", segs.ends[0])
+	}
+	last := segs.ends[len(segs.ends)-1]
+	if last != 2*time.Hour {
+		t.Errorf("last segment ends at %v, want window end", last)
+	}
+}
+
+func TestSegmentsZeroTotalFallsBackToUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var profile [24]float64 // all zero
+	segs := buildSegments(time.Hour, 0, profile, 0, rng)
+	for i := 0; i < 100; i++ {
+		at := segs.sample(rng)
+		if at < 0 || at >= time.Hour {
+			t.Fatalf("sample %v outside window", at)
+		}
+	}
+}

@@ -1,0 +1,582 @@
+// Package webproxy implements a live HTTP caching proxy that maintains
+// Δt-consistency and mutual consistency for the objects it caches, using
+// the same core policy state machines as the simulator. It is the paper's
+// stated future work ("implement our techniques in the Squid proxy
+// cache") realized as a self-contained Go proxy.
+//
+// Cache misses fetch from the origin and register the object with a LIMD
+// refresher. A single background goroutine drives all refreshes: it polls
+// each object when its TTR expires using If-Modified-Since requests,
+// consumes the modification-history extension when the origin provides
+// it, and — for objects sharing a consistency group — triggers immediate
+// polls of related objects when an update is detected, exactly as in
+// §3.2 of the paper.
+package webproxy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"broadway/internal/core"
+	"broadway/internal/httpx"
+	"broadway/internal/simtime"
+)
+
+// Config parameterizes a Proxy.
+type Config struct {
+	// Origin is the base URL of the upstream server. Required.
+	Origin *url.URL
+	// Client performs upstream requests; defaults to a client with a
+	// 10-second timeout.
+	Client *http.Client
+	// DefaultDelta is the Δt tolerance applied to objects whose origin
+	// response carries no x-cc-delta directive. Defaults to one minute.
+	DefaultDelta time.Duration
+	// Bounds clamp the TTRs of all refresh policies. Min defaults to
+	// the object's Δ, Max to 60 minutes.
+	Bounds core.TTRBounds
+	// Mode selects the mutual-consistency approach for grouped objects.
+	// Defaults to TriggerAll.
+	Mode core.TriggerMode
+	// DefaultGroupDelta is δ for groups whose origin responses carry no
+	// x-mc-delta directive. Defaults to DefaultDelta.
+	DefaultGroupDelta time.Duration
+	// Clock substitutes the time source (tests accelerate it).
+	Clock func() time.Time
+}
+
+// entry is one cached object.
+type entry struct {
+	path   string
+	policy core.Policy
+	group  string
+
+	body        []byte
+	contentType string
+	lastMod     time.Time
+	hasLastMod  bool
+	validatedAt time.Time
+
+	// Value-domain objects (origin advertised x-cc-vdelta): the body is
+	// parsed as a decimal value and the entry runs an AdaptiveTTR
+	// policy over it.
+	isValue bool
+	value   float64
+	// paired marks a value entry whose policy belongs to a
+	// MutualValuePartitioned pair (M_v consistency, §4.2).
+	paired bool
+
+	nextAt    time.Time
+	polls     uint64
+	triggered uint64
+	hits      uint64
+}
+
+// Proxy is a live caching HTTP proxy. Construct with New, then Start the
+// refresher; Close releases it.
+type Proxy struct {
+	cfg   Config
+	epoch time.Time
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	groups  map[string]*core.MutualTimeController
+
+	wake chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	started bool
+	closed  bool
+}
+
+var _ http.Handler = (*Proxy)(nil)
+
+// New validates the configuration and returns a proxy. Call Start to
+// launch the background refresher.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Origin == nil {
+		return nil, errors.New("webproxy: Config.Origin is required")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.DefaultDelta <= 0 {
+		cfg.DefaultDelta = time.Minute
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = core.TriggerAll
+	}
+	if cfg.DefaultGroupDelta <= 0 {
+		cfg.DefaultGroupDelta = cfg.DefaultDelta
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Proxy{
+		cfg:     cfg,
+		epoch:   cfg.Clock(),
+		entries: make(map[string]*entry),
+		groups:  make(map[string]*core.MutualTimeController),
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the background refresher. It is idempotent.
+func (p *Proxy) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started || p.closed {
+		return
+	}
+	p.started = true
+	p.wg.Add(1)
+	go p.refreshLoop()
+}
+
+// Close stops the refresher and waits for it to exit. The proxy continues
+// to serve cached (now unrefreshed) content afterwards.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	started := p.started
+	p.mu.Unlock()
+	close(p.done)
+	if started {
+		p.wg.Wait()
+	}
+}
+
+// ServeHTTP serves cache hits locally and fills misses from the origin.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	path := r.URL.Path
+
+	p.mu.Lock()
+	e, ok := p.entries[path]
+	if ok {
+		e.hits++
+		body := append([]byte(nil), e.body...)
+		contentType := e.contentType
+		lastMod, hasLastMod := e.lastMod, e.hasLastMod
+		p.mu.Unlock()
+		writeObject(w, body, contentType, lastMod, hasLastMod, "HIT")
+		return
+	}
+	p.mu.Unlock()
+
+	e, err := p.admit(path)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("upstream fetch failed: %v", err), http.StatusBadGateway)
+		return
+	}
+	p.mu.Lock()
+	body := append([]byte(nil), e.body...)
+	contentType := e.contentType
+	lastMod, hasLastMod := e.lastMod, e.hasLastMod
+	p.mu.Unlock()
+	writeObject(w, body, contentType, lastMod, hasLastMod, "MISS")
+}
+
+func writeObject(w http.ResponseWriter, body []byte, contentType string, lastMod time.Time, hasLastMod bool, cacheStatus string) {
+	if contentType != "" {
+		w.Header().Set("Content-Type", contentType)
+	}
+	if hasLastMod {
+		w.Header().Set("Last-Modified", lastMod.UTC().Format(http.TimeFormat))
+	}
+	w.Header().Set("X-Cache", cacheStatus)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// admit fetches the object for the first time and registers it with the
+// refresher.
+func (p *Proxy) admit(path string) (*entry, error) {
+	resp, err := p.fetch(path, time.Time{})
+	if err != nil {
+		return nil, err
+	}
+
+	delta := p.cfg.DefaultDelta
+	groupDelta := p.cfg.DefaultGroupDelta
+	valueDelta := 0.0
+	group := ""
+	if tol, err := httpx.TolerancesFrom(resp.header); err == nil {
+		if tol.Delta > 0 {
+			delta = tol.Delta
+		}
+		if tol.GroupDelta > 0 {
+			groupDelta = tol.GroupDelta
+		}
+		valueDelta = tol.ValueDelta
+		group = tol.Group
+	}
+
+	now := p.cfg.Clock()
+	e := &entry{
+		path:        path,
+		group:       group,
+		body:        resp.body,
+		contentType: resp.contentType,
+		lastMod:     resp.lastMod,
+		hasLastMod:  resp.hasLastMod,
+		validatedAt: now,
+		polls:       1,
+	}
+	// An origin advertising a Δv tolerance with a numeric body selects
+	// value-domain consistency (§4.1); everything else runs LIMD.
+	if v, ok := parseValueBody(resp.body); ok && valueDelta > 0 {
+		e.isValue = true
+		e.value = v
+		e.policy = core.NewAdaptiveTTR(core.AdaptiveTTRConfig{
+			Delta:  valueDelta,
+			Bounds: p.cfg.Bounds,
+		})
+	} else {
+		e.policy = core.NewLIMD(core.LIMDConfig{Delta: delta, Bounds: p.cfg.Bounds})
+	}
+	e.nextAt = now.Add(e.policy.InitialTTR())
+
+	p.mu.Lock()
+	if existing, raced := p.entries[path]; raced {
+		p.mu.Unlock()
+		return existing, nil
+	}
+	p.entries[path] = e
+	if group != "" {
+		if _, ok := p.groups[group]; !ok {
+			p.groups[group] = core.NewMutualTimeController(core.MutualTimeConfig{
+				Delta: groupDelta,
+				Mode:  p.cfg.Mode,
+			})
+		}
+		// Two value-domain members of the same group form a
+		// partitioned M_v pair (§4.2): the mutual tolerance δ is split
+		// across them in inverse proportion to their change rates. The
+		// reduction applies to the difference function and pairs only;
+		// further value members of the group keep individual policies.
+		if e.isValue && valueDelta > 0 {
+			for _, other := range p.entries {
+				if other == e || other.group != group || !other.isValue || other.paired {
+					continue
+				}
+				pair := core.NewMutualValuePartitioned(core.MutualValueConfig{
+					Delta:  valueDelta,
+					Bounds: p.cfg.Bounds,
+				})
+				other.policy = pair.PolicyA()
+				e.policy = pair.PolicyB()
+				other.paired = true
+				e.paired = true
+				break
+			}
+		}
+	}
+	p.mu.Unlock()
+
+	p.kick()
+	return e, nil
+}
+
+// kick wakes the refresher after schedule changes.
+func (p *Proxy) kick() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// upstreamResponse is the distilled result of one origin poll.
+type upstreamResponse struct {
+	notModified bool
+	body        []byte
+	contentType string
+	lastMod     time.Time
+	hasLastMod  bool
+	history     []time.Time
+	header      http.Header
+}
+
+// fetch performs a GET against the origin, conditional when since is
+// non-zero.
+func (p *Proxy) fetch(path string, since time.Time) (*upstreamResponse, error) {
+	u := *p.cfg.Origin
+	u.Path = path
+	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if !since.IsZero() {
+		req.Header.Set("If-Modified-Since", since.UTC().Format(http.TimeFormat))
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	out := &upstreamResponse{header: resp.Header}
+	if lm := resp.Header.Get("Last-Modified"); lm != "" {
+		if t, err := http.ParseTime(lm); err == nil {
+			out.lastMod = t
+			out.hasLastMod = true
+		}
+	}
+	if hist, err := httpx.HistoryFrom(resp.Header); err == nil {
+		out.history = hist
+	}
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		out.notModified = true
+		return out, nil
+	case http.StatusOK:
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+		if err != nil {
+			return nil, err
+		}
+		out.body = body
+		out.contentType = resp.Header.Get("Content-Type")
+		return out, nil
+	default:
+		return nil, fmt.Errorf("webproxy: origin returned %s", resp.Status)
+	}
+}
+
+// refreshLoop drives all TTR-based polls from a single goroutine.
+func (p *Proxy) refreshLoop() {
+	defer p.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		next, ok := p.earliest()
+		var wait time.Duration
+		if ok {
+			wait = time.Until(next)
+			if clock := p.cfg.Clock; clock != nil {
+				wait = next.Sub(clock())
+			}
+			if wait < 0 {
+				wait = 0
+			}
+		} else {
+			wait = time.Hour
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-p.done:
+			return
+		case <-p.wake:
+		case <-timer.C:
+			p.pollDue()
+		}
+	}
+}
+
+// earliest returns the soonest scheduled poll instant.
+func (p *Proxy) earliest() (time.Time, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best time.Time
+	found := false
+	for _, e := range p.entries {
+		if !found || e.nextAt.Before(best) {
+			best = e.nextAt
+			found = true
+		}
+	}
+	return best, found
+}
+
+// pollDue polls every entry whose TTR has expired.
+func (p *Proxy) pollDue() {
+	now := p.cfg.Clock()
+	p.mu.Lock()
+	var due []*entry
+	for _, e := range p.entries {
+		if !e.nextAt.After(now) {
+			due = append(due, e)
+		}
+	}
+	p.mu.Unlock()
+	for _, e := range due {
+		p.pollEntry(e, false)
+	}
+}
+
+// pollEntry performs one refresh of e. Triggered polls leave the regular
+// schedule untouched, mirroring the simulator's proxy.
+func (p *Proxy) pollEntry(e *entry, triggered bool) {
+	p.mu.Lock()
+	since := e.lastMod
+	hasSince := e.hasLastMod
+	prevValidated := e.validatedAt
+	p.mu.Unlock()
+
+	if !hasSince {
+		since = prevValidated
+	}
+	resp, err := p.fetch(e.path, since)
+	now := p.cfg.Clock()
+	if err != nil {
+		// Upstream failure: retry after the initial TTR without
+		// feeding the policy.
+		p.mu.Lock()
+		e.nextAt = now.Add(e.policy.InitialTTR())
+		p.mu.Unlock()
+		return
+	}
+
+	outcome := core.PollOutcome{
+		Now:      p.toSim(now),
+		Prev:     p.toSim(prevValidated),
+		Modified: !resp.notModified,
+	}
+	if resp.hasLastMod {
+		outcome.LastModified = p.toSim(resp.lastMod)
+		outcome.HasLastModified = true
+	}
+	for _, h := range resp.history {
+		outcome.History = append(outcome.History, p.toSim(h))
+	}
+
+	p.mu.Lock()
+	e.polls++
+	if triggered {
+		e.triggered++
+	}
+	e.validatedAt = now
+	if e.isValue {
+		outcome.HasValue = true
+		outcome.PrevValue = e.value
+		outcome.Value = e.value
+	}
+	if !resp.notModified {
+		e.body = resp.body
+		if resp.contentType != "" {
+			e.contentType = resp.contentType
+		}
+		if resp.hasLastMod {
+			e.lastMod = resp.lastMod
+			e.hasLastMod = true
+		}
+		if e.isValue {
+			if v, ok := parseValueBody(resp.body); ok {
+				e.value = v
+				outcome.Value = v
+			}
+		}
+	}
+	var ctrl *core.MutualTimeController
+	if e.group != "" {
+		ctrl = p.groups[e.group]
+	}
+	if !triggered {
+		e.nextAt = now.Add(e.policy.NextTTR(outcome))
+	}
+	if ctrl != nil {
+		ctrl.ObserveOutcome(core.ObjectID(e.path), outcome)
+	}
+	p.mu.Unlock()
+
+	// Temporal group triggering; partitioned M_v pairs maintain their
+	// mutual guarantee through the tolerance split instead.
+	if !triggered && outcome.Modified && ctrl != nil && !e.paired {
+		p.triggerGroup(e, ctrl, now)
+	}
+	p.kick()
+}
+
+// triggerGroup triggers immediate extra polls of e's group members where
+// the controller demands it.
+func (p *Proxy) triggerGroup(e *entry, ctrl *core.MutualTimeController, now time.Time) {
+	p.mu.Lock()
+	var toTrigger []*entry
+	for _, other := range p.entries {
+		if other == e || other.group != e.group {
+			continue
+		}
+		if ctrl.ShouldTrigger(core.ObjectID(e.path), core.ObjectID(other.path),
+			p.toSim(now), p.toSim(other.validatedAt), p.toSim(other.nextAt)) {
+			toTrigger = append(toTrigger, other)
+		}
+	}
+	p.mu.Unlock()
+	for _, other := range toTrigger {
+		p.pollEntry(other, true)
+	}
+}
+
+// parseValueBody interprets a response body as a decimal value (e.g. a
+// stock quote feed serving "165.38\n").
+func parseValueBody(body []byte) (float64, bool) {
+	s := strings.TrimSpace(string(body))
+	if s == "" || len(s) > 64 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// toSim maps wall-clock time onto the simulated timeline the core
+// policies operate in (nanoseconds since the proxy's epoch).
+func (p *Proxy) toSim(t time.Time) simtime.Time {
+	if t.IsZero() {
+		return 0
+	}
+	return simtime.At(t.Sub(p.epoch))
+}
+
+// Stats reports cache activity for one object.
+type Stats struct {
+	Polls     uint64
+	Triggered uint64
+	Hits      uint64
+	Cached    bool
+}
+
+// ObjectStats returns the stats for path.
+func (p *Proxy) ObjectStats(path string) Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[path]
+	if !ok {
+		return Stats{}
+	}
+	return Stats{Polls: e.polls, Triggered: e.triggered, Hits: e.hits, Cached: true}
+}
+
+// CachedBody returns the currently cached body for path.
+func (p *Proxy) CachedBody(path string) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), e.body...), true
+}

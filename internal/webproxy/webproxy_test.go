@@ -1,0 +1,374 @@
+package webproxy
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"broadway/internal/core"
+	"broadway/internal/httpx"
+	"broadway/internal/webserver"
+)
+
+// liveSetup wires a real origin (httptest) behind a proxy with
+// millisecond-scale TTRs so live tests complete quickly.
+type liveSetup struct {
+	origin    *webserver.Origin
+	originSrv *httptest.Server
+	proxy     *Proxy
+	proxySrv  *httptest.Server
+}
+
+func newLiveSetup(t *testing.T, originOpts []webserver.Option, cfg Config) *liveSetup {
+	t.Helper()
+	origin := webserver.NewOrigin(originOpts...)
+	originSrv := httptest.NewServer(origin)
+	t.Cleanup(originSrv.Close)
+
+	u, err := url.Parse(originSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Origin = u
+	if cfg.Bounds == (core.TTRBounds{}) {
+		cfg.Bounds = core.TTRBounds{Min: 20 * time.Millisecond, Max: 500 * time.Millisecond}
+	}
+	if cfg.DefaultDelta == 0 {
+		cfg.DefaultDelta = 20 * time.Millisecond
+	}
+	px, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	px.Start()
+	t.Cleanup(px.Close)
+	proxySrv := httptest.NewServer(px)
+	t.Cleanup(proxySrv.Close)
+
+	return &liveSetup{origin: origin, originSrv: originSrv, proxy: px, proxySrv: proxySrv}
+}
+
+func (s *liveSetup) get(t *testing.T, path string) (string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(s.proxySrv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s (%s)", path, resp.Status, body)
+	}
+	return string(body), resp.Header
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestMissThenHit(t *testing.T) {
+	s := newLiveSetup(t, nil, Config{})
+	s.origin.Set("/page", []byte("hello"), "text/plain")
+
+	body, hdr := s.get(t, "/page")
+	if body != "hello" {
+		t.Errorf("body = %q", body)
+	}
+	if hdr.Get("X-Cache") != "MISS" {
+		t.Errorf("first request X-Cache = %q", hdr.Get("X-Cache"))
+	}
+	body, hdr = s.get(t, "/page")
+	if body != "hello" || hdr.Get("X-Cache") != "HIT" {
+		t.Errorf("second request: body=%q X-Cache=%q", body, hdr.Get("X-Cache"))
+	}
+	stats := s.proxy.ObjectStats("/page")
+	if !stats.Cached || stats.Hits != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestBackgroundRefreshPicksUpUpdates(t *testing.T) {
+	s := newLiveSetup(t, nil, Config{})
+	s.origin.Set("/page", []byte("v1"), "")
+	s.get(t, "/page")
+
+	s.origin.Set("/page", []byte("v2"), "")
+	ok := waitFor(t, 2*time.Second, func() bool {
+		body, _ := s.proxy.CachedBody("/page")
+		return string(body) == "v2"
+	})
+	if !ok {
+		t.Fatal("cached copy never refreshed to v2")
+	}
+	// The refresh happened in the background — clients always hit.
+	body, hdr := s.get(t, "/page")
+	if body != "v2" || hdr.Get("X-Cache") != "HIT" {
+		t.Errorf("body=%q X-Cache=%q", body, hdr.Get("X-Cache"))
+	}
+}
+
+func TestQuietObjectPollsBackOff(t *testing.T) {
+	s := newLiveSetup(t, nil, Config{
+		Bounds: core.TTRBounds{Min: 10 * time.Millisecond, Max: 100 * time.Millisecond},
+	})
+	s.origin.Set("/static", []byte("unchanging"), "")
+	s.get(t, "/static")
+
+	time.Sleep(600 * time.Millisecond)
+	polls := s.proxy.ObjectStats("/static").Polls
+	// Poll-every-TTRmin would be ~60 polls; LIMD should back off toward
+	// TTRmax (100ms → ~6 polls steady-state, plus the warm-up ramp).
+	if polls > 40 {
+		t.Errorf("polls = %d; LIMD did not back off on a static object", polls)
+	}
+	if polls < 3 {
+		t.Errorf("polls = %d; the refresher does not seem to run", polls)
+	}
+}
+
+func TestGroupTriggering(t *testing.T) {
+	s := newLiveSetup(t, nil, Config{
+		Mode: core.TriggerAll,
+		// Long Δ so regular schedules back off; the group trigger is
+		// then the only way the sibling refreshes quickly.
+		DefaultDelta:      50 * time.Millisecond,
+		DefaultGroupDelta: 5 * time.Millisecond,
+		Bounds:            core.TTRBounds{Min: 50 * time.Millisecond, Max: 300 * time.Millisecond},
+	})
+	s.origin.Set("/story", []byte("story v1"), "text/html")
+	s.origin.Set("/photo", []byte("photo v1"), "image/png")
+	for _, path := range []string{"/story", "/photo"} {
+		s.origin.SetTolerances(path, httpx.Tolerances{Group: "news"})
+	}
+	// Staggered admission desynchronizes the two refresh schedules; an
+	// in-phase pair never needs (and never gets) triggered polls.
+	s.get(t, "/story")
+	time.Sleep(120 * time.Millisecond)
+	s.get(t, "/photo")
+
+	// Let both schedules back off, then keep the story hot: every
+	// detected story update is a trigger opportunity for the photo.
+	// (When the two schedules happen to be in phase a trigger is
+	// correctly suppressed, so a single update is not guaranteed to
+	// trigger — a stream of updates is.)
+	time.Sleep(300 * time.Millisecond)
+	rev := 0
+	ok := waitFor(t, 5*time.Second, func() bool {
+		rev++
+		s.origin.Set("/story", []byte(fmt.Sprintf("story v%d", rev)), "text/html")
+		return s.proxy.ObjectStats("/photo").Triggered > 0
+	})
+	if !ok {
+		t.Fatalf("no triggered poll of the photo within the deadline (story polls=%d photo polls=%d)",
+			s.proxy.ObjectStats("/story").Polls, s.proxy.ObjectStats("/photo").Polls)
+	}
+}
+
+func TestOriginDeltaDirectiveHonored(t *testing.T) {
+	s := newLiveSetup(t, nil, Config{
+		DefaultDelta: time.Hour, // would essentially never poll
+		Bounds:       core.TTRBounds{Min: 10 * time.Millisecond, Max: time.Hour},
+	})
+	s.origin.Set("/fast", []byte("v1"), "")
+	// The origin advertises a 0-second... cache-control carries integer
+	// seconds, so use 1s: far below the proxy default.
+	s.origin.SetTolerances("/fast", httpx.Tolerances{Delta: time.Second})
+	s.get(t, "/fast")
+
+	ok := waitFor(t, 3*time.Second, func() bool {
+		return s.proxy.ObjectStats("/fast").Polls >= 2
+	})
+	if !ok {
+		t.Fatal("proxy ignored the origin's x-cc-delta directive")
+	}
+}
+
+func TestUpstreamFailureRecovery(t *testing.T) {
+	s := newLiveSetup(t, nil, Config{})
+	s.origin.Set("/page", []byte("v1"), "")
+	s.get(t, "/page")
+
+	// Swap the origin URL to a dead endpoint by closing the server,
+	// then verify the proxy keeps serving the stale copy.
+	s.originSrv.Close()
+	body, hdr := s.get(t, "/page")
+	if body != "v1" || hdr.Get("X-Cache") != "HIT" {
+		t.Errorf("stale serving failed: body=%q X-Cache=%q", body, hdr.Get("X-Cache"))
+	}
+}
+
+func TestMissOnDeadOriginReturnsBadGateway(t *testing.T) {
+	s := newLiveSetup(t, nil, Config{})
+	s.originSrv.Close()
+	resp, err := http.Get(s.proxySrv.URL + "/never-seen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("status = %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := newLiveSetup(t, nil, Config{})
+	resp, err := http.Post(s.proxySrv.URL+"/x", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing origin must fail")
+	}
+}
+
+func TestCloseIdempotentAndStops(t *testing.T) {
+	s := newLiveSetup(t, nil, Config{})
+	s.origin.Set("/page", []byte("v1"), "")
+	s.get(t, "/page")
+	s.proxy.Close()
+	s.proxy.Close() // second close must not panic
+	polls := s.proxy.ObjectStats("/page").Polls
+	time.Sleep(150 * time.Millisecond)
+	if got := s.proxy.ObjectStats("/page").Polls; got != polls {
+		t.Errorf("polls continued after Close: %d → %d", polls, got)
+	}
+}
+
+func TestStatsUnknownObject(t *testing.T) {
+	s := newLiveSetup(t, nil, Config{})
+	if st := s.proxy.ObjectStats("/nope"); st.Cached {
+		t.Error("unknown object reported cached")
+	}
+	if _, ok := s.proxy.CachedBody("/nope"); ok {
+		t.Error("unknown object returned a body")
+	}
+}
+
+func TestHistoryExtensionConsumed(t *testing.T) {
+	s := newLiveSetup(t, []webserver.Option{webserver.WithHistoryExtension(true)}, Config{})
+	s.origin.Set("/page", []byte("v1"), "")
+	s.get(t, "/page")
+	s.origin.Set("/page", []byte("v2"), "")
+	ok := waitFor(t, 2*time.Second, func() bool {
+		body, _ := s.proxy.CachedBody("/page")
+		return string(body) == "v2"
+	})
+	if !ok {
+		t.Fatal("refresh with history extension failed")
+	}
+}
+
+func TestValueDomainQuoteTracking(t *testing.T) {
+	s := newLiveSetup(t, nil, Config{
+		Bounds: core.TTRBounds{Min: 20 * time.Millisecond, Max: 200 * time.Millisecond},
+	})
+	// A quote endpoint: numeric body, Δv advertised via x-cc-vdelta.
+	s.origin.Set("/quote/acme", []byte("100.00"), "text/plain")
+	s.origin.SetTolerances("/quote/acme", httpx.Tolerances{ValueDelta: 0.25})
+
+	body, _ := s.get(t, "/quote/acme")
+	if body != "100.00" {
+		t.Fatalf("body = %q", body)
+	}
+
+	// Drive the quote upward; the AdaptiveTTR refresher must track it.
+	for i := 1; i <= 10; i++ {
+		s.origin.Set("/quote/acme", []byte(fmt.Sprintf("%.2f", 100.0+float64(i)/10)), "text/plain")
+		time.Sleep(30 * time.Millisecond)
+	}
+	ok := waitFor(t, 3*time.Second, func() bool {
+		b, _ := s.proxy.CachedBody("/quote/acme")
+		return string(b) == "101.00"
+	})
+	if !ok {
+		b, _ := s.proxy.CachedBody("/quote/acme")
+		t.Fatalf("quote never tracked to 101.00 (cached %q)", b)
+	}
+	if s.proxy.ObjectStats("/quote/acme").Polls < 3 {
+		t.Error("value-domain refresher barely polled")
+	}
+}
+
+func TestNonNumericBodyFallsBackToLIMD(t *testing.T) {
+	s := newLiveSetup(t, nil, Config{})
+	// Δv advertised but the body is not numeric: the proxy must fall
+	// back to temporal consistency rather than fail.
+	s.origin.Set("/page", []byte("<html>not a number</html>"), "text/html")
+	s.origin.SetTolerances("/page", httpx.Tolerances{ValueDelta: 0.5})
+	body, _ := s.get(t, "/page")
+	if body != "<html>not a number</html>" {
+		t.Fatalf("body = %q", body)
+	}
+	// Refreshing still works.
+	s.origin.Set("/page", []byte("<html>v2</html>"), "text/html")
+	ok := waitFor(t, 2*time.Second, func() bool {
+		b, _ := s.proxy.CachedBody("/page")
+		return string(b) == "<html>v2</html>"
+	})
+	if !ok {
+		t.Fatal("LIMD fallback did not refresh")
+	}
+}
+
+func TestLiveMutualValuePairing(t *testing.T) {
+	s := newLiveSetup(t, nil, Config{
+		Bounds: core.TTRBounds{Min: 20 * time.Millisecond, Max: 200 * time.Millisecond},
+	})
+	// Two quotes in one group with a Δv tolerance: the proxy must pair
+	// them under the partitioned M_v controller.
+	s.origin.Set("/quote/fast", []byte("100.00"), "text/plain")
+	s.origin.Set("/quote/slow", []byte("50.00"), "text/plain")
+	for _, p := range []string{"/quote/fast", "/quote/slow"} {
+		s.origin.SetTolerances(p, httpx.Tolerances{ValueDelta: 0.5, Group: "quotes"})
+	}
+	s.get(t, "/quote/fast")
+	s.get(t, "/quote/slow")
+
+	// Drive the fast quote hard, leave the slow one still.
+	for i := 1; i <= 12; i++ {
+		s.origin.Set("/quote/fast", []byte(fmt.Sprintf("%.2f", 100.0+float64(i)*0.3)), "text/plain")
+		time.Sleep(25 * time.Millisecond)
+	}
+	ok := waitFor(t, 3*time.Second, func() bool {
+		b, _ := s.proxy.CachedBody("/quote/fast")
+		return string(b) == "103.60"
+	})
+	if !ok {
+		b, _ := s.proxy.CachedBody("/quote/fast")
+		t.Fatalf("fast quote never tracked (cached %q)", b)
+	}
+	// The partitioned split gives the fast mover the tighter share and
+	// therefore (far) more polls.
+	fast := s.proxy.ObjectStats("/quote/fast").Polls
+	slow := s.proxy.ObjectStats("/quote/slow").Polls
+	if fast <= slow {
+		t.Errorf("partitioned split not biased: fast=%d slow=%d", fast, slow)
+	}
+	// No temporal trigger storms for the paired quotes.
+	if trig := s.proxy.ObjectStats("/quote/slow").Triggered; trig > 2 {
+		t.Errorf("paired value entries should not be trigger targets: %d", trig)
+	}
+}

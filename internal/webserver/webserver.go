@@ -1,0 +1,185 @@
+// Package webserver implements a real HTTP origin server for live (non-
+// simulated) operation of the consistency algorithms. It serves objects
+// with standard Last-Modified / If-Modified-Since validation and
+// implements the paper's proposed protocol extensions (§5.1): the
+// X-Modification-History header and the cache-control tolerance
+// directives, so a downstream proxy can learn Δ, the group name, and δ
+// directly from responses.
+package webserver
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"broadway/internal/httpx"
+)
+
+// object is one hosted resource and its modification history.
+type object struct {
+	body        []byte
+	contentType string
+	modTimes    []time.Time // ascending; last entry is Last-Modified
+	tolerances  httpx.Tolerances
+}
+
+// Origin is an in-memory HTTP origin. It is safe for concurrent use.
+type Origin struct {
+	mu      sync.RWMutex
+	objects map[string]*object
+	clock   func() time.Time
+
+	historyEnabled bool
+	polls          uint64
+	notModified    uint64
+}
+
+var _ http.Handler = (*Origin)(nil)
+
+// Option customizes an Origin.
+type Option func(*Origin)
+
+// WithClock substitutes the time source (tests use a fake clock).
+func WithClock(clock func() time.Time) Option {
+	return func(o *Origin) { o.clock = clock }
+}
+
+// WithHistoryExtension enables the X-Modification-History response
+// header.
+func WithHistoryExtension(enabled bool) Option {
+	return func(o *Origin) { o.historyEnabled = enabled }
+}
+
+// NewOrigin returns an empty origin server.
+func NewOrigin(opts ...Option) *Origin {
+	o := &Origin{
+		objects: make(map[string]*object),
+		clock:   time.Now,
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// Set creates or updates the object at path. Every call beyond the first
+// records a new modification instant. The content type defaults to
+// text/html for .html paths and text/plain otherwise.
+func (o *Origin) Set(path string, body []byte, contentType string) {
+	if contentType == "" {
+		contentType = "text/plain; charset=utf-8"
+	}
+	now := o.clock().Truncate(time.Second) // HTTP dates have second resolution
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	obj, exists := o.objects[path]
+	if !exists {
+		obj = &object{}
+		o.objects[path] = obj
+	}
+	obj.body = append([]byte(nil), body...)
+	obj.contentType = contentType
+	// Guarantee strictly increasing modification times even when two
+	// updates land within the same second.
+	if n := len(obj.modTimes); n > 0 && !now.After(obj.modTimes[n-1]) {
+		now = obj.modTimes[n-1].Add(time.Second)
+	}
+	obj.modTimes = append(obj.modTimes, now)
+	if len(obj.modTimes) > httpx.MaxHistoryEntries {
+		obj.modTimes = obj.modTimes[len(obj.modTimes)-httpx.MaxHistoryEntries:]
+	}
+}
+
+// SetTolerances attaches consistency tolerances advertised with the
+// object (rendered as cache-control extension directives).
+func (o *Origin) SetTolerances(path string, t httpx.Tolerances) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if obj, ok := o.objects[path]; ok {
+		obj.tolerances = t
+	}
+}
+
+// Polls returns the number of conditional or plain GETs served.
+func (o *Origin) Polls() uint64 {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.polls
+}
+
+// NotModified returns the number of 304 responses served.
+func (o *Origin) NotModified() uint64 {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.notModified
+}
+
+// ServeHTTP implements http.Handler with If-Modified-Since validation.
+func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	o.mu.Lock()
+	obj, ok := o.objects[r.URL.Path]
+	if ok {
+		o.polls++
+	}
+	o.mu.Unlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+
+	o.mu.RLock()
+	body := obj.body
+	contentType := obj.contentType
+	modTimes := append([]time.Time(nil), obj.modTimes...)
+	tol := obj.tolerances
+	o.mu.RUnlock()
+
+	lastMod := modTimes[len(modTimes)-1]
+	w.Header().Set("Last-Modified", lastMod.UTC().Format(http.TimeFormat))
+	httpx.SetCacheControl(w.Header(), tol)
+
+	ims := r.Header.Get("If-Modified-Since")
+	if ims != "" {
+		if since, err := http.ParseTime(ims); err == nil {
+			if o.historyEnabled {
+				httpx.SetHistory(w.Header(), modTimesAfter(modTimes, since))
+			}
+			if !lastMod.After(since) {
+				o.mu.Lock()
+				o.notModified++
+				o.mu.Unlock()
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			w.Header().Set("Content-Type", contentType)
+			w.WriteHeader(http.StatusOK)
+			if r.Method == http.MethodGet {
+				w.Write(body)
+			}
+			return
+		}
+	}
+	if o.historyEnabled {
+		httpx.SetHistory(w.Header(), modTimes)
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusOK)
+	if r.Method == http.MethodGet {
+		w.Write(body)
+	}
+}
+
+// modTimesAfter returns the modification times strictly after since.
+func modTimesAfter(times []time.Time, since time.Time) []time.Time {
+	var out []time.Time
+	for _, t := range times {
+		if t.After(since) {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+// Package workload generates synthetic client request streams for the
+// proxy. The paper's simulator models "a proxy cache that receives
+// requests from several clients" (§6.1.1): requests arrive as a Poisson
+// process and object popularity follows a Zipf distribution, the standard
+// model for web reference streams.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"broadway/internal/core"
+)
+
+// Request is one client request.
+type Request struct {
+	// At is the request instant as an offset from the stream start.
+	At time.Duration
+	// Object is the requested object.
+	Object core.ObjectID
+}
+
+// Config parameterizes a request stream.
+type Config struct {
+	// Seed makes the stream reproducible.
+	Seed int64
+	// Duration is the stream length.
+	Duration time.Duration
+	// RatePerMinute is the mean request arrival rate.
+	RatePerMinute float64
+	// Objects is the catalog, most popular first.
+	Objects []core.ObjectID
+	// ZipfS is the Zipf skew parameter (> 1; larger = more skewed).
+	// Defaults to 1.2.
+	ZipfS float64
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Duration <= 0:
+		return errors.New("workload: non-positive duration")
+	case c.RatePerMinute <= 0:
+		return errors.New("workload: non-positive rate")
+	case len(c.Objects) == 0:
+		return errors.New("workload: empty object catalog")
+	case c.ZipfS != 0 && c.ZipfS <= 1:
+		return fmt.Errorf("workload: zipf s = %v must exceed 1", c.ZipfS)
+	}
+	return nil
+}
+
+// Generate produces the request stream: Poisson arrivals, Zipf-popular
+// objects.
+func Generate(cfg Config) ([]Request, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := cfg.ZipfS
+	if s == 0 {
+		s = 1.2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, s, 1, uint64(len(cfg.Objects)-1))
+	if zipf == nil {
+		return nil, fmt.Errorf("workload: invalid zipf parameters (s=%v, n=%d)", s, len(cfg.Objects))
+	}
+
+	meanGap := time.Duration(float64(time.Minute) / cfg.RatePerMinute)
+	var out []Request
+	at := time.Duration(rng.ExpFloat64() * float64(meanGap))
+	for at < cfg.Duration {
+		out = append(out, Request{
+			At:     at,
+			Object: cfg.Objects[zipf.Uint64()],
+		})
+		at += time.Duration(rng.ExpFloat64() * float64(meanGap))
+	}
+	return out, nil
+}
+
+// PopularityCounts tallies requests per object, in catalog order.
+func PopularityCounts(catalog []core.ObjectID, reqs []Request) []int {
+	idx := make(map[core.ObjectID]int, len(catalog))
+	for i, id := range catalog {
+		idx[id] = i
+	}
+	counts := make([]int, len(catalog))
+	for _, r := range reqs {
+		if i, ok := idx[r.Object]; ok {
+			counts[i]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"broadway/internal/core"
+)
+
+func catalog() []core.ObjectID {
+	return []core.ObjectID{"front", "sports", "finance", "weather", "archive"}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	reqs, err := Generate(Config{
+		Seed: 1, Duration: time.Hour, RatePerMinute: 10, Objects: catalog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~600 expected; Poisson sd ≈ 24.
+	if len(reqs) < 450 || len(reqs) > 750 {
+		t.Errorf("requests = %d, want ≈600", len(reqs))
+	}
+	prev := time.Duration(-1)
+	for i, r := range reqs {
+		if r.At < prev {
+			t.Fatalf("request %d out of order", i)
+		}
+		if r.At >= time.Hour {
+			t.Fatalf("request %d outside window: %v", i, r.At)
+		}
+		prev = r.At
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Duration: time.Hour, RatePerMinute: 5, Objects: catalog()}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	reqs, err := Generate(Config{
+		Seed: 3, Duration: 10 * time.Hour, RatePerMinute: 20,
+		Objects: catalog(), ZipfS: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := PopularityCounts(catalog(), reqs)
+	// The most popular object must dominate the least popular one.
+	if counts[0] < counts[len(counts)-1]*4 {
+		t.Errorf("zipf skew too weak: %v", counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(reqs) {
+		t.Errorf("counts sum %d != requests %d", total, len(reqs))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	base := Config{Seed: 1, Duration: time.Hour, RatePerMinute: 1, Objects: catalog()}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero duration", func(c *Config) { c.Duration = 0 }},
+		{"zero rate", func(c *Config) { c.RatePerMinute = 0 }},
+		{"no objects", func(c *Config) { c.Objects = nil }},
+		{"bad zipf", func(c *Config) { c.ZipfS = 0.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := Generate(cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestSingleObjectCatalog(t *testing.T) {
+	reqs, err := Generate(Config{
+		Seed: 1, Duration: time.Hour, RatePerMinute: 5,
+		Objects: []core.ObjectID{"only"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if r.Object != "only" {
+			t.Fatal("wrong object")
+		}
+	}
+}
