@@ -11,18 +11,38 @@
 // user needs and provides the high-level entry points. The subsystems
 // live in internal/ packages:
 //
-//	internal/core        consistency policies (the paper's contribution)
-//	internal/sim         deterministic discrete-event engine
-//	internal/origin      simulated origin server
-//	internal/proxy       simulated caching proxy
-//	internal/metrics     fidelity evaluation (Eq. 13/14, mutual semantics)
-//	internal/trace       workload model and trace files
-//	internal/tracegen    synthetic workload generators (Tables 2 and 3)
-//	internal/experiments reproduction of every table and figure
-//	internal/depgraph    related-object discovery (§5.2)
-//	internal/httpx       proposed HTTP/1.1 extensions (§5.1)
-//	internal/webserver   live HTTP origin
-//	internal/webproxy    live HTTP caching proxy (the Squid future work)
+//	internal/core         consistency policies (the paper's contribution)
+//	internal/sim          deterministic discrete-event engine
+//	internal/origin       simulated origin server
+//	internal/proxy        simulated caching proxy
+//	internal/metrics      fidelity evaluation (Eq. 13/14, mutual semantics)
+//	internal/trace        workload model and trace files
+//	internal/tracegen     synthetic workload generators (Tables 2 and 3)
+//	internal/experiments  reproduction of every table and figure
+//	internal/depgraph     related-object discovery (§5.2)
+//	internal/httpx        proposed HTTP/1.1 extensions (§5.1)
+//	internal/webserver    live HTTP origin
+//	internal/webproxy     live HTTP caching proxy (the Squid future work)
+//	internal/sched        wall-clock min-heap refresh schedule
+//	internal/singleflight duplicate-suppressed cache admission
+//
+// # Live proxy architecture
+//
+// The live proxy (WebProxy) is built for concurrent operation at scale.
+// Cached objects live in a sharded store (2^k shards selected by FNV
+// hash, per-shard RWMutex), so hits on different objects never contend
+// on a global lock and the response body is shared rather than copied.
+// Refreshes are ordered by a min-heap schedule keyed on each object's
+// next poll instant and executed by a bounded pool of poll workers
+// (WebProxyConfig.PollWorkers), routed so that all objects of one
+// consistency group serialize on the same worker — which keeps the
+// mutual-consistency controllers single-threaded per group while
+// unrelated objects refresh in parallel, and confines a slow origin to
+// the single worker its hash routes to rather than stalling the whole
+// proxy. Concurrent first requests for one object are
+// collapsed into a single origin fetch by a singleflight group, and
+// upstream failures retry under capped exponential backoff without
+// disturbing the policy's learned TTR state.
 //
 // # Quick start
 //

@@ -48,6 +48,9 @@ func run(args []string) error {
 	groupDelta := fs.Duration("mdelta", 10*time.Second, "default mutual δ tolerance")
 	mode := fs.String("mode", "triggered", "mutual mode: baseline | triggered | heuristic")
 	ttrMax := fs.Duration("ttr-max", 10*time.Minute, "TTR upper bound")
+	shards := fs.Int("shards", 64, "object-store shards (rounded up to a power of two)")
+	pollWorkers := fs.Int("poll-workers", 0, "concurrent origin poll workers (0 = GOMAXPROCS)")
+	maxObjects := fs.Int("max-objects", 0, "cached-object cap (0 = default 65536, negative = unlimited)")
 	runFor := fs.Duration("run-for", 0, "exit after this long (0 = run until interrupted)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +96,9 @@ func run(args []string) error {
 		DefaultGroupDelta: *groupDelta,
 		Mode:              triggerMode,
 		Bounds:            core.TTRBounds{Min: *delta, Max: *ttrMax},
+		Shards:            *shards,
+		PollWorkers:       *pollWorkers,
+		MaxObjects:        *maxObjects,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,3 @@
+module broadway
+
+go 1.24

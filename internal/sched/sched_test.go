@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(d time.Duration) time.Time { return epoch.Add(d) }
+
+func TestOrdering(t *testing.T) {
+	var s Heap
+	s.Push(at(3*time.Second), "c")
+	s.Push(at(1*time.Second), "a")
+	s.Push(at(2*time.Second), "b")
+	for _, want := range []string{"a", "b", "c"} {
+		it := s.Pop()
+		if it == nil || it.Payload.(string) != want {
+			t.Fatalf("Pop = %v, want %q", it, want)
+		}
+	}
+	if s.Pop() != nil {
+		t.Error("Pop on empty heap must return nil")
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var s Heap
+	for i := 0; i < 10; i++ {
+		s.Push(at(time.Second), i)
+	}
+	for i := 0; i < 10; i++ {
+		if got := s.Pop().Payload.(int); got != i {
+			t.Fatalf("tie-break order: got %d, want %d", got, i)
+		}
+	}
+}
+
+func TestPopDue(t *testing.T) {
+	var s Heap
+	s.Push(at(time.Second), "early")
+	s.Push(at(time.Minute), "late")
+	if it := s.PopDue(at(0)); it != nil {
+		t.Fatalf("PopDue before anything is due = %v", it)
+	}
+	if it := s.PopDue(at(time.Second)); it == nil || it.Payload != "early" {
+		t.Fatalf("PopDue at the due instant = %v", it)
+	}
+	if it := s.PopDue(at(2 * time.Second)); it != nil {
+		t.Fatalf("PopDue must not return the late item: %v", it)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var s Heap
+	if s.Peek() != nil {
+		t.Error("Peek on empty heap must return nil")
+	}
+	s.Push(at(time.Second), "x")
+	if it := s.Peek(); it == nil || it.Payload != "x" {
+		t.Fatalf("Peek = %v", it)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Peek removed the item")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var s Heap
+	a := s.Push(at(time.Second), "a")
+	s.Push(at(2*time.Second), "b")
+	if !s.Remove(a) {
+		t.Fatal("Remove of a pending item must return true")
+	}
+	if s.Remove(a) {
+		t.Error("second Remove must return false")
+	}
+	if it := s.Pop(); it.Payload != "b" {
+		t.Errorf("Pop after Remove = %v", it.Payload)
+	}
+	if s.Remove(nil) {
+		t.Error("Remove(nil) must return false")
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	var s Heap
+	a := s.Push(at(time.Second), "a")
+	s.Push(at(2*time.Second), "b")
+	if !s.Reschedule(a, at(3*time.Second)) {
+		t.Fatal("Reschedule of a pending item must return true")
+	}
+	if it := s.Pop(); it.Payload != "b" {
+		t.Fatalf("after Reschedule, Pop = %v", it.Payload)
+	}
+	popped := s.Pop()
+	if popped.Payload != "a" || !popped.At.Equal(at(3*time.Second)) {
+		t.Errorf("rescheduled item = %v @ %v", popped.Payload, popped.At)
+	}
+	if s.Reschedule(popped, at(time.Second)) {
+		t.Error("Reschedule of a popped item must return false")
+	}
+}
+
+func TestRandomizedAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var s Heap
+	const n = 2000
+	times := make([]time.Time, n)
+	for i := range times {
+		times[i] = at(time.Duration(rng.Intn(1000)) * time.Millisecond)
+		s.Push(times[i], i)
+	}
+	var prev time.Time
+	for i := 0; i < n; i++ {
+		it := s.Pop()
+		if it == nil {
+			t.Fatalf("heap exhausted at %d", i)
+		}
+		if i > 0 && it.At.Before(prev) {
+			t.Fatalf("out of order: %v after %v", it.At, prev)
+		}
+		prev = it.At
+	}
+}

@@ -1,0 +1,379 @@
+package webproxy
+
+import (
+	"sync"
+	"time"
+
+	"broadway/internal/core"
+)
+
+// This file is the refresh engine: a dispatcher goroutine that pops due
+// entries off the min-heap schedule and a bounded pool of poll workers
+// that perform the origin fetches. Work is routed to workers by the
+// FNV hash of the entry's serialization key (its consistency group when
+// it has one, else its cache key), so polls of one object — and of all
+// objects sharing a group — always execute on the same worker in order.
+// That affinity is what keeps the per-group MutualTimeController and the
+// shared state of partitioned M_v policy pairs single-threaded while
+// unrelated objects refresh fully in parallel.
+
+// job is one unit of poll work routed to a worker.
+type job struct {
+	e         *entry
+	triggered bool
+}
+
+// worker is one poll worker with an unbounded mailbox. The mailbox must
+// be unbounded: a worker enqueues triggered polls for its own group
+// (i.e. to itself) mid-poll, which would deadlock on a bounded channel.
+type worker struct {
+	mu    sync.Mutex
+	queue []job
+	head  int // index of the next job; consumed prefix is compacted lazily
+	wake  chan struct{}
+}
+
+func (w *worker) enqueue(j job) {
+	w.mu.Lock()
+	w.queue = append(w.queue, j)
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (w *worker) dequeue() (job, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.head == len(w.queue) {
+		if w.head != 0 {
+			w.queue = w.queue[:0]
+			w.head = 0
+		}
+		return job{}, false
+	}
+	j := w.queue[w.head]
+	w.queue[w.head] = job{}
+	w.head++
+	// Compact once the consumed prefix dominates, keeping pops O(1)
+	// amortized while bounding memory held by drained bursts.
+	if w.head > 64 && w.head*2 >= len(w.queue) {
+		n := copy(w.queue, w.queue[w.head:])
+		w.queue = w.queue[:n]
+		w.head = 0
+	}
+	return j, true
+}
+
+// workerFor routes e to its affinity worker.
+func (p *Proxy) workerFor(e *entry) *worker {
+	k := e.group
+	if k == "" {
+		k = e.key
+	}
+	return p.workers[fnv32(k)%uint32(len(p.workers))]
+}
+
+// workerLoop drains one worker's mailbox until the proxy closes.
+func (p *Proxy) workerLoop(w *worker) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		default:
+		}
+		if j, ok := w.dequeue(); ok {
+			p.pollEntry(j.e, j.triggered)
+			continue
+		}
+		select {
+		case <-p.done:
+			return
+		case <-w.wake:
+		}
+	}
+}
+
+// dispatchLoop pops due entries off the schedule and hands them to their
+// affinity workers. It sleeps until the heap's earliest instant, waking
+// early when the schedule changes.
+func (p *Proxy) dispatchLoop() {
+	defer p.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		now := p.cfg.Clock()
+		var due []*entry
+		p.schedMu.Lock()
+		for {
+			it := p.schedule.PopDue(now)
+			if it == nil {
+				break
+			}
+			e := it.Payload.(*entry)
+			e.item = nil
+			due = append(due, e)
+		}
+		wait := time.Hour
+		if it := p.schedule.Peek(); it != nil {
+			wait = it.At.Sub(now)
+			if wait < 0 {
+				wait = 0
+			}
+		}
+		p.schedMu.Unlock()
+		for _, e := range due {
+			p.workerFor(e).enqueue(job{e: e})
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-p.done:
+			return
+		case <-p.wake:
+		case <-timer.C:
+		}
+	}
+}
+
+// kick wakes the dispatcher after schedule changes.
+func (p *Proxy) kick() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// reschedule sets e's next regular poll instant.
+func (p *Proxy) reschedule(e *entry, at time.Time) {
+	p.schedMu.Lock()
+	e.nextAt = at
+	if e.item != nil {
+		p.schedule.Reschedule(e.item, at)
+	} else {
+		e.item = p.schedule.Push(at, e)
+	}
+	p.schedMu.Unlock()
+	p.kick()
+}
+
+// scheduledNextAt reads e's next regular poll instant.
+func (p *Proxy) scheduledNextAt(e *entry) time.Time {
+	p.schedMu.Lock()
+	defer p.schedMu.Unlock()
+	return e.nextAt
+}
+
+// pollEntry performs one refresh of e. Triggered polls leave the regular
+// schedule untouched, mirroring the simulator's proxy.
+func (p *Proxy) pollEntry(e *entry, triggered bool) {
+	e.mu.RLock()
+	since := e.lastMod
+	hasSince := e.hasLastMod
+	prevValidated := e.validatedAt
+	e.mu.RUnlock()
+	if !hasSince {
+		since = prevValidated
+	}
+
+	resp, err := p.fetch(e.key, since)
+	now := p.cfg.Clock()
+	if err != nil {
+		p.deferRetry(e, now, triggered)
+		return
+	}
+
+	outcome := core.PollOutcome{
+		Now:      p.toSim(now),
+		Prev:     p.toSim(prevValidated),
+		Modified: !resp.notModified,
+	}
+	if resp.hasLastMod {
+		outcome.LastModified = p.toSim(resp.lastMod)
+		outcome.HasLastModified = true
+	}
+	for _, h := range resp.history {
+		outcome.History = append(outcome.History, p.toSim(h))
+	}
+
+	e.mu.Lock()
+	e.failures = 0
+	e.validatedAt = now
+	if e.isValue {
+		outcome.HasValue = true
+		outcome.PrevValue = e.value
+		outcome.Value = e.value
+	}
+	if !resp.notModified {
+		e.body = resp.body
+		if resp.contentType != "" {
+			e.contentType = resp.contentType
+		}
+		if resp.hasLastMod {
+			e.lastMod = resp.lastMod
+			e.hasLastMod = true
+		}
+		if e.isValue {
+			if v, ok := parseValueBody(resp.body); ok {
+				e.value = v
+				outcome.Value = v
+			}
+		}
+	}
+	var ttr time.Duration
+	if !triggered {
+		ttr = e.policy.NextTTR(outcome)
+	}
+	paired := e.paired
+	e.mu.Unlock()
+
+	e.polls.Add(1)
+	if triggered {
+		e.triggered.Add(1)
+	}
+
+	gs := p.groupState(e.group)
+	if gs != nil {
+		gs.mu.Lock()
+		gs.ctrl.ObserveOutcome(core.ObjectID(e.key), outcome)
+		gs.mu.Unlock()
+	}
+
+	if !triggered {
+		p.reschedule(e, now.Add(ttr))
+	}
+	// Temporal group triggering; partitioned M_v pairs maintain their
+	// mutual guarantee through the tolerance split instead.
+	if !triggered && outcome.Modified && gs != nil && !paired {
+		p.triggerGroup(e, gs, now)
+	}
+}
+
+// deferRetry handles an upstream failure with capped exponential backoff
+// starting from the policy's initial TTR. The policy itself is never fed
+// a failed poll, so its learned TTR state survives origin flaps intact.
+func (p *Proxy) deferRetry(e *entry, now time.Time, triggered bool) {
+	e.mu.Lock()
+	e.failures++
+	n := e.failures
+	base := e.policy.InitialTTR()
+	e.mu.Unlock()
+	retryAt := now.Add(backoffDelay(base, n, p.maxBackoff()))
+	if triggered {
+		// A failed triggered poll must still be retried promptly — the
+		// group's mutual guarantee is on the line — so pull the regular
+		// poll forward to the retry instant. Never push an even sooner
+		// poll later; a nil item means a regular poll is already queued
+		// on this worker, which is itself the prompt retry.
+		p.schedMu.Lock()
+		pull := e.item != nil && retryAt.Before(e.nextAt)
+		if pull {
+			e.nextAt = retryAt
+			p.schedule.Reschedule(e.item, retryAt)
+		}
+		p.schedMu.Unlock()
+		if pull {
+			p.kick()
+		}
+		return
+	}
+	p.reschedule(e, retryAt)
+}
+
+// backoffDelay returns base doubled per consecutive failure beyond the
+// first, capped at max.
+func backoffDelay(base time.Duration, failures int, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Second
+	}
+	d := base
+	for i := 1; i < failures && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// maxBackoff is the retry-delay ceiling.
+func (p *Proxy) maxBackoff() time.Duration {
+	if p.cfg.Bounds.Max > 0 {
+		return p.cfg.Bounds.Max
+	}
+	return core.DefaultTTRMax
+}
+
+// triggerGroup enqueues immediate extra polls of e's group members where
+// the controller demands it.
+func (p *Proxy) triggerGroup(e *entry, gs *groupState, now time.Time) {
+	// gs.mu is held across the scan (nesting gs.mu → entry.mu matches
+	// joinGroup and is taken nowhere in reverse). The member snapshot
+	// runs first so the single schedMu section that follows — one
+	// acquisition for the whole scan, not one per member — never holds
+	// an entry lock.
+	type candidate struct {
+		other       *entry
+		validatedAt time.Time
+	}
+	gs.mu.Lock()
+	cands := make([]candidate, 0, len(gs.members))
+	for _, other := range gs.members {
+		if other == e {
+			continue
+		}
+		other.mu.RLock()
+		validatedAt := other.validatedAt
+		other.mu.RUnlock()
+		cands = append(cands, candidate{other, validatedAt})
+	}
+	var toTrigger []*entry
+	p.schedMu.Lock()
+	for _, c := range cands {
+		if gs.ctrl.ShouldTrigger(core.ObjectID(e.key), core.ObjectID(c.other.key),
+			p.toSim(now), p.toSim(c.validatedAt), p.toSim(c.other.nextAt)) {
+			toTrigger = append(toTrigger, c.other)
+		}
+	}
+	p.schedMu.Unlock()
+	gs.mu.Unlock()
+	for _, other := range toTrigger {
+		// Same group ⇒ same affinity worker ⇒ the triggered poll runs
+		// strictly after the current one; enqueueing is non-blocking.
+		p.workerFor(other).enqueue(job{e: other, triggered: true})
+	}
+}
+
+// groupState looks up the state for a group name ("" returns nil).
+func (p *Proxy) groupState(group string) *groupState {
+	if group == "" {
+		return nil
+	}
+	p.groupMu.RLock()
+	gs := p.groups[group]
+	p.groupMu.RUnlock()
+	return gs
+}
+
+// groupStateOrCreate returns the state for group, creating it with the
+// given δ on first use.
+func (p *Proxy) groupStateOrCreate(group string, groupDelta time.Duration) *groupState {
+	p.groupMu.Lock()
+	defer p.groupMu.Unlock()
+	gs, ok := p.groups[group]
+	if !ok {
+		gs = &groupState{ctrl: core.NewMutualTimeController(core.MutualTimeConfig{
+			Delta: groupDelta,
+			Mode:  p.cfg.Mode,
+		})}
+		p.groups[group] = gs
+	}
+	return gs
+}

@@ -1,0 +1,110 @@
+package webproxy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// store is the sharded object cache. Keys are canonical cache keys
+// (path plus sorted query); each key maps to one shard by FNV-1a hash,
+// and each shard has its own RWMutex, so concurrent hits on different
+// objects never contend on a global lock.
+type store struct {
+	mask   uint32
+	shards []storeShard
+	count  atomic.Int64
+}
+
+type storeShard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// maxShards bounds Config.Shards (2^20 map shards far exceeds any
+// plausible contention win and keeps nextPow2 and the uint32 shard mask
+// clear of overflow).
+const maxShards = 1 << 20
+
+// newStore returns a store with n shards; n must be a power of two.
+func newStore(n int) *store {
+	s := &store{mask: uint32(n - 1), shards: make([]storeShard, n)}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[string]*entry)
+	}
+	return s
+}
+
+func (s *store) shardFor(key string) *storeShard {
+	return &s.shards[fnv32(key)&s.mask]
+}
+
+// get returns the entry for key, or nil.
+func (s *store) get(key string) *entry {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	e := sh.entries[key]
+	sh.mu.RUnlock()
+	return e
+}
+
+// put inserts e unless key is already present or the store already
+// holds max objects (max < 0 disables the cap). The object count is
+// reserved atomically before the insert, so concurrent admissions can
+// never overshoot the cap. It returns the entry resident after the
+// call, whether e was the one inserted, and whether the cap refused it.
+func (s *store) put(key string, e *entry, max int) (resident *entry, inserted, capped bool) {
+	if max >= 0 {
+		for {
+			n := s.count.Load()
+			if n >= int64(max) {
+				if existing := s.get(key); existing != nil {
+					return existing, false, false
+				}
+				return e, false, true
+			}
+			if s.count.CompareAndSwap(n, n+1) {
+				break
+			}
+		}
+	} else {
+		s.count.Add(1)
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	if existing, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
+		s.count.Add(-1) // release the reservation
+		return existing, false, false
+	}
+	sh.entries[key] = e
+	sh.mu.Unlock()
+	return e, true, false
+}
+
+// len returns the number of cached objects.
+func (s *store) len() int {
+	return int(s.count.Load())
+}
+
+// fnv32 is the 32-bit FNV-1a hash.
+func fnv32(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// nextPow2 rounds n up to the nearest power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -2,15 +2,41 @@
 // Δt-consistency and mutual consistency for the objects it caches, using
 // the same core policy state machines as the simulator. It is the paper's
 // stated future work ("implement our techniques in the Squid proxy
-// cache") realized as a self-contained Go proxy.
+// cache") realized as a self-contained Go proxy, shaped for production
+// concurrency rather than a single-threaded demo.
 //
-// Cache misses fetch from the origin and register the object with a LIMD
-// refresher. A single background goroutine drives all refreshes: it polls
-// each object when its TTR expires using If-Modified-Since requests,
-// consumes the modification-history extension when the origin provides
-// it, and — for objects sharing a consistency group — triggers immediate
-// polls of related objects when an update is detected, exactly as in
-// §3.2 of the paper.
+// The architecture splits into three independent layers:
+//
+//   - A sharded object store (2^k shards, per-shard RWMutex, FNV-keyed;
+//     see store.go). Cache hits touch only their own shard and share the
+//     immutable body slice, so the hit path scales with parallelism
+//     instead of serializing on a global lock.
+//   - A min-heap refresh schedule (internal/sched) ordered by each
+//     object's next poll instant, giving the dispatcher O(log n) access
+//     to the next due refresh instead of an O(n) scan.
+//   - A bounded pool of poll workers (Config.PollWorkers) that perform
+//     the origin fetches (see refresh.go). Work is routed by the FNV
+//     hash of the consistency group (or the cache key for ungrouped
+//     objects), so MutualTimeController state stays effectively
+//     single-threaded per group, and a slow origin stalls at most the
+//     one worker its hash lands on — the other workers' objects keep
+//     refreshing — instead of stalling the whole proxy as the previous
+//     single-refresher design did.
+//
+// Cache misses are admitted through a singleflight group: N concurrent
+// first requests for one object produce exactly one origin fetch. Cache
+// keys include the canonicalized query string, so /stock?sym=A and
+// /stock?sym=B are distinct objects; because that makes key cardinality
+// client-controlled, admission is capped by Config.MaxObjects — beyond
+// the cap, requests are proxied without being cached or scheduled.
+// Upstream failures back off exponentially (capped at the TTR upper
+// bound) without disturbing the policy's learned TTR state.
+//
+// Refresh semantics are unchanged from the paper: each object polls the
+// origin when its TTR expires using If-Modified-Since, consumes the
+// modification-history extension when the origin provides it, and — for
+// objects sharing a consistency group — triggers immediate polls of
+// related objects when an update is detected, exactly as in §3.2.
 package webproxy
 
 import (
@@ -19,14 +45,18 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"broadway/internal/core"
 	"broadway/internal/httpx"
+	"broadway/internal/sched"
 	"broadway/internal/simtime"
+	"broadway/internal/singleflight"
 )
 
 // Config parameterizes a Proxy.
@@ -48,21 +78,42 @@ type Config struct {
 	// DefaultGroupDelta is δ for groups whose origin responses carry no
 	// x-mc-delta directive. Defaults to DefaultDelta.
 	DefaultGroupDelta time.Duration
-	// Clock substitutes the time source (tests accelerate it).
+	// Shards is the number of object-store shards, rounded up to a
+	// power of two. Defaults to 64.
+	Shards int
+	// MaxObjects caps the number of cached objects. Requests beyond the
+	// cap are proxied without being cached or scheduled for refresh, so
+	// a client enumerating query strings cannot grow memory and origin
+	// poll load without bound. Defaults to 65536; negative disables the
+	// cap.
+	MaxObjects int
+	// PollWorkers bounds the number of concurrent origin polls.
+	// Defaults to GOMAXPROCS.
+	PollWorkers int
+	// Clock substitutes the time source. It may be offset from the real
+	// clock but must advance at wall rate: the dispatcher computes
+	// waits on this timeline and sleeps them in wall time.
 	Clock func() time.Time
 }
 
 // entry is one cached object.
 type entry struct {
-	path   string
-	policy core.Policy
-	group  string
+	key   string // canonical cache key: path plus sorted query
+	group string
 
-	body        []byte
+	// mu guards the mutable data fields below. The policy runs only on
+	// the entry's affinity worker (or, for a partitioned M_v pair, the
+	// group's worker), but pairing at admission can swap it, so it is
+	// guarded too.
+	mu     sync.RWMutex
+	policy core.Policy
+
+	body        []byte // replaced wholesale on refresh, never mutated
 	contentType string
 	lastMod     time.Time
 	hasLastMod  bool
 	validatedAt time.Time
+	failures    int // consecutive upstream failures
 
 	// Value-domain objects (origin advertised x-cc-vdelta): the body is
 	// parsed as a decimal value and the entry runs an AdaptiveTTR
@@ -73,10 +124,21 @@ type entry struct {
 	// MutualValuePartitioned pair (M_v consistency, §4.2).
 	paired bool
 
-	nextAt    time.Time
-	polls     uint64
-	triggered uint64
-	hits      uint64
+	// nextAt and item are guarded by the proxy's schedMu.
+	nextAt time.Time
+	item   *sched.Item
+
+	polls     atomic.Uint64
+	triggered atomic.Uint64
+	hits      atomic.Uint64
+}
+
+// groupState is the serialization domain of one consistency group: the
+// shared controller plus the member list, guarded by mu.
+type groupState struct {
+	mu      sync.Mutex
+	ctrl    *core.MutualTimeController
+	members []*entry
 }
 
 // Proxy is a live caching HTTP proxy. Construct with New, then Start the
@@ -85,14 +147,21 @@ type Proxy struct {
 	cfg   Config
 	epoch time.Time
 
-	mu      sync.Mutex
-	entries map[string]*entry
-	groups  map[string]*core.MutualTimeController
+	store  *store
+	flight singleflight.Group
 
-	wake chan struct{}
-	done chan struct{}
-	wg   sync.WaitGroup
+	groupMu sync.RWMutex
+	groups  map[string]*groupState
 
+	schedMu  sync.Mutex
+	schedule sched.Heap
+
+	workers []*worker
+	wake    chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	lifeMu  sync.Mutex
 	started bool
 	closed  bool
 }
@@ -117,46 +186,99 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.DefaultGroupDelta <= 0 {
 		cfg.DefaultGroupDelta = cfg.DefaultDelta
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 64
+	}
+	// Cap before rounding: beyond this sharding buys nothing, and an
+	// absurd value would overflow nextPow2 and the uint32 shard mask.
+	if cfg.Shards > maxShards {
+		cfg.Shards = maxShards
+	}
+	cfg.Shards = nextPow2(cfg.Shards)
+	if cfg.PollWorkers <= 0 {
+		cfg.PollWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxObjects == 0 {
+		cfg.MaxObjects = 1 << 16
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &Proxy{
+	p := &Proxy{
 		cfg:     cfg,
 		epoch:   cfg.Clock(),
-		entries: make(map[string]*entry),
-		groups:  make(map[string]*core.MutualTimeController),
+		store:   newStore(cfg.Shards),
+		groups:  make(map[string]*groupState),
+		workers: make([]*worker, cfg.PollWorkers),
 		wake:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
-	}, nil
+	}
+	for i := range p.workers {
+		p.workers[i] = &worker{wake: make(chan struct{}, 1)}
+	}
+	return p, nil
 }
 
-// Start launches the background refresher. It is idempotent.
+// Start launches the refresh dispatcher and the poll worker pool. It is
+// idempotent.
 func (p *Proxy) Start() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.lifeMu.Lock()
+	defer p.lifeMu.Unlock()
 	if p.started || p.closed {
 		return
 	}
 	p.started = true
-	p.wg.Add(1)
-	go p.refreshLoop()
+	p.wg.Add(1 + len(p.workers))
+	go p.dispatchLoop()
+	for _, w := range p.workers {
+		go p.workerLoop(w)
+	}
 }
 
 // Close stops the refresher and waits for it to exit. The proxy continues
 // to serve cached (now unrefreshed) content afterwards.
 func (p *Proxy) Close() {
-	p.mu.Lock()
+	p.lifeMu.Lock()
 	if p.closed {
-		p.mu.Unlock()
+		p.lifeMu.Unlock()
 		return
 	}
 	p.closed = true
 	started := p.started
-	p.mu.Unlock()
+	p.lifeMu.Unlock()
 	close(p.done)
 	if started {
 		p.wg.Wait()
 	}
+}
+
+// canonicalKey maps a request URL to its cache key: the escaped path,
+// plus the query string re-encoded with sorted parameters so that
+// permutations of the same query share one cached object. The escaped
+// path keeps an encoded '?' (%3F) in path data from masquerading as a
+// query separator when the key is split again in fetch.
+func canonicalKey(u *url.URL) string {
+	path := u.EscapedPath()
+	if u.RawQuery == "" {
+		return path
+	}
+	q := canonicalQuery(u.RawQuery)
+	if q == "" {
+		return path
+	}
+	return path + "?" + q
+}
+
+// canonicalQuery sorts well-formed queries into a canonical encoding.
+// A query that does not survive a parse/encode round trip (malformed
+// escapes, stray semicolons) is kept verbatim: collapsing it would drop
+// parameters from the upstream fetch and alias distinct client URLs.
+func canonicalQuery(rawQuery string) string {
+	q, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return rawQuery
+	}
+	return q.Encode() // Encode sorts parameters by key
 }
 
 // ServeHTTP serves cache hits locally and fills misses from the origin.
@@ -165,32 +287,34 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	path := r.URL.Path
+	key := canonicalKey(r.URL)
 
-	p.mu.Lock()
-	e, ok := p.entries[path]
-	if ok {
-		e.hits++
-		body := append([]byte(nil), e.body...)
-		contentType := e.contentType
-		lastMod, hasLastMod := e.lastMod, e.hasLastMod
-		p.mu.Unlock()
-		writeObject(w, body, contentType, lastMod, hasLastMod, "HIT")
+	if e := p.store.get(key); e != nil {
+		e.hits.Add(1)
+		p.serveEntry(w, e, "HIT")
 		return
 	}
-	p.mu.Unlock()
 
-	e, err := p.admit(path)
+	// Singleflight admission: concurrent first requests for one key
+	// share a single origin fetch.
+	v, err, _ := p.flight.Do(key, func() (any, error) { return p.admit(key) })
 	if err != nil {
 		http.Error(w, fmt.Sprintf("upstream fetch failed: %v", err), http.StatusBadGateway)
 		return
 	}
-	p.mu.Lock()
-	body := append([]byte(nil), e.body...)
+	p.serveEntry(w, v.(*entry), "MISS")
+}
+
+// serveEntry writes e's current cached representation. The body slice is
+// shared, not copied: refreshes replace it wholesale and never mutate it
+// in place.
+func (p *Proxy) serveEntry(w http.ResponseWriter, e *entry, cacheStatus string) {
+	e.mu.RLock()
+	body := e.body
 	contentType := e.contentType
 	lastMod, hasLastMod := e.lastMod, e.hasLastMod
-	p.mu.Unlock()
-	writeObject(w, body, contentType, lastMod, hasLastMod, "MISS")
+	e.mu.RUnlock()
+	writeObject(w, body, contentType, lastMod, hasLastMod, cacheStatus)
 }
 
 func writeObject(w http.ResponseWriter, body []byte, contentType string, lastMod time.Time, hasLastMod bool, cacheStatus string) {
@@ -206,9 +330,12 @@ func writeObject(w http.ResponseWriter, body []byte, contentType string, lastMod
 }
 
 // admit fetches the object for the first time and registers it with the
-// refresher.
-func (p *Proxy) admit(path string) (*entry, error) {
-	resp, err := p.fetch(path, time.Time{})
+// refresher. Callers serialize per key through the singleflight group.
+func (p *Proxy) admit(key string) (*entry, error) {
+	if e := p.store.get(key); e != nil {
+		return e, nil
+	}
+	resp, err := p.fetch(key, time.Time{})
 	if err != nil {
 		return nil, err
 	}
@@ -230,15 +357,15 @@ func (p *Proxy) admit(path string) (*entry, error) {
 
 	now := p.cfg.Clock()
 	e := &entry{
-		path:        path,
+		key:         key,
 		group:       group,
 		body:        resp.body,
 		contentType: resp.contentType,
 		lastMod:     resp.lastMod,
 		hasLastMod:  resp.hasLastMod,
 		validatedAt: now,
-		polls:       1,
 	}
+	e.polls.Store(1)
 	// An origin advertising a Δv tolerance with a numeric body selects
 	// value-domain consistency (§4.1); everything else runs LIMD.
 	if v, ok := parseValueBody(resp.body); ok && valueDelta > 0 {
@@ -251,55 +378,62 @@ func (p *Proxy) admit(path string) (*entry, error) {
 	} else {
 		e.policy = core.NewLIMD(core.LIMDConfig{Delta: delta, Bounds: p.cfg.Bounds})
 	}
-	e.nextAt = now.Add(e.policy.InitialTTR())
 
-	p.mu.Lock()
-	if existing, raced := p.entries[path]; raced {
-		p.mu.Unlock()
-		return existing, nil
+	actual, inserted, capped := p.store.put(key, e, p.cfg.MaxObjects)
+	if capped {
+		// At capacity the object is served but not admitted: no store
+		// entry, no refresh schedule. The next request proxies again.
+		return e, nil
 	}
-	p.entries[path] = e
+	if !inserted {
+		return actual, nil
+	}
 	if group != "" {
-		if _, ok := p.groups[group]; !ok {
-			p.groups[group] = core.NewMutualTimeController(core.MutualTimeConfig{
-				Delta: groupDelta,
-				Mode:  p.cfg.Mode,
-			})
-		}
-		// Two value-domain members of the same group form a
-		// partitioned M_v pair (§4.2): the mutual tolerance δ is split
-		// across them in inverse proportion to their change rates. The
-		// reduction applies to the difference function and pairs only;
-		// further value members of the group keep individual policies.
-		if e.isValue && valueDelta > 0 {
-			for _, other := range p.entries {
-				if other == e || other.group != group || !other.isValue || other.paired {
-					continue
-				}
-				pair := core.NewMutualValuePartitioned(core.MutualValueConfig{
-					Delta:  valueDelta,
-					Bounds: p.cfg.Bounds,
-				})
-				other.policy = pair.PolicyA()
-				e.policy = pair.PolicyB()
-				other.paired = true
-				e.paired = true
-				break
-			}
-		}
+		p.joinGroup(e, group, groupDelta, valueDelta)
 	}
-	p.mu.Unlock()
 
-	p.kick()
+	e.mu.RLock()
+	ttr := e.policy.InitialTTR()
+	e.mu.RUnlock()
+	p.reschedule(e, now.Add(ttr))
 	return e, nil
 }
 
-// kick wakes the refresher after schedule changes.
-func (p *Proxy) kick() {
-	select {
-	case p.wake <- struct{}{}:
-	default:
+// joinGroup registers e with its consistency group, pairing two
+// value-domain members under a partitioned M_v controller (§4.2): the
+// mutual tolerance δ is split across the pair in inverse proportion to
+// their change rates. The reduction applies to the difference function
+// and pairs only; further value members of the group keep individual
+// policies.
+func (p *Proxy) joinGroup(e *entry, group string, groupDelta time.Duration, valueDelta float64) {
+	gs := p.groupStateOrCreate(group, groupDelta)
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if e.isValue && valueDelta > 0 {
+		for _, other := range gs.members {
+			if !other.isValue {
+				continue
+			}
+			other.mu.Lock()
+			if other.paired {
+				other.mu.Unlock()
+				continue
+			}
+			pair := core.NewMutualValuePartitioned(core.MutualValueConfig{
+				Delta:  valueDelta,
+				Bounds: p.cfg.Bounds,
+			})
+			other.policy = pair.PolicyA()
+			other.paired = true
+			other.mu.Unlock()
+			e.mu.Lock()
+			e.policy = pair.PolicyB()
+			e.paired = true
+			e.mu.Unlock()
+			break
+		}
 	}
+	gs.members = append(gs.members, e)
 }
 
 // upstreamResponse is the distilled result of one origin poll.
@@ -314,10 +448,24 @@ type upstreamResponse struct {
 }
 
 // fetch performs a GET against the origin, conditional when since is
-// non-zero.
-func (p *Proxy) fetch(path string, since time.Time) (*upstreamResponse, error) {
+// non-zero. key carries the canonical path-plus-query, which is replayed
+// onto the upstream URL.
+func (p *Proxy) fetch(key string, since time.Time) (*upstreamResponse, error) {
 	u := *p.cfg.Origin
-	u.Path = path
+	escPath, rawQuery := key, ""
+	if i := strings.IndexByte(key, '?'); i >= 0 {
+		escPath, rawQuery = key[:i], key[i+1:]
+	}
+	// The key carries the *escaped* path (see canonicalKey); decode it
+	// for u.Path and keep the escaped form in u.RawPath so the upstream
+	// URL preserves the client's encoding exactly.
+	if unescaped, err := url.PathUnescape(escPath); err == nil {
+		u.Path = unescaped
+	} else {
+		u.Path = escPath
+	}
+	u.RawPath = escPath
+	u.RawQuery = rawQuery
 	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
 	if err != nil {
 		return nil, err
@@ -358,176 +506,6 @@ func (p *Proxy) fetch(path string, since time.Time) (*upstreamResponse, error) {
 	}
 }
 
-// refreshLoop drives all TTR-based polls from a single goroutine.
-func (p *Proxy) refreshLoop() {
-	defer p.wg.Done()
-	timer := time.NewTimer(time.Hour)
-	defer timer.Stop()
-	for {
-		next, ok := p.earliest()
-		var wait time.Duration
-		if ok {
-			wait = time.Until(next)
-			if clock := p.cfg.Clock; clock != nil {
-				wait = next.Sub(clock())
-			}
-			if wait < 0 {
-				wait = 0
-			}
-		} else {
-			wait = time.Hour
-		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-		timer.Reset(wait)
-		select {
-		case <-p.done:
-			return
-		case <-p.wake:
-		case <-timer.C:
-			p.pollDue()
-		}
-	}
-}
-
-// earliest returns the soonest scheduled poll instant.
-func (p *Proxy) earliest() (time.Time, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var best time.Time
-	found := false
-	for _, e := range p.entries {
-		if !found || e.nextAt.Before(best) {
-			best = e.nextAt
-			found = true
-		}
-	}
-	return best, found
-}
-
-// pollDue polls every entry whose TTR has expired.
-func (p *Proxy) pollDue() {
-	now := p.cfg.Clock()
-	p.mu.Lock()
-	var due []*entry
-	for _, e := range p.entries {
-		if !e.nextAt.After(now) {
-			due = append(due, e)
-		}
-	}
-	p.mu.Unlock()
-	for _, e := range due {
-		p.pollEntry(e, false)
-	}
-}
-
-// pollEntry performs one refresh of e. Triggered polls leave the regular
-// schedule untouched, mirroring the simulator's proxy.
-func (p *Proxy) pollEntry(e *entry, triggered bool) {
-	p.mu.Lock()
-	since := e.lastMod
-	hasSince := e.hasLastMod
-	prevValidated := e.validatedAt
-	p.mu.Unlock()
-
-	if !hasSince {
-		since = prevValidated
-	}
-	resp, err := p.fetch(e.path, since)
-	now := p.cfg.Clock()
-	if err != nil {
-		// Upstream failure: retry after the initial TTR without
-		// feeding the policy.
-		p.mu.Lock()
-		e.nextAt = now.Add(e.policy.InitialTTR())
-		p.mu.Unlock()
-		return
-	}
-
-	outcome := core.PollOutcome{
-		Now:      p.toSim(now),
-		Prev:     p.toSim(prevValidated),
-		Modified: !resp.notModified,
-	}
-	if resp.hasLastMod {
-		outcome.LastModified = p.toSim(resp.lastMod)
-		outcome.HasLastModified = true
-	}
-	for _, h := range resp.history {
-		outcome.History = append(outcome.History, p.toSim(h))
-	}
-
-	p.mu.Lock()
-	e.polls++
-	if triggered {
-		e.triggered++
-	}
-	e.validatedAt = now
-	if e.isValue {
-		outcome.HasValue = true
-		outcome.PrevValue = e.value
-		outcome.Value = e.value
-	}
-	if !resp.notModified {
-		e.body = resp.body
-		if resp.contentType != "" {
-			e.contentType = resp.contentType
-		}
-		if resp.hasLastMod {
-			e.lastMod = resp.lastMod
-			e.hasLastMod = true
-		}
-		if e.isValue {
-			if v, ok := parseValueBody(resp.body); ok {
-				e.value = v
-				outcome.Value = v
-			}
-		}
-	}
-	var ctrl *core.MutualTimeController
-	if e.group != "" {
-		ctrl = p.groups[e.group]
-	}
-	if !triggered {
-		e.nextAt = now.Add(e.policy.NextTTR(outcome))
-	}
-	if ctrl != nil {
-		ctrl.ObserveOutcome(core.ObjectID(e.path), outcome)
-	}
-	p.mu.Unlock()
-
-	// Temporal group triggering; partitioned M_v pairs maintain their
-	// mutual guarantee through the tolerance split instead.
-	if !triggered && outcome.Modified && ctrl != nil && !e.paired {
-		p.triggerGroup(e, ctrl, now)
-	}
-	p.kick()
-}
-
-// triggerGroup triggers immediate extra polls of e's group members where
-// the controller demands it.
-func (p *Proxy) triggerGroup(e *entry, ctrl *core.MutualTimeController, now time.Time) {
-	p.mu.Lock()
-	var toTrigger []*entry
-	for _, other := range p.entries {
-		if other == e || other.group != e.group {
-			continue
-		}
-		if ctrl.ShouldTrigger(core.ObjectID(e.path), core.ObjectID(other.path),
-			p.toSim(now), p.toSim(other.validatedAt), p.toSim(other.nextAt)) {
-			toTrigger = append(toTrigger, other)
-		}
-	}
-	p.mu.Unlock()
-	for _, other := range toTrigger {
-		p.pollEntry(other, true)
-	}
-}
-
 // parseValueBody interprets a response body as a decimal value (e.g. a
 // stock quote feed serving "165.38\n").
 func parseValueBody(body []byte) (float64, bool) {
@@ -559,24 +537,46 @@ type Stats struct {
 	Cached    bool
 }
 
-// ObjectStats returns the stats for path.
-func (p *Proxy) ObjectStats(path string) Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e, ok := p.entries[path]
-	if !ok {
-		return Stats{}
+// lookup finds the entry for a caller-supplied key, canonicalizing it
+// the same way ServeHTTP does when the verbatim form misses (so
+// "/stock?b=2&a=1" finds the object cached under "/stock?a=1&b=2").
+func (p *Proxy) lookup(key string) *entry {
+	if e := p.store.get(key); e != nil {
+		return e
 	}
-	return Stats{Polls: e.polls, Triggered: e.triggered, Hits: e.hits, Cached: true}
+	if u, err := url.Parse(key); err == nil {
+		if ck := canonicalKey(u); ck != key {
+			return p.store.get(ck)
+		}
+	}
+	return nil
 }
 
-// CachedBody returns the currently cached body for path.
-func (p *Proxy) CachedBody(path string) ([]byte, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e, ok := p.entries[path]
-	if !ok {
+// ObjectStats returns the stats for key (a path, plus the query for
+// parameterized objects).
+func (p *Proxy) ObjectStats(key string) Stats {
+	e := p.lookup(key)
+	if e == nil {
+		return Stats{}
+	}
+	return Stats{
+		Polls:     e.polls.Load(),
+		Triggered: e.triggered.Load(),
+		Hits:      e.hits.Load(),
+		Cached:    true,
+	}
+}
+
+// CachedBody returns the currently cached body for key.
+func (p *Proxy) CachedBody(key string) ([]byte, bool) {
+	e := p.lookup(key)
+	if e == nil {
 		return nil, false
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return append([]byte(nil), e.body...), true
 }
+
+// Len returns the number of cached objects.
+func (p *Proxy) Len() int { return p.store.len() }
