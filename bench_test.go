@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -342,6 +343,65 @@ func BenchmarkProxyHitSingleObject(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkProxyChurnParallel measures the miss/evict/admit cycle: a
+// key space four times the MaxObjects cap guarantees essentially every
+// request misses, runs the CLOCK victim scan, unwinds the victim from
+// the refresh schedule, and admits the newcomer — the proxy's worst
+// case, dominated by the origin round trip plus replacement overhead.
+// Compare BenchmarkProxyHitParallel for the (unchanged) hit path.
+func BenchmarkProxyChurnParallel(b *testing.B) {
+	const capacity = 128
+	const keySpace = 4 * capacity
+	paths := make([]string, keySpace)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/churn/%d", i)
+	}
+	origin := broadway.NewWebOrigin()
+	for i, p := range paths {
+		origin.Set(p, []byte(fmt.Sprintf("churn body %d", i)), "text/plain")
+	}
+	originSrv := httptest.NewServer(origin)
+	b.Cleanup(originSrv.Close)
+	u, err := url.Parse(originSrv.URL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	px, err := broadway.NewWebProxy(broadway.WebProxyConfig{
+		Origin:       u,
+		DefaultDelta: time.Hour,
+		Bounds:       core.TTRBounds{Min: time.Hour, Max: 2 * time.Hour},
+		MaxObjects:   capacity,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(px.Close)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		w := &nopResponseWriter{}
+		for pb.Next() {
+			// A private stride per iteration keeps goroutines spread
+			// over the key space, sustaining the miss/evict/admit churn.
+			i := n.Add(1)
+			req := httptest.NewRequest(http.MethodGet, paths[int(i*31)%keySpace], nil)
+			w.h, w.code = nil, 0
+			px.ServeHTTP(w, req)
+			if w.code != http.StatusOK {
+				b.Errorf("status %d", w.code)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	stats := px.CacheStats()
+	if b.N > keySpace && stats.Evictions == 0 {
+		b.Fatal("churn benchmark recorded no evictions")
+	}
+	b.ReportMetric(float64(stats.Evictions)/float64(b.N), "evictions/op")
 }
 
 // BenchmarkRefreshSchedulerThroughput measures the min-heap refresh

@@ -44,6 +44,22 @@
 // upstream failures retry under capped exponential backoff without
 // disturbing the policy's learned TTR state.
 //
+// Cache residency is bounded by WebProxyConfig.MaxObjects and the
+// WebProxyConfig.MaxBytes memory budget, enforced by consistency-aware
+// replacement (EvictClock, the default): each shard doubles as a CLOCK
+// (second-chance) ring, hits mark an access bit with a lock-free atomic
+// operation so the hit path gains no lock, and members of
+// mutual-consistency groups carry extra second chances in the victim
+// scan — evicting one member would silently weaken the whole group's
+// mutual guarantee, so the policy prefers ungrouped victims of equal
+// heat. An evicted object is fully unwound: descheduled from the
+// refresh heap (it never polls the origin again), detached from its
+// group controller, and safe against concurrent re-admission through
+// the singleflight group. The legacy EvictRefuse policy instead serves
+// over-budget objects uncached (X-Cache: BYPASS). Proxy-wide counters
+// (hits, misses, evictions, capped admissions, resident bytes) are
+// exposed through WebProxy.CacheStats.
+//
 // # Quick start
 //
 //	tr := broadway.TraceCNNFN()
@@ -265,6 +281,20 @@ type (
 	WebProxy = webproxy.Proxy
 	// WebProxyConfig parameterizes a WebProxy.
 	WebProxyConfig = webproxy.Config
+	// WebProxyEviction selects the proxy's replacement policy.
+	WebProxyEviction = webproxy.EvictionPolicy
+	// WebProxyCacheStats aggregates proxy-wide cache counters.
+	WebProxyCacheStats = webproxy.CacheStats
+	// WebProxyObjectStats reports cache activity for one object.
+	WebProxyObjectStats = webproxy.Stats
+)
+
+// Replacement policies for the live proxy.
+const (
+	// EvictClock is group-aware CLOCK (second-chance) replacement.
+	EvictClock = webproxy.EvictClock
+	// EvictRefuse refuses admission at capacity (legacy behavior).
+	EvictRefuse = webproxy.EvictRefuse
 )
 
 // NewWebOrigin returns a live HTTP origin server.

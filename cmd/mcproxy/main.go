@@ -12,6 +12,19 @@
 // Against a real upstream:
 //
 //	mcproxy -origin https://example.com -listen :8089 -delta 30s
+//
+// Cache residency is bounded by -max-objects and -max-bytes (approximate
+// resident memory for keys, bodies, and per-object overhead). The
+// -eviction flag selects what happens beyond those budgets:
+//
+//	-eviction clock   (default) group-aware CLOCK replacement: new
+//	                  objects are admitted and cold residents evicted,
+//	                  with mutual-consistency group members penalized
+//	                  as victims so groups are not silently broken
+//	-eviction refuse  legacy behavior: at capacity new objects are
+//	                  served uncached (X-Cache: BYPASS), never admitted
+//
+//	mcproxy -demo -max-objects 10000 -max-bytes 67108864 -eviction clock
 package main
 
 import (
@@ -51,8 +64,15 @@ func run(args []string) error {
 	shards := fs.Int("shards", 64, "object-store shards (rounded up to a power of two)")
 	pollWorkers := fs.Int("poll-workers", 0, "concurrent origin poll workers (0 = GOMAXPROCS)")
 	maxObjects := fs.Int("max-objects", 0, "cached-object cap (0 = default 65536, negative = unlimited)")
+	maxBytes := fs.Int64("max-bytes", 0, "resident-memory budget in bytes for cached objects (0 = unlimited)")
+	eviction := fs.String("eviction", "clock", "replacement beyond -max-objects/-max-bytes: clock | refuse")
 	runFor := fs.Duration("run-for", 0, "exit after this long (0 = run until interrupted)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	evictionPolicy, err := webproxy.ParseEvictionPolicy(*eviction)
+	if err != nil {
 		return err
 	}
 
@@ -99,6 +119,8 @@ func run(args []string) error {
 		Shards:            *shards,
 		PollWorkers:       *pollWorkers,
 		MaxObjects:        *maxObjects,
+		MaxBytes:          *maxBytes,
+		Eviction:          evictionPolicy,
 	})
 	if err != nil {
 		return err
@@ -111,8 +133,8 @@ func run(args []string) error {
 	go func() {
 		errCh <- srv.ListenAndServe()
 	}()
-	fmt.Printf("mcproxy listening on %s (origin %s, Δ=%v, δ=%v, mode %s)\n",
-		*listen, origin, *delta, *groupDelta, *mode)
+	fmt.Printf("mcproxy listening on %s (origin %s, Δ=%v, δ=%v, mode %s, eviction %s)\n",
+		*listen, origin, *delta, *groupDelta, *mode, evictionPolicy)
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)

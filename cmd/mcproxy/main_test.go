@@ -94,6 +94,7 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-demo", "-origin", "http://x"},
 		{"-origin", "://bad"},
 		{"-bad-flag"},
+		{"-demo", "-eviction", "lru"}, // unknown eviction policy
 	}
 	for _, args := range tests {
 		if err := run(args); err == nil {

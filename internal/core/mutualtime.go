@@ -192,6 +192,17 @@ func (c *MutualTimeController) EstimatedRate(id ObjectID) float64 {
 	return 0
 }
 
+// Forget discards the learned state for one object — its update-rate
+// estimate and last-seen modification instant — leaving the rest of the
+// group intact. Callers use it when a cache evicts a group member, so a
+// later re-admission of the same object starts from the warm-up
+// behavior (unknown rates err on the side of triggering) instead of a
+// stale estimate.
+func (c *MutualTimeController) Forget(id ObjectID) {
+	delete(c.rates, id)
+	delete(c.lastMod, id)
+}
+
 // Reset discards all learned state.
 func (c *MutualTimeController) Reset() {
 	c.rates = make(map[ObjectID]*stats.RateEstimator)

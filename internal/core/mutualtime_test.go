@@ -106,6 +106,34 @@ func TestHeuristicSkipsSlowerObjects(t *testing.T) {
 	}
 }
 
+func TestForgetDiscardsOneObjectsState(t *testing.T) {
+	c := newController(TriggerFaster)
+	feedRate(c, "fast", 2*time.Minute, 10)
+	feedRate(c, "slow", 40*time.Minute, 10)
+
+	// Forgetting the slow object (a cache evicted it) returns it to the
+	// warm-up behavior: unknown rates err on the side of triggering.
+	c.Forget("slow")
+	if got := c.EstimatedRate("slow"); got != 0 {
+		t.Errorf("EstimatedRate after Forget = %v, want 0", got)
+	}
+	now := simtime.At(100 * time.Hour)
+	farPrev, farNext := simtime.At(99*time.Hour), simtime.At(101*time.Hour)
+	if !c.ShouldTrigger("fast", "slow", now, farPrev, farNext) {
+		t.Error("forgotten object must be treated as unknown-rate (trigger)")
+	}
+	// The sibling's learned rate survives.
+	if c.EstimatedRate("fast") == 0 {
+		t.Error("Forget of one object discarded another's rate")
+	}
+	// Re-learning starts clean: stale lastMod no longer suppresses the
+	// re-admitted object's fresh history.
+	feedRate(c, "slow", 40*time.Minute, 10)
+	if c.EstimatedRate("slow") == 0 {
+		t.Error("forgotten object could not re-learn its rate")
+	}
+}
+
 func TestHeuristicTriggersComparableRates(t *testing.T) {
 	c := newController(TriggerFaster)
 	feedRate(c, "a", 10*time.Minute, 10)

@@ -1,0 +1,99 @@
+package webproxy
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// FuzzCanonicalKey fuzzes the canonical cache key over raw request
+// targets (the form ServeHTTP receives). Two properties are pinned:
+//
+//  1. Idempotence: canonicalizing a canonical key is a fixed point, so
+//     an object's key never drifts when a key round-trips through a URL
+//     (as fetch and the stats accessors do).
+//  2. Shard stability: every derivation of an equal canonical key hashes
+//     to the same shard, so a canonicalized re-lookup can never land on
+//     a different shard than the original admission — including query
+//     parameter permutations, which must collapse to one key.
+func FuzzCanonicalKey(f *testing.F) {
+	for _, seed := range []string{
+		"/",
+		"/stock?sym=A",
+		"/stock?b=2&a=1",
+		"/q?a=1&a=2&b=3",
+		"/report%3Fdaily",
+		"/x?a=%zz&b=1",
+		"/path/with%20space?k=v%20w",
+		"/plain?",
+		"//double/slash?x=1",
+		"/semi?a=1;b=2",
+		"/uni/é?q=ü",
+	} {
+		f.Add(seed)
+	}
+	const shards = 64
+	mask := uint32(shards - 1)
+	f.Fuzz(func(t *testing.T, target string) {
+		if !strings.HasPrefix(target, "/") || strings.ContainsAny(target, " \x00\r\n") {
+			t.Skip() // not a plausible request target
+		}
+		u, err := url.ParseRequestURI(target)
+		if err != nil {
+			t.Skip()
+		}
+		key := canonicalKey(u)
+
+		// Idempotence: re-parsing the key as a request target and
+		// canonicalizing again must reproduce it exactly.
+		u2, err := url.ParseRequestURI(key)
+		if err != nil {
+			t.Fatalf("canonical key %q (from %q) is not a parseable request target: %v", key, target, err)
+		}
+		key2 := canonicalKey(u2)
+		if key2 != key {
+			t.Fatalf("canonicalize not idempotent: %q -> %q -> %q", target, key, key2)
+		}
+		if fnv32(key)&mask != fnv32(key2)&mask {
+			t.Fatalf("equal keys %q hashed to different shards", key)
+		}
+
+		// Permuting well-formed query parameters (distinct names, so
+		// per-name value order is preserved) must collapse to the same
+		// key and therefore the same shard.
+		if u.RawQuery == "" {
+			return
+		}
+		q, err := url.ParseQuery(u.RawQuery)
+		if err != nil || len(q) < 2 {
+			return
+		}
+		names := make([]string, 0, len(q))
+		for name, vals := range q {
+			if len(vals) != 1 {
+				return // duplicate-valued params are order-sensitive
+			}
+			names = append(names, name)
+		}
+		// Rebuild the query with the name order rotated by one.
+		var b strings.Builder
+		for i := range names {
+			name := names[(i+1)%len(names)]
+			if b.Len() > 0 {
+				b.WriteByte('&')
+			}
+			b.WriteString(url.QueryEscape(name))
+			b.WriteByte('=')
+			b.WriteString(url.QueryEscape(q.Get(name)))
+		}
+		permuted := *u
+		permuted.RawQuery = b.String()
+		permKey := canonicalKey(&permuted)
+		if permKey != key {
+			t.Fatalf("parameter permutation fragmented the cache: %q vs %q (target %q)", key, permKey, target)
+		}
+		if fnv32(permKey)&mask != fnv32(key)&mask {
+			t.Fatalf("permuted key %q landed on a different shard than %q", permKey, key)
+		}
+	})
+}

@@ -114,6 +114,9 @@ func (p *Proxy) dispatchLoop() {
 			}
 			e := it.Payload.(*entry)
 			e.item = nil
+			if e.evicted.Load() {
+				continue // unwound between Remove and this pop; drop it
+			}
 			due = append(due, e)
 		}
 		wait := time.Hour
@@ -151,9 +154,17 @@ func (p *Proxy) kick() {
 	}
 }
 
-// reschedule sets e's next regular poll instant.
+// reschedule sets e's next regular poll instant. An evicted entry is
+// never (re)scheduled: the eviction token is set before unschedule takes
+// schedMu, so checking it under schedMu closes the race with a poll
+// finishing while its entry is being evicted — whichever side runs
+// second leaves the entry off the heap.
 func (p *Proxy) reschedule(e *entry, at time.Time) {
 	p.schedMu.Lock()
+	if e.evicted.Load() {
+		p.schedMu.Unlock()
+		return
+	}
 	e.nextAt = at
 	if e.item != nil {
 		p.schedule.Reschedule(e.item, at)
@@ -162,6 +173,70 @@ func (p *Proxy) reschedule(e *entry, at time.Time) {
 	}
 	p.schedMu.Unlock()
 	p.kick()
+}
+
+// unschedule removes e's pending poll, if any, from the refresh heap.
+func (p *Proxy) unschedule(e *entry) {
+	p.schedMu.Lock()
+	if e.item != nil {
+		p.schedule.Remove(e.item)
+		e.item = nil
+	}
+	e.nextAt = time.Time{}
+	p.schedMu.Unlock()
+}
+
+// leaveGroup detaches an evicted entry from its consistency group: it is
+// dropped from the member list (no more triggered polls target it) and
+// the controller forgets its learned update rate. Evicting half of a
+// partitioned M_v pair widows the survivor, which is unpaired and
+// returned to an individual AdaptiveTTR policy over its own Δv — its
+// tightened tolerance share would otherwise poll forever for a partner
+// that no longer exists — leaving it free to re-pair with the next
+// value member admitted to the group.
+func (p *Proxy) leaveGroup(e *entry) {
+	if e.group == "" {
+		return
+	}
+	// groupMu is held for the whole removal (lock order groupMu →
+	// gs.mu, matching groupStateOrCreate → joinGroup) so that a group
+	// emptied here can be retired from the map atomically with marking
+	// it dead — a concurrent joinGroup then either sees the dead state
+	// and retries, or the removal sees its member and keeps the group.
+	p.groupMu.Lock()
+	defer p.groupMu.Unlock()
+	gs := p.groups[e.group]
+	if gs == nil {
+		return
+	}
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	for i, m := range gs.members {
+		if m == e {
+			gs.members = append(gs.members[:i], gs.members[i+1:]...)
+			break
+		}
+	}
+	if other := e.partner; other != nil {
+		e.partner = nil
+		if other.partner == e {
+			other.partner = nil
+			other.mu.Lock()
+			other.paired = false
+			other.policy = core.NewAdaptiveTTR(core.AdaptiveTTRConfig{
+				Delta:  other.valueDelta,
+				Bounds: p.cfg.Bounds,
+			})
+			other.mu.Unlock()
+		}
+	}
+	gs.ctrl.Forget(core.ObjectID(e.key))
+	if len(gs.members) == 0 {
+		// Last member gone: retire the group so churn over distinct
+		// group names cannot leak controllers.
+		gs.dead = true
+		delete(p.groups, e.group)
+	}
 }
 
 // scheduledNextAt reads e's next regular poll instant.
@@ -174,6 +249,12 @@ func (p *Proxy) scheduledNextAt(e *entry) time.Time {
 // pollEntry performs one refresh of e. Triggered polls leave the regular
 // schedule untouched, mirroring the simulator's proxy.
 func (p *Proxy) pollEntry(e *entry, triggered bool) {
+	// An entry evicted after being popped off the schedule (or while
+	// queued on its worker) must not poll the origin: eviction promises
+	// the object never causes another upstream request.
+	if e.evicted.Load() {
+		return
+	}
 	e.mu.RLock()
 	since := e.lastMod
 	hasSince := e.hasLastMod
@@ -234,6 +315,32 @@ func (p *Proxy) pollEntry(e *entry, triggered bool) {
 	paired := e.paired
 	e.mu.Unlock()
 
+	if !resp.notModified {
+		// The refresh replaced the body: re-charge the byte ledger.
+		// Polls of one entry serialize on its affinity worker, so the
+		// size transition is single-threaded; resize itself is a no-op
+		// if the entry was evicted meanwhile. Growth can push the
+		// ledger past MaxBytes with no admission in sight, so the
+		// budget is re-enforced here too (the refreshed object itself
+		// is protected — it is demonstrably live).
+		p.store.resize(e, entrySize(e.key, resp.body))
+		if p.cfg.Eviction == EvictClock {
+			if p.cfg.MaxBytes >= 0 && e.size.Load() > p.cfg.MaxBytes {
+				// The body grew past the whole budget: an object this
+				// size would be refused at admission, so it cannot stay
+				// resident either. Removing it must precede the shrink
+				// loop — with the oversized entry protected, shrink
+				// would drain every other resident and still be over
+				// budget. A later request re-fetches and is served
+				// uncached (BYPASS) while it stays oversized.
+				if p.store.removeEntry(e) {
+					p.unwind([]*entry{e})
+				}
+			}
+			p.unwind(p.store.shrink(p.cfg.MaxObjects, p.cfg.MaxBytes, p.store.shardIndex(e.key), e))
+		}
+	}
+
 	e.polls.Add(1)
 	if triggered {
 		e.triggered.Add(1)
@@ -242,8 +349,20 @@ func (p *Proxy) pollEntry(e *entry, triggered bool) {
 	gs := p.groupState(e.group)
 	if gs != nil {
 		gs.mu.Lock()
-		gs.ctrl.ObserveOutcome(core.ObjectID(e.key), outcome)
+		// Re-check the eviction token under gs.mu: if the entry was
+		// evicted while this poll's fetch was in flight, leaveGroup
+		// has run (or will run) Forget for it, and feeding the outcome
+		// now would resurrect controller state for a non-resident
+		// object. The token is set before leaveGroup takes gs.mu, so
+		// whichever side acquires gs.mu second leaves the controller
+		// clean.
+		if !e.evicted.Load() {
+			gs.ctrl.ObserveOutcome(core.ObjectID(e.key), outcome)
+		}
 		gs.mu.Unlock()
+	}
+	if e.evicted.Load() {
+		return // evicted mid-poll: no reschedule, no triggering
 	}
 
 	if !triggered {

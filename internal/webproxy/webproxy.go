@@ -27,10 +27,20 @@
 // first requests for one object produce exactly one origin fetch. Cache
 // keys include the canonicalized query string, so /stock?sym=A and
 // /stock?sym=B are distinct objects; because that makes key cardinality
-// client-controlled, admission is capped by Config.MaxObjects — beyond
-// the cap, requests are proxied without being cached or scheduled.
-// Upstream failures back off exponentially (capped at the TTR upper
-// bound) without disturbing the policy's learned TTR state.
+// client-controlled, residency is bounded by Config.MaxObjects and the
+// Config.MaxBytes memory budget. Under the default EvictClock policy an
+// admission beyond either budget reclaims residents by per-shard CLOCK
+// (second-chance) replacement: hits mark an access bit with a lock-free
+// atomic store, the sweep clears it, and mutual-consistency group
+// members carry extra second chances so a group is not silently broken
+// by evicting one member. An evicted object is fully unwound — removed
+// from the refresh schedule (no ghost polls), detached from its group
+// controller, and safe against a concurrent re-admission of the same
+// key through the singleflight group. The legacy EvictRefuse policy
+// instead refuses admission at capacity and serves over-budget objects
+// uncached (X-Cache: BYPASS). Upstream failures back off exponentially
+// (capped at the TTR upper bound) without disturbing the policy's
+// learned TTR state.
 //
 // Refresh semantics are unchanged from the paper: each object polls the
 // origin when its TTR expires using If-Modified-Since, consumes the
@@ -81,12 +91,25 @@ type Config struct {
 	// Shards is the number of object-store shards, rounded up to a
 	// power of two. Defaults to 64.
 	Shards int
-	// MaxObjects caps the number of cached objects. Requests beyond the
-	// cap are proxied without being cached or scheduled for refresh, so
-	// a client enumerating query strings cannot grow memory and origin
-	// poll load without bound. Defaults to 65536; negative disables the
-	// cap.
+	// MaxObjects caps the number of cached objects. Under EvictClock an
+	// admission beyond the cap evicts a resident selected by the CLOCK
+	// sweep; under EvictRefuse requests beyond the cap are proxied
+	// without being cached or scheduled for refresh. Either way a client
+	// enumerating query strings cannot grow memory and origin poll load
+	// without bound. Defaults to 65536; negative disables the cap.
 	MaxObjects int
+	// MaxBytes bounds the approximate resident memory of cached objects
+	// (key + body + per-entry overhead). Admissions beyond the budget
+	// evict residents under EvictClock and are served uncached under
+	// EvictRefuse. EvictClock also re-enforces the budget when a
+	// background refresh grows a cached body; EvictRefuse never evicts,
+	// so grown bodies can hold the ledger over budget and further
+	// admissions are refused until it shrinks. Zero or negative
+	// disables the budget (the default).
+	MaxBytes int64
+	// Eviction selects the replacement policy applied when MaxObjects
+	// or MaxBytes is exceeded. Defaults to EvictClock.
+	Eviction EvictionPolicy
 	// PollWorkers bounds the number of concurrent origin polls.
 	// Defaults to GOMAXPROCS.
 	PollWorkers int
@@ -94,6 +117,44 @@ type Config struct {
 	// clock but must advance at wall rate: the dispatcher computes
 	// waits on this timeline and sleeps them in wall time.
 	Clock func() time.Time
+}
+
+// EvictionPolicy selects how the proxy reacts to an admission that would
+// exceed Config.MaxObjects or Config.MaxBytes.
+type EvictionPolicy int
+
+const (
+	// EvictClock (the default) reclaims residents by per-shard CLOCK
+	// second-chance replacement with group-aware victim selection.
+	EvictClock EvictionPolicy = iota
+	// EvictRefuse is the legacy policy: at capacity new objects are
+	// served uncached and never admitted.
+	EvictRefuse
+)
+
+// String names the policy for flags and logs.
+func (p EvictionPolicy) String() string {
+	switch p {
+	case EvictClock:
+		return "clock"
+	case EvictRefuse:
+		return "refuse"
+	default:
+		return fmt.Sprintf("EvictionPolicy(%d)", int(p))
+	}
+}
+
+// ParseEvictionPolicy maps a flag value ("clock" or "refuse") to its
+// policy.
+func ParseEvictionPolicy(s string) (EvictionPolicy, error) {
+	switch s {
+	case "clock":
+		return EvictClock, nil
+	case "refuse":
+		return EvictRefuse, nil
+	default:
+		return 0, fmt.Errorf("webproxy: unknown eviction policy %q (want clock or refuse)", s)
+	}
 }
 
 // entry is one cached object.
@@ -117,28 +178,70 @@ type entry struct {
 
 	// Value-domain objects (origin advertised x-cc-vdelta): the body is
 	// parsed as a decimal value and the entry runs an AdaptiveTTR
-	// policy over it.
-	isValue bool
-	value   float64
+	// policy over it. valueDelta is the advertised Δv, immutable after
+	// admission (leaveGroup rebuilds a widowed partner's individual
+	// policy from it).
+	isValue    bool
+	value      float64
+	valueDelta float64
 	// paired marks a value entry whose policy belongs to a
-	// MutualValuePartitioned pair (M_v consistency, §4.2).
-	paired bool
+	// MutualValuePartitioned pair (M_v consistency, §4.2). partner
+	// links the two halves of the pair and is guarded by the group's
+	// mu (pairing and unpairing both run under it).
+	paired  bool
+	partner *entry
 
 	// nextAt and item are guarded by the proxy's schedMu.
 	nextAt time.Time
 	item   *sched.Item
 
+	// Replacement state. size is the resident bytes charged to the
+	// store's ledger (re-charged on refresh under the shard lock).
+	// ringIdx and lives (remaining extra second chances; group members
+	// start with groupLives) are guarded by the owning shard's mutex.
+	// evicted is the cancellation token: set under the shard lock when
+	// the entry leaves the store, it stops future reschedules and
+	// in-flight polls from resurrecting the object.
+	size    atomic.Int64
+	ringIdx int
+	lives   int
+	evicted atomic.Bool
+	// capped marks an entry served uncached because admission was
+	// refused at capacity (EvictRefuse) or the object alone overflows
+	// MaxBytes.
+	capped bool
+
 	polls     atomic.Uint64
 	triggered atomic.Uint64
 	hits      atomic.Uint64
+	// refbit is the CLOCK access bit, marked lock-free on hits (see
+	// markAccessed) and consumed by the victim sweep. It sits next to
+	// hits so a hit that does write it touches the cache line the hit
+	// counter already owns.
+	refbit atomic.Bool
+}
+
+// markAccessed sets the CLOCK access bit. Steady-state hits find the bit
+// already set and stay read-only — no lock and no extra contended
+// cache-line write on the hit path; only the first hit after a sweep
+// cleared the bit (or after admission) pays the store.
+func (e *entry) markAccessed() {
+	if !e.refbit.Load() {
+		e.refbit.Store(true)
+	}
 }
 
 // groupState is the serialization domain of one consistency group: the
-// shared controller plus the member list, guarded by mu.
+// shared controller plus the member list, guarded by mu. dead marks a
+// state whose last member was evicted and which has been deleted from
+// the proxy's group map — a racing joinGroup that still holds the stale
+// pointer must retry rather than populate the orphan (grouped-key churn
+// would otherwise leak one groupState per retired group name).
 type groupState struct {
 	mu      sync.Mutex
 	ctrl    *core.MutualTimeController
 	members []*entry
+	dead    bool
 }
 
 // Proxy is a live caching HTTP proxy. Construct with New, then Start the
@@ -160,6 +263,14 @@ type Proxy struct {
 	wake    chan struct{}
 	done    chan struct{}
 	wg      sync.WaitGroup
+
+	// Expvar-style cache counters. Misses, evictions, and capped
+	// admissions are counted on the (cold) admission/eviction paths
+	// only; the hit path stays free of shared counters so it gains no
+	// contended cache line (per-entry hits are summed on demand).
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	cappedN   atomic.Uint64
 
 	lifeMu  sync.Mutex
 	started bool
@@ -200,6 +311,14 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	if cfg.MaxObjects == 0 {
 		cfg.MaxObjects = 1 << 16
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = -1 // unlimited
+	}
+	switch cfg.Eviction {
+	case EvictClock, EvictRefuse:
+	default:
+		return nil, fmt.Errorf("webproxy: invalid Config.Eviction %d", int(cfg.Eviction))
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
@@ -291,18 +410,25 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	if e := p.store.get(key); e != nil {
 		e.hits.Add(1)
+		e.markAccessed()
 		p.serveEntry(w, e, "HIT")
 		return
 	}
 
 	// Singleflight admission: concurrent first requests for one key
 	// share a single origin fetch.
+	p.misses.Add(1)
 	v, err, _ := p.flight.Do(key, func() (any, error) { return p.admit(key) })
 	if err != nil {
 		http.Error(w, fmt.Sprintf("upstream fetch failed: %v", err), http.StatusBadGateway)
 		return
 	}
-	p.serveEntry(w, v.(*entry), "MISS")
+	e := v.(*entry)
+	status := "MISS"
+	if e.capped {
+		status = "BYPASS" // served, but refused residency at capacity
+	}
+	p.serveEntry(w, e, status)
 }
 
 // serveEntry writes e's current cached representation. The body slice is
@@ -371,6 +497,7 @@ func (p *Proxy) admit(key string) (*entry, error) {
 	if v, ok := parseValueBody(resp.body); ok && valueDelta > 0 {
 		e.isValue = true
 		e.value = v
+		e.valueDelta = valueDelta
 		e.policy = core.NewAdaptiveTTR(core.AdaptiveTTRConfig{
 			Delta:  valueDelta,
 			Bounds: p.cfg.Bounds,
@@ -379,15 +506,21 @@ func (p *Proxy) admit(key string) (*entry, error) {
 		e.policy = core.NewLIMD(core.LIMDConfig{Delta: delta, Bounds: p.cfg.Bounds})
 	}
 
-	actual, inserted, capped := p.store.put(key, e, p.cfg.MaxObjects)
+	e.size.Store(entrySize(key, resp.body))
+	actual, inserted, victims, capped := p.store.put(key, e, p.cfg.MaxObjects, p.cfg.MaxBytes, p.cfg.Eviction == EvictClock)
 	if capped {
-		// At capacity the object is served but not admitted: no store
-		// entry, no refresh schedule. The next request proxies again.
+		// The object is served but not admitted: no store entry, no
+		// refresh schedule. The next request proxies again.
+		e.capped = true
+		p.cappedN.Add(1)
 		return e, nil
 	}
 	if !inserted {
 		return actual, nil
 	}
+	// Unwind the victims the admission displaced before scheduling the
+	// newcomer, so their refresh slots are gone by the time ours exists.
+	p.unwind(victims)
 	if group != "" {
 		p.joinGroup(e, group, groupDelta, valueDelta)
 	}
@@ -399,6 +532,36 @@ func (p *Proxy) admit(key string) (*entry, error) {
 	return e, nil
 }
 
+// unwind finishes an eviction: each victim — already removed from the
+// store and marked with its cancellation token — is descheduled from
+// the refresh heap and detached from its consistency group, so no
+// ghost poll ever reaches the origin on its behalf. A concurrent
+// re-admission of the same key runs through the singleflight group and
+// builds a fresh entry; it never observes the victim.
+func (p *Proxy) unwind(victims []*entry) {
+	for _, v := range victims {
+		p.evictions.Add(1)
+		p.unschedule(v)
+		p.leaveGroup(v)
+	}
+}
+
+// Evict removes key from the cache immediately (admin eviction): the
+// object is descheduled from the refresh heap and detached from its
+// group, exactly as a replacement victim. It reports whether an object
+// was resident.
+func (p *Proxy) Evict(key string) bool {
+	e := p.lookup(key)
+	if e == nil {
+		return false
+	}
+	if !p.store.removeEntry(e) {
+		return false // lost a race with a concurrent eviction
+	}
+	p.unwind([]*entry{e})
+	return true
+}
+
 // joinGroup registers e with its consistency group, pairing two
 // value-domain members under a partitioned M_v controller (§4.2): the
 // mutual tolerance δ is split across the pair in inverse proportion to
@@ -406,9 +569,26 @@ func (p *Proxy) admit(key string) (*entry, error) {
 // and pairs only; further value members of the group keep individual
 // policies.
 func (p *Proxy) joinGroup(e *entry, group string, groupDelta time.Duration, valueDelta float64) {
-	gs := p.groupStateOrCreate(group, groupDelta)
-	gs.mu.Lock()
+	// Retry when the state died between lookup and lock: leaveGroup
+	// retires a group whose last member was evicted, and a fresh state
+	// replaces it in the map on the next lookup.
+	var gs *groupState
+	for {
+		gs = p.groupStateOrCreate(group, groupDelta)
+		gs.mu.Lock()
+		if !gs.dead {
+			break
+		}
+		gs.mu.Unlock()
+	}
 	defer gs.mu.Unlock()
+	// A concurrent admission can evict e before it joins its group. The
+	// eviction sets the token before leaveGroup takes gs.mu, so checking
+	// it under gs.mu guarantees an evicted entry is never added to the
+	// member list after leaveGroup has run (no membership leak).
+	if e.evicted.Load() {
+		return
+	}
 	if e.isValue && valueDelta > 0 {
 		for _, other := range gs.members {
 			if !other.isValue {
@@ -430,6 +610,8 @@ func (p *Proxy) joinGroup(e *entry, group string, groupDelta time.Duration, valu
 			e.policy = pair.PolicyB()
 			e.paired = true
 			e.mu.Unlock()
+			e.partner = other
+			other.partner = e
 			break
 		}
 	}
@@ -534,7 +716,51 @@ type Stats struct {
 	Polls     uint64
 	Triggered uint64
 	Hits      uint64
-	Cached    bool
+	// Bytes is the resident size charged to the byte ledger.
+	Bytes  int64
+	Cached bool
+	// Grouped reports whether the object belongs to a mutual-consistency
+	// group (and is therefore penalized as an eviction victim).
+	Grouped bool
+}
+
+// CacheStats aggregates proxy-wide cache activity, expvar-style.
+type CacheStats struct {
+	// Hits counts cache hits on currently resident objects (an evicted
+	// object's hits leave the total with it).
+	Hits uint64
+	// Misses counts requests that entered the admission path.
+	Misses uint64
+	// Evictions counts objects displaced by replacement or Evict.
+	Evictions uint64
+	// Capped counts admissions refused residency: over-budget objects
+	// under EvictRefuse, or single objects larger than MaxBytes.
+	Capped uint64
+	// ResidentObjects and ResidentBytes are the current store footprint.
+	ResidentObjects int
+	ResidentBytes   int64
+}
+
+// CacheStats returns the proxy-wide cache counters. Hits is summed over
+// resident entries, so it is consistent with ResidentObjects rather
+// than with all-time traffic.
+func (p *Proxy) CacheStats() CacheStats {
+	cs := CacheStats{
+		Misses:          p.misses.Load(),
+		Evictions:       p.evictions.Load(),
+		Capped:          p.cappedN.Load(),
+		ResidentObjects: p.store.len(),
+		ResidentBytes:   p.store.residentBytes(),
+	}
+	for i := range p.store.shards {
+		sh := &p.store.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			cs.Hits += e.hits.Load()
+		}
+		sh.mu.RUnlock()
+	}
+	return cs
 }
 
 // lookup finds the entry for a caller-supplied key, canonicalizing it
@@ -563,9 +789,14 @@ func (p *Proxy) ObjectStats(key string) Stats {
 		Polls:     e.polls.Load(),
 		Triggered: e.triggered.Load(),
 		Hits:      e.hits.Load(),
+		Bytes:     e.size.Load(),
 		Cached:    true,
+		Grouped:   e.group != "",
 	}
 }
+
+// ResidentBytes returns the byte ledger's current total.
+func (p *Proxy) ResidentBytes() int64 { return p.store.residentBytes() }
 
 // CachedBody returns the currently cached body for key.
 func (p *Proxy) CachedBody(key string) ([]byte, bool) {
