@@ -23,6 +23,7 @@
 //	internal/httpx        proposed HTTP/1.1 extensions (§5.1)
 //	internal/webserver    live HTTP origin
 //	internal/webproxy     live HTTP caching proxy (the Squid future work)
+//	internal/push         origin-driven invalidation channel (hybrid push–pull)
 //	internal/sched        wall-clock min-heap refresh schedule
 //	internal/singleflight duplicate-suppressed cache admission
 //
@@ -60,6 +61,18 @@
 // (hits, misses, evictions, capped admissions, resident bytes) are
 // exposed through WebProxy.CacheStats.
 //
+// The paper's machinery is pure pull; the live stack can layer an
+// origin-driven invalidation channel on top of it (hybrid push–pull): a
+// push-enabled WebOrigin streams per-object update events over an
+// SSE-style /events endpoint (wire protocol in internal/push), the
+// proxy converts each event into an immediate poll through the same
+// group-affinity workers, and regular TTR polls stretch toward the
+// upper bound while the channel is healthy — so consistency traffic
+// follows the origin's churn instead of the poll schedule. The channel
+// is an optimization, never a correctness dependency: a disconnect
+// falls back to pure paper-mode polling with a staleness-bounded
+// catch-up sweep, so the Δt guarantee never silently widens.
+//
 // # Quick start
 //
 //	tr := broadway.TraceCNNFN()
@@ -82,6 +95,7 @@ import (
 	"broadway/internal/experiments"
 	"broadway/internal/httpx"
 	"broadway/internal/metrics"
+	"broadway/internal/push"
 	"broadway/internal/trace"
 	"broadway/internal/tracegen"
 	"broadway/internal/webproxy"
@@ -287,6 +301,10 @@ type (
 	WebProxyCacheStats = webproxy.CacheStats
 	// WebProxyObjectStats reports cache activity for one object.
 	WebProxyObjectStats = webproxy.Stats
+	// WebProxyPushStats reports the invalidation channel's state.
+	WebProxyPushStats = webproxy.PushStats
+	// PushEvent is one frame of the origin-driven invalidation stream.
+	PushEvent = push.Event
 )
 
 // Replacement policies for the live proxy.
@@ -304,6 +322,19 @@ func NewWebOrigin(opts ...WebOriginOption) *WebOrigin { return webserver.NewOrig
 // WebOrigin.
 func WithHistoryExtension(enabled bool) WebOriginOption {
 	return webserver.WithHistoryExtension(enabled)
+}
+
+// WithPushEvents enables the origin-driven invalidation stream on a
+// WebOrigin at the given path ("" selects /events). Point
+// WebProxyConfig.PushURL at it for hybrid push–pull consistency.
+func WithPushEvents(path string) WebOriginOption {
+	return webserver.WithPushEvents(path)
+}
+
+// WithPushHeartbeat sets the invalidation stream's keepalive interval
+// (implies WithPushEvents at the default path).
+func WithPushHeartbeat(interval time.Duration) WebOriginOption {
+	return webserver.WithPushHeartbeat(interval)
 }
 
 // NewWebProxy returns a live caching proxy; call Start to launch its

@@ -25,9 +25,25 @@
 //	                  served uncached (X-Cache: BYPASS), never admitted
 //
 //	mcproxy -demo -max-objects 10000 -max-bytes 67108864 -eviction clock
+//
+// Hybrid push–pull consistency: when the origin streams invalidation
+// events (the webserver's /events endpoint; the demo origin does), -push
+// subscribes the proxy to them. Updates then reach the cache the moment
+// the origin announces them, regular TTR polls stretch toward the upper
+// bound (-push-stretch) while the channel is healthy, and a channel
+// failure falls back to the paper's pure polling with a staleness-bounded
+// catch-up sweep:
+//
+//	mcproxy -demo -push
+//	mcproxy -origin http://origin:8080 -push -push-path /events
+//
+// On SIGINT the proxy drains in-flight requests for up to -drain before
+// exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -66,6 +82,10 @@ func run(args []string) error {
 	maxObjects := fs.Int("max-objects", 0, "cached-object cap (0 = default 65536, negative = unlimited)")
 	maxBytes := fs.Int64("max-bytes", 0, "resident-memory budget in bytes for cached objects (0 = unlimited)")
 	eviction := fs.String("eviction", "clock", "replacement beyond -max-objects/-max-bytes: clock | refuse")
+	pushEnabled := fs.Bool("push", false, "subscribe to the origin's invalidation event stream (hybrid push-pull)")
+	pushPath := fs.String("push-path", "/events", "path of the origin's event-stream endpoint")
+	pushStretch := fs.Float64("push-stretch", 4, "TTR stretch factor while the push channel is healthy, clamped to -ttr-max (values <= 1 disable stretching)")
+	drain := fs.Duration("drain", 5*time.Second, "in-flight request drain timeout on shutdown")
 	runFor := fs.Duration("run-for", 0, "exit after this long (0 = run until interrupted)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,7 +130,7 @@ func run(args []string) error {
 		return fmt.Errorf("parsing origin URL: %w", err)
 	}
 
-	px, err := webproxy.New(webproxy.Config{
+	proxyCfg := webproxy.Config{
 		Origin:            origin,
 		DefaultDelta:      *delta,
 		DefaultGroupDelta: *groupDelta,
@@ -121,7 +141,21 @@ func run(args []string) error {
 		MaxObjects:        *maxObjects,
 		MaxBytes:          *maxBytes,
 		Eviction:          evictionPolicy,
-	})
+	}
+	if *pushEnabled {
+		pushURL, err := origin.Parse(*pushPath)
+		if err != nil {
+			return fmt.Errorf("building push URL from %q: %w", *pushPath, err)
+		}
+		proxyCfg.PushURL = pushURL
+		proxyCfg.PushStretch = *pushStretch
+		if proxyCfg.PushStretch <= 0 {
+			// The flag promises "<= 1 disables"; zero must not fall
+			// through to the config's unset-means-default-4 rule.
+			proxyCfg.PushStretch = 1
+		}
+	}
+	px, err := webproxy.New(proxyCfg)
 	if err != nil {
 		return err
 	}
@@ -133,11 +167,12 @@ func run(args []string) error {
 	go func() {
 		errCh <- srv.ListenAndServe()
 	}()
-	fmt.Printf("mcproxy listening on %s (origin %s, Δ=%v, δ=%v, mode %s, eviction %s)\n",
-		*listen, origin, *delta, *groupDelta, *mode, evictionPolicy)
+	fmt.Printf("mcproxy listening on %s (origin %s, Δ=%v, δ=%v, mode %s, eviction %s, push %v)\n",
+		*listen, origin, *delta, *groupDelta, *mode, evictionPolicy, *pushEnabled)
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)
+	defer signal.Stop(interrupt)
 	var timeout <-chan time.Time
 	if *runFor > 0 {
 		timeout = time.After(*runFor)
@@ -148,14 +183,30 @@ func run(args []string) error {
 	case <-interrupt:
 	case <-timeout:
 	}
-	return srv.Close()
+	// Graceful teardown: stop accepting, then drain in-flight requests
+	// for up to -drain before abandoning them. srv.Close() here would
+	// reset active connections and clients would see truncated bodies.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// The drain window expired with requests still running: tear
+		// the rest down hard, and say so — clients saw truncated
+		// responses, which must not look like a clean exit.
+		return fmt.Errorf("drain timed out, connections reset: %w", errors.Join(err, srv.Close()))
+	}
+	return nil
 }
 
 // startDemoOrigin launches a self-updating origin: a news story page plus
 // two embedded objects forming one consistency group, and a stock quote
-// (numeric body with a Δv tolerance) updating every few seconds.
+// (numeric body with a Δv tolerance) updating every few seconds. The
+// origin also streams invalidation events at /events so the proxy can be
+// run with -push.
 func startDemoOrigin(addr string) (string, func(), error) {
-	origin := webserver.NewOrigin(webserver.WithHistoryExtension(true))
+	origin := webserver.NewOrigin(
+		webserver.WithHistoryExtension(true),
+		webserver.WithPushHeartbeat(5*time.Second),
+	)
 
 	const group = "frontpage"
 	set := func(rev int) {

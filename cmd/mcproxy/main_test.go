@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -84,6 +85,171 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if err := <-done; err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunWithPushEndToEnd runs the demo origin with -push and checks a
+// story update reaches the cache via the invalidation channel well
+// before the 30s Δ could have polled for it: the demo origin rewrites
+// the story every 7s, the policy's first regular poll is 30s out, so a
+// revision advance observed on a cache HIT inside the test window can
+// only have been delivered by push.
+func TestRunWithPushEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-demo", "-listen", addr, "-push",
+			"-delta", "30s", "-ttr-max", "5m", "-run-for", "13s"})
+	}()
+
+	get := func() (body, cache string, ok bool) {
+		resp, err := http.Get(fmt.Sprintf("http://%s/news/story.html", addr))
+		if err != nil {
+			return "", "", false
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", "", false
+		}
+		return string(b), resp.Header.Get("X-Cache"), resp.StatusCode == http.StatusOK
+	}
+	var first string
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if body, _, ok := get(); ok {
+			first = body
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !strings.Contains(first, "Breaking news") {
+		t.Fatalf("proxy never served the story (last body %q)", first)
+	}
+
+	// Wait out one origin rewrite (7s): the cached story must advance
+	// revision while still serving HITs, with the regular poll schedule
+	// nowhere near due.
+	advanced := false
+	deadline = time.Now().Add(11 * time.Second)
+	for time.Now().Before(deadline) {
+		body, cache, ok := get()
+		if ok && body != first {
+			if cache != "HIT" {
+				t.Errorf("revision advanced on X-Cache=%q, want a background (push) refresh serving HIT", cache)
+			}
+			advanced = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !advanced {
+		t.Error("story revision never advanced within 11s; the push channel did not deliver")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestShutdownDrainsInflightRequests reproduces the srv.Close() teardown
+// bug: a request still streaming when -run-for expires must complete
+// instead of being reset mid-body.
+func TestShutdownDrainsInflightRequests(t *testing.T) {
+	// A deliberately slow origin: the response body arrives in two
+	// installments 700ms apart.
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Last-Modified", time.Now().UTC().Format(http.TimeFormat))
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		time.Sleep(700 * time.Millisecond)
+		io.WriteString(w, "slow body done")
+	})
+	originLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	originSrv := &http.Server{Handler: slow}
+	go originSrv.Serve(originLn)
+	defer originSrv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-origin", "http://" + originLn.Addr().String(),
+			"-listen", addr, "-drain", "5s"})
+	}()
+
+	// Deterministic sequencing instead of racing a -run-for timer: wait
+	// until the proxy answers (POST → 405 without touching the slow
+	// upstream), put the slow request in flight, then deliver the same
+	// SIGINT a real operator would.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Post(fmt.Sprintf("http://%s/up", addr), "text/plain", nil)
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("proxy never came up")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	type result struct {
+		body []byte
+		err  error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/slow", addr))
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		resCh <- result{body: body, err: err}
+	}()
+	time.Sleep(150 * time.Millisecond) // the GET is now held open by the slow origin
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case res := <-resCh:
+		if res.err != nil {
+			t.Fatalf("in-flight request was cut off mid-body: %v", res.err)
+		}
+		if string(res.body) != "slow body done" {
+			t.Fatalf("drained body = %q, want the full slow response", res.body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run never returned after the drain")
 	}
 }
 

@@ -1,0 +1,55 @@
+package push
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzInvalidationEvent hammers the wire decoder with arbitrary bytes.
+// The invariants are the ones the proxy's scheduler depends on:
+//
+//   - Decode never panics, whatever the input.
+//   - An accepted frame re-encodes to a frame that decodes to the same
+//     event (the decoder cannot invent state the encoder cannot
+//     represent, so a hostile frame cannot smuggle impossible values
+//     into the subscription manager).
+//   - An accepted update frame always carries a non-empty key and a
+//     known kind — the two fields the proxy dispatches on.
+func FuzzInvalidationEvent(f *testing.F) {
+	f.Add(Event{Kind: KindHello, Seq: 1, Reset: true}.Encode())
+	f.Add(Event{Kind: KindUpdate, Seq: 2, Key: "/news/story.html", Group: "frontpage",
+		ModTime: time.Unix(1700000000, 123)}.Encode())
+	f.Add(Event{Kind: KindUpdate, Seq: 3, Key: "/stock?sym=A&x=%20"}.Encode())
+	f.Add(Event{Kind: KindHeartbeat, Seq: 4}.Encode())
+	f.Add("v1 2 1 0 - /k -")
+	f.Add("v1 2 1 0 - %2D %2D")
+	f.Add("v1 2 1 0 r %2Fa%20b grp")
+	f.Add("")
+	f.Add("data: v1 2 1 0 - /k -")
+	f.Add(strings.Repeat(" ", 64))
+
+	f.Fuzz(func(t *testing.T, wire string) {
+		ev, err := Decode(wire)
+		if err != nil {
+			return
+		}
+		switch ev.Kind {
+		case KindHello, KindUpdate, KindHeartbeat:
+		default:
+			t.Fatalf("Decode(%q) accepted unknown kind %d", wire, ev.Kind)
+		}
+		if ev.Kind == KindUpdate && ev.Key == "" {
+			t.Fatalf("Decode(%q) accepted an update without a key", wire)
+		}
+		re := ev.Encode()
+		ev2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame %q (from %q) failed to decode: %v", re, wire, err)
+		}
+		if ev2.Kind != ev.Kind || ev2.Seq != ev.Seq || ev2.Key != ev.Key ||
+			ev2.Group != ev.Group || ev2.Reset != ev.Reset || !ev2.ModTime.Equal(ev.ModTime) {
+			t.Fatalf("round trip diverged: %+v vs %+v (wire %q)", ev, ev2, wire)
+		}
+	})
+}

@@ -1,0 +1,222 @@
+// Package push defines the origin-driven invalidation channel that turns
+// the paper's pure-pull Δt/mutual-consistency machinery into a hybrid
+// push–pull system. The paper's proxy learns about updates only by
+// polling on its TTR schedule, so consistency costs poll traffic even
+// when nothing changes; with a push channel the origin streams per-object
+// update notifications and the proxy polls lazily, falling back to pure
+// paper-mode polling the moment the channel degrades.
+//
+// The package has two halves:
+//
+//   - The wire protocol: a versioned, single-line event encoding
+//     (Event, Encode, Decode) deliberately shaped for fuzzing — Decode
+//     accepts arbitrary bytes and must never panic. Events are carried
+//     over an SSE-style HTTP stream (text/event-stream) served by
+//     internal/webserver's /events endpoint.
+//   - The Subscriber: a client that consumes the stream, survives
+//     disconnects with capped exponential backoff, resumes from the last
+//     processed sequence number, and detects dead connections via a
+//     heartbeat timeout.
+//
+// Delivery semantics are at-least-once with ordered sequence numbers:
+// the origin assigns every update event a monotonically increasing Seq,
+// keeps a bounded replay buffer, and a reconnecting subscriber passes
+// ?since=<seq> to receive the events it missed. When the gap exceeds the
+// buffer the server's hello frame carries Reset=true, telling the
+// consumer its view is no longer contiguous and it must revalidate by
+// polling (the proxy runs its staleness-bounded catch-up sweep).
+package push
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ProtocolVersion is the wire-format version emitted by Encode. Decode
+// rejects frames with any other version so incompatible future formats
+// fail loudly instead of being half-parsed.
+const ProtocolVersion = 1
+
+// MaxFrameLen bounds the encoded frame size Decode accepts. Keys and
+// group names are URL paths and tokens; anything larger is hostile.
+const MaxFrameLen = 4096
+
+// Kind discriminates event frames.
+type Kind uint8
+
+const (
+	// KindHello is the first frame of every stream: Seq carries the
+	// server's current (last assigned) sequence number and Reset reports
+	// whether the requested resume point fell outside the replay buffer.
+	KindHello Kind = 1
+	// KindUpdate announces that the object at Key was modified at
+	// ModTime. Seq is the event's position in the origin's stream.
+	KindUpdate Kind = 2
+	// KindHeartbeat is a liveness frame carrying the current Seq; it
+	// lets subscribers distinguish a quiet origin from a dead connection.
+	KindHeartbeat Kind = 3
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindUpdate:
+		return "update"
+	case KindHeartbeat:
+		return "heartbeat"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one frame of the invalidation stream.
+type Event struct {
+	// Kind discriminates the frame.
+	Kind Kind
+	// Seq is the origin-assigned sequence number. Update events carry
+	// their own strictly increasing Seq; hello and heartbeat frames
+	// carry the last assigned Seq at the time they were written.
+	Seq uint64
+	// Key is the object's path (plus query, if any) at the origin.
+	// Meaningful for update events only.
+	Key string
+	// Group is the object's mutual-consistency group, when it has one.
+	Group string
+	// ModTime is the modification instant announced by an update event.
+	ModTime time.Time
+	// Reset is set on a hello frame when the subscriber's resume point
+	// is older than the replay buffer: events were irrecoverably missed
+	// and the consumer must revalidate by polling.
+	Reset bool
+}
+
+// Errors returned by Decode.
+var (
+	ErrFrameTooLong = errors.New("push: frame exceeds MaxFrameLen")
+	ErrBadFrame     = errors.New("push: malformed frame")
+	ErrBadVersion   = errors.New("push: unsupported protocol version")
+)
+
+// Encode renders the event as a single line:
+//
+//	v1 <kind> <seq> <modtime-unixnano> <flags> <key> <group>
+//
+// Key and group are query-escaped so they can never contain the space
+// separator; empty fields encode as "-". The format is
+// newline-free by construction, which is what lets one frame travel as
+// one SSE data line.
+func (e Event) Encode() string {
+	key, group := "-", "-"
+	if e.Key != "" {
+		key = escapeField(e.Key)
+	}
+	if e.Group != "" {
+		group = escapeField(e.Group)
+	}
+	var mod int64
+	if !e.ModTime.IsZero() {
+		mod = e.ModTime.UnixNano()
+	}
+	flags := "-"
+	if e.Reset {
+		flags = "r"
+	}
+	return fmt.Sprintf("v%d %d %d %d %s %s %s",
+		ProtocolVersion, uint8(e.Kind), e.Seq, mod, flags, key, group)
+}
+
+// escapeField query-escapes a key or group for the wire. A literal "-"
+// survives QueryEscape unchanged but collides with the empty-field
+// sentinel, so it is forced into escaped form (QueryEscape itself never
+// emits "%2D", so decoding stays unambiguous).
+func escapeField(s string) string {
+	esc := url.QueryEscape(s)
+	if esc == "-" {
+		return "%2D"
+	}
+	return esc
+}
+
+// Oversized reports whether the event's encoded frame exceeds
+// MaxFrameLen. An oversized update must never enter a stream or replay
+// buffer — subscribers reject such frames, so one poisonous buffered
+// frame would livelock every reconnect — and a proxy caching an object
+// whose key cannot ride the channel must keep pure-polling freshness
+// for it (no TTR stretch) because its updates will never be announced.
+func (e Event) Oversized() bool { return len(e.Encode()) > MaxFrameLen }
+
+// Decode parses a frame produced by Encode. It never panics on malformed
+// input: any deviation from the format yields an error. The ModTime of a
+// frame encoding nanos 0 is the zero time.
+func Decode(s string) (Event, error) {
+	if len(s) > MaxFrameLen {
+		return Event{}, ErrFrameTooLong
+	}
+	fields := strings.Split(s, " ")
+	if len(fields) != 7 {
+		return Event{}, fmt.Errorf("%w: %d fields, want 7", ErrBadFrame, len(fields))
+	}
+	if !strings.HasPrefix(fields[0], "v") {
+		return Event{}, fmt.Errorf("%w: missing version tag", ErrBadFrame)
+	}
+	ver, err := strconv.ParseUint(fields[0][1:], 10, 16)
+	if err != nil {
+		return Event{}, fmt.Errorf("%w: bad version %q", ErrBadFrame, fields[0])
+	}
+	if ver != ProtocolVersion {
+		return Event{}, fmt.Errorf("%w: v%d", ErrBadVersion, ver)
+	}
+
+	var e Event
+	kind, err := strconv.ParseUint(fields[1], 10, 8)
+	if err != nil {
+		return Event{}, fmt.Errorf("%w: bad kind %q", ErrBadFrame, fields[1])
+	}
+	switch Kind(kind) {
+	case KindHello, KindUpdate, KindHeartbeat:
+		e.Kind = Kind(kind)
+	default:
+		return Event{}, fmt.Errorf("%w: unknown kind %d", ErrBadFrame, kind)
+	}
+	if e.Seq, err = strconv.ParseUint(fields[2], 10, 64); err != nil {
+		return Event{}, fmt.Errorf("%w: bad seq %q", ErrBadFrame, fields[2])
+	}
+	nanos, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("%w: bad modtime %q", ErrBadFrame, fields[3])
+	}
+	if nanos != 0 {
+		e.ModTime = time.Unix(0, nanos)
+	}
+	switch fields[4] {
+	case "-":
+	case "r":
+		e.Reset = true
+	default:
+		return Event{}, fmt.Errorf("%w: bad flags %q", ErrBadFrame, fields[4])
+	}
+	if fields[5] != "-" {
+		if e.Key, err = url.QueryUnescape(fields[5]); err != nil {
+			return Event{}, fmt.Errorf("%w: bad key %q", ErrBadFrame, fields[5])
+		}
+	}
+	if fields[6] != "-" {
+		if e.Group, err = url.QueryUnescape(fields[6]); err != nil {
+			return Event{}, fmt.Errorf("%w: bad group %q", ErrBadFrame, fields[6])
+		}
+	}
+	// Escaped fields round-trip through QueryUnescape, but an unescaped
+	// space or newline smuggled through %-encoding is fine — the field
+	// boundary was already fixed by the split above. What must not pass
+	// is an empty key masquerading as present.
+	if e.Kind == KindUpdate && e.Key == "" {
+		return Event{}, fmt.Errorf("%w: update without key", ErrBadFrame)
+	}
+	return e, nil
+}

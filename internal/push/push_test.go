@@ -1,0 +1,372 @@
+package push
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: KindHello, Seq: 42, Reset: true},
+		{Kind: KindHello, Seq: 0},
+		{Kind: KindUpdate, Seq: 7, Key: "/news/story.html", Group: "frontpage",
+			ModTime: time.Unix(1700000000, 0)},
+		{Kind: KindUpdate, Seq: 8, Key: "/stock?sym=A B&x=ü", Group: "a b"},
+		{Kind: KindUpdate, Seq: 1 << 60, Key: "/k"},
+		// A literal "-" collides with the empty-field sentinel and must
+		// survive the trip via forced escaping.
+		{Kind: KindUpdate, Seq: 9, Key: "-", Group: "-"},
+		{Kind: KindHeartbeat, Seq: 99},
+	}
+	for _, want := range events {
+		wire := want.Encode()
+		if strings.ContainsAny(wire, "\r\n") {
+			t.Errorf("Encode(%+v) contains a newline: %q", want, wire)
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Errorf("Decode(%q): %v", wire, err)
+			continue
+		}
+		if got.Kind != want.Kind || got.Seq != want.Seq || got.Key != want.Key ||
+			got.Group != want.Group || got.Reset != want.Reset ||
+			!got.ModTime.Equal(want.ModTime) {
+			t.Errorf("round trip: got %+v want %+v (wire %q)", got, want, wire)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"v1",
+		"v1 2 3",
+		"v2 2 1 0 - /k -",                    // wrong version
+		"w1 2 1 0 - /k -",                    // bad version tag
+		"v1 9 1 0 - /k -",                    // unknown kind
+		"v1 2 x 0 - /k -",                    // bad seq
+		"v1 2 1 y - /k -",                    // bad modtime
+		"v1 2 1 0 z /k -",                    // bad flags
+		"v1 2 1 0 - %zz -",                   // bad key escape
+		"v1 2 1 0 - /k %zz",                  // bad group escape
+		"v1 2 1 0 - - -",                     // update without key
+		"v1 2 1 0 - /k - trailing",           // too many fields
+		"v1 -1 1 0 - /k -",                   // negative kind
+		"v1 2 18446744073709551616 0 - /k -", // seq overflow
+		strings.Repeat("x", MaxFrameLen+1),
+	}
+	for _, wire := range bad {
+		if _, err := Decode(wire); err == nil {
+			t.Errorf("Decode(%q) accepted malformed frame", wire)
+		}
+	}
+}
+
+// sseServer is a minimal scriptable event-stream endpoint.
+type sseServer struct {
+	mu      sync.Mutex
+	streams []chan string // lines pushed to connected clients
+	conns   atomic.Int64
+	lastURL atomic.Value // string: most recent request URL
+}
+
+func (s *sseServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.lastURL.Store(r.URL.String())
+	s.conns.Add(1)
+	fl := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.WriteHeader(http.StatusOK)
+	ch := make(chan string, 64)
+	s.mu.Lock()
+	s.streams = append(s.streams, ch)
+	s.mu.Unlock()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case line, ok := <-ch:
+			if !ok {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", line)
+			fl.Flush()
+		}
+	}
+}
+
+// send pushes a raw frame to every connected stream.
+func (s *sseServer) send(line string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ch := range s.streams {
+		select {
+		case ch <- line:
+		default:
+		}
+	}
+}
+
+// kill closes every connected stream.
+func (s *sseServer) kill() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ch := range s.streams {
+		close(ch)
+	}
+	s.streams = nil
+}
+
+func waitCond(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestSubscriberReceivesEventsAndResumes(t *testing.T) {
+	srv := &sseServer{}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var mu sync.Mutex
+	var got []Event
+	var connects, disconnects atomic.Int64
+	sub, err := NewSubscriber(SubscriberConfig{
+		URL: ts.URL + "/events",
+		OnEvent: func(ev Event) {
+			mu.Lock()
+			got = append(got, ev)
+			mu.Unlock()
+		},
+		OnConnect:    func(Event, bool) { connects.Add(1) },
+		OnDisconnect: func(error) { disconnects.Add(1) },
+		BackoffMin:   5 * time.Millisecond,
+		BackoffMax:   20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sub.Run(ctx)
+
+	if !waitCond(t, 2*time.Second, func() bool { return srv.conns.Load() >= 1 }) {
+		t.Fatal("subscriber never connected")
+	}
+	srv.send(Event{Kind: KindHello, Seq: 0}.Encode())
+	if !waitCond(t, 2*time.Second, func() bool { return connects.Load() == 1 }) {
+		t.Fatal("OnConnect never fired")
+	}
+	srv.send(Event{Kind: KindUpdate, Seq: 1, Key: "/a"}.Encode())
+	srv.send(Event{Kind: KindUpdate, Seq: 2, Key: "/b"}.Encode())
+	if !waitCond(t, 2*time.Second, func() bool { return sub.LastSeq() == 2 }) {
+		t.Fatalf("LastSeq = %d, want 2", sub.LastSeq())
+	}
+
+	// Kill the stream: the subscriber must report the disconnect and
+	// reconnect with ?since=2.
+	srv.kill()
+	if !waitCond(t, 2*time.Second, func() bool { return disconnects.Load() == 1 }) {
+		t.Fatal("OnDisconnect never fired")
+	}
+	if !waitCond(t, 2*time.Second, func() bool { return srv.conns.Load() >= 2 }) {
+		t.Fatal("subscriber never reconnected")
+	}
+	srv.send(Event{Kind: KindHello, Seq: 2}.Encode())
+	if !waitCond(t, 2*time.Second, func() bool { return connects.Load() == 2 }) {
+		t.Fatal("second OnConnect never fired")
+	}
+	if u, _ := srv.lastURL.Load().(string); !strings.Contains(u, "since=2") {
+		t.Errorf("reconnect URL %q does not resume from seq 2", u)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0].Key != "/a" || got[1].Key != "/b" {
+		t.Errorf("events = %+v", got)
+	}
+}
+
+func TestSubscriberHeartbeatTimeout(t *testing.T) {
+	srv := &sseServer{}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var disconnects atomic.Int64
+	sub, err := NewSubscriber(SubscriberConfig{
+		URL:              ts.URL,
+		OnEvent:          func(Event) {},
+		OnDisconnect:     func(error) { disconnects.Add(1) },
+		BackoffMin:       5 * time.Millisecond,
+		HeartbeatTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sub.Run(ctx)
+
+	if !waitCond(t, 2*time.Second, func() bool { return srv.conns.Load() >= 1 }) {
+		t.Fatal("never connected")
+	}
+	srv.send(Event{Kind: KindHello, Seq: 0}.Encode())
+	// Silence follows: the watchdog must declare the stream dead.
+	if !waitCond(t, 2*time.Second, func() bool { return disconnects.Load() >= 1 }) {
+		t.Fatal("heartbeat watchdog never fired")
+	}
+	// Heartbeats keep a stream alive through a second connection.
+	if !waitCond(t, 2*time.Second, func() bool { return srv.conns.Load() >= 2 }) {
+		t.Fatal("never reconnected")
+	}
+}
+
+func TestSubscriberRejectsStreamWithoutHello(t *testing.T) {
+	srv := &sseServer{}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var connects atomic.Int64
+	sub, err := NewSubscriber(SubscriberConfig{
+		URL:        ts.URL,
+		OnEvent:    func(Event) {},
+		OnConnect:  func(Event, bool) { connects.Add(1) },
+		BackoffMin: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sub.Run(ctx)
+
+	if !waitCond(t, 2*time.Second, func() bool { return srv.conns.Load() >= 1 }) {
+		t.Fatal("never connected")
+	}
+	srv.send(Event{Kind: KindUpdate, Seq: 1, Key: "/a"}.Encode())
+	// The protocol violation forces a reconnect without OnConnect firing.
+	if !waitCond(t, 2*time.Second, func() bool { return srv.conns.Load() >= 2 }) {
+		t.Fatal("never reconnected after protocol violation")
+	}
+	if connects.Load() != 0 {
+		t.Errorf("OnConnect fired %d times for a hello-less stream", connects.Load())
+	}
+}
+
+func TestSubscriberBackoffOnRefusedConnections(t *testing.T) {
+	// A server that always 503s: the subscriber must keep retrying
+	// without ever reporting a connect or disconnect.
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "unavailable", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	var transitions atomic.Int64
+	sub, err := NewSubscriber(SubscriberConfig{
+		URL:          ts.URL,
+		OnEvent:      func(Event) {},
+		OnConnect:    func(Event, bool) { transitions.Add(1) },
+		OnDisconnect: func(error) { transitions.Add(1) },
+		BackoffMin:   time.Millisecond,
+		BackoffMax:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sub.Run(ctx)
+
+	if !waitCond(t, 2*time.Second, func() bool { return attempts.Load() >= 3 }) {
+		t.Fatalf("only %d attempts; backoff retry seems broken", attempts.Load())
+	}
+	if transitions.Load() != 0 {
+		t.Error("connect/disconnect callbacks fired for failed attempts")
+	}
+}
+
+func TestSubscriberResetHelloFastForwardsResumePoint(t *testing.T) {
+	srv := &sseServer{}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sub, err := NewSubscriber(SubscriberConfig{
+		URL:        ts.URL,
+		OnEvent:    func(Event) {},
+		BackoffMin: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sub.Run(ctx)
+
+	if !waitCond(t, 2*time.Second, func() bool { return srv.conns.Load() >= 1 }) {
+		t.Fatal("never connected")
+	}
+	// A Reset hello (server could not replay the gap) must fast-forward
+	// the resume point: without it every later reconnect re-requests the
+	// stale seq and re-triggers a Reset reconciliation.
+	srv.send(Event{Kind: KindHello, Seq: 50, Reset: true}.Encode())
+	if !waitCond(t, 2*time.Second, func() bool { return sub.LastSeq() == 50 }) {
+		t.Fatalf("LastSeq = %d after Reset hello, want 50", sub.LastSeq())
+	}
+	srv.kill()
+	if !waitCond(t, 2*time.Second, func() bool { return srv.conns.Load() >= 2 }) {
+		t.Fatal("never reconnected")
+	}
+	if u, _ := srv.lastURL.Load().(string); !strings.Contains(u, "since=50") {
+		t.Errorf("reconnect URL %q does not resume from the reset point", u)
+	}
+}
+
+func TestSubscriberConfigValidation(t *testing.T) {
+	if _, err := NewSubscriber(SubscriberConfig{OnEvent: func(Event) {}}); err == nil {
+		t.Error("missing URL must fail")
+	}
+	if _, err := NewSubscriber(SubscriberConfig{URL: "http://x"}); err == nil {
+		t.Error("missing OnEvent must fail")
+	}
+}
+
+func TestSubscriberStopsOnContextCancel(t *testing.T) {
+	srv := &sseServer{}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sub, err := NewSubscriber(SubscriberConfig{
+		URL:        ts.URL,
+		OnEvent:    func(Event) {},
+		BackoffMin: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { sub.Run(ctx); close(done) }()
+	if !waitCond(t, 2*time.Second, func() bool { return srv.conns.Load() >= 1 }) {
+		t.Fatal("never connected")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}

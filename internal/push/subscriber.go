@@ -1,0 +1,255 @@
+package push
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// SubscriberConfig parameterizes a Subscriber.
+type SubscriberConfig struct {
+	// URL is the event-stream endpoint (e.g. http://origin/events).
+	// Required.
+	URL string
+	// Client performs the streaming requests. It must not carry a global
+	// Timeout (that would kill a healthy long-lived stream); liveness is
+	// enforced by HeartbeatTimeout instead. Defaults to a fresh client.
+	Client *http.Client
+	// OnEvent is invoked for every update event, in stream order, from
+	// the subscriber's goroutine. Required.
+	OnEvent func(Event)
+	// OnConnect is invoked after the server's hello frame on every
+	// successful (re)connect. resumed reports whether the subscriber
+	// asked to resume from a previous position; hello.Reset reports
+	// whether the server could not replay the gap.
+	OnConnect func(hello Event, resumed bool)
+	// OnDisconnect is invoked when an established stream dies (never for
+	// a connection attempt that failed outright, and never on context
+	// cancellation).
+	OnDisconnect func(err error)
+	// BackoffMin and BackoffMax bound the exponential reconnect backoff.
+	// Defaults: 100ms and 10s.
+	BackoffMin, BackoffMax time.Duration
+	// HeartbeatTimeout declares the stream dead when no frame (of any
+	// kind) arrives for this long. It must exceed the server's heartbeat
+	// interval. Defaults to 30s; negative disables the check.
+	HeartbeatTimeout time.Duration
+}
+
+// Subscriber consumes an origin's invalidation stream, reconnecting with
+// capped exponential backoff and resuming from the last processed
+// sequence number.
+type Subscriber struct {
+	cfg     SubscriberConfig
+	lastSeq atomic.Uint64
+
+	// connects and disconnects count stream lifecycle transitions.
+	connects    atomic.Uint64
+	disconnects atomic.Uint64
+}
+
+// NewSubscriber validates cfg and returns a subscriber. Call Run to
+// start consuming.
+func NewSubscriber(cfg SubscriberConfig) (*Subscriber, error) {
+	if cfg.URL == "" {
+		return nil, errors.New("push: SubscriberConfig.URL is required")
+	}
+	if cfg.OnEvent == nil {
+		return nil, errors.New("push: SubscriberConfig.OnEvent is required")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 10 * time.Second
+	}
+	if cfg.BackoffMax < cfg.BackoffMin {
+		cfg.BackoffMax = cfg.BackoffMin
+	}
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = 30 * time.Second
+	}
+	return &Subscriber{cfg: cfg}, nil
+}
+
+// LastSeq returns the sequence number of the last update event handed to
+// OnEvent (0 before any).
+func (s *Subscriber) LastSeq() uint64 { return s.lastSeq.Load() }
+
+// Connects returns the number of successfully established streams.
+func (s *Subscriber) Connects() uint64 { return s.connects.Load() }
+
+// Disconnects returns the number of established streams that died.
+func (s *Subscriber) Disconnects() uint64 { return s.disconnects.Load() }
+
+// Run consumes the stream until ctx is cancelled, reconnecting on every
+// failure with capped exponential backoff. The backoff resets only
+// after a stream that proved stable (lived at least BackoffMax): a
+// hello followed by an immediate death — an intermediary that answers
+// but cannot stream, a crash-looping origin — must climb the ladder
+// like any other failure, not hammer the origin at BackoffMin forever
+// (each such flap also costs the consumer a disconnect reconciliation).
+// Run blocks; run it on its own goroutine.
+func (s *Subscriber) Run(ctx context.Context) {
+	backoff := s.cfg.BackoffMin
+	for {
+		start := time.Now()
+		connected, err := s.stream(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		if connected {
+			s.disconnects.Add(1)
+			if s.cfg.OnDisconnect != nil {
+				s.cfg.OnDisconnect(err)
+			}
+			if time.Since(start) >= s.cfg.BackoffMax {
+				backoff = s.cfg.BackoffMin
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > s.cfg.BackoffMax {
+			backoff = s.cfg.BackoffMax
+		}
+	}
+}
+
+// stream performs one connection attempt and consumes it until it dies.
+// connected reports whether the hello frame was received (and OnConnect
+// invoked); err is the reason the stream ended.
+func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
+	u := s.cfg.URL
+	since := s.lastSeq.Load()
+	if since > 0 {
+		sep := "?"
+		if strings.Contains(u, "?") {
+			sep = "&"
+		}
+		u = fmt.Sprintf("%s%ssince=%d", u, sep, since)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return false, fmt.Errorf("push: event stream returned %s", resp.Status)
+	}
+
+	// Pump frames on a separate goroutine so the consumer loop can race
+	// them against the heartbeat timeout; closing the body unblocks a
+	// pump blocked in Scan, and streamDone unblocks one parked on the
+	// channel send after the consumer abandoned the stream (watchdog
+	// fire, decode error, protocol violation) — without it every such
+	// exit would leak the pump until the subscriber's context died.
+	frames := make(chan string)
+	readErr := make(chan error, 1)
+	streamDone := make(chan struct{})
+	defer close(streamDone)
+	go func() {
+		defer close(frames)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 4096), MaxFrameLen+64)
+		for sc.Scan() {
+			line := sc.Text()
+			payload, ok := strings.CutPrefix(line, "data:")
+			if !ok {
+				continue // SSE comment, id:, event:, or blank separator
+			}
+			select {
+			case frames <- strings.TrimSpace(payload):
+			case <-streamDone:
+				return
+			case <-ctx.Done():
+				readErr <- ctx.Err()
+				return
+			}
+		}
+		readErr <- sc.Err()
+	}()
+
+	var watchdog *time.Timer
+	var timeoutC <-chan time.Time
+	if s.cfg.HeartbeatTimeout > 0 {
+		watchdog = time.NewTimer(s.cfg.HeartbeatTimeout)
+		defer watchdog.Stop()
+		timeoutC = watchdog.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			resp.Body.Close()
+			return connected, ctx.Err()
+		case <-timeoutC:
+			resp.Body.Close()
+			return connected, fmt.Errorf("push: no frame within %v", s.cfg.HeartbeatTimeout)
+		case payload, ok := <-frames:
+			if !ok {
+				err := <-readErr
+				if err == nil {
+					err = io.EOF
+				}
+				return connected, err
+			}
+			if watchdog != nil {
+				if !watchdog.Stop() {
+					<-watchdog.C
+				}
+				watchdog.Reset(s.cfg.HeartbeatTimeout)
+			}
+			ev, decodeErr := Decode(payload)
+			if decodeErr != nil {
+				// A malformed frame poisons the stream's framing; drop
+				// the connection and resync rather than guess.
+				resp.Body.Close()
+				return connected, decodeErr
+			}
+			switch {
+			case !connected:
+				if ev.Kind != KindHello {
+					resp.Body.Close()
+					return false, fmt.Errorf("push: first frame was %v, want hello", ev.Kind)
+				}
+				connected = true
+				s.connects.Add(1)
+				if ev.Reset {
+					// The gap is unrecoverable: fast-forward to the
+					// server's position so the next reconnect does not
+					// re-request (and re-Reset on) the same stale seq —
+					// the consumer reconciles the loss once, via
+					// OnConnect, not once per reconnect.
+					s.lastSeq.Store(ev.Seq)
+				}
+				if s.cfg.OnConnect != nil {
+					s.cfg.OnConnect(ev, since > 0)
+				}
+			case ev.Kind == KindUpdate:
+				s.cfg.OnEvent(ev)
+				s.lastSeq.Store(ev.Seq)
+			default:
+				// Heartbeats (and redundant hellos) only feed the
+				// watchdog.
+			}
+		}
+	}
+}

@@ -443,7 +443,11 @@ func TestEvictionUnwindsSchedulerState(t *testing.T) {
 	checkStoreInvariants(t, px)
 
 	// No ghost polls: nothing may hit the origin once the cache is
-	// empty, even across several TTR periods.
+	// empty, even across several TTR periods. A fetch that was already
+	// in flight when its entry was evicted is not a ghost schedule
+	// entry (the heap emptiness above covers those), so let stragglers
+	// land before arming the detector.
+	time.Sleep(50 * time.Millisecond)
 	frozen.Store(true)
 	time.Sleep(300 * time.Millisecond)
 	if got := polls.Load(); got != 0 {

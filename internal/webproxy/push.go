@@ -1,0 +1,240 @@
+package webproxy
+
+import (
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"broadway/internal/push"
+)
+
+// This file is the proxy side of the hybrid push–pull channel: the
+// subscription manager that reconciles origin-driven invalidations with
+// the TTR refresh schedule.
+//
+// The reconciliation rules are:
+//
+//   - A pushed invalidation for a resident object converts into an
+//     immediate "pushed" poll routed through the object's group-affinity
+//     worker — the same path as a mutual-consistency triggered poll — so
+//     MutualTimeController state stays single-threaded per group. The
+//     poll revalidates via If-Modified-Since and, when it confirms an
+//     update, runs the §3.2 group triggering exactly as a scheduled poll
+//     would; it does not disturb the object's regular TTR schedule or
+//     feed its policy (pushes reveal the origin's churn, not the polling
+//     frequency's fitness).
+//   - While the channel is healthy, regular TTR polls are stretched by
+//     Config.PushStretch (clamped to the TTR upper bound): push carries
+//     the freshness burden, polling becomes a safety net. The
+//     unstretched instant is remembered per entry.
+//   - On disconnect the proxy falls back to pure paper-mode polling: the
+//     catch-up sweep pulls every stretched schedule entry back to its
+//     unstretched instant (immediately, if that instant already passed),
+//     so no object's Δt guarantee is ever widened beyond what pure
+//     polling would have delivered. Reconnects resume stretching; a
+//     reconnect whose replay gap exceeded the origin's buffer (hello
+//     Reset) also runs the sweep, because events were irrecoverably
+//     missed while the proxy believed the channel healthy.
+
+// newPushSubscriber wires the proxy's callbacks into a subscriber for
+// cfg.PushURL.
+func (p *Proxy) newPushSubscriber() (*push.Subscriber, error) {
+	return push.NewSubscriber(push.SubscriberConfig{
+		URL: p.cfg.PushURL.String(),
+		// The proxy's upstream client is unusable here: its global
+		// Timeout would kill the long-lived stream.
+		Client:           &http.Client{},
+		OnEvent:          p.handlePushEvent,
+		OnConnect:        p.handlePushConnect,
+		OnDisconnect:     p.handlePushDisconnect,
+		BackoffMin:       p.cfg.PushBackoffMin,
+		BackoffMax:       p.cfg.PushBackoffMax,
+		HeartbeatTimeout: p.cfg.PushHeartbeatTimeout,
+	})
+}
+
+// handlePushEvent converts an update notification into an immediate
+// pushed poll of the named object, if it is resident. Events for
+// non-resident objects are dropped — the proxy only ever pays refresh
+// traffic for objects it actually caches. Back-to-back events for one
+// object coalesce onto a single queued poll.
+func (p *Proxy) handlePushEvent(ev push.Event) {
+	p.pushEvents.Add(1)
+	// The seq store is deferred so the poll is enqueued (and counted in
+	// InFlightPolls) before an observer waiting on PushStats().LastSeq
+	// can conclude the event was handled.
+	defer p.pushSeq.Store(ev.Seq)
+	if ev.Kind != push.KindUpdate || ev.Key == "" {
+		return
+	}
+	e := p.lookup(ev.Key)
+	if e == nil || e.evicted.Load() {
+		p.pushDropped.Add(1)
+		return
+	}
+	if !e.pushQueued.CompareAndSwap(false, true) {
+		return // a pushed poll is already queued for this object
+	}
+	p.pushPolls.Add(1)
+	p.pending.Add(1)
+	p.workerFor(e).enqueue(job{e: e, kind: pollPushed})
+}
+
+// eventKeyResolvesTo reports whether an origin invalidation event for
+// the object cached under key would resolve back to that entry through
+// handlePushEvent's lookup. The origin publishes events at path
+// granularity with the decoded path as the key (its objects are keyed
+// by r.URL.Path), so a cache key carrying a query string can never
+// match one, and a key whose decoded path does not canonicalize back
+// to it (e.g. a path containing a literal '?', cached as %3F) is
+// unreachable too. Entries failing this test are marked unpushable and
+// keep pure-polling freshness — stretching them would widen their Δt
+// bound with nothing covering the gap.
+func (p *Proxy) eventKeyResolvesTo(key string) bool {
+	if strings.Contains(key, "?") {
+		return false // canonical keys carry queries after a raw '?'
+	}
+	decoded, err := url.PathUnescape(key)
+	if err != nil {
+		return false
+	}
+	if decoded == key {
+		return true // verbatim store lookup finds the entry
+	}
+	u, err := url.Parse(decoded)
+	if err != nil {
+		return false
+	}
+	return canonicalKey(u) == key
+}
+
+// handlePushConnect marks the channel healthy. A resumed connection
+// whose gap outran the origin's replay buffer (hello.Reset) ran blind
+// while stretched, so the catch-up sweep revalidates on the paper-mode
+// schedule before stretching resumes.
+func (p *Proxy) handlePushConnect(hello push.Event, resumed bool) {
+	p.pushConnects.Add(1)
+	p.pushHealthy.Store(true)
+	if hello.Reset && resumed {
+		p.fallbackSweep()
+	}
+}
+
+// handlePushDisconnect falls back to pure polling: stretching stops and
+// the catch-up sweep bounds the staleness the dead channel left behind.
+func (p *Proxy) handlePushDisconnect(error) {
+	if p.pushHealthy.Swap(false) {
+		p.pushFallbacks.Add(1)
+		p.fallbackSweep()
+	}
+}
+
+// fallbackSweep pulls every schedule entry whose poll was stretched
+// beyond its unstretched instant back to that instant (or to now, when
+// it already passed). After the sweep the schedule is exactly what pure
+// paper-mode polling would have produced, so the Δt guarantee holds
+// with no help from the channel.
+//
+// The whole sweep runs inside one schedMu critical section, paired with
+// rescheduleHybrid making its stretch decision under the same lock:
+// pushHealthy is cleared before the sweep acquires schedMu, so a racing
+// poll either reschedules first (its item is on the heap and gets
+// swept) or takes the lock after the sweep and reads the channel as
+// unhealthy (no stretch). Entries that are mid-poll (item == nil)
+// reschedule through the same gate when they finish. The single hold is
+// a latency spike proportional to the cache size, but a channel death
+// is rare and correctness of the Δt bound wins.
+func (p *Proxy) fallbackSweep() {
+	if p.cfg.PushStretch <= 1 {
+		// Stretching disabled: every baseNextAt equals its nextAt, so
+		// the sweep is a guaranteed no-op — skip the O(cache) walk and
+		// the schedMu hold it would cost on every disconnect.
+		return
+	}
+	now := p.cfg.Clock()
+	var batch []*entry
+	for i := range p.store.shards {
+		sh := &p.store.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			batch = append(batch, e)
+		}
+		sh.mu.RUnlock()
+	}
+	pulled := false
+	p.schedMu.Lock()
+	for _, e := range batch {
+		if e.item == nil || !e.baseNextAt.Before(e.nextAt) {
+			continue // unscheduled (queued, in flight, or evicted) or unstretched
+		}
+		at := e.baseNextAt
+		if at.Before(now) {
+			at = now
+		}
+		e.nextAt = at
+		e.baseNextAt = at
+		p.schedule.Reschedule(e.item, at)
+		pulled = true
+	}
+	p.schedMu.Unlock()
+	if pulled {
+		p.kick()
+	}
+}
+
+// stretchTTR widens e's regular TTR while the push channel is healthy,
+// clamped to the TTR upper bound. With the channel down, stretching
+// disabled, or an object the origin can never announce (a query-bearing
+// cache key — events are path-granular — or a key exceeding the wire
+// frame limit) the TTR passes through untouched — such objects keep
+// pure-polling freshness.
+func (p *Proxy) stretchTTR(e *entry, ttr time.Duration) time.Duration {
+	if p.sub == nil || p.cfg.PushStretch <= 1 || e.unpushable || !p.pushHealthy.Load() {
+		return ttr
+	}
+	s := time.Duration(float64(ttr) * p.cfg.PushStretch)
+	if max := p.maxBackoff(); s > max {
+		s = max
+	}
+	if s < ttr {
+		s = ttr
+	}
+	return s
+}
+
+// PushStats reports the state of the invalidation channel.
+type PushStats struct {
+	// Enabled reports whether the proxy was configured with a push URL.
+	Enabled bool
+	// Connected reports whether the channel is currently healthy
+	// (stretched polling in effect).
+	Connected bool
+	// Events counts update notifications received.
+	Events uint64
+	// Polls counts pushed polls enqueued (coalesced bursts enqueue one).
+	Polls uint64
+	// Dropped counts events for objects that were not resident.
+	Dropped uint64
+	// Fallbacks counts healthy→disconnected transitions (each one ran a
+	// catch-up sweep).
+	Fallbacks uint64
+	// Connects counts successful stream establishments.
+	Connects uint64
+	// LastSeq is the sequence number of the last fully processed event.
+	LastSeq uint64
+}
+
+// PushStats returns the invalidation-channel counters.
+func (p *Proxy) PushStats() PushStats {
+	return PushStats{
+		Enabled:   p.sub != nil,
+		Connected: p.pushHealthy.Load(),
+		Events:    p.pushEvents.Load(),
+		Polls:     p.pushPolls.Load(),
+		Dropped:   p.pushDropped.Load(),
+		Fallbacks: p.pushFallbacks.Load(),
+		Connects:  p.pushConnects.Load(),
+		LastSeq:   p.pushSeq.Load(),
+	}
+}

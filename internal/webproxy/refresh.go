@@ -17,10 +17,25 @@ import (
 // shared state of partitioned M_v policy pairs single-threaded while
 // unrelated objects refresh fully in parallel.
 
+// pollKind distinguishes why a poll was requested. Regular polls come
+// off the TTR schedule and feed the policy; triggered polls are demanded
+// by a mutual-consistency controller; pushed polls are demanded by the
+// origin's invalidation channel. Triggered and pushed polls leave the
+// regular schedule and the policy's learned TTR untouched, but a pushed
+// poll that confirms an update runs the §3.2 group triggering exactly as
+// a regular poll would — the channel must not weaken mutual consistency.
+type pollKind uint8
+
+const (
+	pollRegular pollKind = iota
+	pollTriggered
+	pollPushed
+)
+
 // job is one unit of poll work routed to a worker.
 type job struct {
-	e         *entry
-	triggered bool
+	e    *entry
+	kind pollKind
 }
 
 // worker is one poll worker with an unbounded mailbox. The mailbox must
@@ -85,7 +100,8 @@ func (p *Proxy) workerLoop(w *worker) {
 		default:
 		}
 		if j, ok := w.dequeue(); ok {
-			p.pollEntry(j.e, j.triggered)
+			p.pollEntry(j.e, j.kind)
+			p.pending.Add(-1)
 			continue
 		}
 		select {
@@ -117,6 +133,11 @@ func (p *Proxy) dispatchLoop() {
 			if e.evicted.Load() {
 				continue // unwound between Remove and this pop; drop it
 			}
+			// Count the job before the heap stops covering it, still
+			// under schedMu: quiescence probes (InFlightPolls +
+			// NextRefreshAt) must never observe the gap between pop and
+			// enqueue.
+			p.pending.Add(1)
 			due = append(due, e)
 		}
 		wait := time.Hour
@@ -128,7 +149,7 @@ func (p *Proxy) dispatchLoop() {
 		}
 		p.schedMu.Unlock()
 		for _, e := range due {
-			p.workerFor(e).enqueue(job{e: e})
+			p.workerFor(e).enqueue(job{e: e, kind: pollRegular})
 		}
 		if !timer.Stop() {
 			select {
@@ -154,7 +175,8 @@ func (p *Proxy) kick() {
 	}
 }
 
-// reschedule sets e's next regular poll instant. An evicted entry is
+// reschedule sets e's next regular poll instant (unstretched: the
+// instant doubles as its own paper-mode baseline). An evicted entry is
 // never (re)scheduled: the eviction token is set before unschedule takes
 // schedMu, so checking it under schedMu closes the race with a poll
 // finishing while its entry is being evicted — whichever side runs
@@ -166,6 +188,34 @@ func (p *Proxy) reschedule(e *entry, at time.Time) {
 		return
 	}
 	e.nextAt = at
+	e.baseNextAt = at
+	if e.item != nil {
+		p.schedule.Reschedule(e.item, at)
+	} else {
+		e.item = p.schedule.Push(at, e)
+	}
+	p.schedMu.Unlock()
+	p.kick()
+}
+
+// rescheduleHybrid sets e's next regular poll ttr from now, stretched
+// while the push channel is healthy; the unstretched instant is
+// remembered so the fallback sweep can restore it if the channel dies
+// before the poll runs. The stretch decision is made under schedMu —
+// the same lock the sweep holds for its entire pass — so a poll racing
+// a disconnect either reschedules before the sweep (and is swept back)
+// or observes the channel already unhealthy; a stretched instant can
+// never slip onto the heap after the sweep has passed it by.
+func (p *Proxy) rescheduleHybrid(e *entry, now time.Time, ttr time.Duration) {
+	p.schedMu.Lock()
+	if e.evicted.Load() {
+		p.schedMu.Unlock()
+		return
+	}
+	base := now.Add(ttr)
+	at := now.Add(p.stretchTTR(e, ttr))
+	e.nextAt = at
+	e.baseNextAt = base
 	if e.item != nil {
 		p.schedule.Reschedule(e.item, at)
 	} else {
@@ -183,6 +233,7 @@ func (p *Proxy) unschedule(e *entry) {
 		e.item = nil
 	}
 	e.nextAt = time.Time{}
+	e.baseNextAt = time.Time{}
 	p.schedMu.Unlock()
 }
 
@@ -246,9 +297,16 @@ func (p *Proxy) scheduledNextAt(e *entry) time.Time {
 	return e.nextAt
 }
 
-// pollEntry performs one refresh of e. Triggered polls leave the regular
-// schedule untouched, mirroring the simulator's proxy.
-func (p *Proxy) pollEntry(e *entry, triggered bool) {
+// pollEntry performs one refresh of e. Triggered and pushed polls leave
+// the regular schedule untouched, mirroring the simulator's proxy.
+func (p *Proxy) pollEntry(e *entry, kind pollKind) {
+	triggered := kind != pollRegular
+	if kind == pollPushed {
+		// Clear the coalescing flag before the fetch: an event arriving
+		// mid-poll must enqueue a fresh poll (this one may already have
+		// read an older version).
+		e.pushQueued.Store(false)
+	}
 	// An entry evicted after being popped off the schedule (or while
 	// queued on its worker) must not poll the origin: eviction promises
 	// the object never causes another upstream request.
@@ -267,7 +325,7 @@ func (p *Proxy) pollEntry(e *entry, triggered bool) {
 	resp, err := p.fetch(e.key, since)
 	now := p.cfg.Clock()
 	if err != nil {
-		p.deferRetry(e, now, triggered)
+		p.deferRetry(e, now, kind)
 		return
 	}
 
@@ -342,8 +400,11 @@ func (p *Proxy) pollEntry(e *entry, triggered bool) {
 	}
 
 	e.polls.Add(1)
-	if triggered {
+	switch kind {
+	case pollTriggered:
 		e.triggered.Add(1)
+	case pollPushed:
+		e.pushed.Add(1)
 	}
 
 	gs := p.groupState(e.group)
@@ -365,36 +426,59 @@ func (p *Proxy) pollEntry(e *entry, triggered bool) {
 		return // evicted mid-poll: no reschedule, no triggering
 	}
 
-	if !triggered {
-		p.reschedule(e, now.Add(ttr))
+	if kind == pollRegular {
+		// While the push channel is healthy the regular poll is only a
+		// safety net; stretch it toward the upper bound and remember the
+		// paper-mode instant for the fallback sweep.
+		p.rescheduleHybrid(e, now, ttr)
 	}
 	// Temporal group triggering; partitioned M_v pairs maintain their
-	// mutual guarantee through the tolerance split instead.
-	if !triggered && outcome.Modified && gs != nil && !paired {
+	// mutual guarantee through the tolerance split instead. Pushed polls
+	// trigger too: an update learned via the channel imposes the same
+	// mutual obligation as one learned by polling.
+	if kind != pollTriggered && outcome.Modified && gs != nil && !paired {
 		p.triggerGroup(e, gs, now)
+	}
+	if obs := p.cfg.PollObserver; obs != nil {
+		e.mu.RLock()
+		value, hasValue := e.value, e.isValue
+		e.mu.RUnlock()
+		obs(PollObservation{
+			Key:       e.key,
+			At:        now,
+			Modified:  outcome.Modified,
+			Triggered: kind == pollTriggered,
+			Pushed:    kind == pollPushed,
+			Value:     value,
+			HasValue:  hasValue,
+		})
 	}
 }
 
 // deferRetry handles an upstream failure with capped exponential backoff
 // starting from the policy's initial TTR. The policy itself is never fed
 // a failed poll, so its learned TTR state survives origin flaps intact.
-func (p *Proxy) deferRetry(e *entry, now time.Time, triggered bool) {
+func (p *Proxy) deferRetry(e *entry, now time.Time, kind pollKind) {
 	e.mu.Lock()
 	e.failures++
 	n := e.failures
 	base := e.policy.InitialTTR()
 	e.mu.Unlock()
 	retryAt := now.Add(backoffDelay(base, n, p.maxBackoff()))
-	if triggered {
-		// A failed triggered poll must still be retried promptly — the
-		// group's mutual guarantee is on the line — so pull the regular
-		// poll forward to the retry instant. Never push an even sooner
-		// poll later; a nil item means a regular poll is already queued
-		// on this worker, which is itself the prompt retry.
+	if kind != pollRegular {
+		// A failed triggered or pushed poll must still be retried
+		// promptly — the group's mutual guarantee (or the pushed
+		// update's freshness) is on the line — so pull the regular poll
+		// forward to the retry instant. Never push an even sooner poll
+		// later; a nil item means a regular poll is already queued on
+		// this worker, which is itself the prompt retry.
 		p.schedMu.Lock()
 		pull := e.item != nil && retryAt.Before(e.nextAt)
 		if pull {
 			e.nextAt = retryAt
+			if retryAt.Before(e.baseNextAt) {
+				e.baseNextAt = retryAt
+			}
 			p.schedule.Reschedule(e.item, retryAt)
 		}
 		p.schedMu.Unlock()
@@ -466,7 +550,8 @@ func (p *Proxy) triggerGroup(e *entry, gs *groupState, now time.Time) {
 	for _, other := range toTrigger {
 		// Same group ⇒ same affinity worker ⇒ the triggered poll runs
 		// strictly after the current one; enqueueing is non-blocking.
-		p.workerFor(other).enqueue(job{e: other, triggered: true})
+		p.pending.Add(1)
+		p.workerFor(other).enqueue(job{e: other, kind: pollTriggered})
 	}
 }
 

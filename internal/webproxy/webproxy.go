@@ -47,9 +47,22 @@
 // modification-history extension when the origin provides it, and — for
 // objects sharing a consistency group — triggers immediate polls of
 // related objects when an update is detected, exactly as in §3.2.
+//
+// On top of that pull machinery the proxy can layer an origin-driven
+// invalidation channel (Config.PushURL, wire protocol in internal/push):
+// the origin streams per-object update events, each event converts into
+// an immediate pushed poll through the affinity workers, and regular TTR
+// polls stretch toward the upper bound (Config.PushStretch) while the
+// channel is healthy — consistency traffic then scales with the origin's
+// churn instead of with the poll schedule. The channel is an
+// optimization, never a correctness dependency: on disconnect the proxy
+// falls back to pure paper-mode polling and a staleness-bounded catch-up
+// sweep restores every stretched schedule entry to its unstretched
+// instant, so the Δt guarantee never silently widens (see push.go).
 package webproxy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -64,6 +77,7 @@ import (
 
 	"broadway/internal/core"
 	"broadway/internal/httpx"
+	"broadway/internal/push"
 	"broadway/internal/sched"
 	"broadway/internal/simtime"
 	"broadway/internal/singleflight"
@@ -115,8 +129,60 @@ type Config struct {
 	PollWorkers int
 	// Clock substitutes the time source. It may be offset from the real
 	// clock but must advance at wall rate: the dispatcher computes
-	// waits on this timeline and sleeps them in wall time.
+	// waits on this timeline and sleeps them in wall time. (Tests that
+	// step a virtual clock instead must Kick the proxy after every
+	// advance and wait for InFlightPolls to drain.)
 	Clock func() time.Time
+	// PushURL, when set, subscribes the proxy to an origin-driven
+	// invalidation channel at that URL (the webserver's /events
+	// endpoint) and enables hybrid push–pull consistency: pushed events
+	// trigger immediate polls, regular polls stretch while the channel
+	// is healthy, and a disconnect falls back to pure polling with a
+	// catch-up sweep. Nil disables push (the default, pure paper mode).
+	PushURL *url.URL
+	// PushStretch multiplies regular TTRs while the push channel is
+	// healthy, clamped to Bounds.Max. Values ≤ 1 disable stretching
+	// (push then only adds immediacy, saving no poll traffic).
+	// Zero means unset and defaults to 4 when PushURL is set. Objects
+	// the channel can never announce — query-bearing cache keys (events
+	// are path-granular) and keys too large for a wire frame — are
+	// never stretched regardless.
+	PushStretch float64
+	// PushBackoffMin and PushBackoffMax bound the subscriber's
+	// reconnect backoff (defaults 100ms and 10s).
+	PushBackoffMin, PushBackoffMax time.Duration
+	// PushHeartbeatTimeout declares the channel dead when no frame
+	// arrives for this long; it must exceed the origin's heartbeat
+	// interval. Defaults to 30s; negative disables the watchdog.
+	PushHeartbeatTimeout time.Duration
+	// PollObserver, when non-nil, is invoked after every successful
+	// origin poll of a cached object (including the admission fetch).
+	// It runs on the polling goroutine and must be fast and
+	// concurrency-safe. The conformance tests use it to reconstruct
+	// per-object refresh logs; production deployments would hang
+	// metrics export off it.
+	PollObserver func(PollObservation)
+}
+
+// PollObservation describes one successful origin poll, as reported to
+// Config.PollObserver.
+type PollObservation struct {
+	// Key is the object's canonical cache key.
+	Key string
+	// At is the validation instant on the proxy's clock.
+	At time.Time
+	// Modified reports whether the poll found a new version.
+	Modified bool
+	// Initial marks the admission fetch.
+	Initial bool
+	// Triggered marks polls requested by a mutual-consistency
+	// controller.
+	Triggered bool
+	// Pushed marks polls requested by the invalidation channel.
+	Pushed bool
+	// Value and HasValue carry the parsed body of value-domain objects.
+	Value    float64
+	HasValue bool
 }
 
 // EvictionPolicy selects how the proxy reacts to an admission that would
@@ -191,9 +257,14 @@ type entry struct {
 	paired  bool
 	partner *entry
 
-	// nextAt and item are guarded by the proxy's schedMu.
-	nextAt time.Time
-	item   *sched.Item
+	// nextAt, baseNextAt, and item are guarded by the proxy's schedMu.
+	// nextAt is the scheduled poll instant (possibly stretched while the
+	// push channel is healthy); baseNextAt is the instant pure
+	// paper-mode polling would have used, which the fallback sweep
+	// restores when the channel dies.
+	nextAt     time.Time
+	baseNextAt time.Time
+	item       *sched.Item
 
 	// Replacement state. size is the resident bytes charged to the
 	// store's ledger (re-charged on refresh under the shard lock).
@@ -213,7 +284,15 @@ type entry struct {
 
 	polls     atomic.Uint64
 	triggered atomic.Uint64
+	pushed    atomic.Uint64
 	hits      atomic.Uint64
+	// pushQueued coalesces a burst of pushed events into one queued
+	// poll: set when a pushed poll is enqueued, cleared when it starts.
+	pushQueued atomic.Bool
+	// unpushable marks an object whose key cannot fit an invalidation
+	// frame: the origin will never announce its updates, so its TTRs
+	// are never stretched. Immutable after admission.
+	unpushable bool
 	// refbit is the CLOCK access bit, marked lock-free on hits (see
 	// markAccessed) and consumed by the victim sweep. It sits next to
 	// hits so a hit that does write it touches the cache line the hit
@@ -263,6 +342,23 @@ type Proxy struct {
 	wake    chan struct{}
 	done    chan struct{}
 	wg      sync.WaitGroup
+
+	// pending counts refresh jobs that are dispatched, queued, or in
+	// flight but not yet completed. Together with NextRefreshAt it lets
+	// an external clock driver detect quiescence.
+	pending atomic.Int64
+
+	// Invalidation-channel state (see push.go). sub is nil when push is
+	// disabled.
+	sub           *push.Subscriber
+	pushCancel    context.CancelFunc
+	pushHealthy   atomic.Bool
+	pushEvents    atomic.Uint64
+	pushPolls     atomic.Uint64
+	pushDropped   atomic.Uint64
+	pushFallbacks atomic.Uint64
+	pushConnects  atomic.Uint64
+	pushSeq       atomic.Uint64
 
 	// Expvar-style cache counters. Misses, evictions, and capped
 	// admissions are counted on the (cold) admission/eviction paths
@@ -323,6 +419,9 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.PushURL != nil && cfg.PushStretch == 0 {
+		cfg.PushStretch = 4
+	}
 	p := &Proxy{
 		cfg:     cfg,
 		epoch:   cfg.Clock(),
@@ -334,6 +433,13 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	for i := range p.workers {
 		p.workers[i] = &worker{wake: make(chan struct{}, 1)}
+	}
+	if cfg.PushURL != nil {
+		sub, err := p.newPushSubscriber()
+		if err != nil {
+			return nil, err
+		}
+		p.sub = sub
 	}
 	return p, nil
 }
@@ -352,6 +458,15 @@ func (p *Proxy) Start() {
 	for _, w := range p.workers {
 		go p.workerLoop(w)
 	}
+	if p.sub != nil {
+		ctx, cancel := context.WithCancel(context.Background())
+		p.pushCancel = cancel
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.sub.Run(ctx)
+		}()
+	}
 }
 
 // Close stops the refresher and waits for it to exit. The proxy continues
@@ -364,8 +479,12 @@ func (p *Proxy) Close() {
 	}
 	p.closed = true
 	started := p.started
+	cancel := p.pushCancel
 	p.lifeMu.Unlock()
 	close(p.done)
+	if cancel != nil {
+		cancel()
+	}
 	if started {
 		p.wg.Wait()
 	}
@@ -491,6 +610,13 @@ func (p *Proxy) admit(key string) (*entry, error) {
 		hasLastMod:  resp.hasLastMod,
 		validatedAt: now,
 	}
+	if p.sub != nil {
+		// An object the channel can never announce must not have its
+		// TTRs stretched — the object keeps pure-polling freshness
+		// instead (see eventKeyResolvesTo).
+		e.unpushable = !p.eventKeyResolvesTo(key) ||
+			push.Event{Kind: push.KindUpdate, Key: key, Group: group}.Oversized()
+	}
 	e.polls.Store(1)
 	// An origin advertising a Δv tolerance with a numeric body selects
 	// value-domain consistency (§4.1); everything else runs LIMD.
@@ -505,6 +631,11 @@ func (p *Proxy) admit(key string) (*entry, error) {
 	} else {
 		e.policy = core.NewLIMD(core.LIMDConfig{Delta: delta, Bounds: p.cfg.Bounds})
 	}
+
+	// Captured before put publishes the entry: a pushed or triggered
+	// poll can mutate e.value the moment it is visible, and the
+	// observer call below must not race it.
+	admittedValue, admittedHasValue := e.value, e.isValue
 
 	e.size.Store(entrySize(key, resp.body))
 	actual, inserted, victims, capped := p.store.put(key, e, p.cfg.MaxObjects, p.cfg.MaxBytes, p.cfg.Eviction == EvictClock)
@@ -529,6 +660,12 @@ func (p *Proxy) admit(key string) (*entry, error) {
 	ttr := e.policy.InitialTTR()
 	e.mu.RUnlock()
 	p.reschedule(e, now.Add(ttr))
+	if obs := p.cfg.PollObserver; obs != nil {
+		obs(PollObservation{
+			Key: key, At: now, Modified: true, Initial: true,
+			Value: admittedValue, HasValue: admittedHasValue,
+		})
+	}
 	return e, nil
 }
 
@@ -715,7 +852,9 @@ func (p *Proxy) toSim(t time.Time) simtime.Time {
 type Stats struct {
 	Polls     uint64
 	Triggered uint64
-	Hits      uint64
+	// Pushed counts polls requested by the invalidation channel.
+	Pushed uint64
+	Hits   uint64
 	// Bytes is the resident size charged to the byte ledger.
 	Bytes  int64
 	Cached bool
@@ -739,6 +878,15 @@ type CacheStats struct {
 	// ResidentObjects and ResidentBytes are the current store footprint.
 	ResidentObjects int
 	ResidentBytes   int64
+	// PushConnected reports whether the invalidation channel is healthy.
+	PushConnected bool
+	// PushEvents counts update notifications received on the channel.
+	PushEvents uint64
+	// PushPolls counts pushed polls the channel converted events into.
+	PushPolls uint64
+	// PushFallbacks counts healthy→disconnected transitions, each of
+	// which ran a staleness-bounded catch-up sweep.
+	PushFallbacks uint64
 }
 
 // CacheStats returns the proxy-wide cache counters. Hits is summed over
@@ -751,6 +899,10 @@ func (p *Proxy) CacheStats() CacheStats {
 		Capped:          p.cappedN.Load(),
 		ResidentObjects: p.store.len(),
 		ResidentBytes:   p.store.residentBytes(),
+		PushConnected:   p.pushHealthy.Load(),
+		PushEvents:      p.pushEvents.Load(),
+		PushPolls:       p.pushPolls.Load(),
+		PushFallbacks:   p.pushFallbacks.Load(),
 	}
 	for i := range p.store.shards {
 		sh := &p.store.shards[i]
@@ -788,6 +940,7 @@ func (p *Proxy) ObjectStats(key string) Stats {
 	return Stats{
 		Polls:     e.polls.Load(),
 		Triggered: e.triggered.Load(),
+		Pushed:    e.pushed.Load(),
 		Hits:      e.hits.Load(),
 		Bytes:     e.size.Load(),
 		Cached:    true,
@@ -811,3 +964,25 @@ func (p *Proxy) CachedBody(key string) ([]byte, bool) {
 
 // Len returns the number of cached objects.
 func (p *Proxy) Len() int { return p.store.len() }
+
+// Kick wakes the refresh dispatcher so it re-reads the clock and the
+// schedule. A harness that substitutes a stepped Config.Clock (the
+// simtime conformance battery) must call it after every clock advance;
+// under a wall clock it is never needed.
+func (p *Proxy) Kick() { p.kick() }
+
+// NextRefreshAt returns the earliest scheduled refresh instant, or
+// ok=false when nothing is scheduled.
+func (p *Proxy) NextRefreshAt() (at time.Time, ok bool) {
+	p.schedMu.Lock()
+	defer p.schedMu.Unlock()
+	if it := p.schedule.Peek(); it != nil {
+		return it.At, true
+	}
+	return time.Time{}, false
+}
+
+// InFlightPolls returns the number of refresh jobs dispatched, queued,
+// or executing but not yet completed. A proxy is quiescent when
+// InFlightPolls is zero and NextRefreshAt lies in the future.
+func (p *Proxy) InFlightPolls() int { return int(p.pending.Load()) }

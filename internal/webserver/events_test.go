@@ -1,0 +1,325 @@
+package webserver
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"broadway/internal/httpx"
+	"broadway/internal/push"
+)
+
+// eventSink collects stream callbacks from a subscriber.
+type eventSink struct {
+	mu      sync.Mutex
+	events  []push.Event
+	hellos  []push.Event
+	resumed []bool
+}
+
+func (s *eventSink) onEvent(ev push.Event) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+func (s *eventSink) onConnect(hello push.Event, resumed bool) {
+	s.mu.Lock()
+	s.hellos = append(s.hellos, hello)
+	s.resumed = append(s.resumed, resumed)
+	s.mu.Unlock()
+}
+
+func (s *eventSink) snapshot() ([]push.Event, []push.Event, []bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]push.Event(nil), s.events...),
+		append([]push.Event(nil), s.hellos...),
+		append([]bool(nil), s.resumed...)
+}
+
+func waitUntil(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+func startSubscriber(t *testing.T, url string, sink *eventSink) *push.Subscriber {
+	t.Helper()
+	sub, err := push.NewSubscriber(push.SubscriberConfig{
+		URL:        url,
+		OnEvent:    sink.onEvent,
+		OnConnect:  sink.onConnect,
+		BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go sub.Run(ctx)
+	return sub
+}
+
+func TestEventsEndpointStreamsUpdates(t *testing.T) {
+	o := NewOrigin(WithPushEvents(""))
+	o.Set("/a", []byte("v1"), "")
+	ts := httptest.NewServer(o)
+	t.Cleanup(ts.Close) // registered before the subscriber's cancel: LIFO stops the client first
+
+	sink := &eventSink{}
+	startSubscriber(t, ts.URL+"/events", sink)
+
+	if !waitUntil(t, 2*time.Second, func() bool { return o.PushSubscribers() == 1 }) {
+		t.Fatal("subscriber never registered")
+	}
+	o.SetTolerances("/a", httpx.Tolerances{Group: "g"})
+	o.Set("/a", []byte("v2"), "")
+	o.Set("/b", []byte("b1"), "")
+
+	if !waitUntil(t, 2*time.Second, func() bool {
+		evs, _, _ := sink.snapshot()
+		return len(evs) == 2
+	}) {
+		evs, _, _ := sink.snapshot()
+		t.Fatalf("events = %+v", evs)
+	}
+	evs, hellos, resumed := sink.snapshot()
+	// The pre-subscription Set("/a") assigned seq 1; the live events are
+	// 2 and 3, in publish order, with the group carried through.
+	if evs[0].Key != "/a" || evs[0].Seq != 2 || evs[0].Group != "g" {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	if evs[1].Key != "/b" || evs[1].Seq != 3 || evs[1].Group != "" {
+		t.Errorf("second event = %+v", evs[1])
+	}
+	if evs[0].ModTime.IsZero() {
+		t.Error("update event carries no modification time")
+	}
+	if len(hellos) != 1 || hellos[0].Reset || resumed[0] {
+		t.Errorf("hellos = %+v resumed = %v", hellos, resumed)
+	}
+	if o.PushSeq() != 3 {
+		t.Errorf("PushSeq = %d", o.PushSeq())
+	}
+}
+
+func TestEventsEndpointReplaysMissedEvents(t *testing.T) {
+	o := NewOrigin(WithPushEvents(""))
+	ts := httptest.NewServer(o)
+	t.Cleanup(ts.Close) // registered before the subscriber's cancel: LIFO stops the client first
+
+	sink := &eventSink{}
+	startSubscriber(t, ts.URL+"/events", sink)
+	if !waitUntil(t, 2*time.Second, func() bool { return o.PushSubscribers() == 1 }) {
+		t.Fatal("never connected")
+	}
+	o.Set("/a", []byte("v1"), "")
+	if !waitUntil(t, 2*time.Second, func() bool {
+		evs, _, _ := sink.snapshot()
+		return len(evs) == 1
+	}) {
+		t.Fatal("first event never arrived")
+	}
+
+	// Cut the stream, publish while disconnected, let it reconnect: the
+	// replay buffer must deliver the missed events in order.
+	o.KillPushStreams()
+	o.Set("/a", []byte("v2"), "")
+	o.Set("/a", []byte("v3"), "")
+	if !waitUntil(t, 2*time.Second, func() bool {
+		evs, _, _ := sink.snapshot()
+		return len(evs) == 3
+	}) {
+		evs, _, _ := sink.snapshot()
+		t.Fatalf("replay failed: events = %+v", evs)
+	}
+	evs, hellos, resumed := sink.snapshot()
+	if evs[1].Seq != 2 || evs[2].Seq != 3 {
+		t.Errorf("replayed seqs = %d, %d", evs[1].Seq, evs[2].Seq)
+	}
+	if len(hellos) != 2 || !resumed[1] || hellos[1].Reset {
+		t.Errorf("reconnect hello = %+v resumed = %v", hellos, resumed)
+	}
+}
+
+func TestEventsEndpointResetWhenGapOutrunsBuffer(t *testing.T) {
+	o := NewOrigin(WithPushEvents(""))
+	ts := httptest.NewServer(o)
+	defer ts.Close()
+
+	// Seed far beyond the replay buffer before the subscriber asks to
+	// resume from seq 1.
+	for i := 0; i < replayBufferLen+8; i++ {
+		o.Set("/a", []byte{byte(i)}, "")
+	}
+	resp, err := http.Get(ts.URL + "/events?since=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	frame := string(buf[:n])
+	// First frame is the hello; it must carry the reset flag.
+	ev := decodeFirstFrame(t, frame)
+	if ev.Kind != push.KindHello || !ev.Reset {
+		t.Errorf("hello = %+v (raw %q)", ev, frame)
+	}
+}
+
+func TestEventsEndpointUnavailable(t *testing.T) {
+	o := NewOrigin(WithPushEvents(""))
+	ts := httptest.NewServer(o)
+	t.Cleanup(ts.Close) // registered before the subscriber's cancel: LIFO stops the client first
+
+	o.SetPushAvailable(false)
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+
+	o.SetPushAvailable(true)
+	sink := &eventSink{}
+	startSubscriber(t, ts.URL+"/events", sink)
+	if !waitUntil(t, 2*time.Second, func() bool { return o.PushSubscribers() == 1 }) {
+		t.Fatal("endpoint did not recover")
+	}
+}
+
+func TestEventsEndpointBadSince(t *testing.T) {
+	o := NewOrigin(WithPushEvents(""))
+	ts := httptest.NewServer(o)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/events?since=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestOversizedKeyNeverEntersStream(t *testing.T) {
+	o := NewOrigin(WithPushEvents(""))
+	ts := httptest.NewServer(o)
+	t.Cleanup(ts.Close) // registered before the subscriber's cancel: LIFO stops the client first
+
+	sink := &eventSink{}
+	startSubscriber(t, ts.URL+"/events", sink)
+	if !waitUntil(t, 2*time.Second, func() bool { return o.PushSubscribers() == 1 }) {
+		t.Fatal("never connected")
+	}
+
+	// A key whose escaped frame exceeds the wire limit: the update must
+	// be dropped at the hub — one poisonous buffered frame would kill
+	// every reconnecting stream at the same replay position forever.
+	huge := "/" + strings.Repeat("k", push.MaxFrameLen+16)
+	o.Set(huge, []byte("v1"), "")
+	o.Set("/ok", []byte("v1"), "")
+	if !waitUntil(t, 2*time.Second, func() bool {
+		evs, _, _ := sink.snapshot()
+		return len(evs) == 1
+	}) {
+		t.Fatal("the well-formed event never arrived")
+	}
+	evs, _, _ := sink.snapshot()
+	if evs[0].Key != "/ok" || evs[0].Seq != 1 {
+		t.Errorf("event = %+v; the oversized update leaked into the stream or consumed a seq", evs[0])
+	}
+	if o.PushOversized() != 1 {
+		t.Errorf("PushOversized = %d, want 1", o.PushOversized())
+	}
+	// The stream survives: the subscriber was never poisoned.
+	if o.PushSubscribers() != 1 {
+		t.Error("subscriber lost after the oversized Set")
+	}
+}
+
+func TestEventsEndpointRejectsNonGET(t *testing.T) {
+	o := NewOrigin(WithPushEvents(""))
+	ts := httptest.NewServer(o)
+	defer ts.Close()
+	for _, method := range []string{http.MethodPost, http.MethodHead, http.MethodDelete} {
+		req, _ := http.NewRequest(method, ts.URL+"/events", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s /events = %d, want 405", method, resp.StatusCode)
+		}
+	}
+	if n := o.PushSubscribers(); n != 0 {
+		t.Errorf("%d subscriptions leaked by non-GET requests", n)
+	}
+}
+
+func TestSlowSubscriberIsTerminatedNotBlocking(t *testing.T) {
+	o := NewOrigin(WithPushEvents(""))
+	ts := httptest.NewServer(o)
+	defer ts.Close()
+
+	// A raw client that connects and never reads.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/events", nil)
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if !waitUntil(t, 2*time.Second, func() bool { return o.PushSubscribers() == 1 }) {
+		t.Fatal("never connected")
+	}
+
+	// Publishing far beyond the per-subscriber channel capacity must not
+	// block Set, and must eventually drop the stalled stream.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1024; i++ {
+			o.Set("/a", []byte{byte(i)}, "")
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Set blocked on a stalled subscriber")
+	}
+	if !waitUntil(t, 2*time.Second, func() bool { return o.PushSubscribers() == 0 }) {
+		t.Error("stalled subscriber was never dropped")
+	}
+}
+
+// decodeFirstFrame extracts and decodes the first data: line of an SSE
+// payload.
+func decodeFirstFrame(t *testing.T, raw string) push.Event {
+	t.Helper()
+	for _, line := range strings.Split(raw, "\n") {
+		if payload, ok := strings.CutPrefix(line, "data:"); ok {
+			ev, err := push.Decode(strings.TrimSpace(payload))
+			if err != nil {
+				t.Fatalf("decode %q: %v", payload, err)
+			}
+			return ev
+		}
+	}
+	t.Fatalf("no data frame in %q", raw)
+	return push.Event{}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"broadway/internal/httpx"
+	"broadway/internal/push"
 )
 
 // object is one hosted resource and its modification history.
@@ -32,6 +33,10 @@ type Origin struct {
 	historyEnabled bool
 	polls          uint64
 	notModified    uint64
+
+	// Push-event channel (see events.go); nil unless WithPushEvents.
+	hub        *eventHub
+	eventsPath string
 }
 
 var _ http.Handler = (*Origin)(nil)
@@ -48,6 +53,35 @@ func WithClock(clock func() time.Time) Option {
 // header.
 func WithHistoryExtension(enabled bool) Option {
 	return func(o *Origin) { o.historyEnabled = enabled }
+}
+
+// WithPushEvents enables the origin-driven invalidation channel: an
+// SSE-style endpoint at path (default "/events") streaming a push.Event
+// per object update, with heartbeats and a bounded replay buffer for
+// reconnect catch-up. The path shadows any hosted object of the same
+// name.
+func WithPushEvents(path string) Option {
+	if path == "" {
+		path = "/events"
+	}
+	return func(o *Origin) {
+		o.eventsPath = path
+		if o.hub == nil {
+			o.hub = newEventHub(0)
+		}
+	}
+}
+
+// WithPushHeartbeat sets the keepalive interval of the push-event stream
+// (default 15s). It implies WithPushEvents with the default path unless
+// one was already configured.
+func WithPushHeartbeat(interval time.Duration) Option {
+	return func(o *Origin) {
+		if o.eventsPath == "" {
+			o.eventsPath = "/events"
+		}
+		o.hub = newEventHub(interval)
+	}
 }
 
 // NewOrigin returns an empty origin server.
@@ -71,7 +105,6 @@ func (o *Origin) Set(path string, body []byte, contentType string) {
 	}
 	now := o.clock().Truncate(time.Second) // HTTP dates have second resolution
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	obj, exists := o.objects[path]
 	if !exists {
 		obj = &object{}
@@ -87,6 +120,17 @@ func (o *Origin) Set(path string, body []byte, contentType string) {
 	obj.modTimes = append(obj.modTimes, now)
 	if len(obj.modTimes) > httpx.MaxHistoryEntries {
 		obj.modTimes = obj.modTimes[len(obj.modTimes)-httpx.MaxHistoryEntries:]
+	}
+	group := obj.tolerances.Group
+	o.mu.Unlock()
+
+	if o.hub != nil {
+		o.hub.publish(push.Event{
+			Kind:    push.KindUpdate,
+			Key:     path,
+			Group:   group,
+			ModTime: now,
+		})
 	}
 }
 
@@ -114,8 +158,64 @@ func (o *Origin) NotModified() uint64 {
 	return o.notModified
 }
 
+// PushSeq returns the sequence number of the last published invalidation
+// event (0 when push is disabled or nothing was published yet).
+func (o *Origin) PushSeq() uint64 {
+	if o.hub == nil {
+		return 0
+	}
+	return o.hub.lastSeq()
+}
+
+// PushSubscribers returns the number of connected event streams.
+func (o *Origin) PushSubscribers() int {
+	if o.hub == nil {
+		return 0
+	}
+	return o.hub.subscriberCount()
+}
+
+// PushOversized returns the number of update events dropped because
+// their encoded frame exceeded the wire limit (objects with such keys
+// are never announced; proxies poll them pure paper-mode).
+func (o *Origin) PushOversized() uint64 {
+	if o.hub == nil {
+		return 0
+	}
+	return o.hub.oversizedCount()
+}
+
+// SetPushAvailable toggles the event endpoint. Disabling terminates all
+// connected streams and 503s new connections — the failure-injection
+// hook for chaos tests; events published while down still enter the
+// replay buffer. Re-enabling lets subscribers reconnect and catch up.
+func (o *Origin) SetPushAvailable(up bool) {
+	if o.hub != nil {
+		o.hub.setAvailable(up)
+	}
+}
+
+// KillPushStreams terminates every connected event stream without
+// disabling the endpoint: subscribers can reconnect immediately. It
+// models a transient network cut.
+func (o *Origin) KillPushStreams() {
+	if o.hub != nil {
+		o.hub.killAll()
+	}
+}
+
 // ServeHTTP implements http.Handler with If-Modified-Since validation.
 func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if o.hub != nil && r.URL.Path == o.eventsPath {
+		// Streams are GET-only; a HEAD (or any other method) must not
+		// hold a hub subscription it will never read.
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		o.serveEvents(w, r)
+		return
+	}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
