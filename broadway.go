@@ -303,8 +303,17 @@ type (
 	WebProxyObjectStats = webproxy.Stats
 	// WebProxyPushStats reports the invalidation channel's state.
 	WebProxyPushStats = webproxy.PushStats
+	// WebProxyRelayStats reports the downstream event relay's state
+	// (WebProxyConfig.RelayEvents): a relay-enabled proxy serves its own
+	// invalidation stream so child proxies subscribe to it exactly as it
+	// subscribes to its origin.
+	WebProxyRelayStats = webproxy.RelayStats
 	// PushEvent is one frame of the origin-driven invalidation stream.
 	PushEvent = push.Event
+	// PushHubStats is an event hub's backpressure snapshot: replay-ring
+	// occupancy and per-subscriber lag, visible on both the origin
+	// (WebOrigin.PushHubStats) and every relay (WebProxy.RelayStats).
+	PushHubStats = push.HubStats
 )
 
 // Replacement policies for the live proxy.

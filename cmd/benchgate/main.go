@@ -1,0 +1,279 @@
+// Command benchgate compares two `go test -bench` outputs and fails on
+// statistically significant regressions, in the spirit of
+// golang.org/x/perf/cmd/benchstat but dependency-free so it can gate CI
+// from inside the repository.
+//
+// Feed it multiple samples per benchmark (-count=6 or more) so the
+// significance test has power:
+//
+//	go test -run '^$' -bench 'BenchmarkProxyHit' -count 8 . > old.txt
+//	# ... apply the change ...
+//	go test -run '^$' -bench 'BenchmarkProxyHit' -count 8 . > new.txt
+//	go run ./cmd/benchgate -old old.txt -new new.txt
+//
+// A benchmark regresses when BOTH hold:
+//
+//   - a two-sided Mann–Whitney U test over the ns/op samples rejects
+//     "same distribution" at -alpha (default 0.05), and
+//   - the median slowed down by more than -threshold (default +15%).
+//
+// Requiring both keeps the gate quiet on noisy-but-unchanged
+// benchmarks (significance without magnitude) and on large-looking
+// deltas produced by a single outlier run (magnitude without
+// significance). Benchmarks present in only one input, or with fewer
+// than -min-samples runs on either side, are reported but never gate.
+//
+// Exit status: 0 when no benchmark regresses, 1 on regression, 2 on
+// usage or parse errors.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "baseline `file` of go test -bench output (required)")
+	newPath := fs.String("new", "", "candidate `file` of go test -bench output (required)")
+	alpha := fs.Float64("alpha", 0.05, "significance level of the Mann-Whitney test")
+	threshold := fs.Float64("threshold", 0.15, "minimum relative median slowdown to gate on (0.15 = +15%)")
+	minSamples := fs.Int("min-samples", 4, "samples required on both sides before a benchmark can gate")
+	filter := fs.String("filter", "", "gate only benchmarks matching this `regexp` (others are reported)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		fs.Usage()
+		return 2
+	}
+	var gateRE *regexp.Regexp
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: bad -filter: %v\n", err)
+			return 2
+		}
+		gateRE = re
+	}
+
+	oldSamples, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	newSamples, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+
+	common := make([]string, 0, len(oldSamples))
+	var onlyOld, onlyNew []string
+	for name := range oldSamples {
+		if _, ok := newSamples[name]; ok {
+			common = append(common, name)
+		} else {
+			onlyOld = append(onlyOld, name)
+		}
+	}
+	for name := range newSamples {
+		if _, ok := oldSamples[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Strings(common)
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+
+	fmt.Fprintf(out, "%-44s %14s %14s %8s %8s  %s\n",
+		"benchmark", "old median", "new median", "delta", "p", "verdict")
+	regressed := 0
+	for _, name := range common {
+		o, n := oldSamples[name], newSamples[name]
+		om, nm := median(o), median(n)
+		delta := (nm - om) / om
+		p := mannWhitneyP(o, n)
+		verdict := "ok"
+		switch {
+		case len(o) < *minSamples || len(n) < *minSamples:
+			verdict = "skip (too few samples)"
+		case gateRE != nil && !gateRE.MatchString(name):
+			verdict = "info (not gated)"
+		case p < *alpha && delta > *threshold:
+			verdict = "REGRESSION"
+			regressed++
+		case p < *alpha && delta < -*threshold:
+			verdict = "improved"
+		case p < *alpha:
+			verdict = "shifted (within threshold)"
+		}
+		fmt.Fprintf(out, "%-44s %12.1fns %12.1fns %+7.1f%% %8.3f  %s\n",
+			name, om, nm, delta*100, p, verdict)
+	}
+	// One-sided benchmarks are reported but never gate: a rename or an
+	// added/removed benchmark is not a regression.
+	for _, name := range onlyOld {
+		fmt.Fprintf(out, "%-44s %12.1fns %14s %8s %8s  only in -old\n",
+			name, median(oldSamples[name]), "-", "-", "-")
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(out, "%-44s %14s %12.1fns %8s %8s  only in -new\n",
+			name, "-", median(newSamples[name]), "-", "-")
+	}
+	if len(common) == 0 {
+		fmt.Fprintln(out, "\nno benchmarks common to both inputs; nothing to gate")
+		return 0
+	}
+	if regressed > 0 {
+		fmt.Fprintf(out, "\n%d benchmark(s) regressed significantly\n", regressed)
+		return 1
+	}
+	fmt.Fprintln(out, "\nno significant regressions")
+	return 0
+}
+
+// parseFile extracts ns/op samples per benchmark name from go test
+// -bench output. The trailing -N GOMAXPROCS suffix stays part of the
+// name (different parallelism is a different benchmark).
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		name, nsPerOp, ok := parseBenchLine(sc.Text())
+		if ok {
+			samples[name] = append(samples[name], nsPerOp)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%s contains no benchmark result lines", path)
+	}
+	return samples, nil
+}
+
+// parseBenchLine parses one "BenchmarkName-8  1234  5678 ns/op ..."
+// result line.
+func parseBenchLine(line string) (name string, nsPerOp float64, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", 0, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", 0, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", 0, false // not an iteration count: a status line
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return fields[0], v, true
+		}
+	}
+	return "", 0, false
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mannWhitneyP returns the two-sided p-value of the Mann–Whitney U test
+// for samples a and b, using the normal approximation with tie
+// correction and continuity correction. For the sample counts benchgate
+// sees (a handful per side) the approximation tracks the exact
+// distribution closely enough for gating; callers additionally require
+// a magnitude threshold, so borderline p-values never decide alone.
+func mannWhitneyP(a, b []float64) float64 {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks with tie accounting.
+	ranks := make([]float64, len(all))
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	ra := 0.0
+	for i, o := range all {
+		if o.fromA {
+			ra += ranks[i]
+		}
+	}
+	u := ra - n1*(n1+1)/2
+	mu := n1 * n2 / 2
+	nTot := n1 + n2
+	sigma2 := n1 * n2 / 12 * (nTot + 1 - tieTerm/(nTot*(nTot-1)))
+	if sigma2 <= 0 {
+		return 1 // all values tied: no evidence of difference
+	}
+	z := u - mu
+	// Continuity correction toward the mean.
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(sigma2)
+	return 2 * (1 - stdNormalCDF(math.Abs(z)))
+}
+
+func stdNormalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkProxyHitParallel-8   \t 1000000\t      1052 ns/op\t     288 B/op\t       5 allocs/op", "BenchmarkProxyHitParallel-8", 1052, true},
+		{"BenchmarkStoreHitMark-8   \t32071566\t        37.02 ns/op", "BenchmarkStoreHitMark-8", 37.02, true},
+		{"PASS", "", 0, false},
+		{"ok  \tbroadway\t1.2s", "", 0, false},
+		{"BenchmarkBroken but not a result", "", 0, false},
+		{"goos: linux", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ns, ok := parseBenchLine(c.line)
+		if ok != c.ok || name != c.name || ns != c.ns {
+			t.Errorf("parseBenchLine(%q) = %q %v %v, want %q %v %v",
+				c.line, name, ns, ok, c.name, c.ns, c.ok)
+		}
+	}
+}
+
+func TestMannWhitneySeparatedSamplesAreSignificant(t *testing.T) {
+	old := []float64{100, 101, 99, 102, 100, 101, 98, 103}
+	slow := []float64{150, 151, 149, 152, 150, 151, 148, 153}
+	if p := mannWhitneyP(old, slow); p >= 0.01 {
+		t.Errorf("cleanly separated samples: p = %v, want < 0.01", p)
+	}
+	// Symmetric: order of arguments must not change the verdict.
+	if p1, p2 := mannWhitneyP(old, slow), mannWhitneyP(slow, old); math.Abs(p1-p2) > 1e-12 {
+		t.Errorf("asymmetric p: %v vs %v", p1, p2)
+	}
+	// All-tied samples: no evidence, p = 1.
+	tied := []float64{5, 5, 5, 5}
+	if p := mannWhitneyP(tied, tied); p != 1 {
+		t.Errorf("all-tied p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyOverlappingNoiseIsNotSignificant(t *testing.T) {
+	a := []float64{100, 110, 95, 105, 102, 98, 107, 101}
+	b := []float64{101, 108, 96, 106, 103, 99, 104, 100}
+	if p := mannWhitneyP(a, b); p < 0.3 {
+		t.Errorf("overlapping noise: p = %v, want large", p)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+}
+
+// writeBench renders samples per benchmark into a file shaped like go
+// test -bench output.
+func writeBench(t *testing.T, dir, name string, samples map[string][]float64) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("goos: linux\ngoarch: amd64\npkg: broadway\n")
+	for bench, vals := range samples {
+		for _, v := range vals {
+			fmt.Fprintf(&sb, "%s\t1000\t%g ns/op\n", bench, v)
+		}
+	}
+	sb.WriteString("PASS\n")
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldVals := map[string][]float64{
+		"BenchmarkHit-8":    {100, 101, 99, 102, 100, 98},
+		"BenchmarkSched-8":  {50, 51, 49, 52, 50, 48},
+		"BenchmarkNoisy-8":  {200, 250, 180, 230, 210, 190},
+		"BenchmarkOrphan-8": {10, 10, 10, 10, 10, 10},
+	}
+	samePlusNoise := map[string][]float64{
+		"BenchmarkHit-8":   {101, 100, 99, 103, 100, 99},
+		"BenchmarkSched-8": {49, 52, 50, 51, 48, 50},
+		"BenchmarkNoisy-8": {210, 240, 185, 225, 205, 195},
+		"BenchmarkNew-8":   {7, 7, 7, 7, 7, 7},
+	}
+	regressed := map[string][]float64{
+		"BenchmarkHit-8":   {160, 161, 159, 162, 158, 163}, // +60%, clean
+		"BenchmarkSched-8": {50, 51, 49, 52, 50, 48},
+		"BenchmarkNoisy-8": {210, 240, 185, 225, 205, 195},
+	}
+
+	oldPath := writeBench(t, dir, "old.txt", oldVals)
+	okPath := writeBench(t, dir, "ok.txt", samePlusNoise)
+	badPath := writeBench(t, dir, "bad.txt", regressed)
+
+	if code := run([]string{"-old", oldPath, "-new", okPath}, os.Stdout); code != 0 {
+		t.Errorf("unchanged run gated: exit %d", code)
+	}
+	if code := run([]string{"-old", oldPath, "-new", badPath}, os.Stdout); code != 1 {
+		t.Errorf("regressed run passed: exit %d", code)
+	}
+	// With the regressed benchmark filtered out of gating, it passes.
+	if code := run([]string{"-old", oldPath, "-new", badPath, "-filter", "Sched"}, os.Stdout); code != 0 {
+		t.Errorf("filtered run gated: exit %d", code)
+	}
+	// Too few samples never gate.
+	tiny := writeBench(t, dir, "tiny.txt", map[string][]float64{"BenchmarkHit-8": {500, 510}})
+	if code := run([]string{"-old", oldPath, "-new", tiny}, os.Stdout); code != 0 {
+		t.Errorf("two-sample run gated: exit %d", code)
+	}
+	// Disjoint benchmark sets (e.g. a PR renaming its benchmarks) must
+	// not fail the gate: one-sided benchmarks are reported, never gated.
+	renamed := writeBench(t, dir, "renamed.txt", map[string][]float64{
+		"BenchmarkHitV2-8": {500, 501, 499, 502, 500, 498},
+	})
+	if code := run([]string{"-old", oldPath, "-new", renamed}, os.Stdout); code != 0 {
+		t.Errorf("disjoint benchmark sets gated: exit %d", code)
+	}
+	// Usage errors.
+	if code := run([]string{"-old", oldPath}, os.Stdout); code != 2 {
+		t.Errorf("missing -new: exit %d", code)
+	}
+	if code := run([]string{"-old", filepath.Join(dir, "nope.txt"), "-new", okPath}, os.Stdout); code != 2 {
+		t.Errorf("missing file: exit %d", code)
+	}
+}

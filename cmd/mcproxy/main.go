@@ -37,6 +37,17 @@
 //	mcproxy -demo -push
 //	mcproxy -origin http://origin:8080 -push -push-path /events
 //
+// Proxy hierarchy: -relay-events gives the proxy a downstream face — it
+// republishes every upstream invalidation (and every update its own
+// polls confirm) on its own event stream at -events-path, so child
+// proxies subscribe to it exactly as it subscribes to the origin, and
+// one origin stream serves a whole edge fleet:
+//
+//	# parent: subscribes to the origin, relays downstream
+//	mcproxy -demo -push -relay-events -listen :8089
+//	# leaves: origin AND event stream are the parent
+//	mcproxy -origin http://parent:8089 -push -listen :8090
+//
 // On SIGINT the proxy drains in-flight requests for up to -drain before
 // exiting.
 package main
@@ -85,6 +96,8 @@ func run(args []string) error {
 	pushEnabled := fs.Bool("push", false, "subscribe to the origin's invalidation event stream (hybrid push-pull)")
 	pushPath := fs.String("push-path", "/events", "path of the origin's event-stream endpoint")
 	pushStretch := fs.Float64("push-stretch", 4, "TTR stretch factor while the push channel is healthy, clamped to -ttr-max (values <= 1 disable stretching)")
+	relayEvents := fs.Bool("relay-events", false, "republish invalidation events downstream: serve this proxy's own event stream so child proxies can subscribe to it (proxy hierarchy)")
+	eventsPath := fs.String("events-path", "/events", "path the relayed event stream is served at (with -relay-events)")
 	drain := fs.Duration("drain", 5*time.Second, "in-flight request drain timeout on shutdown")
 	runFor := fs.Duration("run-for", 0, "exit after this long (0 = run until interrupted)")
 	if err := fs.Parse(args); err != nil {
@@ -141,6 +154,8 @@ func run(args []string) error {
 		MaxObjects:        *maxObjects,
 		MaxBytes:          *maxBytes,
 		Eviction:          evictionPolicy,
+		RelayEvents:       *relayEvents,
+		RelayPath:         *eventsPath,
 	}
 	if *pushEnabled {
 		pushURL, err := origin.Parse(*pushPath)
@@ -167,8 +182,8 @@ func run(args []string) error {
 	go func() {
 		errCh <- srv.ListenAndServe()
 	}()
-	fmt.Printf("mcproxy listening on %s (origin %s, Δ=%v, δ=%v, mode %s, eviction %s, push %v)\n",
-		*listen, origin, *delta, *groupDelta, *mode, evictionPolicy, *pushEnabled)
+	fmt.Printf("mcproxy listening on %s (origin %s, Δ=%v, δ=%v, mode %s, eviction %s, push %v, relay %v)\n",
+		*listen, origin, *delta, *groupDelta, *mode, evictionPolicy, *pushEnabled, *relayEvents)
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)

@@ -157,6 +157,57 @@ func TestRunWithPushEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunWithRelayServesEventStream: -relay-events must expose the
+// proxy's own invalidation stream at -events-path, speaking the same
+// SSE protocol the origin does (hello first), so a child mcproxy can
+// point -push at this one.
+func TestRunWithRelayServesEventStream(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-demo", "-listen", addr, "-push", "-relay-events",
+			"-events-path", "/fleet-events", "-run-for", "4s"})
+	}()
+
+	deadline := time.Now().Add(3 * time.Second)
+	var frame string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("http://%s/fleet-events", addr))
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		buf := make([]byte, 4096)
+		n, _ := resp.Body.Read(buf)
+		resp.Body.Close()
+		frame = string(buf[:n])
+		break
+	}
+	// The first frame of a relayed stream is the hub's hello ("data: v1
+	// 1 ..." — kind 1), exactly as the origin's endpoint speaks it.
+	if !strings.Contains(frame, "data: v1 1 ") {
+		t.Fatalf("relay endpoint did not speak the event protocol: %q", frame)
+	}
+	// The relay path must not shadow proxied objects.
+	resp, err := http.Get(fmt.Sprintf("http://%s/news/story.html", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("story through relay-enabled proxy: %d", resp.StatusCode)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
 // TestShutdownDrainsInflightRequests reproduces the srv.Close() teardown
 // bug: a request still streaming when -run-for expires must complete
 // instead of being reset mid-body.

@@ -1,0 +1,174 @@
+// Edgefleet: one origin stream serving a whole fleet through a proxy
+// hierarchy. A churning origin publishes invalidation events; ONE
+// parent proxy subscribes to it and relays every event (and every
+// update its own polls confirm) on its own /events stream; N leaf
+// proxies subscribe to — and fetch through — the parent. The origin
+// pays for a single subscription and a single poller no matter how wide
+// the edge is.
+//
+// Halfway through, the origin's event endpoint is killed and revived:
+// the parent falls back to paper-mode polling and propagates a
+// mid-stream hello/Reset to every leaf (driving their fallback sweeps
+// over live connections), and the whole fleet keeps serving content
+// whose staleness stays inside the pure-polling bound.
+//
+// Everything runs in-process on loopback and finishes in a few seconds.
+//
+// Run with:
+//
+//	go run ./examples/edgefleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"time"
+
+	"broadway"
+
+	"broadway/internal/core"
+)
+
+const (
+	leaves      = 4
+	objects     = 5
+	delta       = 100 * time.Millisecond
+	ttrMax      = 2 * time.Second
+	updateEvery = 400 * time.Millisecond
+	phaseFor    = 2 * time.Second
+)
+
+func main() {
+	// --- Origin: churning objects + invalidation stream. ---
+	origin := broadway.NewWebOrigin(
+		broadway.WithHistoryExtension(true),
+		broadway.WithPushHeartbeat(250*time.Millisecond),
+	)
+	paths := make([]string, objects)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/edge/%d", i)
+		origin.Set(paths[i], []byte("rev 0"), "text/plain")
+	}
+	originSrv := httptest.NewServer(origin)
+	defer originSrv.Close()
+	originURL, err := url.Parse(originSrv.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	originPush, _ := url.Parse(originSrv.URL + "/events")
+
+	// --- Parent: subscribes upstream, relays downstream. ---
+	parent, err := broadway.NewWebProxy(broadway.WebProxyConfig{
+		Origin:               originURL,
+		DefaultDelta:         delta,
+		Bounds:               core.TTRBounds{Min: delta, Max: ttrMax},
+		PushURL:              originPush,
+		PushStretch:          10,
+		PushBackoffMin:       20 * time.Millisecond,
+		PushHeartbeatTimeout: time.Second,
+		RelayEvents:          true,
+		RelayHeartbeat:       250 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parent.Start()
+	defer parent.Close()
+	parentSrv := httptest.NewServer(parent)
+	defer parentSrv.Close()
+	parentURL, _ := url.Parse(parentSrv.URL)
+	parentPush, _ := url.Parse(parentSrv.URL + "/events")
+
+	// --- Leaves: origin AND event stream are the parent. ---
+	fleet := make([]*broadway.WebProxy, leaves)
+	fleetSrvs := make([]*httptest.Server, leaves)
+	for i := range fleet {
+		leaf, err := broadway.NewWebProxy(broadway.WebProxyConfig{
+			Origin:               parentURL,
+			DefaultDelta:         delta,
+			Bounds:               core.TTRBounds{Min: delta, Max: ttrMax},
+			PushURL:              parentPush,
+			PushStretch:          10,
+			PushBackoffMin:       20 * time.Millisecond,
+			PushHeartbeatTimeout: time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		leaf.Start()
+		defer leaf.Close()
+		fleet[i] = leaf
+		fleetSrvs[i] = httptest.NewServer(leaf)
+		defer fleetSrvs[i].Close()
+	}
+
+	// Warm every leaf cache (which warms the parent once).
+	for _, srv := range fleetSrvs {
+		for _, p := range paths {
+			resp, err := http.Get(srv.URL + p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	}
+
+	// --- Churn. ---
+	stop := make(chan struct{})
+	go func() {
+		rev := 0
+		ticker := time.NewTicker(updateEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				rev++
+				for _, p := range paths {
+					origin.Set(p, []byte(fmt.Sprintf("rev %d", rev)), "text/plain")
+				}
+			}
+		}
+	}()
+
+	fmt.Printf("edge fleet: origin → 1 parent (relay) → %d leaves, %d objects, update every %v\n\n",
+		leaves, objects, updateEvery)
+
+	fmt.Printf("phase 1: healthy chain for %v...\n", phaseFor)
+	time.Sleep(phaseFor)
+	report(origin, parent, fleet)
+
+	fmt.Printf("\nphase 2: killing the origin's event endpoint for %v (parent blind, leaves on live streams)...\n", phaseFor)
+	origin.SetPushAvailable(false)
+	time.Sleep(phaseFor)
+	report(origin, parent, fleet)
+
+	fmt.Printf("\nphase 3: reviving the endpoint for %v...\n", phaseFor)
+	origin.SetPushAvailable(true)
+	time.Sleep(phaseFor)
+	close(stop)
+	report(origin, parent, fleet)
+
+	fmt.Println("\nThe origin carried ONE subscriber and ONE poller's load for the whole fleet;")
+	fmt.Println("the kill surfaced as a parent fallback plus one mid-stream Reset per leaf —")
+	fmt.Println("their connections to the parent never dropped.")
+}
+
+func report(origin *broadway.WebOrigin, parent *broadway.WebProxy, fleet []*broadway.WebProxy) {
+	hub := origin.PushHubStats()
+	rs := parent.RelayStats()
+	ps := parent.PushStats()
+	fmt.Printf("  origin:  %d polls served, %d event-stream subscribers, seq %d\n",
+		origin.Polls(), hub.Subscribers, hub.Seq)
+	fmt.Printf("  parent:  connected=%v fallbacks=%d pushedPolls=%d | relay seq %d → %d subscribers (maxLag %d, resets %d)\n",
+		ps.Connected, ps.Fallbacks, ps.Polls, rs.Hub.Seq, rs.Hub.Subscribers, rs.Hub.MaxLag, rs.Hub.Resets)
+	for i, leaf := range fleet {
+		ls := leaf.PushStats()
+		fmt.Printf("  leaf %d:  connected=%v connects=%d midStreamResets=%d pushedPolls=%d events=%d\n",
+			i, ls.Connected, ls.Connects, ls.Resets, ls.Polls, ls.Events)
+	}
+}

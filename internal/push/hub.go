@@ -1,0 +1,422 @@
+package push
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the server half of the invalidation channel: a reusable
+// broadcast hub owning one sequence space. It started life inside
+// internal/webserver (the origin's /events endpoint) and was extracted
+// so a relaying proxy can run the exact same machinery downstream: the
+// origin publishes into its hub, a parent proxy republishes into its
+// own hub with its own sequence space, and leaf proxies subscribe to a
+// parent exactly as a parent subscribes to the origin.
+//
+// The hub guarantees:
+//
+//   - Update events get monotonically increasing sequence numbers and
+//     enter a bounded replay ring, so a reconnecting subscriber
+//     (?since=<seq>) receives exactly the events it missed.
+//   - A subscriber too slow to drain its stream is terminated rather
+//     than ever blocking the publisher's write path; it reconnects and
+//     catches up from the replay ring.
+//   - An event whose encoded frame exceeds the wire limit is dropped
+//     before it can enter the ring (one poisonous buffered frame would
+//     otherwise kill every reconnecting stream at the same replay
+//     position forever).
+//   - Reset marks the stream's content as holed (the hub's owner lost
+//     its own upstream): every live subscriber receives a mid-stream
+//     hello/Reset frame, and any subscriber later resuming from at or
+//     before the hole is told to Reset too (the replay ring cannot
+//     prove contiguity across a hole it never saw).
+
+// DefaultReplayLen bounds the events kept for reconnect catch-up.
+const DefaultReplayLen = 1024
+
+// DefaultHeartbeat is the interval between keepalive frames.
+const DefaultHeartbeat = 15 * time.Second
+
+// DefaultWriteTimeout is the per-frame write deadline of served
+// streams. A client that stops reading would otherwise pin its handler
+// goroutine inside the frame write on kernel-buffer timescales, long
+// after the hub terminated the subscription.
+const DefaultWriteTimeout = 10 * time.Second
+
+// defaultSubscriberBuffer is the per-subscriber frame queue; a
+// subscriber lagging further than this behind live publishes is
+// terminated.
+const defaultSubscriberBuffer = 256
+
+// HubConfig parameterizes a Hub. The zero value is usable.
+type HubConfig struct {
+	// Heartbeat is the keepalive interval of served streams. Defaults
+	// to DefaultHeartbeat.
+	Heartbeat time.Duration
+	// ReplayLen bounds the replay ring. Defaults to DefaultReplayLen.
+	ReplayLen int
+	// WriteTimeout is the per-frame write deadline of served streams.
+	// Defaults to DefaultWriteTimeout; negative disables the deadline.
+	WriteTimeout time.Duration
+}
+
+// Hub is a broadcast fan-out with one sequence space: events published
+// into it stream to every subscriber over the SSE /events protocol.
+// It is safe for concurrent use. The zero value is not usable; call
+// NewHub.
+type Hub struct {
+	cfg HubConfig
+
+	// active counts ServeHTTP handlers currently streaming (including
+	// terminated ones that have not yet unwound — the gap between
+	// Subscribers and ActiveStreams is write-pinned handlers).
+	active atomic.Int64
+
+	mu        sync.Mutex
+	seq       uint64  // last assigned sequence number
+	resetSeq  uint64  // hole barrier: resumes at or before it must Reset
+	buf       []Event // ring of the most recent update events
+	subs      map[*hubSub]struct{}
+	available bool
+	oversized uint64 // events dropped because their frame exceeds MaxFrameLen
+	resets    uint64 // Reset announcements made
+	slowKills uint64 // subscribers terminated for not draining
+}
+
+// hubSub is one connected subscriber stream.
+type hubSub struct {
+	ch   chan Event
+	done chan struct{} // closed to terminate the stream server-side
+	once sync.Once
+	// lastSent is the sequence number of the last frame written to the
+	// wire, read by Stats to compute per-subscriber lag.
+	lastSent atomic.Uint64
+}
+
+func (s *hubSub) terminate() { s.once.Do(func() { close(s.done) }) }
+
+// NewHub returns an available hub with an empty sequence space.
+func NewHub(cfg HubConfig) *Hub {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
+	if cfg.ReplayLen <= 0 {
+		cfg.ReplayLen = DefaultReplayLen
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	return &Hub{
+		cfg:       cfg,
+		subs:      make(map[*hubSub]struct{}),
+		available: true,
+	}
+}
+
+// Publish assigns the next sequence number, buffers the event, and fans
+// it out, returning the assigned number. A subscriber too slow to drain
+// its channel is terminated (it reconnects and catches up from the
+// replay ring) — a stalled consumer must never block the publisher.
+//
+// An event whose encoded frame exceeds the wire limit is dropped before
+// it can enter the ring: subscribers reject oversized frames, so one
+// poisonous buffered frame would kill every reconnecting stream at the
+// same replay position forever. The owning object simply goes
+// unannounced (proxies keep pure-polling freshness for it).
+func (h *Hub) Publish(ev Event) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ev.Oversized() {
+		h.oversized++
+		return h.seq
+	}
+	h.seq++
+	ev.Seq = h.seq
+	h.buf = append(h.buf, ev)
+	if len(h.buf) > h.cfg.ReplayLen {
+		h.buf = h.buf[len(h.buf)-h.cfg.ReplayLen:]
+	}
+	h.broadcastLocked(ev)
+	return h.seq
+}
+
+// Reset announces a mid-stream resynchronization: the hub's owner lost
+// its own upstream (a relaying proxy's parent stream died or came back
+// with a Reset hello), so the content of this stream has a hole even
+// though its sequence numbers stay contiguous. Every live subscriber
+// receives a mid-stream hello/Reset frame — driving its fallback sweep
+// without dropping the connection — and the hole instant is recorded so
+// a subscriber that was disconnected across it is told to Reset when it
+// resumes (the replay ring cannot prove contiguity across the hole).
+func (h *Hub) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.resets++
+	h.resetSeq = h.seq
+	h.broadcastLocked(Event{Kind: KindHello, Seq: h.seq, Reset: true})
+}
+
+// broadcastLocked fans ev out to every live subscriber, terminating the
+// ones that cannot take it. Callers hold h.mu.
+func (h *Hub) broadcastLocked(ev Event) {
+	for s := range h.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.terminate()
+			delete(h.subs, s)
+			h.slowKills++
+		}
+	}
+}
+
+// subscribe returns the hello frame and replay backlog for a subscriber
+// resuming from since, and registers its stream.
+func (h *Hub) subscribe(since uint64) (hello Event, backlog []Event, sub *hubSub, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.available {
+		return Event{}, nil, nil, false
+	}
+	hello = Event{Kind: KindHello, Seq: h.seq}
+	switch {
+	case since == 0:
+		// A fresh subscriber has no state to reconcile.
+	case since > h.seq:
+		// The subscriber claims a future position (e.g. the hub's owner
+		// restarted and its sequence space reset): resync from scratch.
+		hello.Reset = true
+	case since <= h.resetSeq:
+		// The resume point predates (or is exactly) the last announced
+		// hole: events were irrecoverably missed upstream of this hub,
+		// so a contiguous replay of the hub's own ring proves nothing.
+		hello.Reset = true
+	case since < h.seq:
+		oldest := h.seq - uint64(len(h.buf)) + 1
+		if len(h.buf) == 0 || since+1 < oldest {
+			// The gap outruns the ring: the subscriber's view is no
+			// longer contiguous.
+			hello.Reset = true
+		} else {
+			backlog = append(backlog, h.buf[since-oldest+1:]...)
+		}
+	}
+	sub = &hubSub{ch: make(chan Event, defaultSubscriberBuffer), done: make(chan struct{})}
+	// Seed the lag baseline: a resuming subscriber starts its replay at
+	// since, everyone else (fresh, reset, already caught up) is about to
+	// be handed the stream head by the hello frame.
+	if backlog != nil {
+		sub.lastSent.Store(since)
+	} else {
+		sub.lastSent.Store(h.seq)
+	}
+	h.subs[sub] = struct{}{}
+	return hello, backlog, sub, true
+}
+
+func (h *Hub) unsubscribe(sub *hubSub) {
+	h.mu.Lock()
+	delete(h.subs, sub)
+	h.mu.Unlock()
+	sub.terminate()
+}
+
+// KillAll terminates every connected stream (subscribers may reconnect
+// immediately); it models a transient network cut.
+func (h *Hub) KillAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for s := range h.subs {
+		s.terminate()
+		delete(h.subs, s)
+	}
+}
+
+// SetAvailable toggles the endpoint; disabling also drops live streams
+// and 503s new connections. Events published while down still enter the
+// replay ring, so re-enabled subscribers catch up.
+func (h *Hub) SetAvailable(up bool) {
+	h.mu.Lock()
+	h.available = up
+	if !up {
+		for s := range h.subs {
+			s.terminate()
+			delete(h.subs, s)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// LastSeq returns the last assigned sequence number.
+func (h *Hub) LastSeq() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seq
+}
+
+// Subscribers returns the number of registered streams.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Oversized returns the number of update events dropped because their
+// encoded frame exceeded the wire limit.
+func (h *Hub) Oversized() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.oversized
+}
+
+// HubStats is a point-in-time snapshot of a hub's backpressure state:
+// how full the replay ring is and how far each subscriber trails the
+// head of the stream. An operator watching MaxLag climb toward
+// ReplayCap sees a proxy falling behind before it hits a Reset.
+type HubStats struct {
+	// Seq is the last assigned sequence number.
+	Seq uint64
+	// Subscribers is the number of registered streams; ActiveStreams
+	// counts their handler goroutines (a surplus of handlers over
+	// subscribers is streams terminated but still unwinding).
+	Subscribers   int
+	ActiveStreams int
+	// ReplayLen and ReplayCap are the replay ring's occupancy and
+	// capacity. A subscriber whose lag exceeds ReplayLen at reconnect
+	// time gets a Reset instead of a replay.
+	ReplayLen int
+	ReplayCap int
+	// Oversized counts update events dropped for exceeding the wire
+	// frame limit; Resets counts hole announcements; SlowKills counts
+	// subscribers terminated for not draining their stream.
+	Oversized uint64
+	Resets    uint64
+	SlowKills uint64
+	// MaxLag is the largest per-subscriber lag (sequence distance
+	// between the stream head and the last frame written to that
+	// subscriber's wire); Lags lists every subscriber's.
+	MaxLag uint64
+	Lags   []uint64
+}
+
+// Stats snapshots the hub's backpressure state.
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HubStats{
+		Seq:           h.seq,
+		Subscribers:   len(h.subs),
+		ActiveStreams: int(h.active.Load()),
+		ReplayLen:     len(h.buf),
+		ReplayCap:     h.cfg.ReplayLen,
+		Oversized:     h.oversized,
+		Resets:        h.resets,
+		SlowKills:     h.slowKills,
+	}
+	for s := range h.subs {
+		var lag uint64
+		if sent := s.lastSent.Load(); sent < h.seq {
+			lag = h.seq - sent
+		}
+		st.Lags = append(st.Lags, lag)
+		if lag > st.MaxLag {
+			st.MaxLag = lag
+		}
+	}
+	return st
+}
+
+// ServeHTTP streams invalidation events over SSE until the client
+// disconnects or the hub terminates the stream. Streams are GET-only; a
+// reconnecting subscriber resumes with ?since=<seq>. Every frame write
+// carries a deadline (HubConfig.WriteTimeout): a client that stops
+// reading is abandoned on that timescale instead of pinning the handler
+// goroutine inside the write until the kernel buffer drains.
+func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if _, ok := w.(http.Flusher); !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	var since uint64
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	hello, backlog, sub, ok := h.subscribe(since)
+	if !ok {
+		http.Error(w, "event stream unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	defer h.unsubscribe(sub)
+	h.active.Add(1)
+	defer h.active.Add(-1)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	deadline := h.cfg.WriteTimeout > 0
+	write := func(ev Event) bool {
+		if deadline {
+			if err := rc.SetWriteDeadline(time.Now().Add(h.cfg.WriteTimeout)); err != nil {
+				// The connection cannot carry deadlines (an exotic
+				// wrapper); stop asking and stream without them.
+				deadline = false
+			}
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, ev.Encode()); err != nil {
+			return false
+		}
+		if err := rc.Flush(); err != nil {
+			return false
+		}
+		// Only frames that advance the subscriber's position feed the
+		// lag metric: update events, and a Reset hello (the subscriber
+		// fast-forwards to its Seq). Heartbeats and plain hellos carry
+		// the stream head, and recording those would zero the reported
+		// lag of a subscriber that is genuinely behind.
+		if ev.Kind == KindUpdate || (ev.Kind == KindHello && ev.Reset) {
+			sub.lastSent.Store(ev.Seq)
+		}
+		return true
+	}
+	if !write(hello) {
+		return
+	}
+	for _, ev := range backlog {
+		if !write(ev) {
+			return
+		}
+	}
+
+	ticker := time.NewTicker(h.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.done:
+			return
+		case ev := <-sub.ch:
+			if !write(ev) {
+				return
+			}
+		case <-ticker.C:
+			if !write(Event{Kind: KindHeartbeat, Seq: h.LastSeq()}) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package push
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hubSink records subscriber callbacks.
+type hubSink struct {
+	mu      sync.Mutex
+	events  []Event
+	hellos  []Event
+	resumed []bool
+}
+
+func (s *hubSink) onEvent(ev Event) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+func (s *hubSink) onConnect(hello Event, resumed bool) {
+	s.mu.Lock()
+	s.hellos = append(s.hellos, hello)
+	s.resumed = append(s.resumed, resumed)
+	s.mu.Unlock()
+}
+
+func (s *hubSink) snapshot() (events, hellos []Event, resumed []bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...),
+		append([]Event(nil), s.hellos...),
+		append([]bool(nil), s.resumed...)
+}
+
+// startHubSubscriber runs a Subscriber against url until test cleanup.
+func startHubSubscriber(t *testing.T, url string, sink *hubSink) *Subscriber {
+	t.Helper()
+	sub, err := NewSubscriber(SubscriberConfig{
+		URL:        url,
+		OnEvent:    sink.onEvent,
+		OnConnect:  sink.onConnect,
+		BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go sub.Run(ctx)
+	return sub
+}
+
+// TestHubMidStreamResetReachesSubscriber is the regression test for the
+// swallowed mid-stream hello: a hub that injects a Reset into a live
+// stream (what a relaying proxy does when its own upstream dies) must
+// drive the subscriber's OnConnect reconciliation and fast-forward its
+// resume point — without the connection dropping.
+func TestHubMidStreamResetReachesSubscriber(t *testing.T) {
+	h := NewHub(HubConfig{})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close) // registered before the subscriber's cancel: LIFO stops the client first
+
+	sink := &hubSink{}
+	sub := startHubSubscriber(t, ts.URL, sink)
+	if !waitCond(t, 2*time.Second, func() bool { return h.Subscribers() == 1 }) {
+		t.Fatal("never connected")
+	}
+	h.Publish(Event{Kind: KindUpdate, Key: "/a"})
+	if !waitCond(t, 2*time.Second, func() bool {
+		evs, _, _ := sink.snapshot()
+		return len(evs) == 1
+	}) {
+		t.Fatal("first event never arrived")
+	}
+
+	h.Reset()
+	if !waitCond(t, 2*time.Second, func() bool { return sub.Resets() == 1 }) {
+		t.Fatal("mid-stream Reset was swallowed")
+	}
+	_, hellos, resumed := sink.snapshot()
+	if len(hellos) != 2 {
+		t.Fatalf("OnConnect ran %d times, want 2 (connect + mid-stream Reset)", len(hellos))
+	}
+	if !hellos[1].Reset || !resumed[1] {
+		t.Errorf("mid-stream reconciliation: hello=%+v resumed=%v", hellos[1], resumed[1])
+	}
+	if got := sub.LastSeq(); got != 1 {
+		t.Errorf("LastSeq = %d after Reset at seq 1", got)
+	}
+	// The stream itself must survive: a Reset is an announcement, not a
+	// disconnect.
+	if c, d := sub.Connects(), sub.Disconnects(); c != 1 || d != 0 {
+		t.Errorf("connects=%d disconnects=%d; the Reset dropped the stream", c, d)
+	}
+
+	// The stream stays usable after the Reset.
+	h.Publish(Event{Kind: KindUpdate, Key: "/b"})
+	if !waitCond(t, 2*time.Second, func() bool {
+		evs, _, _ := sink.snapshot()
+		return len(evs) == 2 && evs[1].Key == "/b"
+	}) {
+		t.Fatal("stream dead after mid-stream Reset")
+	}
+}
+
+// TestHubResetBarrierOnResume: a subscriber that was disconnected
+// across a Reset cannot be healed by a contiguous replay of the hub's
+// own ring — its resume must be answered with a Reset hello.
+func TestHubResetBarrierOnResume(t *testing.T) {
+	h := NewHub(HubConfig{})
+	for i := 0; i < 3; i++ {
+		h.Publish(Event{Kind: KindUpdate, Key: "/a"})
+	}
+	h.Reset() // barrier at seq 3
+
+	cases := []struct {
+		since     uint64
+		wantReset bool
+	}{
+		{0, false}, // fresh subscriber: nothing to reconcile
+		{2, true},  // behind the barrier
+		{3, true},  // exactly at the barrier: the hole follows it
+	}
+	for _, c := range cases {
+		hello, backlog, sub, ok := h.subscribe(c.since)
+		if !ok {
+			t.Fatalf("since=%d: unavailable", c.since)
+		}
+		if hello.Reset != c.wantReset {
+			t.Errorf("since=%d: hello.Reset=%v want %v", c.since, hello.Reset, c.wantReset)
+		}
+		if hello.Reset && len(backlog) != 0 {
+			t.Errorf("since=%d: Reset hello with %d backlog events", c.since, len(backlog))
+		}
+		h.unsubscribe(sub)
+	}
+
+	// Past the barrier normal replay resumes.
+	h.Publish(Event{Kind: KindUpdate, Key: "/b"}) // seq 4
+	h.Publish(Event{Kind: KindUpdate, Key: "/c"}) // seq 5
+	hello, backlog, sub, _ := h.subscribe(4)
+	defer h.unsubscribe(sub)
+	if hello.Reset || len(backlog) != 1 || backlog[0].Seq != 5 {
+		t.Errorf("post-barrier resume: hello=%+v backlog=%+v", hello, backlog)
+	}
+	if st := h.Stats(); st.Resets != 1 {
+		t.Errorf("Stats().Resets = %d, want 1", st.Resets)
+	}
+}
+
+// TestHubWriteDeadlineUnpinsStalledClient is the regression test for
+// the unbounded frame write: a client that connects and never reads
+// must not pin its handler goroutine inside the write after the hub
+// terminates the subscription — the per-frame deadline bounds it.
+func TestHubWriteDeadlineUnpinsStalledClient(t *testing.T) {
+	h := NewHub(HubConfig{WriteTimeout: 150 * time.Millisecond})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// A raw TCP client that sends the request and never reads a byte,
+	// so the response backs up through the kernel socket buffers.
+	conn, err := net.Dial("tcp", strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET / HTTP/1.1\r\nHost: hub\r\nAccept: text/event-stream\r\n\r\n")
+	if !waitCond(t, 2*time.Second, func() bool { return h.Subscribers() == 1 }) {
+		t.Fatal("never connected")
+	}
+
+	// Big frames fill the socket buffers fast; far more than the
+	// subscriber channel capacity guarantees the hub terminates the
+	// stalled stream while its handler is still trying to write.
+	key := "/" + strings.Repeat("k", 2048)
+	for i := 0; i < 4096; i++ {
+		h.Publish(Event{Kind: KindUpdate, Key: key})
+	}
+	if h.Subscribers() != 0 {
+		t.Fatal("stalled subscriber still registered; Publish should have terminated it")
+	}
+	// The handler itself must unwind on the write-deadline timescale,
+	// not the kernel-buffer one (the client never drains, so without
+	// the deadline this would hang until the connection dies).
+	if !waitCond(t, 3*time.Second, func() bool { return h.Stats().ActiveStreams == 0 }) {
+		t.Fatalf("handler still pinned in the frame write %v after termination",
+			3*time.Second)
+	}
+	if st := h.Stats(); st.SlowKills == 0 {
+		t.Errorf("SlowKills = %d, want > 0", st.SlowKills)
+	}
+}
+
+// TestHubStatsLagAndOccupancy: the backpressure surface an operator
+// watches — replay occupancy and per-subscriber lag — must track what
+// the hub actually holds.
+func TestHubStatsLagAndOccupancy(t *testing.T) {
+	h := NewHub(HubConfig{ReplayLen: 8})
+	_, _, sub, ok := h.subscribe(0)
+	if !ok {
+		t.Fatal("subscribe failed")
+	}
+	defer h.unsubscribe(sub)
+
+	for i := 0; i < 10; i++ {
+		h.Publish(Event{Kind: KindUpdate, Key: "/a"})
+	}
+	st := h.Stats()
+	if st.Seq != 10 {
+		t.Errorf("Seq = %d", st.Seq)
+	}
+	if st.ReplayLen != 8 || st.ReplayCap != 8 {
+		t.Errorf("replay occupancy %d/%d, want 8/8", st.ReplayLen, st.ReplayCap)
+	}
+	// No serve loop is draining the subscription, so the subscriber's
+	// wire position is still its subscribe-time baseline (seq 0).
+	if st.Subscribers != 1 || len(st.Lags) != 1 || st.MaxLag != 10 {
+		t.Errorf("lag accounting: %+v", st)
+	}
+
+	// An oversized event is dropped, not buffered, not sequenced.
+	h.Publish(Event{Kind: KindUpdate, Key: "/" + strings.Repeat("x", MaxFrameLen)})
+	if st := h.Stats(); st.Oversized != 1 || st.Seq != 10 {
+		t.Errorf("oversized accounting: %+v", st)
+	}
+}
+
+func TestHubRejectsNonGET(t *testing.T) {
+	h := NewHub(HubConfig{})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	for _, method := range []string{http.MethodPost, http.MethodHead, http.MethodDelete} {
+		req, _ := http.NewRequest(method, ts.URL, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s = %d, want 405", method, resp.StatusCode)
+		}
+	}
+	if n := h.Subscribers(); n != 0 {
+		t.Errorf("%d subscriptions leaked by non-GET requests", n)
+	}
+}
+
+// BenchmarkHubPublishFanout measures the push fan-out hot path: one
+// publisher broadcasting to a fleet of draining subscribers.
+func BenchmarkHubPublishFanout(b *testing.B) {
+	h := NewHub(HubConfig{})
+	const fleet = 16
+	var wg sync.WaitGroup
+	for i := 0; i < fleet; i++ {
+		_, _, sub, ok := h.subscribe(0)
+		if !ok {
+			b.Fatal("subscribe failed")
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-sub.ch:
+				case <-sub.done:
+					return
+				}
+			}
+		}()
+		defer h.unsubscribe(sub)
+	}
+	ev := Event{Kind: KindUpdate, Key: "/obj/path", Group: "g"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Publish(ev)
+	}
+	b.StopTimer()
+	h.KillAll()
+	wg.Wait()
+}

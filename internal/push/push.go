@@ -6,17 +6,23 @@
 // update notifications and the proxy polls lazily, falling back to pure
 // paper-mode polling the moment the channel degrades.
 //
-// The package has two halves:
+// The package has three parts:
 //
 //   - The wire protocol: a versioned, single-line event encoding
 //     (Event, Encode, Decode) deliberately shaped for fuzzing — Decode
 //     accepts arbitrary bytes and must never panic. Events are carried
-//     over an SSE-style HTTP stream (text/event-stream) served by
-//     internal/webserver's /events endpoint.
+//     over an SSE-style HTTP stream (text/event-stream).
+//   - The Hub: the server half (hub.go) — one sequence space, a bounded
+//     replay ring, slow-subscriber termination, per-subscriber lag
+//     accounting, deadline-bounded frame writes, and mid-stream Reset
+//     announcement. The origin's /events endpoint and every relaying
+//     proxy's downstream endpoint are the same Hub.
 //   - The Subscriber: a client that consumes the stream, survives
 //     disconnects with capped exponential backoff, resumes from the last
-//     processed sequence number, and detects dead connections via a
-//     heartbeat timeout.
+//     processed sequence number, detects dead connections via a
+//     heartbeat timeout, skips oversized lines instead of dying on
+//     them, and treats a mid-stream hello/Reset as a reconnect-grade
+//     reconciliation without dropping the stream.
 //
 // Delivery semantics are at-least-once with ordered sequence numbers:
 // the origin assigns every update event a monotonically increasing Seq,

@@ -27,7 +27,11 @@ type SubscriberConfig struct {
 	// OnConnect is invoked after the server's hello frame on every
 	// successful (re)connect. resumed reports whether the subscriber
 	// asked to resume from a previous position; hello.Reset reports
-	// whether the server could not replay the gap.
+	// whether the server could not replay the gap. It is also invoked
+	// (with resumed=true) for a mid-stream hello carrying Reset — a
+	// relaying upstream announcing a hole in its stream without
+	// dropping the connection — so the consumer runs the same
+	// reconciliation either way.
 	OnConnect func(hello Event, resumed bool)
 	// OnDisconnect is invoked when an established stream dies (never for
 	// a connection attempt that failed outright, and never on context
@@ -52,6 +56,11 @@ type Subscriber struct {
 	// connects and disconnects count stream lifecycle transitions.
 	connects    atomic.Uint64
 	disconnects atomic.Uint64
+	// resets counts mid-stream hello/Reset frames (a relaying upstream
+	// lost its own upstream); skipped counts oversized stream lines
+	// dropped without killing the connection.
+	resets  atomic.Uint64
+	skipped atomic.Uint64
 }
 
 // NewSubscriber validates cfg and returns a subscriber. Call Run to
@@ -91,6 +100,18 @@ func (s *Subscriber) Connects() uint64 { return s.connects.Load() }
 // Disconnects returns the number of established streams that died.
 func (s *Subscriber) Disconnects() uint64 { return s.disconnects.Load() }
 
+// Resets returns the number of mid-stream hello/Reset frames processed:
+// each one is an upstream announcing a hole in its stream content and
+// re-ran the OnConnect reconciliation without dropping the connection.
+func (s *Subscriber) Resets() uint64 { return s.resets.Load() }
+
+// SkippedFrames returns the number of stream lines dropped for
+// exceeding the frame size limit. A non-broadway upstream can emit SSE
+// lines of any length; each one is skipped (consumed to its newline) so
+// the stream survives instead of dying and replaying the same position
+// on every reconnect.
+func (s *Subscriber) SkippedFrames() uint64 { return s.skipped.Load() }
+
 // Run consumes the stream until ctx is cancelled, reconnecting on every
 // failure with capped exponential backoff. The backoff resets only
 // after a stream that proved stable (lived at least BackoffMax): a
@@ -124,6 +145,38 @@ func (s *Subscriber) Run(ctx context.Context) {
 		backoff *= 2
 		if backoff > s.cfg.BackoffMax {
 			backoff = s.cfg.BackoffMax
+		}
+	}
+}
+
+// readFrameLine reads one newline-terminated line of at most limit
+// bytes from br. A longer line is consumed through its newline and
+// reported skipped=true with no content: the caller loses only that
+// line, never the stream's framing. The final newline (and a preceding
+// carriage return) are stripped from returned lines.
+func readFrameLine(br *bufio.Reader, limit int) (line string, skipped bool, err error) {
+	var buf []byte
+	over := false
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if !over {
+			buf = append(buf, chunk...)
+			if len(buf) > limit+1 { // +1: the newline itself is not frame data
+				over, buf = true, nil
+			}
+		}
+		switch err {
+		case nil:
+			if over {
+				return "", true, nil
+			}
+			return strings.TrimRight(string(buf), "\r\n"), false, nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			// EOF or a transport error; a partial final line (no
+			// newline) dies with the stream either way.
+			return "", over, err
 		}
 	}
 }
@@ -168,10 +221,26 @@ func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 	defer close(streamDone)
 	go func() {
 		defer close(frames)
-		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 0, 4096), MaxFrameLen+64)
-		for sc.Scan() {
-			line := sc.Text()
+		br := bufio.NewReaderSize(resp.Body, 4096)
+		for {
+			line, skipped, err := readFrameLine(br, MaxFrameLen+64)
+			if err != nil {
+				if err == io.EOF {
+					err = nil // clean stream end, reported as io.EOF by the consumer
+				}
+				readErr <- err
+				return
+			}
+			if skipped {
+				// An oversized line would have killed the stream under
+				// bufio.Scanner (ErrTooLong), and the reconnect would
+				// replay the same position and die on the same line
+				// forever — a one-frame livelock against any upstream
+				// that does not police its frame sizes. Drop just the
+				// line and keep the stream's framing intact.
+				s.skipped.Add(1)
+				continue
+			}
 			payload, ok := strings.CutPrefix(line, "data:")
 			if !ok {
 				continue // SSE comment, id:, event:, or blank separator
@@ -185,7 +254,6 @@ func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 				return
 			}
 		}
-		readErr <- sc.Err()
 	}()
 
 	var watchdog *time.Timer
@@ -246,9 +314,23 @@ func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 			case ev.Kind == KindUpdate:
 				s.cfg.OnEvent(ev)
 				s.lastSeq.Store(ev.Seq)
+			case ev.Kind == KindHello && ev.Reset:
+				// A mid-stream Reset: a relaying upstream lost ITS
+				// upstream, so this stream's content has a hole even
+				// though the connection never dropped. Fast-forward the
+				// resume point and re-run the connect reconciliation
+				// (the consumer's fallback sweep) exactly as for a
+				// Reset at connect time — swallowing it as a heartbeat
+				// would leave the consumer confidently stretched over
+				// events that no longer exist.
+				s.resets.Add(1)
+				s.lastSeq.Store(ev.Seq)
+				if s.cfg.OnConnect != nil {
+					s.cfg.OnConnect(ev, true)
+				}
 			default:
-				// Heartbeats (and redundant hellos) only feed the
-				// watchdog.
+				// Heartbeats (and redundant non-Reset hellos) only feed
+				// the watchdog.
 			}
 		}
 	}

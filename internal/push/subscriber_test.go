@@ -1,0 +1,170 @@
+package push
+
+import (
+	"bufio"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These are the protocol-hole regression tests of ISSUE 4, driven
+// through the scriptable sseServer from push_test.go: the subscriber
+// must handle a mid-stream hello/Reset (a relaying upstream announcing
+// a hole) and survive oversized stream lines without a reconnect
+// livelock.
+
+func TestSubscriberMidStreamResetFastForwardsAndReconciles(t *testing.T) {
+	srv := &sseServer{}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var events atomic.Int64
+	var connects atomic.Int64
+	var lastResumed atomic.Bool
+	var lastReset atomic.Bool
+	sub, err := NewSubscriber(SubscriberConfig{
+		URL:     ts.URL,
+		OnEvent: func(Event) { events.Add(1) },
+		OnConnect: func(hello Event, resumed bool) {
+			connects.Add(1)
+			lastResumed.Store(resumed)
+			lastReset.Store(hello.Reset)
+		},
+		BackoffMin: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sub.Run(ctx)
+
+	if !waitCond(t, 2*time.Second, func() bool { return srv.conns.Load() >= 1 }) {
+		t.Fatal("never connected")
+	}
+	// Re-send until processed: the stream registers slightly after the
+	// connection counter, and a redundant hello is just a heartbeat.
+	if !waitCond(t, 2*time.Second, func() bool {
+		srv.send(Event{Kind: KindHello, Seq: 0}.Encode())
+		return connects.Load() == 1
+	}) {
+		t.Fatal("initial hello not processed")
+	}
+	srv.send(Event{Kind: KindUpdate, Seq: 1, Key: "/a"}.Encode())
+	if !waitCond(t, 2*time.Second, func() bool { return events.Load() == 1 }) {
+		t.Fatal("update not processed")
+	}
+
+	// The upstream resyncs mid-stream: a hello with Reset at its new
+	// head. The pre-fix subscriber swallowed this as a "redundant
+	// hello"; it must fast-forward and re-run the connect
+	// reconciliation, on the SAME connection.
+	srv.send(Event{Kind: KindHello, Seq: 41, Reset: true}.Encode())
+	if !waitCond(t, 2*time.Second, func() bool { return connects.Load() == 2 }) {
+		t.Fatalf("mid-stream Reset swallowed (connects=%d resets=%d)", connects.Load(), sub.Resets())
+	}
+	if !lastResumed.Load() || !lastReset.Load() {
+		t.Errorf("reconciliation args: resumed=%v reset=%v, want true/true",
+			lastResumed.Load(), lastReset.Load())
+	}
+	if got := sub.LastSeq(); got != 41 {
+		t.Errorf("LastSeq = %d after mid-stream Reset, want 41", got)
+	}
+	if sub.Resets() != 1 {
+		t.Errorf("Resets = %d, want 1", sub.Resets())
+	}
+	if srv.conns.Load() != 1 {
+		t.Errorf("subscriber reconnected (%d conns); the Reset must ride the live stream", srv.conns.Load())
+	}
+
+	// A mid-stream hello WITHOUT Reset stays a heartbeat: no extra
+	// reconciliation, no resume-point move.
+	srv.send(Event{Kind: KindHello, Seq: 99}.Encode())
+	srv.send(Event{Kind: KindUpdate, Seq: 42, Key: "/b"}.Encode())
+	if !waitCond(t, 2*time.Second, func() bool { return events.Load() == 2 }) {
+		t.Fatal("stream dead after non-Reset hello")
+	}
+	if connects.Load() != 2 {
+		t.Errorf("non-Reset mid-stream hello ran OnConnect (connects=%d)", connects.Load())
+	}
+	if got := sub.LastSeq(); got != 42 {
+		t.Errorf("LastSeq = %d, want 42", got)
+	}
+}
+
+// TestSubscriberSkipsOversizedLinesWithoutReconnecting: before the fix
+// an SSE line longer than the scanner buffer killed the stream with
+// bufio.ErrTooLong, and since the reconnect resumed from the same
+// position against an upstream replaying the same line, the subscriber
+// livelocked one frame forever. The fixed reader skips just the line.
+func TestSubscriberSkipsOversizedLinesWithoutReconnecting(t *testing.T) {
+	srv := &sseServer{}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var events atomic.Int64
+	sub, err := NewSubscriber(SubscriberConfig{
+		URL:        ts.URL,
+		OnEvent:    func(Event) { events.Add(1) },
+		BackoffMin: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sub.Run(ctx)
+
+	// Re-send until the stream is demonstrably live (a redundant hello
+	// is just a heartbeat).
+	if !waitCond(t, 2*time.Second, func() bool {
+		srv.send(Event{Kind: KindHello, Seq: 0}.Encode())
+		return sub.Connects() >= 1
+	}) {
+		t.Fatal("hello never processed")
+	}
+
+	// A line far beyond MaxFrameLen+64, as a hostile or non-broadway
+	// upstream could emit, followed by a well-formed update on the same
+	// stream.
+	srv.send(strings.Repeat("x", MaxFrameLen*2))
+	srv.send(Event{Kind: KindUpdate, Seq: 1, Key: "/a"}.Encode())
+
+	if !waitCond(t, 2*time.Second, func() bool { return events.Load() == 1 }) {
+		t.Fatalf("update after oversized line never arrived (skipped=%d disconnects=%d)",
+			sub.SkippedFrames(), sub.Disconnects())
+	}
+	if sub.SkippedFrames() == 0 {
+		t.Error("oversized line was not counted as skipped")
+	}
+	if srv.conns.Load() != 1 || sub.Disconnects() != 0 {
+		t.Errorf("stream died on the oversized line (conns=%d disconnects=%d) — the reconnect livelock",
+			srv.conns.Load(), sub.Disconnects())
+	}
+}
+
+func TestReadFrameLine(t *testing.T) {
+	input := "short\r\n" +
+		strings.Repeat("y", 300) + "\n" +
+		"data: after\n"
+	br := bufio.NewReaderSize(strings.NewReader(input), 16) // tiny buffer: exercise ErrBufferFull stitching
+
+	line, skipped, err := readFrameLine(br, 100)
+	if err != nil || skipped || line != "short" {
+		t.Fatalf("first line = %q skipped=%v err=%v", line, skipped, err)
+	}
+	line, skipped, err = readFrameLine(br, 100)
+	if err != nil || !skipped || line != "" {
+		t.Fatalf("oversized line: %q skipped=%v err=%v", line, skipped, err)
+	}
+	line, skipped, err = readFrameLine(br, 100)
+	if err != nil || skipped || line != "data: after" {
+		t.Fatalf("line after skip = %q skipped=%v err=%v", line, skipped, err)
+	}
+	if _, _, err = readFrameLine(br, 100); err == nil {
+		t.Fatal("EOF not reported")
+	}
+}

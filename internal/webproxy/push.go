@@ -68,6 +68,9 @@ func (p *Proxy) handlePushEvent(ev push.Event) {
 	if ev.Kind != push.KindUpdate || ev.Key == "" {
 		return
 	}
+	// Pass-through relay before the residency check: a child proxy may
+	// cache objects this proxy does not.
+	p.relayUpstreamEvent(ev)
 	e := p.lookup(ev.Key)
 	if e == nil || e.evicted.Load() {
 		p.pushDropped.Add(1)
@@ -114,19 +117,29 @@ func (p *Proxy) eventKeyResolvesTo(key string) bool {
 // while stretched, so the catch-up sweep revalidates on the paper-mode
 // schedule before stretching resumes.
 func (p *Proxy) handlePushConnect(hello push.Event, resumed bool) {
-	p.pushConnects.Add(1)
 	p.pushHealthy.Store(true)
 	if hello.Reset && resumed {
+		// Events were irrecoverably missed (a reconnect gap that outran
+		// the upstream's replay buffer, or a mid-stream Reset from a
+		// relaying upstream that lost its own upstream): revalidate on
+		// the paper-mode schedule, and hand the hole on to any children
+		// of this proxy — everything relayed before this instant is
+		// suspect for them exactly as the upstream's stream is for us.
 		p.fallbackSweep()
+		p.relayReset()
 	}
 }
 
 // handlePushDisconnect falls back to pure polling: stretching stops and
 // the catch-up sweep bounds the staleness the dead channel left behind.
+// Children are told too (mid-stream Reset): while this proxy is blind,
+// its relay announces nothing, so their stretched schedules must not
+// outlive the guarantee that backed them.
 func (p *Proxy) handlePushDisconnect(error) {
 	if p.pushHealthy.Swap(false) {
 		p.pushFallbacks.Add(1)
 		p.fallbackSweep()
+		p.relayReset()
 	}
 }
 
@@ -219,22 +232,35 @@ type PushStats struct {
 	// Fallbacks counts healthy→disconnected transitions (each one ran a
 	// catch-up sweep).
 	Fallbacks uint64
-	// Connects counts successful stream establishments.
+	// Connects counts successful stream establishments (a mid-stream
+	// Reset reconciliation is not one: the stream stayed up).
 	Connects uint64
+	// Resets counts mid-stream hello/Reset frames received (a relaying
+	// upstream announcing a hole without dropping the connection); each
+	// one ran the same reconciliation as a Reset at connect time.
+	Resets uint64
+	// SkippedFrames counts oversized stream lines the subscriber
+	// dropped in place of dying and livelocking on reconnect replay.
+	SkippedFrames uint64
 	// LastSeq is the sequence number of the last fully processed event.
 	LastSeq uint64
 }
 
 // PushStats returns the invalidation-channel counters.
 func (p *Proxy) PushStats() PushStats {
-	return PushStats{
+	st := PushStats{
 		Enabled:   p.sub != nil,
 		Connected: p.pushHealthy.Load(),
 		Events:    p.pushEvents.Load(),
 		Polls:     p.pushPolls.Load(),
 		Dropped:   p.pushDropped.Load(),
 		Fallbacks: p.pushFallbacks.Load(),
-		Connects:  p.pushConnects.Load(),
 		LastSeq:   p.pushSeq.Load(),
 	}
+	if p.sub != nil {
+		st.Connects = p.sub.Connects()
+		st.Resets = p.sub.Resets()
+		st.SkippedFrames = p.sub.SkippedFrames()
+	}
+	return st
 }

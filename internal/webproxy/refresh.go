@@ -355,6 +355,9 @@ func (p *Proxy) pollEntry(e *entry, kind pollKind) {
 		if resp.contentType != "" {
 			e.contentType = resp.contentType
 		}
+		if cc := resp.header.Get("Cache-Control"); cc != "" {
+			e.cacheControl = cc
+		}
 		if resp.hasLastMod {
 			e.lastMod = resp.lastMod
 			e.hasLastMod = true
@@ -397,6 +400,18 @@ func (p *Proxy) pollEntry(e *entry, kind pollKind) {
 			}
 			p.unwind(p.store.shrink(p.cfg.MaxObjects, p.cfg.MaxBytes, p.store.shardIndex(e.key), e))
 		}
+	}
+
+	if !resp.notModified {
+		// Confirmation relay: the cached copy is fresh as of now, so
+		// downstream subscribers can be told (published after the body
+		// swap above — a child that polls on this event must find the
+		// new version, not the stale one the pass-through event raced).
+		mod := now
+		if resp.hasLastMod {
+			mod = resp.lastMod
+		}
+		p.relayConfirmedUpdate(e, mod)
 	}
 
 	e.polls.Add(1)

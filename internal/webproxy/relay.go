@@ -1,0 +1,99 @@
+package webproxy
+
+import (
+	"time"
+
+	"broadway/internal/push"
+)
+
+// This file is the proxy's downstream face: the event relay that lets a
+// hierarchy of proxies share one origin subscription. A relay-enabled
+// proxy owns a push.Hub with its own sequence space, served at
+// Config.RelayPath over the same SSE /events protocol the origin
+// speaks, so a leaf proxy subscribes to a parent exactly as the parent
+// subscribes to the origin — the fan-out cost of N edge proxies lands
+// on the hierarchy, not on the origin.
+//
+// Three publication paths feed the relay hub:
+//
+//   - Pass-through: every update event arriving on the parent's own
+//     upstream channel is republished immediately (before the parent's
+//     own pushed poll runs), resident or not — a leaf may well cache an
+//     object its parent does not.
+//   - Confirmation: every locally confirmed update (a poll of any kind
+//     that observed a modification) is republished. This closes the
+//     pass-through race — a leaf that polls the parent on the
+//     pass-through event can catch the parent still stale and learn
+//     nothing; the confirmation event arrives once the parent's copy is
+//     fresh and drives a second leaf poll — and it is also what feeds
+//     leaves under a pure-polling parent (relay on, upstream push off).
+//   - Reset: when the parent's upstream stream dies, or resyncs with a
+//     Reset hello, the parent's own view has a hole, so everything it
+//     relays is suspect from that instant. Hub.Reset pushes a
+//     mid-stream hello/Reset frame to every connected leaf (driving
+//     their fallback sweeps, without dropping their connections) and
+//     arms the hub's barrier so leaves that were disconnected across
+//     the hole are Reset when they resume.
+//
+// Duplicate events (a pass-through and its confirmation, or a
+// confirmation racing the origin's own announcement) are harmless:
+// delivery is at-least-once, a leaf coalesces queued pushed polls per
+// object, and a redundant poll costs one conditional request answered
+// 304.
+
+// relayUpstreamEvent republishes an update event received on the
+// upstream channel into the relay hub (pass-through path).
+func (p *Proxy) relayUpstreamEvent(ev push.Event) {
+	if p.relay == nil || ev.Kind != push.KindUpdate {
+		return
+	}
+	p.relay.Publish(ev) // Publish re-assigns Seq into the relay's own space
+}
+
+// relayConfirmedUpdate announces a locally confirmed modification of a
+// cached object to downstream subscribers (confirmation path).
+func (p *Proxy) relayConfirmedUpdate(e *entry, modTime time.Time) {
+	if p.relay == nil {
+		return
+	}
+	p.relay.Publish(push.Event{
+		Kind:    push.KindUpdate,
+		Key:     e.key,
+		Group:   e.group,
+		ModTime: modTime,
+	})
+}
+
+// relayReset propagates an upstream hole downstream: connected leaves
+// get a mid-stream hello/Reset (their fallback sweeps bound the
+// staleness the hole could hide), and leaves disconnected across it are
+// Reset when they resume.
+func (p *Proxy) relayReset() {
+	if p.relay != nil {
+		p.relay.Reset()
+	}
+}
+
+// RelayStats reports the state of the downstream event relay.
+type RelayStats struct {
+	// Enabled reports whether the proxy was configured to relay events.
+	Enabled bool
+	// Path is the endpoint the relayed stream is served at.
+	Path string
+	// Hub is the relay hub's backpressure snapshot: sequence head,
+	// replay occupancy, per-subscriber lag, resets announced.
+	Hub push.HubStats
+}
+
+// RelayStats returns the downstream relay's counters (zero-valued when
+// the relay is disabled).
+func (p *Proxy) RelayStats() RelayStats {
+	if p.relay == nil {
+		return RelayStats{}
+	}
+	return RelayStats{
+		Enabled: true,
+		Path:    p.cfg.RelayPath,
+		Hub:     p.relay.Stats(),
+	}
+}

@@ -59,6 +59,17 @@
 // falls back to pure paper-mode polling and a staleness-bounded catch-up
 // sweep restores every stretched schedule entry to its unstretched
 // instant, so the Δt guarantee never silently widens (see push.go).
+//
+// Proxies compose into a hierarchy: Config.RelayEvents gives a proxy a
+// downstream face (see relay.go) — its own event hub republishing every
+// upstream invalidation and every locally confirmed update, served over
+// the same /events protocol, with upstream holes propagated as
+// mid-stream Resets — while conditional-GET answering and tolerance-
+// directive forwarding let child proxies revalidate content against
+// this one exactly as it revalidates against its origin. One origin
+// stream and one origin poller then serve an arbitrarily wide edge
+// fleet, and each hop's Δt guarantee degrades at worst to pure polling
+// against its own upstream.
 package webproxy
 
 import (
@@ -155,6 +166,23 @@ type Config struct {
 	// arrives for this long; it must exceed the origin's heartbeat
 	// interval. Defaults to 30s; negative disables the watchdog.
 	PushHeartbeatTimeout time.Duration
+	// RelayEvents, when true, gives the proxy a downstream face: it
+	// republishes every upstream invalidation event and every locally
+	// confirmed update into its own hub (own sequence space), served at
+	// RelayPath over the same SSE protocol the origin speaks, so child
+	// proxies subscribe to this proxy exactly as it subscribes to its
+	// origin. An upstream disconnect or Reset propagates to children as
+	// a mid-stream hello/Reset, driving their fallback sweeps (see
+	// relay.go). Works with or without PushURL: a pure-polling parent
+	// still relays the updates its own polls confirm.
+	RelayEvents bool
+	// RelayPath is the path the relayed event stream is served at
+	// (default "/events"). Requests for it are handled by the relay hub
+	// and never reach the cache or the origin.
+	RelayPath string
+	// RelayHeartbeat is the keepalive interval of relayed streams
+	// (default 15s).
+	RelayHeartbeat time.Duration
 	// PollObserver, when non-nil, is invoked after every successful
 	// origin poll of a cached object (including the admission fetch).
 	// It runs on the polling goroutine and must be fast and
@@ -237,10 +265,13 @@ type entry struct {
 
 	body        []byte // replaced wholesale on refresh, never mutated
 	contentType string
-	lastMod     time.Time
-	hasLastMod  bool
-	validatedAt time.Time
-	failures    int // consecutive upstream failures
+	// cacheControl is the origin's Cache-Control header, forwarded on
+	// responses so child proxies learn the same tolerance directives.
+	cacheControl string
+	lastMod      time.Time
+	hasLastMod   bool
+	validatedAt  time.Time
+	failures     int // consecutive upstream failures
 
 	// Value-domain objects (origin advertised x-cc-vdelta): the body is
 	// parsed as a decimal value and the entry runs an AdaptiveTTR
@@ -348,6 +379,10 @@ type Proxy struct {
 	// an external clock driver detect quiescence.
 	pending atomic.Int64
 
+	// Downstream event relay (see relay.go); nil unless
+	// Config.RelayEvents.
+	relay *push.Hub
+
 	// Invalidation-channel state (see push.go). sub is nil when push is
 	// disabled.
 	sub           *push.Subscriber
@@ -357,7 +392,6 @@ type Proxy struct {
 	pushPolls     atomic.Uint64
 	pushDropped   atomic.Uint64
 	pushFallbacks atomic.Uint64
-	pushConnects  atomic.Uint64
 	pushSeq       atomic.Uint64
 
 	// Expvar-style cache counters. Misses, evictions, and capped
@@ -422,6 +456,9 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.PushURL != nil && cfg.PushStretch == 0 {
 		cfg.PushStretch = 4
 	}
+	if cfg.RelayPath == "" {
+		cfg.RelayPath = "/events"
+	}
 	p := &Proxy{
 		cfg:     cfg,
 		epoch:   cfg.Clock(),
@@ -433,6 +470,9 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	for i := range p.workers {
 		p.workers[i] = &worker{wake: make(chan struct{}, 1)}
+	}
+	if cfg.RelayEvents {
+		p.relay = push.NewHub(push.HubConfig{Heartbeat: cfg.RelayHeartbeat})
 	}
 	if cfg.PushURL != nil {
 		sub, err := p.newPushSubscriber()
@@ -485,6 +525,16 @@ func (p *Proxy) Close() {
 	if cancel != nil {
 		cancel()
 	}
+	if p.relay != nil {
+		// A closed proxy will never publish again, but its relay hub
+		// would keep heartbeating connected children — leaving their
+		// stretched TTR schedules backed by a channel that can no
+		// longer announce anything. Announce the hole to anyone still
+		// listening, then drop every stream and refuse new ones: the
+		// children fall back to paper-mode polling either way.
+		p.relay.Reset()
+		p.relay.SetAvailable(false)
+	}
 	if started {
 		p.wg.Wait()
 	}
@@ -521,6 +571,12 @@ func canonicalQuery(rawQuery string) string {
 
 // ServeHTTP serves cache hits locally and fills misses from the origin.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.relay != nil && r.URL.Path == p.cfg.RelayPath {
+		// The downstream event stream: child proxies subscribe here.
+		// The relay path shadows any upstream object of the same name.
+		p.relay.ServeHTTP(w, r)
+		return
+	}
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -530,7 +586,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if e := p.store.get(key); e != nil {
 		e.hits.Add(1)
 		e.markAccessed()
-		p.serveEntry(w, e, "HIT")
+		p.serveEntry(w, r, e, "HIT")
 		return
 	}
 
@@ -547,29 +603,53 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if e.capped {
 		status = "BYPASS" // served, but refused residency at capacity
 	}
-	p.serveEntry(w, e, status)
+	p.serveEntry(w, r, e, status)
 }
 
 // serveEntry writes e's current cached representation. The body slice is
 // shared, not copied: refreshes replace it wholesale and never mutate it
-// in place.
-func (p *Proxy) serveEntry(w http.ResponseWriter, e *entry, cacheStatus string) {
+// in place. A conditional request (If-Modified-Since at or beyond the
+// cached Last-Modified) is answered 304 with no body — that is how a
+// child proxy in a hierarchy revalidates against this one without
+// re-downloading, exactly as this proxy revalidates against its origin.
+func (p *Proxy) serveEntry(w http.ResponseWriter, r *http.Request, e *entry, cacheStatus string) {
 	e.mu.RLock()
 	body := e.body
 	contentType := e.contentType
+	cacheControl := e.cacheControl
 	lastMod, hasLastMod := e.lastMod, e.hasLastMod
 	e.mu.RUnlock()
-	writeObject(w, body, contentType, lastMod, hasLastMod, cacheStatus)
+	if hasLastMod {
+		if ims := r.Header.Get("If-Modified-Since"); ims != "" {
+			if since, err := http.ParseTime(ims); err == nil && !lastMod.After(since) {
+				setObjectHeaders(w, "", cacheControl, lastMod, true, cacheStatus)
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+	}
+	writeObject(w, body, contentType, cacheControl, lastMod, hasLastMod, cacheStatus)
 }
 
-func writeObject(w http.ResponseWriter, body []byte, contentType string, lastMod time.Time, hasLastMod bool, cacheStatus string) {
+// setObjectHeaders writes the response headers shared by 200 and 304
+// replies. The origin's Cache-Control (carrying the paper's §5.1
+// tolerance directives: Δ, group, δ, Δv) is forwarded verbatim so a
+// child proxy learns the same consistency parameters this proxy did.
+func setObjectHeaders(w http.ResponseWriter, contentType, cacheControl string, lastMod time.Time, hasLastMod bool, cacheStatus string) {
 	if contentType != "" {
 		w.Header().Set("Content-Type", contentType)
+	}
+	if cacheControl != "" {
+		w.Header().Set("Cache-Control", cacheControl)
 	}
 	if hasLastMod {
 		w.Header().Set("Last-Modified", lastMod.UTC().Format(http.TimeFormat))
 	}
 	w.Header().Set("X-Cache", cacheStatus)
+}
+
+func writeObject(w http.ResponseWriter, body []byte, contentType, cacheControl string, lastMod time.Time, hasLastMod bool, cacheStatus string) {
+	setObjectHeaders(w, contentType, cacheControl, lastMod, hasLastMod, cacheStatus)
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
 }
@@ -602,13 +682,14 @@ func (p *Proxy) admit(key string) (*entry, error) {
 
 	now := p.cfg.Clock()
 	e := &entry{
-		key:         key,
-		group:       group,
-		body:        resp.body,
-		contentType: resp.contentType,
-		lastMod:     resp.lastMod,
-		hasLastMod:  resp.hasLastMod,
-		validatedAt: now,
+		key:          key,
+		group:        group,
+		body:         resp.body,
+		contentType:  resp.contentType,
+		cacheControl: resp.header.Get("Cache-Control"),
+		lastMod:      resp.lastMod,
+		hasLastMod:   resp.hasLastMod,
+		validatedAt:  now,
 	}
 	if p.sub != nil {
 		// An object the channel can never announce must not have its

@@ -1,231 +1,35 @@
 package webserver
 
 import (
-	"fmt"
-	"net/http"
-	"strconv"
-	"sync"
 	"time"
 
 	"broadway/internal/push"
 )
 
-// This file implements the origin side of the hybrid push–pull channel:
-// an SSE-style endpoint streaming per-object invalidation events to
+// This file wires the origin onto the push package's broadcast hub: an
+// SSE-style endpoint streaming per-object invalidation events to
 // downstream proxies. Every Set on a push-enabled origin assigns the
 // update a monotonically increasing sequence number, fans it out to
 // connected subscribers, and records it in a bounded replay buffer so a
 // reconnecting subscriber (?since=<seq>) receives exactly the events it
 // missed. When the gap exceeds the buffer, the hello frame carries
 // Reset, telling the proxy to fall back to a revalidation sweep.
+//
+// The hub itself (sequence space, replay ring, slow-subscriber
+// termination, per-subscriber lag accounting, frame write deadlines)
+// lives in internal/push as push.Hub — the same machinery a relaying
+// proxy runs for its own downstream face — so the origin side here is
+// only construction and accessors.
 
 // replayBufferLen bounds the events kept for reconnect catch-up.
-const replayBufferLen = 1024
+const replayBufferLen = push.DefaultReplayLen
 
 // defaultHeartbeat is the interval between keepalive frames.
-const defaultHeartbeat = 15 * time.Second
+const defaultHeartbeat = push.DefaultHeartbeat
 
-// eventHub is the broadcast fan-out attached to a push-enabled Origin.
-type eventHub struct {
-	heartbeat time.Duration
-
-	mu        sync.Mutex
-	seq       uint64       // last assigned sequence number
-	buf       []push.Event // ring of the most recent update events
-	subs      map[*hubSub]struct{}
-	available bool
-	oversized uint64 // events dropped because their frame exceeds MaxFrameLen
-}
-
-// hubSub is one connected subscriber stream.
-type hubSub struct {
-	ch   chan push.Event
-	done chan struct{} // closed to terminate the stream server-side
-	once sync.Once
-}
-
-func (s *hubSub) terminate() { s.once.Do(func() { close(s.done) }) }
-
-func newEventHub(heartbeat time.Duration) *eventHub {
-	if heartbeat <= 0 {
-		heartbeat = defaultHeartbeat
-	}
-	return &eventHub{
-		heartbeat: heartbeat,
-		subs:      make(map[*hubSub]struct{}),
-		available: true,
-	}
-}
-
-// publish assigns the next sequence number, buffers the event, and fans
-// it out. A subscriber too slow to drain its channel is terminated (it
-// reconnects and catches up from the replay buffer) — a stalled consumer
-// must never block the origin's write path.
-//
-// An event whose encoded frame exceeds the wire limit is dropped before
-// it can enter the buffer: subscribers reject oversized frames, so one
-// poisonous buffered frame would kill every reconnecting stream at the
-// same replay position forever. The owning object simply goes
-// unannounced (proxies keep pure-polling freshness for it).
-func (h *eventHub) publish(ev push.Event) uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if ev.Oversized() {
-		h.oversized++
-		return h.seq
-	}
-	h.seq++
-	ev.Seq = h.seq
-	h.buf = append(h.buf, ev)
-	if len(h.buf) > replayBufferLen {
-		h.buf = h.buf[len(h.buf)-replayBufferLen:]
-	}
-	for s := range h.subs {
-		select {
-		case s.ch <- ev:
-		default:
-			s.terminate()
-			delete(h.subs, s)
-		}
-	}
-	return h.seq
-}
-
-// snapshot returns the hello frame and replay backlog for a subscriber
-// resuming from since, and registers its stream.
-func (h *eventHub) subscribe(since uint64) (hello push.Event, backlog []push.Event, sub *hubSub, ok bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if !h.available {
-		return push.Event{}, nil, nil, false
-	}
-	hello = push.Event{Kind: push.KindHello, Seq: h.seq}
-	if since > 0 && since < h.seq {
-		oldest := h.seq - uint64(len(h.buf)) + 1
-		if len(h.buf) == 0 || since+1 < oldest {
-			// The gap outruns the buffer: the subscriber's view is no
-			// longer contiguous.
-			hello.Reset = true
-		} else {
-			backlog = append(backlog, h.buf[since-oldest+1:]...)
-		}
-	} else if since > h.seq {
-		// The subscriber claims a future position (e.g. the origin
-		// restarted and its sequence space reset): resync from scratch.
-		hello.Reset = true
-	}
-	sub = &hubSub{ch: make(chan push.Event, 256), done: make(chan struct{})}
-	h.subs[sub] = struct{}{}
-	return hello, backlog, sub, true
-}
-
-func (h *eventHub) unsubscribe(sub *hubSub) {
-	h.mu.Lock()
-	delete(h.subs, sub)
-	h.mu.Unlock()
-	sub.terminate()
-}
-
-// killAll terminates every connected stream.
-func (h *eventHub) killAll() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for s := range h.subs {
-		s.terminate()
-		delete(h.subs, s)
-	}
-}
-
-// setAvailable toggles the endpoint; disabling also drops live streams.
-func (h *eventHub) setAvailable(up bool) {
-	h.mu.Lock()
-	h.available = up
-	if !up {
-		for s := range h.subs {
-			s.terminate()
-			delete(h.subs, s)
-		}
-	}
-	h.mu.Unlock()
-}
-
-func (h *eventHub) lastSeq() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.seq
-}
-
-func (h *eventHub) subscriberCount() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.subs)
-}
-
-func (h *eventHub) oversizedCount() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.oversized
-}
-
-// serveEvents streams invalidation events over SSE until the client
-// disconnects or the hub terminates the stream.
-func (o *Origin) serveEvents(w http.ResponseWriter, r *http.Request) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-		return
-	}
-	var since uint64
-	if raw := r.URL.Query().Get("since"); raw != "" {
-		v, err := strconv.ParseUint(raw, 10, 64)
-		if err != nil {
-			http.Error(w, "bad since parameter", http.StatusBadRequest)
-			return
-		}
-		since = v
-	}
-	hello, backlog, sub, ok := o.hub.subscribe(since)
-	if !ok {
-		http.Error(w, "event stream unavailable", http.StatusServiceUnavailable)
-		return
-	}
-	defer o.hub.unsubscribe(sub)
-
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-store")
-	w.WriteHeader(http.StatusOK)
-	write := func(ev push.Event) bool {
-		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, ev.Encode()); err != nil {
-			return false
-		}
-		fl.Flush()
-		return true
-	}
-	if !write(hello) {
-		return
-	}
-	for _, ev := range backlog {
-		if !write(ev) {
-			return
-		}
-	}
-
-	ticker := time.NewTicker(o.hub.heartbeat)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case <-sub.done:
-			return
-		case ev := <-sub.ch:
-			if !write(ev) {
-				return
-			}
-		case <-ticker.C:
-			if !write(push.Event{Kind: push.KindHeartbeat, Seq: o.hub.lastSeq()}) {
-				return
-			}
-		}
-	}
+func newEventHub(heartbeat time.Duration) *push.Hub {
+	return push.NewHub(push.HubConfig{
+		Heartbeat: heartbeat,
+		ReplayLen: replayBufferLen,
+	})
 }

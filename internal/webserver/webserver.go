@@ -35,7 +35,7 @@ type Origin struct {
 	notModified    uint64
 
 	// Push-event channel (see events.go); nil unless WithPushEvents.
-	hub        *eventHub
+	hub        *push.Hub
 	eventsPath string
 }
 
@@ -125,7 +125,7 @@ func (o *Origin) Set(path string, body []byte, contentType string) {
 	o.mu.Unlock()
 
 	if o.hub != nil {
-		o.hub.publish(push.Event{
+		o.hub.Publish(push.Event{
 			Kind:    push.KindUpdate,
 			Key:     path,
 			Group:   group,
@@ -164,7 +164,7 @@ func (o *Origin) PushSeq() uint64 {
 	if o.hub == nil {
 		return 0
 	}
-	return o.hub.lastSeq()
+	return o.hub.LastSeq()
 }
 
 // PushSubscribers returns the number of connected event streams.
@@ -172,7 +172,7 @@ func (o *Origin) PushSubscribers() int {
 	if o.hub == nil {
 		return 0
 	}
-	return o.hub.subscriberCount()
+	return o.hub.Subscribers()
 }
 
 // PushOversized returns the number of update events dropped because
@@ -182,7 +182,18 @@ func (o *Origin) PushOversized() uint64 {
 	if o.hub == nil {
 		return 0
 	}
-	return o.hub.oversizedCount()
+	return o.hub.Oversized()
+}
+
+// PushHubStats snapshots the event hub's backpressure state: replay
+// ring occupancy and per-subscriber lag, so an operator can see a proxy
+// falling behind before it hits a Reset. The zero value is returned
+// when push is disabled.
+func (o *Origin) PushHubStats() push.HubStats {
+	if o.hub == nil {
+		return push.HubStats{}
+	}
+	return o.hub.Stats()
 }
 
 // SetPushAvailable toggles the event endpoint. Disabling terminates all
@@ -191,7 +202,7 @@ func (o *Origin) PushOversized() uint64 {
 // replay buffer. Re-enabling lets subscribers reconnect and catch up.
 func (o *Origin) SetPushAvailable(up bool) {
 	if o.hub != nil {
-		o.hub.setAvailable(up)
+		o.hub.SetAvailable(up)
 	}
 }
 
@@ -200,20 +211,16 @@ func (o *Origin) SetPushAvailable(up bool) {
 // models a transient network cut.
 func (o *Origin) KillPushStreams() {
 	if o.hub != nil {
-		o.hub.killAll()
+		o.hub.KillAll()
 	}
 }
 
 // ServeHTTP implements http.Handler with If-Modified-Since validation.
 func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if o.hub != nil && r.URL.Path == o.eventsPath {
-		// Streams are GET-only; a HEAD (or any other method) must not
-		// hold a hub subscription it will never read.
-		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
-		o.serveEvents(w, r)
+		// Streams are GET-only (the hub 405s anything else); a HEAD must
+		// not hold a hub subscription it will never read.
+		o.hub.ServeHTTP(w, r)
 		return
 	}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {

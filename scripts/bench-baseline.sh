@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerates the committed hot-path benchmark baseline
+# (bench/baseline.txt). Run it on a quiet machine after a deliberate
+# performance-affecting change, and commit the result alongside it.
+#
+# The committed baseline is for LOCAL tracking (scripts/benchgate.sh):
+# numbers are machine-specific, which is why CI gates PRs by benching
+# the base and head commits on the same runner instead of against this
+# file.
+set -eu
+cd "$(dirname "$0")/.."
+mkdir -p bench
+{
+    echo "# Hot-path benchmark baseline. Regenerate with scripts/bench-baseline.sh"
+    echo "# on a quiet machine; compare with scripts/benchgate.sh."
+    echo "# environment: $(go env GOOS)/$(go env GOARCH), $(go version | cut -d' ' -f3)"
+    scripts/bench-hotpath.sh "${1:-6}"
+} > bench/baseline.txt
+echo "wrote bench/baseline.txt"

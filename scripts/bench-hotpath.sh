@@ -1,0 +1,16 @@
+#!/bin/sh
+# Runs the hot-path benchmark suite (hit path, refresh scheduler, store
+# replacement, push fan-out) with enough repetitions for benchgate's
+# significance test, printing go test -bench output to stdout.
+#
+# Usage: scripts/bench-hotpath.sh [count]
+set -eu
+cd "$(dirname "$0")/.."
+COUNT="${1:-6}"
+
+go test -run '^$' -count "$COUNT" -benchtime 200ms \
+    -bench 'BenchmarkProxyHitParallel$|BenchmarkProxyHitSingleObject$|BenchmarkProxyChurnParallel$|BenchmarkRefreshSchedulerThroughput$' .
+go test -run '^$' -count "$COUNT" -benchtime 200ms \
+    -bench 'BenchmarkStoreEvictScan$|BenchmarkStoreHitMark$' ./internal/webproxy
+go test -run '^$' -count "$COUNT" -benchtime 200ms \
+    -bench 'BenchmarkHubPublishFanout$' ./internal/push
