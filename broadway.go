@@ -68,10 +68,15 @@
 // proxy converts each event into an immediate poll through the same
 // group-affinity workers, and regular TTR polls stretch toward the
 // upper bound while the channel is healthy — so consistency traffic
-// follows the origin's churn instead of the poll schedule. The channel
-// is an optimization, never a correctness dependency: a disconnect
-// falls back to pure paper-mode polling with a staleness-bounded
-// catch-up sweep, so the Δt guarantee never silently widens.
+// follows the origin's churn instead of the poll schedule. With
+// value-carrying push (WithPushValues on the origin,
+// WebProxyConfig.PushValues on the proxy) the events carry the new body
+// itself — digest-verified, size-negotiated per stream — and the proxy
+// installs it with no confirmation poll at all: one message per update,
+// fleet-wide through relays. The channel is an optimization, never a
+// correctness dependency: a disconnect falls back to pure paper-mode
+// polling with a staleness-bounded catch-up sweep, so the Δt guarantee
+// never silently widens.
 //
 // # Quick start
 //
@@ -344,6 +349,17 @@ func WithPushEvents(path string) WebOriginOption {
 // (implies WithPushEvents at the default path).
 func WithPushHeartbeat(interval time.Duration) WebOriginOption {
 	return webserver.WithPushHeartbeat(interval)
+}
+
+// WithPushValues makes the origin's update events carry the object's
+// new body (value-carrying push, wire protocol v2): a proxy running
+// with WebProxyConfig.PushValues installs the pushed body directly —
+// digest-verified — with no confirmation poll. cap bounds the carried
+// body size in bytes (<= 0 selects the default cap); larger bodies
+// degrade to invalidation-only events. Implies WithPushEvents at the
+// default path.
+func WithPushValues(cap int) WebOriginOption {
+	return webserver.WithPushValues(cap)
 }
 
 // NewWebProxy returns a live caching proxy; call Start to launch its

@@ -37,6 +37,16 @@
 //	mcproxy -demo -push
 //	mcproxy -origin http://origin:8080 -push -push-path /events
 //
+// Value-carrying push (wire protocol v2): -push-values negotiates
+// payload delivery on the event stream, so an update's new body rides
+// the event itself and is installed directly — digest-verified, charged
+// against the byte budget — with no confirmation poll at all. Events
+// whose payload cannot be installed (digest mismatch, body over the
+// negotiated cap, byte-budget refusal) degrade to the pushed poll;
+// value push → invalidation push → pure pull is the full ladder:
+//
+//	mcproxy -demo -push -push-values
+//
 // Proxy hierarchy: -relay-events gives the proxy a downstream face — it
 // republishes every upstream invalidation (and every update its own
 // polls confirm) on its own event stream at -events-path, so child
@@ -96,6 +106,7 @@ func run(args []string) error {
 	pushEnabled := fs.Bool("push", false, "subscribe to the origin's invalidation event stream (hybrid push-pull)")
 	pushPath := fs.String("push-path", "/events", "path of the origin's event-stream endpoint")
 	pushStretch := fs.Float64("push-stretch", 4, "TTR stretch factor while the push channel is healthy, clamped to -ttr-max (values <= 1 disable stretching)")
+	pushValues := fs.Bool("push-values", false, "value-carrying push (protocol v2): negotiate payload delivery on the event stream and install pushed bodies directly, with no confirmation poll; with -relay-events the relayed stream carries payloads too, and with -demo the demo origin publishes them")
 	relayEvents := fs.Bool("relay-events", false, "republish invalidation events downstream: serve this proxy's own event stream so child proxies can subscribe to it (proxy hierarchy)")
 	eventsPath := fs.String("events-path", "/events", "path the relayed event stream is served at (with -relay-events)")
 	drain := fs.Duration("drain", 5*time.Second, "in-flight request drain timeout on shutdown")
@@ -126,7 +137,7 @@ func run(args []string) error {
 		if *originURL != "" {
 			return fmt.Errorf("-demo and -origin are mutually exclusive")
 		}
-		u, stop, err := startDemoOrigin(*demoListen)
+		u, stop, err := startDemoOrigin(*demoListen, *pushValues)
 		if err != nil {
 			return err
 		}
@@ -156,6 +167,7 @@ func run(args []string) error {
 		Eviction:          evictionPolicy,
 		RelayEvents:       *relayEvents,
 		RelayPath:         *eventsPath,
+		PushValues:        *pushValues,
 	}
 	if *pushEnabled {
 		pushURL, err := origin.Parse(*pushPath)
@@ -182,8 +194,8 @@ func run(args []string) error {
 	go func() {
 		errCh <- srv.ListenAndServe()
 	}()
-	fmt.Printf("mcproxy listening on %s (origin %s, Δ=%v, δ=%v, mode %s, eviction %s, push %v, relay %v)\n",
-		*listen, origin, *delta, *groupDelta, *mode, evictionPolicy, *pushEnabled, *relayEvents)
+	fmt.Printf("mcproxy listening on %s (origin %s, Δ=%v, δ=%v, mode %s, eviction %s, push %v, values %v, relay %v)\n",
+		*listen, origin, *delta, *groupDelta, *mode, evictionPolicy, *pushEnabled, *pushValues, *relayEvents)
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)
@@ -216,12 +228,18 @@ func run(args []string) error {
 // two embedded objects forming one consistency group, and a stock quote
 // (numeric body with a Δv tolerance) updating every few seconds. The
 // origin also streams invalidation events at /events so the proxy can be
-// run with -push.
-func startDemoOrigin(addr string) (string, func(), error) {
-	origin := webserver.NewOrigin(
+// run with -push; with values it attaches each update's new body to the
+// event (value-carrying push), so a -push-values proxy installs updates
+// with zero confirmation polls.
+func startDemoOrigin(addr string, values bool) (string, func(), error) {
+	opts := []webserver.Option{
 		webserver.WithHistoryExtension(true),
-		webserver.WithPushHeartbeat(5*time.Second),
-	)
+		webserver.WithPushHeartbeat(5 * time.Second),
+	}
+	if values {
+		opts = append(opts, webserver.WithPushValues(0))
+	}
+	origin := webserver.NewOrigin(opts...)
 
 	const group = "frontpage"
 	set := func(rev int) {

@@ -12,7 +12,7 @@ import (
 )
 
 func TestDemoOriginServesAndUpdates(t *testing.T) {
-	url, stop, err := startDemoOrigin("127.0.0.1:0")
+	url, stop, err := startDemoOrigin("127.0.0.1:0", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestDemoOriginServesAndUpdates(t *testing.T) {
 }
 
 func TestDemoOriginStopIsClean(t *testing.T) {
-	url, stop, err := startDemoOrigin("127.0.0.1:0")
+	url, stop, err := startDemoOrigin("127.0.0.1:0", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,6 +202,48 @@ func TestRunWithRelayServesEventStream(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("story through relay-enabled proxy: %d", resp.StatusCode)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunWithPushValuesServesPayloadStream: with -push-values the whole
+// chain speaks protocol v2 — the demo origin publishes bodies, and a
+// relay-enabled proxy's own stream negotiates payload delivery
+// (?maxpayload=) and answers with a v2 hello carrying the agreed cap.
+func TestRunWithPushValuesServesPayloadStream(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-demo", "-listen", addr, "-push", "-push-values",
+			"-relay-events", "-run-for", "4s"})
+	}()
+
+	deadline := time.Now().Add(3 * time.Second)
+	var frame string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("http://%s/events?maxpayload=65536", addr))
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		buf := make([]byte, 4096)
+		n, _ := resp.Body.Read(buf)
+		resp.Body.Close()
+		frame = string(buf[:n])
+		break
+	}
+	// A payload-negotiated stream's hello is a v2 frame (kind 1) whose
+	// cap field is the negotiated payload size.
+	if !strings.Contains(frame, "data: v2 1 ") || !strings.Contains(frame, " 65536 ") {
+		t.Fatalf("relay did not negotiate payload delivery: %q", frame)
 	}
 	if err := <-done; err != nil {
 		t.Fatalf("run: %v", err)

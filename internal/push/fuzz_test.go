@@ -1,6 +1,7 @@
 package push
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 	"time"
@@ -13,18 +14,33 @@ import (
 //   - An accepted frame re-encodes to a frame that decodes to the same
 //     event (the decoder cannot invent state the encoder cannot
 //     represent, so a hostile frame cannot smuggle impossible values
-//     into the subscription manager).
+//     into the subscription manager) — payload, digest, content type,
+//     and negotiated cap included.
 //   - An accepted update frame always carries a non-empty key and a
 //     known kind — the two fields the proxy dispatches on.
+//   - An accepted payload never exceeds MaxPayloadCap, and a frame with
+//     a payload always has HasBody set (the apply path branches on it).
 func FuzzInvalidationEvent(f *testing.F) {
 	f.Add(Event{Kind: KindHello, Seq: 1, Reset: true}.Encode())
 	f.Add(Event{Kind: KindUpdate, Seq: 2, Key: "/news/story.html", Group: "frontpage",
 		ModTime: time.Unix(1700000000, 123)}.Encode())
 	f.Add(Event{Kind: KindUpdate, Seq: 3, Key: "/stock?sym=A&x=%20"}.Encode())
 	f.Add(Event{Kind: KindHeartbeat, Seq: 4}.Encode())
+	// v2 seeds: payload round trip with digest, hello with a negotiated
+	// cap, empty-body payload, payload-free digest (a stripped frame).
+	f.Add(Event{Kind: KindUpdate, Seq: 5, Key: "/quote/acme", Body: []byte("165.38\n"),
+		HasBody: true, ContentType: "text/plain", Digest: DigestOf([]byte("165.38\n")),
+		ModTime: time.Unix(1700000000, 0)}.Encode())
+	f.Add(Event{Kind: KindHello, Seq: 6, PayloadCap: DefaultPayloadCap}.Encode())
+	f.Add(Event{Kind: KindUpdate, Seq: 7, Key: "/e", Body: []byte{}, HasBody: true}.Encode())
+	f.Add(Event{Kind: KindUpdate, Seq: 8, Key: "/s", Digest: "deadbeef00112233"}.Encode())
 	f.Add("v1 2 1 0 - /k -")
 	f.Add("v1 2 1 0 - %2D %2D")
 	f.Add("v1 2 1 0 r %2Fa%20b grp")
+	f.Add("v2 2 1 0 p /k - text%2Fplain deadbeef 0 aGVsbG8=")
+	f.Add("v2 2 1 0 p /k - - - 0 -")
+	f.Add("v2 2 1 0 - /k - - - 0 !!!hostile!!!")
+	f.Add("v2 1 9 0 r - - - - 65536 -")
 	f.Add("")
 	f.Add("data: v1 2 1 0 - /k -")
 	f.Add(strings.Repeat(" ", 64))
@@ -42,14 +58,30 @@ func FuzzInvalidationEvent(f *testing.F) {
 		if ev.Kind == KindUpdate && ev.Key == "" {
 			t.Fatalf("Decode(%q) accepted an update without a key", wire)
 		}
+		if len(ev.Body) > 0 && !ev.HasBody {
+			t.Fatalf("Decode(%q) produced a body without HasBody", wire)
+		}
+		if len(ev.Body) > MaxPayloadCap {
+			t.Fatalf("Decode(%q) accepted a payload of %d bytes", wire, len(ev.Body))
+		}
 		re := ev.Encode()
 		ev2, err := Decode(re)
 		if err != nil {
-			t.Fatalf("re-encoded frame %q (from %q) failed to decode: %v", re, wire, err)
+			t.Fatalf("re-encoded frame (from %q) failed to decode: %v", wire, err)
 		}
 		if ev2.Kind != ev.Kind || ev2.Seq != ev.Seq || ev2.Key != ev.Key ||
-			ev2.Group != ev.Group || ev2.Reset != ev.Reset || !ev2.ModTime.Equal(ev.ModTime) {
+			ev2.Group != ev.Group || ev2.Reset != ev.Reset || !ev2.ModTime.Equal(ev.ModTime) ||
+			ev2.HasBody != ev.HasBody || !bytes.Equal(ev2.Body, ev.Body) ||
+			ev2.ContentType != ev.ContentType || ev2.Digest != ev.Digest ||
+			ev2.PayloadCap != ev.PayloadCap {
 			t.Fatalf("round trip diverged: %+v vs %+v (wire %q)", ev, ev2, wire)
+		}
+		// Stripping is idempotent and always yields an encodable,
+		// envelope-bounded-or-oversized frame — the exact degradation the
+		// hub performs, so it must hold for every decodable event.
+		st := ev.StripPayload()
+		if st.HasBody || st.Body != nil || st.Digest != "" || st.ContentType != "" {
+			t.Fatalf("StripPayload left payload state: %+v", st)
 		}
 	})
 }

@@ -20,15 +20,25 @@ import (
 // The hub guarantees:
 //
 //   - Update events get monotonically increasing sequence numbers and
-//     enter a bounded replay ring, so a reconnecting subscriber
-//     (?since=<seq>) receives exactly the events it missed.
+//     enter a replay ring bounded by count AND bytes (payload-carrying
+//     events are charged their body size), so a reconnecting subscriber
+//     (?since=<seq>) receives exactly the events it missed — payloads
+//     included, replayed faithfully.
 //   - A subscriber too slow to drain its stream is terminated rather
 //     than ever blocking the publisher's write path; it reconnects and
 //     catches up from the replay ring.
-//   - An event whose encoded frame exceeds the wire limit is dropped
+//   - An event whose encoded envelope exceeds the wire limit is dropped
 //     before it can enter the ring (one poisonous buffered frame would
 //     otherwise kill every reconnecting stream at the same replay
-//     position forever).
+//     position forever). A payload that exceeds the hub's own cap is
+//     NOT dropped: it is degraded to an invalidation-only event at
+//     publish time, so the hub can never emit a frame its own
+//     subscribers would have to skip.
+//   - Payload delivery is negotiated per stream (?maxpayload=<bytes>,
+//     clamped to the hub's cap, echoed on the hello frame): an update
+//     whose body exceeds a stream's cap is degraded to invalidation for
+//     that stream at write time, while richer streams still receive the
+//     payload.
 //   - Reset marks the stream's content as holed (the hub's owner lost
 //     its own upstream): every live subscriber receives a mid-stream
 //     hello/Reset frame, and any subscriber later resuming from at or
@@ -37,6 +47,12 @@ import (
 
 // DefaultReplayLen bounds the events kept for reconnect catch-up.
 const DefaultReplayLen = 1024
+
+// DefaultReplayBytes bounds the payload bytes held by the replay ring.
+// Value-carrying events are charged their body size, so a burst of fat
+// updates trims the ring's history instead of growing the hub without
+// bound; invalidation-only events cost only their envelope.
+const DefaultReplayBytes = 8 << 20
 
 // DefaultHeartbeat is the interval between keepalive frames.
 const DefaultHeartbeat = 15 * time.Second
@@ -57,11 +73,21 @@ type HubConfig struct {
 	// Heartbeat is the keepalive interval of served streams. Defaults
 	// to DefaultHeartbeat.
 	Heartbeat time.Duration
-	// ReplayLen bounds the replay ring. Defaults to DefaultReplayLen.
+	// ReplayLen bounds the replay ring's event count. Defaults to
+	// DefaultReplayLen.
 	ReplayLen int
+	// ReplayBytes bounds the replay ring's resident bytes (payload
+	// bodies plus envelope overhead). Defaults to DefaultReplayBytes;
+	// negative disables the byte budget.
+	ReplayBytes int64
 	// WriteTimeout is the per-frame write deadline of served streams.
 	// Defaults to DefaultWriteTimeout; negative disables the deadline.
 	WriteTimeout time.Duration
+	// PayloadCap is the largest update body (bytes, pre-base64) the hub
+	// will carry; larger payloads are degraded to invalidation-only
+	// events at publish time. Zero (the default) carries no payloads at
+	// all — the pre-v2 pure-invalidation hub. Clamped to MaxPayloadCap.
+	PayloadCap int
 }
 
 // Hub is a broadcast fan-out with one sequence space: events published
@@ -76,15 +102,18 @@ type Hub struct {
 	// Subscribers and ActiveStreams is write-pinned handlers).
 	active atomic.Int64
 
-	mu        sync.Mutex
-	seq       uint64  // last assigned sequence number
-	resetSeq  uint64  // hole barrier: resumes at or before it must Reset
-	buf       []Event // ring of the most recent update events
-	subs      map[*hubSub]struct{}
-	available bool
-	oversized uint64 // events dropped because their frame exceeds MaxFrameLen
-	resets    uint64 // Reset announcements made
-	slowKills uint64 // subscribers terminated for not draining
+	mu          sync.Mutex
+	seq         uint64  // last assigned sequence number
+	resetSeq    uint64  // hole barrier: resumes at or before it must Reset
+	buf         []Event // ring of the most recent update events
+	bufBytes    int64   // resident cost of buf (eventCost sum)
+	subs        map[*hubSub]struct{}
+	available   bool
+	oversized   uint64 // events dropped because their envelope exceeds MaxFrameLen
+	degraded    uint64 // payloads stripped at publish for exceeding the hub's cap
+	resets      uint64 // Reset announcements made
+	resumeHoles uint64 // Reset hellos served to resuming subscribers
+	slowKills   uint64 // subscribers terminated for not draining
 }
 
 // hubSub is one connected subscriber stream.
@@ -92,6 +121,9 @@ type hubSub struct {
 	ch   chan Event
 	done chan struct{} // closed to terminate the stream server-side
 	once sync.Once
+	// payloadCap is the stream's negotiated payload cap: updates with
+	// larger bodies are degraded to invalidation frames for this stream.
+	payloadCap int
 	// lastSent is the sequence number of the last frame written to the
 	// wire, read by Stats to compute per-subscriber lag.
 	lastSent atomic.Uint64
@@ -107,8 +139,14 @@ func NewHub(cfg HubConfig) *Hub {
 	if cfg.ReplayLen <= 0 {
 		cfg.ReplayLen = DefaultReplayLen
 	}
+	if cfg.ReplayBytes == 0 {
+		cfg.ReplayBytes = DefaultReplayBytes
+	}
 	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.PayloadCap > MaxPayloadCap {
+		cfg.PayloadCap = MaxPayloadCap
 	}
 	return &Hub{
 		cfg:       cfg,
@@ -117,28 +155,68 @@ func NewHub(cfg HubConfig) *Hub {
 	}
 }
 
+// eventCost is the replay-ring charge for one buffered event: its body
+// plus an envelope approximation.
+func eventCost(ev Event) int64 {
+	return int64(len(ev.Body)+len(ev.Key)+len(ev.Group)+len(ev.ContentType)) + 96
+}
+
 // Publish assigns the next sequence number, buffers the event, and fans
 // it out, returning the assigned number. A subscriber too slow to drain
 // its channel is terminated (it reconnects and catches up from the
 // replay ring) — a stalled consumer must never block the publisher.
 //
-// An event whose encoded frame exceeds the wire limit is dropped before
-// it can enter the ring: subscribers reject oversized frames, so one
-// poisonous buffered frame would kill every reconnecting stream at the
-// same replay position forever. The owning object simply goes
-// unannounced (proxies keep pure-polling freshness for it).
+// An event whose encoded envelope exceeds the wire limit is dropped
+// before it can enter the ring: subscribers reject oversized frames, so
+// one poisonous buffered frame would kill every reconnecting stream at
+// the same replay position forever. The owning object simply goes
+// unannounced (proxies keep pure-polling freshness for it). A payload
+// exceeding the hub's cap is different — the event still matters, only
+// its body cannot ride — so it is degraded to an invalidation-only
+// event instead: the hub never emits a frame its own subscribers must
+// skip, and consumers confirm by polling (the next rung of the
+// degradation ladder).
 func (h *Hub) Publish(ev Event) uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	in := ev
+	if !validWireDigest(ev.Digest) {
+		// A digest Encode cannot frame (spaces, non-hex) would produce a
+		// ring-buffered frame every subscriber rejects — the poison-frame
+		// livelock. The digest is advisory (consumers without it poll),
+		// so dropping it is strictly safer than trusting the publisher.
+		// With the digest gone the payload is uninstallable; strip it too
+		// rather than ship bytes no consumer may use.
+		ev = ev.StripPayload()
+	}
+	if ev.HasBody && (h.cfg.PayloadCap <= 0 || len(ev.Body) > h.cfg.PayloadCap) {
+		ev = ev.StripPayload()
+	}
 	if ev.Oversized() {
-		h.oversized++
-		return h.seq
+		// A v2 envelope over the limit (fat content type, near-limit key)
+		// may still fit as a bare invalidation — degrading keeps the
+		// update announced; only an envelope that cannot fit either way
+		// is dropped (and only then does Oversized count: a dropped event
+		// is not also a degraded one).
+		stripped := ev.StripPayload()
+		if stripped.Oversized() {
+			h.oversized++
+			return h.seq
+		}
+		ev = stripped
+	}
+	if ev.HasBody != in.HasBody || ev.Digest != in.Digest || ev.ContentType != in.ContentType {
+		h.degraded++
 	}
 	h.seq++
 	ev.Seq = h.seq
 	h.buf = append(h.buf, ev)
-	if len(h.buf) > h.cfg.ReplayLen {
-		h.buf = h.buf[len(h.buf)-h.cfg.ReplayLen:]
+	h.bufBytes += eventCost(ev)
+	for len(h.buf) > h.cfg.ReplayLen ||
+		(h.cfg.ReplayBytes >= 0 && h.bufBytes > h.cfg.ReplayBytes && len(h.buf) > 1) {
+		h.bufBytes -= eventCost(h.buf[0])
+		h.buf[0] = Event{} // release the body
+		h.buf = h.buf[1:]
 	}
 	h.broadcastLocked(ev)
 	return h.seq
@@ -175,14 +253,15 @@ func (h *Hub) broadcastLocked(ev Event) {
 }
 
 // subscribe returns the hello frame and replay backlog for a subscriber
-// resuming from since, and registers its stream.
-func (h *Hub) subscribe(since uint64) (hello Event, backlog []Event, sub *hubSub, ok bool) {
+// resuming from since, and registers its stream. payloadCap is the
+// stream's negotiated payload cap (already clamped by the caller).
+func (h *Hub) subscribe(since uint64, payloadCap int) (hello Event, backlog []Event, sub *hubSub, ok bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if !h.available {
 		return Event{}, nil, nil, false
 	}
-	hello = Event{Kind: KindHello, Seq: h.seq}
+	hello = Event{Kind: KindHello, Seq: h.seq, PayloadCap: uint64(payloadCap)}
 	switch {
 	case since == 0:
 		// A fresh subscriber has no state to reconcile.
@@ -205,7 +284,14 @@ func (h *Hub) subscribe(since uint64) (hello Event, backlog []Event, sub *hubSub
 			backlog = append(backlog, h.buf[since-oldest+1:]...)
 		}
 	}
-	sub = &hubSub{ch: make(chan Event, defaultSubscriberBuffer), done: make(chan struct{})}
+	if hello.Reset && since > 0 {
+		h.resumeHoles++
+	}
+	sub = &hubSub{
+		ch:         make(chan Event, defaultSubscriberBuffer),
+		done:       make(chan struct{}),
+		payloadCap: payloadCap,
+	}
 	// Seed the lag baseline: a resuming subscriber starts its replay at
 	// since, everyone else (fresh, reset, already caught up) is about to
 	// be handed the stream head by the hello frame.
@@ -266,7 +352,7 @@ func (h *Hub) Subscribers() int {
 }
 
 // Oversized returns the number of update events dropped because their
-// encoded frame exceeded the wire limit.
+// encoded envelope exceeded the wire limit.
 func (h *Hub) Oversized() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -286,16 +372,26 @@ type HubStats struct {
 	Subscribers   int
 	ActiveStreams int
 	// ReplayLen and ReplayCap are the replay ring's occupancy and
-	// capacity. A subscriber whose lag exceeds ReplayLen at reconnect
-	// time gets a Reset instead of a replay.
-	ReplayLen int
-	ReplayCap int
+	// capacity in events; ReplayBytes and ReplayByteCap are the same in
+	// resident bytes (payload bodies are what dominate). A subscriber
+	// whose lag exceeds the ring at reconnect time gets a Reset instead
+	// of a replay.
+	ReplayLen     int
+	ReplayCap     int
+	ReplayBytes   int64
+	ReplayByteCap int64
 	// Oversized counts update events dropped for exceeding the wire
-	// frame limit; Resets counts hole announcements; SlowKills counts
+	// envelope limit; Degraded counts payloads stripped at publish time
+	// for exceeding the hub's payload cap (the event itself survived as
+	// an invalidation); Resets counts hole announcements; ResumeHoles
+	// counts Reset hellos served to resuming subscribers (each one is a
+	// leaf that must run its fallback sweep); SlowKills counts
 	// subscribers terminated for not draining their stream.
-	Oversized uint64
-	Resets    uint64
-	SlowKills uint64
+	Oversized   uint64
+	Degraded    uint64
+	Resets      uint64
+	ResumeHoles uint64
+	SlowKills   uint64
 	// MaxLag is the largest per-subscriber lag (sequence distance
 	// between the stream head and the last frame written to that
 	// subscriber's wire); Lags lists every subscriber's.
@@ -313,8 +409,12 @@ func (h *Hub) Stats() HubStats {
 		ActiveStreams: int(h.active.Load()),
 		ReplayLen:     len(h.buf),
 		ReplayCap:     h.cfg.ReplayLen,
+		ReplayBytes:   h.bufBytes,
+		ReplayByteCap: h.cfg.ReplayBytes,
 		Oversized:     h.oversized,
+		Degraded:      h.degraded,
 		Resets:        h.resets,
+		ResumeHoles:   h.resumeHoles,
 		SlowKills:     h.slowKills,
 	}
 	for s := range h.subs {
@@ -332,7 +432,9 @@ func (h *Hub) Stats() HubStats {
 
 // ServeHTTP streams invalidation events over SSE until the client
 // disconnects or the hub terminates the stream. Streams are GET-only; a
-// reconnecting subscriber resumes with ?since=<seq>. Every frame write
+// reconnecting subscriber resumes with ?since=<seq>, and payload
+// delivery is requested with ?maxpayload=<bytes> (clamped to the hub's
+// cap; the hello frame echoes the negotiated value). Every frame write
 // carries a deadline (HubConfig.WriteTimeout): a client that stops
 // reading is abandoned on that timescale instead of pinning the handler
 // goroutine inside the write until the kernel buffer drains.
@@ -354,7 +456,19 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		since = v
 	}
-	hello, backlog, sub, ok := h.subscribe(since)
+	payloadCap := 0
+	if raw := r.URL.Query().Get("maxpayload"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 31)
+		if err != nil {
+			http.Error(w, "bad maxpayload parameter", http.StatusBadRequest)
+			return
+		}
+		payloadCap = int(v)
+		if payloadCap > h.cfg.PayloadCap {
+			payloadCap = h.cfg.PayloadCap
+		}
+	}
+	hello, backlog, sub, ok := h.subscribe(since, payloadCap)
 	if !ok {
 		http.Error(w, "event stream unavailable", http.StatusServiceUnavailable)
 		return
@@ -369,6 +483,13 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rc := http.NewResponseController(w)
 	deadline := h.cfg.WriteTimeout > 0
 	write := func(ev Event) bool {
+		if ev.HasBody && (sub.payloadCap <= 0 || len(ev.Body) > sub.payloadCap) {
+			// The stream's negotiated cap cannot carry this body:
+			// degrade to the invalidation-only frame at encode time —
+			// the subscriber polls to confirm instead of skipping a
+			// frame it cannot parse.
+			ev = ev.StripPayload()
+		}
 		if deadline {
 			if err := rc.SetWriteDeadline(time.Now().Add(h.cfg.WriteTimeout)); err != nil {
 				// The connection cannot carry deadlines (an exotic

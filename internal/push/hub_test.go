@@ -1,6 +1,7 @@
 package push
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net"
@@ -43,6 +44,11 @@ func (s *hubSink) snapshot() (events, hellos []Event, resumed []bool) {
 
 // startHubSubscriber runs a Subscriber against url until test cleanup.
 func startHubSubscriber(t *testing.T, url string, sink *hubSink) *Subscriber {
+	return startHubSubscriberCap(t, url, sink, 0)
+}
+
+// startHubSubscriberCap is startHubSubscriber with payload negotiation.
+func startHubSubscriberCap(t *testing.T, url string, sink *hubSink, payloadCap int) *Subscriber {
 	t.Helper()
 	sub, err := NewSubscriber(SubscriberConfig{
 		URL:        url,
@@ -50,6 +56,7 @@ func startHubSubscriber(t *testing.T, url string, sink *hubSink) *Subscriber {
 		OnConnect:  sink.onConnect,
 		BackoffMin: 5 * time.Millisecond,
 		BackoffMax: 50 * time.Millisecond,
+		PayloadCap: payloadCap,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +139,7 @@ func TestHubResetBarrierOnResume(t *testing.T) {
 		{3, true},  // exactly at the barrier: the hole follows it
 	}
 	for _, c := range cases {
-		hello, backlog, sub, ok := h.subscribe(c.since)
+		hello, backlog, sub, ok := h.subscribe(c.since, 0)
 		if !ok {
 			t.Fatalf("since=%d: unavailable", c.since)
 		}
@@ -148,7 +155,7 @@ func TestHubResetBarrierOnResume(t *testing.T) {
 	// Past the barrier normal replay resumes.
 	h.Publish(Event{Kind: KindUpdate, Key: "/b"}) // seq 4
 	h.Publish(Event{Kind: KindUpdate, Key: "/c"}) // seq 5
-	hello, backlog, sub, _ := h.subscribe(4)
+	hello, backlog, sub, _ := h.subscribe(4, 0)
 	defer h.unsubscribe(sub)
 	if hello.Reset || len(backlog) != 1 || backlog[0].Seq != 5 {
 		t.Errorf("post-barrier resume: hello=%+v backlog=%+v", hello, backlog)
@@ -206,7 +213,7 @@ func TestHubWriteDeadlineUnpinsStalledClient(t *testing.T) {
 // the hub actually holds.
 func TestHubStatsLagAndOccupancy(t *testing.T) {
 	h := NewHub(HubConfig{ReplayLen: 8})
-	_, _, sub, ok := h.subscribe(0)
+	_, _, sub, ok := h.subscribe(0, 0)
 	if !ok {
 		t.Fatal("subscribe failed")
 	}
@@ -255,6 +262,294 @@ func TestHubRejectsNonGET(t *testing.T) {
 	}
 }
 
+// TestHubPayloadNegotiationPerStream: one hub, three subscriber
+// profiles — full payload cap, tiny cap, no negotiation at all — must
+// each receive every event, the first with the body, the others
+// degraded to invalidation-only frames at write time. No stream may
+// ever have to skip a frame the hub itself emitted (the satellite
+// regression alongside PR 4's oversized-line fix).
+func TestHubPayloadNegotiationPerStream(t *testing.T) {
+	h := NewHub(HubConfig{PayloadCap: 4096})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	full, tiny, plain := &hubSink{}, &hubSink{}, &hubSink{}
+	fullSub := startHubSubscriberCap(t, ts.URL, full, 4096)
+	tinySub := startHubSubscriberCap(t, ts.URL, tiny, 64)
+	plainSub := startHubSubscriber(t, ts.URL, plain)
+	if !waitCond(t, 2*time.Second, func() bool { return h.Subscribers() == 3 }) {
+		t.Fatal("subscribers never registered")
+	}
+
+	body := bytes.Repeat([]byte("v"), 512)
+	h.Publish(Event{Kind: KindUpdate, Key: "/a", ContentType: "text/plain",
+		Body: body, HasBody: true, Digest: DigestOf(body)})
+
+	for _, c := range []struct {
+		name     string
+		sink     *hubSink
+		wantBody bool
+	}{{"full", full, true}, {"tiny", tiny, false}, {"plain", plain, false}} {
+		if !waitCond(t, 2*time.Second, func() bool {
+			evs, _, _ := c.sink.snapshot()
+			return len(evs) == 1
+		}) {
+			t.Fatalf("%s: event never arrived", c.name)
+		}
+		evs, hellos, _ := c.sink.snapshot()
+		ev := evs[0]
+		if ev.Key != "/a" || ev.Seq != 1 {
+			t.Errorf("%s: event = %+v", c.name, ev)
+		}
+		if ev.HasBody != c.wantBody {
+			t.Errorf("%s: HasBody = %v, want %v", c.name, ev.HasBody, c.wantBody)
+		}
+		if c.wantBody && (!bytes.Equal(ev.Body, body) || ev.Digest != DigestOf(body) ||
+			ev.ContentType != "text/plain") {
+			t.Errorf("%s: payload did not survive the wire: %+v", c.name, ev)
+		}
+		if len(hellos) != 1 {
+			t.Fatalf("%s: %d hellos", c.name, len(hellos))
+		}
+	}
+	// The hello echoes the negotiated cap: the full profile gets what it
+	// asked for, the tiny one its own smaller cap, the plain one zero.
+	if _, hellos, _ := full.snapshot(); hellos[0].PayloadCap != 4096 {
+		t.Errorf("full hello cap = %d", hellos[0].PayloadCap)
+	}
+	if _, hellos, _ := tiny.snapshot(); hellos[0].PayloadCap != 64 {
+		t.Errorf("tiny hello cap = %d", hellos[0].PayloadCap)
+	}
+	if _, hellos, _ := plain.snapshot(); hellos[0].PayloadCap != 0 {
+		t.Errorf("plain hello cap = %d", hellos[0].PayloadCap)
+	}
+	// No stream skipped or client-stripped anything: the degrade
+	// happened hub-side, at encode time.
+	for name, sub := range map[string]*Subscriber{"full": fullSub, "tiny": tinySub, "plain": plainSub} {
+		if sub.SkippedFrames() != 0 || sub.OverCapPayloads() != 0 {
+			t.Errorf("%s: skipped=%d overcap=%d; the hub emitted a frame it should have degraded",
+				name, sub.SkippedFrames(), sub.OverCapPayloads())
+		}
+	}
+}
+
+// TestHubPublishDegradesOverCapPayload: a payload beyond the hub's own
+// cap must not drop the event (that would un-announce a real update) —
+// it degrades to an invalidation-only frame at publish time and still
+// consumes a sequence number.
+func TestHubPublishDegradesOverCapPayload(t *testing.T) {
+	h := NewHub(HubConfig{PayloadCap: 256})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	sink := &hubSink{}
+	startHubSubscriberCap(t, ts.URL, sink, 256)
+	if !waitCond(t, 2*time.Second, func() bool { return h.Subscribers() == 1 }) {
+		t.Fatal("never connected")
+	}
+
+	h.Publish(Event{Kind: KindUpdate, Key: "/fat", Body: make([]byte, 1024), HasBody: true})
+	if !waitCond(t, 2*time.Second, func() bool {
+		evs, _, _ := sink.snapshot()
+		return len(evs) == 1
+	}) {
+		t.Fatal("degraded event never arrived")
+	}
+	evs, _, _ := sink.snapshot()
+	if evs[0].Key != "/fat" || evs[0].HasBody || evs[0].Seq != 1 {
+		t.Errorf("event = %+v, want invalidation-only seq 1", evs[0])
+	}
+	st := h.Stats()
+	if st.Degraded != 1 || st.Oversized != 0 {
+		t.Errorf("Degraded=%d Oversized=%d, want 1/0", st.Degraded, st.Oversized)
+	}
+	// A hub with no payload cap at all (the pre-v2 default) degrades
+	// every payload.
+	h2 := NewHub(HubConfig{})
+	h2.Publish(Event{Kind: KindUpdate, Key: "/x", Body: []byte("b"), HasBody: true})
+	if st := h2.Stats(); st.Degraded != 1 || st.Seq != 1 {
+		t.Errorf("capless hub: %+v", st)
+	}
+}
+
+// TestHubDegradesOverlongV2Envelope: a near-limit key whose bare
+// invalidation fits but whose v2 envelope (ctype+digest fields) does
+// not must be degraded to the v1 form at publish — never dropped (the
+// update is real) and never emitted as a frame subscribers must reject
+// (the reconnect livelock the envelope bound exists to prevent).
+func TestHubDegradesOverlongV2Envelope(t *testing.T) {
+	h := NewHub(HubConfig{PayloadCap: 4096})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	sink := &hubSink{}
+	sub := startHubSubscriberCap(t, ts.URL, sink, 4096)
+	if !waitCond(t, 2*time.Second, func() bool { return h.Subscribers() == 1 }) {
+		t.Fatal("never connected")
+	}
+
+	key := "/" + strings.Repeat("k", MaxFrameLen-20)
+	body := []byte("165.38\n")
+	h.Publish(Event{Kind: KindUpdate, Key: key, Body: body, HasBody: true,
+		ContentType: "text/plain; charset=utf-8", Digest: DigestOf(body)})
+	if !waitCond(t, 2*time.Second, func() bool {
+		evs, _, _ := sink.snapshot()
+		return len(evs) == 1
+	}) {
+		t.Fatalf("event never arrived (stats %+v, sub disconnects %d)", h.Stats(), sub.Disconnects())
+	}
+	evs, _, _ := sink.snapshot()
+	if evs[0].Key != key || evs[0].HasBody || evs[0].Seq != 1 {
+		t.Errorf("event = {Key len %d, HasBody %v, Seq %d}; want the degraded invalidation",
+			len(evs[0].Key), evs[0].HasBody, evs[0].Seq)
+	}
+	st := h.Stats()
+	if st.Degraded != 1 || st.Oversized != 0 {
+		t.Errorf("Degraded=%d Oversized=%d, want 1/0", st.Degraded, st.Oversized)
+	}
+	if sub.Disconnects() != 0 || sub.SkippedFrames() != 0 {
+		t.Errorf("stream suffered (disconnects=%d skipped=%d); the hub emitted a rejectable frame",
+			sub.Disconnects(), sub.SkippedFrames())
+	}
+}
+
+// TestHubSanitizesUnframeableDigest: a publisher-supplied digest that
+// Encode cannot frame (spaces shift the field count, non-hex fails the
+// decoder) must be stripped at publish — it would otherwise sit in the
+// replay ring as a frame every subscriber rejects, the poison-frame
+// reconnect livelock.
+func TestHubSanitizesUnframeableDigest(t *testing.T) {
+	h := NewHub(HubConfig{PayloadCap: 4096})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	sink := &hubSink{}
+	sub := startHubSubscriberCap(t, ts.URL, sink, 4096)
+	if !waitCond(t, 2*time.Second, func() bool { return h.Subscribers() == 1 }) {
+		t.Fatal("never connected")
+	}
+
+	for _, digest := range []string{"bad digest", "zz", strings.Repeat("a", 65)} {
+		h.Publish(Event{Kind: KindUpdate, Key: "/obj", Body: []byte("b"), HasBody: true, Digest: digest})
+	}
+	if !waitCond(t, 2*time.Second, func() bool {
+		evs, _, _ := sink.snapshot()
+		return len(evs) == 3
+	}) {
+		t.Fatalf("sanitized events never arrived (stats %+v, disconnects %d)", h.Stats(), sub.Disconnects())
+	}
+	evs, _, _ := sink.snapshot()
+	for i, ev := range evs {
+		if ev.Digest != "" || ev.HasBody || ev.Key != "/obj" {
+			t.Errorf("event %d = %+v, want a digest-less invalidation", i, ev)
+		}
+	}
+	if st := h.Stats(); st.Degraded != 3 || st.Oversized != 0 {
+		t.Errorf("Degraded=%d Oversized=%d, want 3/0", st.Degraded, st.Oversized)
+	}
+	if sub.Disconnects() != 0 {
+		t.Errorf("stream died %d times on sanitized frames", sub.Disconnects())
+	}
+}
+
+// TestHubDropCountsOversizedNotDegraded: an event that is both over the
+// payload cap and, stripped, over the envelope limit is one DROPPED
+// event — it must count in Oversized only, not also in Degraded
+// ("degraded" promises the event survived as an invalidation).
+func TestHubDropCountsOversizedNotDegraded(t *testing.T) {
+	h := NewHub(HubConfig{PayloadCap: 16})
+	h.Publish(Event{
+		Kind:    KindUpdate,
+		Key:     "/" + strings.Repeat("k", MaxFrameLen+16),
+		Body:    make([]byte, 64),
+		HasBody: true,
+	})
+	st := h.Stats()
+	if st.Oversized != 1 || st.Degraded != 0 || st.Seq != 0 {
+		t.Errorf("Oversized=%d Degraded=%d Seq=%d, want 1/0/0", st.Oversized, st.Degraded, st.Seq)
+	}
+}
+
+// TestHubStripsEmptyPayloadForPlainStreams: an empty-body payload
+// (HasBody, len 0) must still be degraded for streams that negotiated
+// no payloads — a v1-only consumer cannot parse a 'p'-flagged frame.
+func TestHubStripsEmptyPayloadForPlainStreams(t *testing.T) {
+	h := NewHub(HubConfig{PayloadCap: 4096})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	plain, value := &hubSink{}, &hubSink{}
+	startHubSubscriber(t, ts.URL, plain)
+	startHubSubscriberCap(t, ts.URL, value, 4096)
+	if !waitCond(t, 2*time.Second, func() bool { return h.Subscribers() == 2 }) {
+		t.Fatal("never connected")
+	}
+
+	h.Publish(Event{Kind: KindUpdate, Key: "/cleared", Body: []byte{}, HasBody: true,
+		Digest: DigestOf(nil)})
+	for name, sink := range map[string]*hubSink{"plain": plain, "value": value} {
+		if !waitCond(t, 2*time.Second, func() bool {
+			evs, _, _ := sink.snapshot()
+			return len(evs) == 1
+		}) {
+			t.Fatalf("%s: event never arrived", name)
+		}
+	}
+	if evs, _, _ := plain.snapshot(); evs[0].HasBody {
+		t.Errorf("plain stream received a payload frame: %+v", evs[0])
+	}
+	if evs, _, _ := value.snapshot(); !evs[0].HasBody || len(evs[0].Body) != 0 {
+		t.Errorf("value stream lost the empty-body payload: %+v", evs[0])
+	}
+}
+
+// TestHubReplayRingByteBudget: the replay ring must be bounded by bytes
+// as well as count — a burst of fat payloads trims history instead of
+// growing the hub — and what stays in the ring replays payloads
+// faithfully.
+func TestHubReplayRingByteBudget(t *testing.T) {
+	// ~1KB per event (body + envelope overhead); budget fits ~4.
+	h := NewHub(HubConfig{PayloadCap: 4096, ReplayLen: 1024, ReplayBytes: 4096})
+	bodyFor := func(i int) []byte { return bytes.Repeat([]byte{byte('a' + i)}, 900) }
+	for i := 0; i < 12; i++ {
+		b := bodyFor(i)
+		h.Publish(Event{Kind: KindUpdate, Key: "/obj", Body: b, HasBody: true, Digest: DigestOf(b)})
+	}
+	st := h.Stats()
+	if st.ReplayBytes > st.ReplayByteCap {
+		t.Errorf("ring over budget: %d > %d", st.ReplayBytes, st.ReplayByteCap)
+	}
+	if st.ReplayLen >= 12 || st.ReplayLen < 1 {
+		t.Errorf("ReplayLen = %d; the byte budget did not trim the ring", st.ReplayLen)
+	}
+
+	// A resume within the surviving window replays payloads verbatim.
+	hello, backlog, sub, ok := h.subscribe(uint64(12-st.ReplayLen), 4096)
+	if !ok {
+		t.Fatal("subscribe failed")
+	}
+	defer h.unsubscribe(sub)
+	if hello.Reset {
+		t.Fatal("in-window resume got a Reset")
+	}
+	if len(backlog) != st.ReplayLen {
+		t.Fatalf("backlog %d events, want %d", len(backlog), st.ReplayLen)
+	}
+	for i, ev := range backlog {
+		want := bodyFor(12 - st.ReplayLen + i)
+		if !ev.HasBody || !bytes.Equal(ev.Body, want) || ev.Digest != DigestOf(want) {
+			t.Fatalf("backlog[%d] payload not replayed faithfully: %+v", i, ev)
+		}
+	}
+
+	// A resume from before the trimmed-off history must Reset: the ring
+	// cannot prove contiguity it no longer holds.
+	hello2, _, sub2, _ := h.subscribe(1, 4096)
+	defer h.unsubscribe(sub2)
+	if !hello2.Reset {
+		t.Error("out-of-window resume not Reset")
+	}
+	if h.Stats().ResumeHoles == 0 {
+		t.Error("ResumeHoles not counted")
+	}
+}
+
 // BenchmarkHubPublishFanout measures the push fan-out hot path: one
 // publisher broadcasting to a fleet of draining subscribers.
 func BenchmarkHubPublishFanout(b *testing.B) {
@@ -262,7 +557,7 @@ func BenchmarkHubPublishFanout(b *testing.B) {
 	const fleet = 16
 	var wg sync.WaitGroup
 	for i := 0; i < fleet; i++ {
-		_, _, sub, ok := h.subscribe(0)
+		_, _, sub, ok := h.subscribe(0, 0)
 		if !ok {
 			b.Fatal("subscribe failed")
 		}
@@ -286,6 +581,47 @@ func BenchmarkHubPublishFanout(b *testing.B) {
 		h.Publish(ev)
 	}
 	b.StopTimer()
+	h.KillAll()
+	wg.Wait()
+}
+
+// BenchmarkHubPublishFanoutPayload is the value-carrying variant: the
+// same fan-out with a 512-byte body riding every event, through the
+// byte-budgeted replay ring.
+func BenchmarkHubPublishFanoutPayload(b *testing.B) {
+	h := NewHub(HubConfig{PayloadCap: DefaultPayloadCap})
+	const fleet = 16
+	var wg sync.WaitGroup
+	for i := 0; i < fleet; i++ {
+		_, _, sub, ok := h.subscribe(0, DefaultPayloadCap)
+		if !ok {
+			b.Fatal("subscribe failed")
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-sub.ch:
+				case <-sub.done:
+					return
+				}
+			}
+		}()
+		defer h.unsubscribe(sub)
+	}
+	body := bytes.Repeat([]byte("v"), 512)
+	ev := Event{Kind: KindUpdate, Key: "/obj/path", Group: "g",
+		Body: body, HasBody: true, Digest: DigestOf(body)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Publish(ev)
+	}
+	b.StopTimer()
+	if st := h.Stats(); st.Degraded != 0 {
+		b.Fatalf("payloads degraded: %+v", st)
+	}
 	h.KillAll()
 	wg.Wait()
 }

@@ -11,10 +11,15 @@
 //   - The wire protocol: a versioned, single-line event encoding
 //     (Event, Encode, Decode) deliberately shaped for fuzzing — Decode
 //     accepts arbitrary bytes and must never panic. Events are carried
-//     over an SSE-style HTTP stream (text/event-stream).
-//   - The Hub: the server half (hub.go) — one sequence space, a bounded
-//     replay ring, slow-subscriber termination, per-subscriber lag
-//     accounting, deadline-bounded frame writes, and mid-stream Reset
+//     over an SSE-style HTTP stream (text/event-stream). Version 1
+//     frames carry only the modification instant (pure invalidation);
+//     version 2 frames can additionally carry the object's new body
+//     (base64-framed), its content type, a content digest, and — on
+//     hello frames — the stream's negotiated payload size cap.
+//   - The Hub: the server half (hub.go) — one sequence space, a
+//     byte-budgeted replay ring, slow-subscriber termination,
+//     per-subscriber lag accounting, deadline-bounded frame writes,
+//     per-stream payload-cap negotiation, and mid-stream Reset
 //     announcement. The origin's /events endpoint and every relaying
 //     proxy's downstream endpoint are the same Hub.
 //   - The Subscriber: a client that consumes the stream, survives
@@ -31,9 +36,20 @@
 // buffer the server's hello frame carries Reset=true, telling the
 // consumer its view is no longer contiguous and it must revalidate by
 // polling (the proxy runs its staleness-bounded catch-up sweep).
+//
+// Payload delivery (v2) is negotiated per stream: a subscriber passes
+// ?maxpayload=<bytes>, the hub clamps it to its own cap and echoes the
+// result on the hello frame, and any update whose body exceeds the
+// stream's cap is degraded to an invalidation-only frame at write time —
+// never dropped, never skipped. The degradation ladder is therefore
+// value push → invalidation push → pure pull, each rung keeping the
+// paper's Δ guarantee intact.
 package push
 
 import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net/url"
@@ -42,25 +58,51 @@ import (
 	"time"
 )
 
-// ProtocolVersion is the wire-format version emitted by Encode. Decode
-// rejects frames with any other version so incompatible future formats
-// fail loudly instead of being half-parsed.
-const ProtocolVersion = 1
+// Protocol versions. Encode emits the lowest version able to carry the
+// event — v1 when only invalidation fields are set, v2 when a payload,
+// digest, content type, or payload cap rides along — so pure
+// invalidation streams are byte-identical to what pre-v2 hubs emitted.
+// Decode accepts both and rejects anything else so incompatible future
+// formats fail loudly instead of being half-parsed.
+const (
+	ProtocolV1 = 1
+	ProtocolV2 = 2
+	// ProtocolVersion is the highest version this package speaks.
+	ProtocolVersion = ProtocolV2
+)
 
-// MaxFrameLen bounds the encoded frame size Decode accepts. Keys and
-// group names are URL paths and tokens; anything larger is hostile.
+// MaxFrameLen bounds the encoded size of a frame's envelope — everything
+// except the base64 payload field. Keys and group names are URL paths
+// and tokens; anything larger is hostile. The payload field is bounded
+// separately by the negotiated per-stream cap (never above
+// MaxPayloadCap).
 const MaxFrameLen = 4096
+
+// DefaultPayloadCap is the per-stream payload size (pre-base64 bytes) a
+// hub or subscriber uses when payload delivery is enabled without an
+// explicit cap.
+const DefaultPayloadCap = 64 << 10
+
+// MaxPayloadCap is the absolute payload ceiling any hub will negotiate;
+// Decode rejects frames whose decoded payload exceeds it regardless of
+// what a hostile stream claims was negotiated.
+const MaxPayloadCap = 1 << 20
+
+// maxPayloadFieldLen bounds the base64 payload field on the wire.
+var maxPayloadFieldLen = base64.StdEncoding.EncodedLen(MaxPayloadCap)
 
 // Kind discriminates event frames.
 type Kind uint8
 
 const (
 	// KindHello is the first frame of every stream: Seq carries the
-	// server's current (last assigned) sequence number and Reset reports
-	// whether the requested resume point fell outside the replay buffer.
+	// server's current (last assigned) sequence number, Reset reports
+	// whether the requested resume point fell outside the replay buffer,
+	// and PayloadCap carries the negotiated per-stream payload cap.
 	KindHello Kind = 1
 	// KindUpdate announces that the object at Key was modified at
-	// ModTime. Seq is the event's position in the origin's stream.
+	// ModTime. Seq is the event's position in the origin's stream. When
+	// HasBody is set the frame also carries the object's new body.
 	KindUpdate Kind = 2
 	// KindHeartbeat is a liveness frame carrying the current Seq; it
 	// lets subscribers distinguish a quiet origin from a dead connection.
@@ -100,6 +142,45 @@ type Event struct {
 	// is older than the replay buffer: events were irrecoverably missed
 	// and the consumer must revalidate by polling.
 	Reset bool
+
+	// Body is the object's new body, carried end to end so a consumer
+	// can install the update without a confirmation poll. HasBody
+	// distinguishes an empty body from no payload at all.
+	Body    []byte
+	HasBody bool
+	// ContentType is the body's media type (payload frames only).
+	ContentType string
+	// Digest is the publisher-announced content digest of Body (see
+	// DigestOf). A consumer verifies it before installing the body and
+	// falls back to polling on mismatch; it is never verified at decode
+	// time so a corrupt frame degrades to a poll instead of killing the
+	// stream.
+	Digest string
+	// PayloadCap is the negotiated per-stream payload size in bytes,
+	// echoed on hello frames (0 = the stream carries no payloads).
+	PayloadCap uint64
+}
+
+// DigestOf returns the content digest announced with a payload: the
+// first eight bytes of the body's SHA-256, hex-encoded. Collisions only
+// cost a missed corruption (the consumer installs what the publisher
+// hashed); sixteen characters keep the envelope small.
+func DigestOf(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:8])
+}
+
+// StripPayload returns the event with its payload fields cleared: the
+// degradation from a value-carrying frame to the invalidation-only
+// frame every v1 consumer understands. Key, group, sequence, and
+// modification instant survive, so the Δ guarantee is untouched — the
+// consumer confirms by polling instead of installing directly.
+func (e Event) StripPayload() Event {
+	e.Body = nil
+	e.HasBody = false
+	e.ContentType = ""
+	e.Digest = ""
+	return e
 }
 
 // Errors returned by Decode.
@@ -109,14 +190,22 @@ var (
 	ErrBadVersion   = errors.New("push: unsupported protocol version")
 )
 
-// Encode renders the event as a single line:
+// Encode renders the event as a single line. Events carrying only
+// invalidation state use the v1 layout:
 //
 //	v1 <kind> <seq> <modtime-unixnano> <flags> <key> <group>
 //
-// Key and group are query-escaped so they can never contain the space
-// separator; empty fields encode as "-". The format is
-// newline-free by construction, which is what lets one frame travel as
-// one SSE data line.
+// Events carrying a payload, digest, content type, or payload cap use
+// the v2 layout:
+//
+//	v2 <kind> <seq> <modtime-unixnano> <flags> <key> <group> <ctype> <digest> <cap> <payload-b64>
+//
+// Key, group, and content type are query-escaped so they can never
+// contain the space separator; empty fields encode as "-". The payload
+// is standard base64 ("-" when absent; the 'p' flag distinguishes an
+// empty body from no payload). The format is newline-free by
+// construction, which is what lets one frame travel as one SSE data
+// line.
 func (e Event) Encode() string {
 	key, group := "-", "-"
 	if e.Key != "" {
@@ -130,17 +219,37 @@ func (e Event) Encode() string {
 		mod = e.ModTime.UnixNano()
 	}
 	flags := "-"
-	if e.Reset {
+	switch {
+	case e.Reset && e.HasBody:
+		flags = "rp"
+	case e.Reset:
 		flags = "r"
+	case e.HasBody:
+		flags = "p"
 	}
-	return fmt.Sprintf("v%d %d %d %d %s %s %s",
-		ProtocolVersion, uint8(e.Kind), e.Seq, mod, flags, key, group)
+	if !e.HasBody && e.ContentType == "" && e.Digest == "" && e.PayloadCap == 0 {
+		return fmt.Sprintf("v%d %d %d %d %s %s %s",
+			ProtocolV1, uint8(e.Kind), e.Seq, mod, flags, key, group)
+	}
+	ctype, digest, payload := "-", "-", "-"
+	if e.ContentType != "" {
+		ctype = escapeField(e.ContentType)
+	}
+	if e.Digest != "" {
+		digest = e.Digest
+	}
+	if e.HasBody && len(e.Body) > 0 {
+		payload = base64.StdEncoding.EncodeToString(e.Body)
+	}
+	return fmt.Sprintf("v%d %d %d %d %s %s %s %s %s %d %s",
+		ProtocolV2, uint8(e.Kind), e.Seq, mod, flags, key, group,
+		ctype, digest, e.PayloadCap, payload)
 }
 
-// escapeField query-escapes a key or group for the wire. A literal "-"
-// survives QueryEscape unchanged but collides with the empty-field
-// sentinel, so it is forced into escaped form (QueryEscape itself never
-// emits "%2D", so decoding stays unambiguous).
+// escapeField query-escapes a key, group, or content type for the wire.
+// A literal "-" survives QueryEscape unchanged but collides with the
+// empty-field sentinel, so it is forced into escaped form (QueryEscape
+// itself never emits "%2D", so decoding stays unambiguous).
 func escapeField(s string) string {
 	esc := url.QueryEscape(s)
 	if esc == "-" {
@@ -149,36 +258,78 @@ func escapeField(s string) string {
 	return esc
 }
 
-// Oversized reports whether the event's encoded frame exceeds
-// MaxFrameLen. An oversized update must never enter a stream or replay
-// buffer — subscribers reject such frames, so one poisonous buffered
-// frame would livelock every reconnect — and a proxy caching an object
-// whose key cannot ride the channel must keep pure-polling freshness
-// for it (no TTR stretch) because its updates will never be announced.
-func (e Event) Oversized() bool { return len(e.Encode()) > MaxFrameLen }
+// Oversized reports whether the event's encoded envelope — the frame
+// minus its payload field — exceeds MaxFrameLen. An oversized update
+// must never enter a stream or replay buffer — subscribers reject such
+// frames, so one poisonous buffered frame would livelock every
+// reconnect — and a proxy caching an object whose key cannot ride the
+// channel must keep pure-polling freshness for it (no TTR stretch)
+// because its updates will never be announced. The payload is bounded
+// separately by the negotiated per-stream cap, never by this check.
+//
+// The bound must hold for EVERY frame the event can emit as: the
+// stripped v1 form (what a payload-less stream receives) and, when any
+// v2 field is present, the v2 envelope with its ctype/digest/cap fields
+// — which is what Decode actually measures. Checking only the stripped
+// form would let a near-limit key slip a frame into the ring that every
+// payload-negotiated subscriber must reject.
+func (e Event) Oversized() bool {
+	if len(e.StripPayload().Encode()) > MaxFrameLen {
+		return true
+	}
+	if e.HasBody || e.ContentType != "" || e.Digest != "" || e.PayloadCap != 0 {
+		// Measure the v2 envelope exactly as Decode does: the full frame
+		// minus the payload field. With the body cleared (HasBody kept)
+		// the payload field encodes as "-", so the encoded length minus
+		// that one byte is the envelope plus its separating space —
+		// Decode's len(s)-len(payload).
+		e.Body = nil
+		if len(e.Encode())-1 > MaxFrameLen {
+			return true
+		}
+	}
+	return false
+}
 
 // Decode parses a frame produced by Encode. It never panics on malformed
 // input: any deviation from the format yields an error. The ModTime of a
-// frame encoding nanos 0 is the zero time.
+// frame encoding nanos 0 is the zero time. Digest mismatches are NOT
+// detected here — integrity is the consumer's decision (it degrades to
+// a poll), not a framing error.
 func Decode(s string) (Event, error) {
-	if len(s) > MaxFrameLen {
+	if len(s) > MaxFrameLen+maxPayloadFieldLen+1 {
 		return Event{}, ErrFrameTooLong
 	}
 	fields := strings.Split(s, " ")
-	if len(fields) != 7 {
-		return Event{}, fmt.Errorf("%w: %d fields, want 7", ErrBadFrame, len(fields))
-	}
-	if !strings.HasPrefix(fields[0], "v") {
+	switch {
+	case len(fields) == 7 && fields[0] == "v1":
+		if len(s) > MaxFrameLen {
+			return Event{}, ErrFrameTooLong
+		}
+		return decodeBounded(fields, nil, len(s))
+	case len(fields) == 11 && fields[0] == "v2":
+		payload := fields[10]
+		if len(s)-len(payload) > MaxFrameLen {
+			return Event{}, ErrFrameTooLong
+		}
+		if len(payload) > maxPayloadFieldLen {
+			return Event{}, ErrFrameTooLong
+		}
+		return decodeBounded(fields[:7], fields[7:], len(s)-len(payload))
+	case len(fields) > 0 && strings.HasPrefix(fields[0], "v"):
+		if ver, err := strconv.ParseUint(fields[0][1:], 10, 16); err == nil &&
+			ver != ProtocolV1 && ver != ProtocolV2 {
+			return Event{}, fmt.Errorf("%w: v%d", ErrBadVersion, ver)
+		}
+		return Event{}, fmt.Errorf("%w: %d fields for %s", ErrBadFrame, len(fields), fields[0])
+	default:
 		return Event{}, fmt.Errorf("%w: missing version tag", ErrBadFrame)
 	}
-	ver, err := strconv.ParseUint(fields[0][1:], 10, 16)
-	if err != nil {
-		return Event{}, fmt.Errorf("%w: bad version %q", ErrBadFrame, fields[0])
-	}
-	if ver != ProtocolVersion {
-		return Event{}, fmt.Errorf("%w: v%d", ErrBadVersion, ver)
-	}
+}
 
+// decodeCommon parses the seven envelope fields shared by both versions
+// plus, for v2, the ctype/digest/cap/payload extension fields.
+func decodeCommon(fields, ext []string) (Event, error) {
 	var e Event
 	kind, err := strconv.ParseUint(fields[1], 10, 8)
 	if err != nil {
@@ -200,10 +351,16 @@ func Decode(s string) (Event, error) {
 	if nanos != 0 {
 		e.ModTime = time.Unix(0, nanos)
 	}
+	hasBody := false
 	switch fields[4] {
 	case "-":
 	case "r":
 		e.Reset = true
+	case "p":
+		hasBody = true
+	case "rp":
+		e.Reset = true
+		hasBody = true
 	default:
 		return Event{}, fmt.Errorf("%w: bad flags %q", ErrBadFrame, fields[4])
 	}
@@ -217,6 +374,53 @@ func Decode(s string) (Event, error) {
 			return Event{}, fmt.Errorf("%w: bad group %q", ErrBadFrame, fields[6])
 		}
 	}
+
+	if ext == nil {
+		if hasBody {
+			return Event{}, fmt.Errorf("%w: payload flag on a v1 frame", ErrBadFrame)
+		}
+	} else {
+		if ext[0] != "-" {
+			if e.ContentType, err = url.QueryUnescape(ext[0]); err != nil {
+				return Event{}, fmt.Errorf("%w: bad content type %q", ErrBadFrame, ext[0])
+			}
+		}
+		if ext[1] != "-" {
+			if !isHexDigest(ext[1]) {
+				return Event{}, fmt.Errorf("%w: bad digest %q", ErrBadFrame, ext[1])
+			}
+			e.Digest = ext[1]
+		}
+		if e.PayloadCap, err = strconv.ParseUint(ext[2], 10, 64); err != nil {
+			return Event{}, fmt.Errorf("%w: bad payload cap %q", ErrBadFrame, ext[2])
+		}
+		switch {
+		case ext[3] == "-" && hasBody:
+			e.Body = []byte{}
+			e.HasBody = true
+		case ext[3] == "-":
+			// No payload.
+		case !hasBody:
+			return Event{}, fmt.Errorf("%w: payload without the p flag", ErrBadFrame)
+		default:
+			body, err := base64.StdEncoding.DecodeString(ext[3])
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: bad payload base64", ErrBadFrame)
+			}
+			if len(body) == 0 {
+				// Canonical form for an empty body is "-" with the p
+				// flag; padding-only spellings must not create a second
+				// wire form for the same event (round-trip ambiguity).
+				return Event{}, fmt.Errorf("%w: empty payload must encode as -", ErrBadFrame)
+			}
+			if len(body) > MaxPayloadCap {
+				return Event{}, ErrFrameTooLong
+			}
+			e.Body = body
+			e.HasBody = true
+		}
+	}
+
 	// Escaped fields round-trip through QueryUnescape, but an unescaped
 	// space or newline smuggled through %-encoding is fine — the field
 	// boundary was already fixed by the split above. What must not pass
@@ -225,4 +429,49 @@ func Decode(s string) (Event, error) {
 		return Event{}, fmt.Errorf("%w: update without key", ErrBadFrame)
 	}
 	return e, nil
+}
+
+// decodeBounded parses the frame fields and additionally enforces that
+// the decoded event's CANONICAL envelope fits the wire limit. The
+// earlier length checks bounded the frame as sent, but fields carrying
+// raw characters that escaping expands (a newline is one byte on a
+// hostile wire, three re-encoded) can decode to an event whose
+// canonical form is over the limit — and such an event must not exist:
+// everything accepted here may be re-encoded, by a relay republishing
+// it or by the round-trip invariant. Escaping expands a byte to at most
+// three, so the re-encode is only paid for wire envelopes that could
+// possibly overflow (> MaxFrameLen/3); ordinary frames skip it.
+func decodeBounded(fields, ext []string, wireEnvelope int) (Event, error) {
+	e, err := decodeCommon(fields, ext)
+	if err != nil {
+		return Event{}, err
+	}
+	if wireEnvelope > MaxFrameLen/3 && e.Oversized() {
+		return Event{}, ErrFrameTooLong
+	}
+	return e, nil
+}
+
+// validWireDigest reports whether a publisher-supplied digest can ride
+// the wire: absent, or hex as DigestOf emits. Anything else would make
+// Encode produce a frame Decode rejects — which must never enter a
+// replay ring — so the hub strips such digests at publish time.
+func validWireDigest(s string) bool {
+	return s == "" || isHexDigest(s)
+}
+
+// isHexDigest reports whether s is a plausible hex digest field (what
+// DigestOf emits, bounded so a hostile frame cannot smuggle a monster
+// field past the envelope check).
+func isHexDigest(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
 }

@@ -1,7 +1,9 @@
 package push
 
 import (
+	"bytes"
 	"context"
+	"encoding/base64"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -48,12 +50,14 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		"",
 		"v1",
 		"v1 2 3",
-		"v2 2 1 0 - /k -",                    // wrong version
+		"v2 2 1 0 - /k -",                    // v2 with the v1 field count
+		"v3 2 1 0 - /k - - - 0 -",            // unsupported version
 		"w1 2 1 0 - /k -",                    // bad version tag
 		"v1 9 1 0 - /k -",                    // unknown kind
 		"v1 2 x 0 - /k -",                    // bad seq
 		"v1 2 1 y - /k -",                    // bad modtime
 		"v1 2 1 0 z /k -",                    // bad flags
+		"v1 2 1 0 p /k -",                    // payload flag on a v1 frame
 		"v1 2 1 0 - %zz -",                   // bad key escape
 		"v1 2 1 0 - /k %zz",                  // bad group escape
 		"v1 2 1 0 - - -",                     // update without key
@@ -61,11 +65,154 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		"v1 -1 1 0 - /k -",                   // negative kind
 		"v1 2 18446744073709551616 0 - /k -", // seq overflow
 		strings.Repeat("x", MaxFrameLen+1),
+		"v2 2 1 0 - /k - - - 0 !!!not-base64!!!", // hostile base64
+		"v2 2 1 0 p /k - - - 0 " + "====",        // hostile base64 padding
+		"v2 2 1 0 - /k - - zz 0 -",               // non-hex digest
+		"v2 2 1 0 - /k - - " + strings.Repeat("a", 65) + " 0 -",                    // digest too long
+		"v2 2 1 0 - /k - - - x -",                                                  // bad payload cap
+		"v2 2 1 0 - /k - - - 0 " + b64(1),                                          // payload without the p flag
+		"v2 2 1 0 p /k - - - 0 " + base64.StdEncoding.EncodeToString(nil) + "====", // empty payload spelled out
+		"v1 2 1 0 - /" + strings.Repeat("k", MaxFrameLen) + " -",                   // v1 over the frame limit
+		"v2 2 1 0 p /" + strings.Repeat("k", MaxFrameLen) + " - - - 0 " + b64(8),   // v2 envelope over the limit
+		// Raw newlines ride one byte each on a hostile wire but re-encode
+		// to three (%0A): the canonical envelope is over the limit even
+		// though the frame as sent is not (fuzz-found; an accepted event
+		// must always be re-encodable within bounds).
+		"v1 2 1 0 - /k " + strings.Repeat("\n", MaxFrameLen/2),
 	}
 	for _, wire := range bad {
 		if _, err := Decode(wire); err == nil {
-			t.Errorf("Decode(%q) accepted malformed frame", wire)
+			t.Errorf("Decode(%q) accepted malformed frame", truncateForLog(wire))
 		}
+	}
+}
+
+func b64(n int) string {
+	return base64.StdEncoding.EncodeToString(make([]byte, n))
+}
+
+func truncateForLog(s string) string {
+	if len(s) > 120 {
+		return s[:120] + "..."
+	}
+	return s
+}
+
+// TestEncodeDecodeRoundTripV2 pins the payload extension: bodies,
+// digests, content types, and payload caps survive the wire, the
+// envelope stays v1 when none of them is present, and cap-boundary
+// payload sizes round-trip exactly.
+func TestEncodeDecodeRoundTripV2(t *testing.T) {
+	big := make([]byte, MaxPayloadCap)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	events := []Event{
+		{Kind: KindUpdate, Seq: 1, Key: "/quote/acme", Body: []byte("165.38\n"), HasBody: true,
+			ContentType: "text/plain; charset=utf-8", Digest: DigestOf([]byte("165.38\n")),
+			ModTime: time.Unix(1700000000, 0)},
+		{Kind: KindUpdate, Seq: 2, Key: "/img", Body: []byte{0, 1, 2, 0xff}, HasBody: true,
+			Digest: DigestOf([]byte{0, 1, 2, 0xff})},
+		// Empty body: present, zero length — distinct from no payload.
+		{Kind: KindUpdate, Seq: 3, Key: "/empty", Body: []byte{}, HasBody: true, Digest: DigestOf(nil)},
+		// Digest without payload: what a stream-side strip leaves behind
+		// must still parse (a consumer treats it as invalidation-only).
+		{Kind: KindUpdate, Seq: 4, Key: "/stripped", Digest: "deadbeef00112233"},
+		// Hello with a negotiated cap.
+		{Kind: KindHello, Seq: 9, PayloadCap: 4096},
+		{Kind: KindHello, Seq: 9, Reset: true, PayloadCap: DefaultPayloadCap},
+		// Reset flag plus payload (not emitted today, but representable).
+		{Kind: KindUpdate, Seq: 5, Key: "/rp", Reset: true, Body: []byte("x"), HasBody: true},
+		// Cap-boundary body.
+		{Kind: KindUpdate, Seq: 6, Key: "/big", Body: big, HasBody: true, Digest: DigestOf(big)},
+	}
+	for _, want := range events {
+		wire := want.Encode()
+		if !strings.HasPrefix(wire, "v2 ") {
+			t.Errorf("Encode(%+v) did not select v2: %q", want, truncateForLog(wire))
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Errorf("Decode(%q): %v", truncateForLog(wire), err)
+			continue
+		}
+		if got.Kind != want.Kind || got.Seq != want.Seq || got.Key != want.Key ||
+			got.Group != want.Group || got.Reset != want.Reset ||
+			!got.ModTime.Equal(want.ModTime) || got.HasBody != want.HasBody ||
+			!bytes.Equal(got.Body, want.Body) || got.ContentType != want.ContentType ||
+			got.Digest != want.Digest || got.PayloadCap != want.PayloadCap {
+			t.Errorf("v2 round trip diverged for %+v", want)
+		}
+	}
+
+	// Invalidation-only events must keep the v1 envelope byte for byte:
+	// a pre-v2 consumer interoperates with a value-capable hub.
+	plain := Event{Kind: KindUpdate, Seq: 7, Key: "/k", Group: "g", ModTime: time.Unix(1700000000, 0)}
+	if wire := plain.Encode(); !strings.HasPrefix(wire, "v1 ") {
+		t.Errorf("invalidation-only event encoded as %q, want a v1 frame", wire)
+	}
+	stripped := events[0].StripPayload()
+	if wire := stripped.Encode(); !strings.HasPrefix(wire, "v1 ") {
+		t.Errorf("stripped event encoded as %q, want a v1 frame", wire)
+	}
+}
+
+// TestOversizedIsEnvelopeOnly: a fat payload must not trip the envelope
+// bound — payloads are governed by the negotiated cap, and conflating
+// the two would drop every value-carrying event over 4KB.
+func TestOversizedIsEnvelopeOnly(t *testing.T) {
+	ev := Event{Kind: KindUpdate, Key: "/k", Body: make([]byte, 64<<10), HasBody: true}
+	if ev.Oversized() {
+		t.Error("payload size tripped the envelope bound")
+	}
+	ev.Key = "/" + strings.Repeat("k", MaxFrameLen)
+	if !ev.Oversized() {
+		t.Error("oversized key not detected")
+	}
+}
+
+// TestOversizedCoversV2Envelope: the envelope bound must hold for every
+// frame an event can emit — the stripped v1 form AND the v2 form with
+// its ctype/digest/cap fields. A near-limit key whose v1 frame fits but
+// whose v2 envelope does not would otherwise pass the hub's publish
+// check and then be rejected by every payload-negotiated subscriber: a
+// poisonous replay-ring frame and a reconnect livelock.
+func TestOversizedCoversV2Envelope(t *testing.T) {
+	key := "/" + strings.Repeat("k", MaxFrameLen-20)
+	plain := Event{Kind: KindUpdate, Key: key}
+	if plain.Oversized() {
+		t.Fatal("test premise broken: the bare invalidation form should fit")
+	}
+	body := []byte("165.38\n")
+	rich := Event{Kind: KindUpdate, Key: key, Body: body, HasBody: true,
+		ContentType: "text/plain; charset=utf-8", Digest: DigestOf(body)}
+	if !rich.Oversized() {
+		t.Fatal("v2 envelope over the limit not detected")
+	}
+	// The contract that matters downstream: any event Oversized()
+	// approves emits only decodable frames, full or stripped.
+	small := Event{Kind: KindUpdate, Key: "/k", Body: body, HasBody: true,
+		ContentType: "text/plain", Digest: DigestOf(body)}
+	if small.Oversized() {
+		t.Fatal("small event misreported oversized")
+	}
+	for _, wire := range []string{small.Encode(), small.StripPayload().Encode()} {
+		if _, err := Decode(wire); err != nil {
+			t.Errorf("frame of a non-oversized event failed to decode: %v", err)
+		}
+	}
+}
+
+func TestDigestOf(t *testing.T) {
+	d := DigestOf([]byte("165.38\n"))
+	if len(d) != 16 {
+		t.Errorf("digest %q length %d, want 16 hex chars", d, len(d))
+	}
+	if d == DigestOf([]byte("165.39\n")) {
+		t.Error("distinct bodies share a digest")
+	}
+	if d != DigestOf([]byte("165.38\n")) {
+		t.Error("digest not deterministic")
 	}
 }
 

@@ -3,6 +3,7 @@ package push
 import (
 	"bufio"
 	"context"
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"io"
@@ -37,9 +38,24 @@ type SubscriberConfig struct {
 	// a connection attempt that failed outright, and never on context
 	// cancellation).
 	OnDisconnect func(err error)
+	// OnFrameLoss is invoked (from the subscriber's goroutine) each time
+	// an established stream's line is dropped instead of processed — an
+	// oversized line, or a data line that fails to decode. The frame's
+	// content is unknown, so the consumer must treat it as a potential
+	// missed update or missed Reset: the proxy runs its staleness-
+	// bounded catch-up sweep, keeping the Δ guarantee from silently
+	// widening while the stream itself stays up.
+	OnFrameLoss func()
 	// BackoffMin and BackoffMax bound the exponential reconnect backoff.
 	// Defaults: 100ms and 10s.
 	BackoffMin, BackoffMax time.Duration
+	// PayloadCap requests payload-carrying (v2) update frames with
+	// bodies up to this many bytes; the server clamps it to its own cap
+	// and echoes the negotiated value on the hello frame. Zero (the
+	// default) requests a pure invalidation stream — the server strips
+	// every payload before it reaches the wire. Clamped to
+	// MaxPayloadCap.
+	PayloadCap int
 	// HeartbeatTimeout declares the stream dead when no frame (of any
 	// kind) arrives for this long. It must exceed the server's heartbeat
 	// interval. Defaults to 30s; negative disables the check.
@@ -58,9 +74,12 @@ type Subscriber struct {
 	disconnects atomic.Uint64
 	// resets counts mid-stream hello/Reset frames (a relaying upstream
 	// lost its own upstream); skipped counts oversized stream lines
-	// dropped without killing the connection.
+	// dropped without killing the connection; overCap counts payloads
+	// stripped client-side because they exceeded the negotiated cap (a
+	// server honoring the negotiation never causes one).
 	resets  atomic.Uint64
 	skipped atomic.Uint64
+	overCap atomic.Uint64
 }
 
 // NewSubscriber validates cfg and returns a subscriber. Call Run to
@@ -87,6 +106,12 @@ func NewSubscriber(cfg SubscriberConfig) (*Subscriber, error) {
 	if cfg.HeartbeatTimeout == 0 {
 		cfg.HeartbeatTimeout = 30 * time.Second
 	}
+	if cfg.PayloadCap < 0 {
+		cfg.PayloadCap = 0
+	}
+	if cfg.PayloadCap > MaxPayloadCap {
+		cfg.PayloadCap = MaxPayloadCap
+	}
 	return &Subscriber{cfg: cfg}, nil
 }
 
@@ -105,12 +130,20 @@ func (s *Subscriber) Disconnects() uint64 { return s.disconnects.Load() }
 // re-ran the OnConnect reconciliation without dropping the connection.
 func (s *Subscriber) Resets() uint64 { return s.resets.Load() }
 
-// SkippedFrames returns the number of stream lines dropped for
-// exceeding the frame size limit. A non-broadway upstream can emit SSE
-// lines of any length; each one is skipped (consumed to its newline) so
-// the stream survives instead of dying and replaying the same position
-// on every reconnect.
+// SkippedFrames returns the number of stream lines dropped without
+// killing the connection: lines exceeding the frame size limit, and
+// established-stream data lines that fail to decode. A hostile or
+// non-broadway upstream can emit either; reconnecting on them would
+// replay the same line from the upstream's ring and livelock, so each
+// is skipped in place (consumed to its newline) and counted here.
 func (s *Subscriber) SkippedFrames() uint64 { return s.skipped.Load() }
+
+// OverCapPayloads returns the number of update payloads stripped
+// client-side for exceeding the negotiated cap. A server honoring the
+// negotiation degrades such frames itself; a non-zero count means the
+// upstream ignored the cap, and the affected updates were handled as
+// plain invalidations (the consumer polls to confirm).
+func (s *Subscriber) OverCapPayloads() uint64 { return s.overCap.Load() }
 
 // Run consumes the stream until ctx is cancelled, reconnecting on every
 // failure with capped exponential backoff. The backoff resets only
@@ -181,18 +214,30 @@ func readFrameLine(br *bufio.Reader, limit int) (line string, skipped bool, err 
 	}
 }
 
+// frameLost is the in-process sentinel the frame pump hands the
+// consumer for a line it had to drop unread (oversized). A hostile
+// stream emitting the literal sentinel converges on the same handling:
+// its line would fail to decode and be counted as lost anyway.
+const frameLost = "\x00frame-lost"
+
 // stream performs one connection attempt and consumes it until it dies.
 // connected reports whether the hello frame was received (and OnConnect
 // invoked); err is the reason the stream ended.
 func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 	u := s.cfg.URL
 	since := s.lastSeq.Load()
-	if since > 0 {
+	addParam := func(k string, v uint64) {
 		sep := "?"
 		if strings.Contains(u, "?") {
 			sep = "&"
 		}
-		u = fmt.Sprintf("%s%ssince=%d", u, sep, since)
+		u = fmt.Sprintf("%s%s%s=%d", u, sep, k, v)
+	}
+	if since > 0 {
+		addParam("since", since)
+	}
+	if s.cfg.PayloadCap > 0 {
+		addParam("maxpayload", uint64(s.cfg.PayloadCap))
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
@@ -219,11 +264,18 @@ func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 	readErr := make(chan error, 1)
 	streamDone := make(chan struct{})
 	defer close(streamDone)
+	// The line limit covers the envelope plus the base64 expansion of
+	// the largest payload this stream negotiated for; anything longer is
+	// either hostile or a protocol violation and is skipped in place.
+	lineLimit := MaxFrameLen + 64
+	if s.cfg.PayloadCap > 0 {
+		lineLimit += base64.StdEncoding.EncodedLen(s.cfg.PayloadCap)
+	}
 	go func() {
 		defer close(frames)
 		br := bufio.NewReaderSize(resp.Body, 4096)
 		for {
-			line, skipped, err := readFrameLine(br, MaxFrameLen+64)
+			line, skipped, err := readFrameLine(br, lineLimit)
 			if err != nil {
 				if err == io.EOF {
 					err = nil // clean stream end, reported as io.EOF by the consumer
@@ -237,8 +289,17 @@ func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 				// replay the same position and die on the same line
 				// forever — a one-frame livelock against any upstream
 				// that does not police its frame sizes. Drop just the
-				// line and keep the stream's framing intact.
+				// line and keep the stream's framing intact; the consumer
+				// reconciles the unknown loss via OnFrameLoss.
 				s.skipped.Add(1)
+				select {
+				case frames <- frameLost:
+				case <-streamDone:
+					return
+				case <-ctx.Done():
+					readErr <- ctx.Err()
+					return
+				}
 				continue
 			}
 			payload, ok := strings.CutPrefix(line, "data:")
@@ -285,12 +346,50 @@ func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 				}
 				watchdog.Reset(s.cfg.HeartbeatTimeout)
 			}
+			if payload == frameLost {
+				// The pump dropped an oversized line unread. Its content
+				// is unknown — possibly an update or a Reset — so an
+				// established consumer must reconcile (sweep) rather
+				// than stay confidently stretched over it.
+				if connected && s.cfg.OnFrameLoss != nil {
+					s.cfg.OnFrameLoss()
+				}
+				continue
+			}
 			ev, decodeErr := Decode(payload)
 			if decodeErr != nil {
-				// A malformed frame poisons the stream's framing; drop
-				// the connection and resync rather than guess.
-				resp.Body.Close()
-				return connected, decodeErr
+				if !connected {
+					// The very first frame must be a hello; a server whose
+					// opening frame does not even decode is not speaking
+					// this protocol — reconnect and say why.
+					resp.Body.Close()
+					return false, decodeErr
+				}
+				// Mid-stream, a malformed data line cannot poison the
+				// framing (SSE frames are self-delimiting lines), but
+				// dropping the connection on it would: the reconnect
+				// resumes from the same position, an upstream replaying
+				// the frame from its ring serves it again, and the
+				// subscriber livelocks on one line forever — the same
+				// failure class as PR 4's oversized-line kill, reachable
+				// again through the payload-widened read limit (a 6KB
+				// malformed line is under a 91KB limit but over the
+				// envelope bound). Skip just the frame — and reconcile
+				// via OnFrameLoss, because whatever it announced (an
+				// update, a Reset) is now an unknown loss that must not
+				// hide behind stretched TTRs.
+				s.skipped.Add(1)
+				if s.cfg.OnFrameLoss != nil {
+					s.cfg.OnFrameLoss()
+				}
+				continue
+			}
+			if ev.HasBody && (s.cfg.PayloadCap <= 0 || len(ev.Body) > s.cfg.PayloadCap) {
+				// The upstream ignored the negotiated cap: degrade the
+				// frame to the invalidation it should have been — the
+				// consumer confirms by polling, the stream survives.
+				ev = ev.StripPayload()
+				s.overCap.Add(1)
 			}
 			switch {
 			case !connected:

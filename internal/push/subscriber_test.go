@@ -146,6 +146,77 @@ func TestSubscriberSkipsOversizedLinesWithoutReconnecting(t *testing.T) {
 	}
 }
 
+// TestSubscriberSkipsMalformedLinesWithoutReconnecting: a data line
+// that fails to decode mid-stream (hostile bytes, an envelope over the
+// limit smuggled under a payload-widened read limit, fields that
+// escaping would expand past the bound) must be skipped in place, not
+// kill the connection — a reconnect would resume from the same
+// position, replay the same line, and livelock, exactly like the
+// PR 4 oversized-line case.
+func TestSubscriberSkipsMalformedLinesWithoutReconnecting(t *testing.T) {
+	srv := &sseServer{}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var events, losses atomic.Int64
+	sub, err := NewSubscriber(SubscriberConfig{
+		URL:         ts.URL,
+		OnEvent:     func(Event) { events.Add(1) },
+		OnFrameLoss: func() { losses.Add(1) },
+		BackoffMin:  5 * time.Millisecond,
+		PayloadCap:  DefaultPayloadCap, // widened read limit: the hole's precondition
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sub.Run(ctx)
+
+	if !waitCond(t, 2*time.Second, func() bool {
+		srv.send(Event{Kind: KindHello, Seq: 0}.Encode())
+		return sub.Connects() >= 1
+	}) {
+		t.Fatal("hello never processed")
+	}
+
+	// Three malformed shapes under the payload-widened line limit but
+	// undecodable, followed by a well-formed update on the SAME stream.
+	srv.send("not a frame at all")
+	srv.send("v1 2 1 0 - /" + strings.Repeat("k", MaxFrameLen) + " -") // envelope over the v1 bound
+	srv.send("v2 2 1 0 - /k - - - 0 !!!hostile-base64!!!")
+	srv.send(Event{Kind: KindUpdate, Seq: 1, Key: "/a"}.Encode())
+
+	if !waitCond(t, 2*time.Second, func() bool { return events.Load() == 1 }) {
+		t.Fatalf("update after malformed lines never arrived (skipped=%d disconnects=%d)",
+			sub.SkippedFrames(), sub.Disconnects())
+	}
+	if sub.SkippedFrames() != 3 {
+		t.Errorf("SkippedFrames = %d, want 3", sub.SkippedFrames())
+	}
+	// Every dropped line ran the loss reconciliation: the consumer's
+	// sweep is what keeps an unknown loss from hiding behind stretched
+	// TTRs ("the Δt guarantee never silently widens").
+	if losses.Load() != 3 {
+		t.Errorf("OnFrameLoss ran %d times, want 3", losses.Load())
+	}
+	if srv.conns.Load() != 1 || sub.Disconnects() != 0 {
+		t.Errorf("stream died on a malformed line (conns=%d disconnects=%d) — the reconnect livelock",
+			srv.conns.Load(), sub.Disconnects())
+	}
+
+	// A hello-less or undecodable FIRST frame still forces a reconnect:
+	// that server is not speaking the protocol at all.
+	srv.kill()
+	if !waitCond(t, 2*time.Second, func() bool { return srv.conns.Load() >= 2 }) {
+		t.Fatal("never reconnected")
+	}
+	srv.send("garbage before hello")
+	if !waitCond(t, 2*time.Second, func() bool { return srv.conns.Load() >= 3 }) {
+		t.Fatal("undecodable first frame did not force a reconnect")
+	}
+}
+
 func TestReadFrameLine(t *testing.T) {
 	input := "short\r\n" +
 		strings.Repeat("y", 300) + "\n" +

@@ -2,7 +2,11 @@ package webproxy
 
 import (
 	"fmt"
+	"net/url"
 	"testing"
+	"time"
+
+	"broadway/internal/push"
 )
 
 // BenchmarkStoreEvictScan measures the CLOCK victim scan on a full
@@ -26,6 +30,46 @@ func BenchmarkStoreEvictScan(b *testing.B) {
 		if len(victims) != 1 {
 			b.Fatalf("iteration %d evicted %d entries, want 1", i, len(victims))
 		}
+	}
+}
+
+// BenchmarkValuePushApply measures the value-carrying fast path: one
+// pushed payload installed end to end — dedupe check, digest
+// verification, body swap, ledger re-charge — with no origin involved.
+// This is the per-update cost that replaces a full confirmation poll
+// (network round trip + conditional GET) under value push.
+func BenchmarkValuePushApply(b *testing.B) {
+	origin, _ := url.Parse("http://origin.invalid")
+	p, err := New(Config{Origin: origin, PushValues: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &entry{key: "/quote/acme"}
+	e.size.Store(entrySize(e.key, nil))
+	p.store.put(e.key, e, -1, -1, true)
+
+	body := []byte("165.3800\n")
+	digest := push.DigestOf(body)
+	base := time.Unix(1_700_000_000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := push.Event{
+			Kind:        push.KindUpdate,
+			Key:         e.key,
+			ModTime:     base.Add(time.Duration(i+1) * time.Second),
+			Body:        body,
+			HasBody:     true,
+			ContentType: "text/plain",
+			Digest:      digest,
+		}
+		if !p.applyPushedValue(e, &ev) {
+			b.Fatal("apply fell back")
+		}
+	}
+	b.StopTimer()
+	if got := p.pushApplied.Load(); got != uint64(b.N) {
+		b.Fatalf("applied %d of %d", got, b.N)
 	}
 }
 

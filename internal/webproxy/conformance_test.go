@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -88,6 +89,26 @@ type replayObject struct {
 	path string
 	tr   *trace.Trace
 	tol  httpx.Tolerances
+	// inject, when set, runs after each of the object's origin updates
+	// (with the 1-based revision) — the corruption hook value-domain
+	// conformance uses to interleave hostile events with clean ones.
+	inject func(o *webserver.Origin, rev int)
+}
+
+// replayBody renders the origin body for revision rev of o (rev 0 is
+// the pre-trace seed). Temporal traces serve versioned text; value
+// traces serve the traced value as a decimal body, which is what makes
+// the live proxy run the Δv machinery and lets the evaluator compare
+// cached values against the trace's ground truth.
+func replayBody(o replayObject, rev int) []byte {
+	if o.tr.Kind == trace.Value {
+		v := o.tr.InitialValue
+		if rev > 0 {
+			v = o.tr.Updates[rev-1].Value
+		}
+		return []byte(strconv.FormatFloat(v, 'f', -1, 64) + "\n")
+	}
+	return []byte(fmt.Sprintf("%s rev %d", o.path, rev))
 }
 
 // replayResult carries the measured side of one conformance run.
@@ -95,6 +116,11 @@ type replayResult struct {
 	logs        map[string][]metrics.Refresh
 	originPolls uint64
 	pushStats   PushStats
+	// applied counts observations that installed a pushed payload with
+	// no origin request; pushedPolls counts pushed CONFIRMATION polls
+	// (the fallback rung) — zero on a clean value-carrying run.
+	applied     uint64
+	pushedPolls uint64
 }
 
 // admissionPhase offsets object admission from the whole-second grid the
@@ -109,16 +135,21 @@ func replayTrace(t *testing.T, objs []replayObject, horizon time.Duration, cfg C
 	t.Helper()
 	clk := newSimClock()
 
-	origin := webserver.NewOrigin(
+	originOpts := []webserver.Option{
 		webserver.WithClock(clk.Now),
 		webserver.WithHistoryExtension(true),
 		webserver.WithPushEvents(""),
-	)
+	}
+	if cfg.PushValues {
+		originOpts = append(originOpts, webserver.WithPushValues(0))
+	}
+	origin := webserver.NewOrigin(originOpts...)
 	originSrv := httptest.NewServer(origin)
 	defer originSrv.Close()
 
 	var mu sync.Mutex
 	logs := make(map[string][]metrics.Refresh)
+	var applied, pushedPolls uint64
 	u, err := url.Parse(originSrv.URL)
 	if err != nil {
 		t.Fatal(err)
@@ -134,6 +165,11 @@ func replayTrace(t *testing.T, objs []replayObject, horizon time.Duration, cfg C
 			Value:     o.Value,
 			Triggered: o.Triggered || o.Pushed,
 		})
+		if o.Applied {
+			applied++
+		} else if o.Pushed {
+			pushedPolls++
+		}
 		mu.Unlock()
 	}
 	if pushOn {
@@ -157,7 +193,7 @@ func replayTrace(t *testing.T, objs []replayObject, horizon time.Duration, cfg C
 	// Seed version 0 of every object at the epoch (after the channel is
 	// up, so sequence tracking sees every event from the start).
 	for _, o := range objs {
-		origin.Set(o.path, []byte(o.path+" rev 0"), "")
+		origin.Set(o.path, replayBody(o, 0), "")
 		if !o.tol.IsZero() {
 			origin.SetTolerances(o.path, o.tol)
 		}
@@ -239,7 +275,10 @@ func replayTrace(t *testing.T, objs []replayObject, horizon time.Duration, cfg C
 		// the proxy: a poll at t must observe the origin's state at t.
 		for ui < len(updates) && !clk.base.Add(updates[ui].at).After(stepAt) {
 			o := objs[updates[ui].obj]
-			origin.Set(o.path, []byte(fmt.Sprintf("%s rev %d", o.path, updates[ui].rev)), "")
+			origin.Set(o.path, replayBody(o, updates[ui].rev), "")
+			if o.inject != nil {
+				o.inject(origin, updates[ui].rev)
+			}
 			ui++
 		}
 		px.Kick()
@@ -251,7 +290,13 @@ func replayTrace(t *testing.T, objs []replayObject, horizon time.Duration, cfg C
 
 	mu.Lock()
 	defer mu.Unlock()
-	return replayResult{logs: logs, originPolls: origin.Polls(), pushStats: px.PushStats()}
+	return replayResult{
+		logs:        logs,
+		originPolls: origin.Polls(),
+		pushStats:   px.PushStats(),
+		applied:     applied,
+		pushedPolls: pushedPolls,
+	}
 }
 
 // predictTemporal runs the discrete-event simulator over the same trace

@@ -1,7 +1,6 @@
 package webproxy
 
 import (
-	"fmt"
 	"net/http/httptest"
 	"net/url"
 	"sync"
@@ -33,22 +32,33 @@ type twoHopResult struct {
 	parentPush  PushStats
 	leafPush    PushStats
 	relay       RelayStats
+	// leafApplied counts leaf observations that installed a pushed
+	// payload; leafPushedPolls counts the leaf's pushed confirmation
+	// polls against the parent (zero on a clean value-carrying run).
+	leafApplied     uint64
+	leafPushedPolls uint64
 }
 
 // replayTraceTwoHop drives objs through origin → parent (relay) → leaf
 // on the stepped clock. killUpstreamAt, when positive, disables the
 // origin's event endpoint at that trace offset and revives it two
 // virtual minutes later — exercising the mid-stream Reset path through
-// the relay while the replay keeps running.
-func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration, pushStretch float64, killUpstreamAt time.Duration) twoHopResult {
+// the relay while the replay keeps running. values enables end-to-end
+// payload delivery on every hop (origin publishes bodies, both proxies
+// install them directly).
+func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration, pushStretch float64, killUpstreamAt time.Duration, values bool) twoHopResult {
 	t.Helper()
 	clk := newSimClock()
 
-	origin := webserver.NewOrigin(
+	originOpts := []webserver.Option{
 		webserver.WithClock(clk.Now),
 		webserver.WithHistoryExtension(true),
 		webserver.WithPushEvents(""),
-	)
+	}
+	if values {
+		originOpts = append(originOpts, webserver.WithPushValues(0))
+	}
+	origin := webserver.NewOrigin(originOpts...)
 	originSrv := httptest.NewServer(origin)
 	defer originSrv.Close()
 	originURL, err := url.Parse(originSrv.URL)
@@ -63,6 +73,7 @@ func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration,
 		DefaultDelta:         confDelta,
 		Bounds:               confBounds,
 		PushStretch:          pushStretch,
+		PushValues:           values,
 		PushHeartbeatTimeout: -1, // the watchdog is wall-clocked; disable it
 		PushBackoffMin:       time.Millisecond,
 		PushBackoffMax:       10 * time.Millisecond,
@@ -85,6 +96,7 @@ func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration,
 
 	var mu sync.Mutex
 	logs := make(map[string][]metrics.Refresh)
+	var leafApplied, leafPushedPolls uint64
 	leafCfg := Config{
 		Origin:               parentURL,
 		Clock:                clk.Now,
@@ -92,6 +104,7 @@ func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration,
 		DefaultDelta:         confDelta,
 		Bounds:               confBounds,
 		PushStretch:          pushStretch,
+		PushValues:           values,
 		PushHeartbeatTimeout: -1,
 		PushBackoffMin:       time.Millisecond,
 		PushBackoffMax:       10 * time.Millisecond,
@@ -103,6 +116,11 @@ func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration,
 				Value:     o.Value,
 				Triggered: o.Triggered || o.Pushed,
 			})
+			if o.Applied {
+				leafApplied++
+			} else if o.Pushed {
+				leafPushedPolls++
+			}
 			mu.Unlock()
 		},
 	}
@@ -125,7 +143,7 @@ func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration,
 
 	// Seed version 0 of every object at the epoch.
 	for _, o := range objs {
-		origin.Set(o.path, []byte(o.path+" rev 0"), "")
+		origin.Set(o.path, replayBody(o, 0), "")
 		if !o.tol.IsZero() {
 			origin.SetTolerances(o.path, o.tol)
 		}
@@ -265,7 +283,7 @@ func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration,
 				continue
 			}
 			o := objs[ev.obj]
-			origin.Set(o.path, []byte(fmt.Sprintf("%s rev %d", o.path, ev.rev)), "")
+			origin.Set(o.path, replayBody(o, ev.rev), "")
 		}
 		parent.Kick()
 		leaf.Kick()
@@ -279,11 +297,13 @@ func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration,
 	mu.Lock()
 	defer mu.Unlock()
 	return twoHopResult{
-		leafLogs:    logs,
-		originPolls: origin.Polls(),
-		parentPush:  parent.PushStats(),
-		leafPush:    leaf.PushStats(),
-		relay:       parent.RelayStats(),
+		leafLogs:        logs,
+		originPolls:     origin.Polls(),
+		parentPush:      parent.PushStats(),
+		leafPush:        leaf.PushStats(),
+		relay:           parent.RelayStats(),
+		leafApplied:     leafApplied,
+		leafPushedPolls: leafPushedPolls,
 	}
 }
 
@@ -293,7 +313,7 @@ func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration,
 // replayed trace — the relay may add a hop, never staleness beyond Δ.
 func TestConformanceTwoHopRelayHoldsLeafDeltaBound(t *testing.T) {
 	tr := confTrace(t)
-	res := replayTraceTwoHop(t, []replayObject{{path: "/news", tr: tr}}, confHorizon, 16, 0)
+	res := replayTraceTwoHop(t, []replayObject{{path: "/news", tr: tr}}, confHorizon, 16, 0, false)
 
 	log := res.leafLogs["/news"]
 	if len(log) < 3 {
@@ -329,7 +349,7 @@ func TestConformanceTwoHopSurvivesUpstreamKill(t *testing.T) {
 	tr := confTrace(t)
 	// Kill just after the first third of the horizon: the trace is
 	// guaranteed to still have updates in flight afterwards.
-	res := replayTraceTwoHop(t, []replayObject{{path: "/news", tr: tr}}, confHorizon, 16, confHorizon/3)
+	res := replayTraceTwoHop(t, []replayObject{{path: "/news", tr: tr}}, confHorizon, 16, confHorizon/3, false)
 
 	log := res.leafLogs["/news"]
 	meas := metrics.EvaluateTemporal(tr, log, confDelta, confHorizon)

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"broadway/internal/core"
 	"broadway/internal/push"
 )
 
@@ -16,14 +17,17 @@ import (
 // The reconciliation rules are:
 //
 //   - A pushed invalidation for a resident object converts into an
-//     immediate "pushed" poll routed through the object's group-affinity
+//     immediate "pushed" job routed through the object's group-affinity
 //     worker — the same path as a mutual-consistency triggered poll — so
-//     MutualTimeController state stays single-threaded per group. The
-//     poll revalidates via If-Modified-Since and, when it confirms an
-//     update, runs the §3.2 group triggering exactly as a scheduled poll
-//     would; it does not disturb the object's regular TTR schedule or
-//     feed its policy (pushes reveal the origin's churn, not the polling
-//     frequency's fitness).
+//     MutualTimeController state stays single-threaded per group. With
+//     Config.PushValues a payload-carrying event is installed directly
+//     (digest-verified, byte-ledger-charged; see applyPushedValue) with
+//     no origin request; otherwise — or when the payload cannot be
+//     installed — the job polls: it revalidates via If-Modified-Since
+//     and, when it confirms an update, runs the §3.2 group triggering
+//     exactly as a scheduled poll would. Neither form disturbs the
+//     object's regular TTR schedule or feeds its policy (pushes reveal
+//     the origin's churn, not the polling frequency's fitness).
 //   - While the channel is healthy, regular TTR polls are stretched by
 //     Config.PushStretch (clamped to the TTR upper bound): push carries
 //     the freshness burden, polling becomes a safety net. The
@@ -40,6 +44,10 @@ import (
 // newPushSubscriber wires the proxy's callbacks into a subscriber for
 // cfg.PushURL.
 func (p *Proxy) newPushSubscriber() (*push.Subscriber, error) {
+	payloadCap := 0
+	if p.cfg.PushValues {
+		payloadCap = p.cfg.PushPayloadCap
+	}
 	return push.NewSubscriber(push.SubscriberConfig{
 		URL: p.cfg.PushURL.String(),
 		// The proxy's upstream client is unusable here: its global
@@ -48,20 +56,27 @@ func (p *Proxy) newPushSubscriber() (*push.Subscriber, error) {
 		OnEvent:          p.handlePushEvent,
 		OnConnect:        p.handlePushConnect,
 		OnDisconnect:     p.handlePushDisconnect,
+		OnFrameLoss:      p.handlePushFrameLoss,
 		BackoffMin:       p.cfg.PushBackoffMin,
 		BackoffMax:       p.cfg.PushBackoffMax,
 		HeartbeatTimeout: p.cfg.PushHeartbeatTimeout,
+		PayloadCap:       payloadCap,
 	})
 }
 
 // handlePushEvent converts an update notification into an immediate
-// pushed poll of the named object, if it is resident. Events for
-// non-resident objects are dropped — the proxy only ever pays refresh
-// traffic for objects it actually caches. Back-to-back events for one
-// object coalesce onto a single queued poll.
+// pushed job for the named object, if it is resident: a value-carrying
+// event installs its payload directly on the object's affinity worker
+// (see applyPushedValue), anything else runs today's pushed poll.
+// Events for non-resident objects are dropped — the proxy only ever
+// pays refresh traffic for objects it actually caches. Back-to-back
+// events for one object coalesce onto a single queued job, with the
+// entry's pendingPush slot always holding the NEWEST event so a
+// coalesced burst installs the latest body, never a dropped
+// predecessor's.
 func (p *Proxy) handlePushEvent(ev push.Event) {
 	p.pushEvents.Add(1)
-	// The seq store is deferred so the poll is enqueued (and counted in
+	// The seq store is deferred so the job is enqueued (and counted in
 	// InFlightPolls) before an observer waiting on PushStats().LastSeq
 	// can conclude the event was handled.
 	defer p.pushSeq.Store(ev.Seq)
@@ -69,19 +84,154 @@ func (p *Proxy) handlePushEvent(ev push.Event) {
 		return
 	}
 	// Pass-through relay before the residency check: a child proxy may
-	// cache objects this proxy does not.
+	// cache objects this proxy does not. The payload rides along, so a
+	// value-negotiated leaf installs it with zero polls against us.
 	p.relayUpstreamEvent(ev)
 	e := p.lookup(ev.Key)
 	if e == nil || e.evicted.Load() {
 		p.pushDropped.Add(1)
 		return
 	}
+	if p.cfg.PushValues {
+		// Only the apply path reads pendingPush; an invalidation-only
+		// proxy keeps its allocation-free event handling.
+		e.pendingPush.Store(&ev)
+	}
 	if !e.pushQueued.CompareAndSwap(false, true) {
-		return // a pushed poll is already queued for this object
+		return // a pushed job is already queued for this object
 	}
 	p.pushPolls.Add(1)
 	p.pending.Add(1)
 	p.workerFor(e).enqueue(job{e: e, kind: pollPushed})
+}
+
+// applyPushedValue installs a pushed event's payload directly into the
+// cache — the value-carrying fast path: one message from the origin,
+// zero confirmation polls. It runs on the entry's affinity worker (the
+// same serialization domain as every poll of the object and its group),
+// so body swaps, controller observations, and §3.2 triggering stay
+// single-threaded exactly as they are for polls.
+//
+// It returns false when the payload cannot be installed — no payload on
+// the event (a stripped or pure-invalidation frame), a digest mismatch
+// (corruption somewhere along the relay chain), or a body that alone
+// overflows MaxBytes (installing it would immediately evict the object)
+// — and the caller degrades to the pushed confirmation poll, the next
+// rung of the ladder. The Δ guarantee never rests on this path.
+//
+// A true return with no work done means the event was a duplicate (a
+// relay's pass-through plus its confirmation, or a replayed frame): the
+// cached copy already carries this or a newer modification instant, so
+// neither a poll nor a re-install is owed.
+func (p *Proxy) applyPushedValue(e *entry, ev *push.Event) bool {
+	if !p.cfg.PushValues || !ev.HasBody {
+		return false
+	}
+	if e.evicted.Load() {
+		// Let the poll path's eviction check dispose of the job; nothing
+		// may be installed for (or polled on behalf of) an evicted entry.
+		return false
+	}
+	if push.DigestOf(ev.Body) != ev.Digest {
+		return false
+	}
+	size := entrySize(e.key, ev.Body)
+	if p.cfg.MaxBytes >= 0 && size > p.cfg.MaxBytes {
+		// An object this size is refused at admission and self-evicts on
+		// refresh growth; let the pushed poll run those established
+		// unwind rules rather than duplicating them here.
+		return false
+	}
+	now := p.cfg.Clock()
+
+	e.mu.Lock()
+	if e.hasLastMod && !ev.ModTime.IsZero() && !ev.ModTime.After(e.lastMod) {
+		// Already at (or past) this version — origins guarantee strictly
+		// increasing modification times, so an instant at or before the
+		// cached one is a relay duplicate or a replayed frame. Nothing
+		// to install, nothing to poll.
+		e.mu.Unlock()
+		return true
+	}
+	outcome := core.PollOutcome{
+		Now:      p.toSim(now),
+		Prev:     p.toSim(e.validatedAt),
+		Modified: true,
+	}
+	if !ev.ModTime.IsZero() {
+		outcome.LastModified = p.toSim(ev.ModTime)
+		outcome.HasLastModified = true
+	}
+	e.failures = 0
+	e.validatedAt = now
+	e.body = ev.Body
+	if ev.ContentType != "" {
+		e.contentType = ev.ContentType
+	}
+	if !ev.ModTime.IsZero() {
+		e.lastMod = ev.ModTime
+		e.hasLastMod = true
+	}
+	if e.isValue {
+		outcome.HasValue = true
+		outcome.PrevValue = e.value
+		outcome.Value = e.value
+		if v, ok := parseValueBody(ev.Body); ok {
+			e.value = v
+			outcome.Value = v
+		}
+	}
+	value, hasValue := e.value, e.isValue
+	paired := e.paired
+	e.mu.Unlock()
+
+	// The install replaced the body: re-charge the byte ledger and
+	// re-enforce the budget, exactly as a refresh-time growth would
+	// (the single-object overflow case was refused above).
+	p.store.resize(e, size)
+	if p.cfg.Eviction == EvictClock {
+		p.unwind(p.store.shrink(p.cfg.MaxObjects, p.cfg.MaxBytes, p.store.shardIndex(e.key), e))
+	}
+
+	// Republish downstream AFTER the body swap, payload included: a
+	// value-negotiated leaf installs it directly, and a polling leaf
+	// that fetches on this event finds the fresh copy, never the stale
+	// one the pass-through frame raced.
+	p.relayAppliedUpdate(e, ev)
+
+	e.applied.Add(1)
+	p.pushApplied.Add(1)
+
+	gs := p.groupState(e.group)
+	if gs != nil {
+		gs.mu.Lock()
+		// Same eviction-token discipline as pollEntry: never resurrect
+		// controller state for an object leaveGroup has forgotten.
+		if !e.evicted.Load() {
+			gs.ctrl.ObserveOutcome(core.ObjectID(e.key), outcome)
+		}
+		gs.mu.Unlock()
+	}
+	if e.evicted.Load() {
+		return true // evicted mid-apply: installed copy is gone, no triggering
+	}
+	// §3.2 group triggering: an update learned from a payload imposes
+	// the same mutual obligation as one learned by polling.
+	if gs != nil && !paired {
+		p.triggerGroup(e, gs, now)
+	}
+	if obs := p.cfg.PollObserver; obs != nil {
+		obs(PollObservation{
+			Key:      e.key,
+			At:       now,
+			Modified: true,
+			Pushed:   true,
+			Applied:  true,
+			Value:    value,
+			HasValue: hasValue,
+		})
+	}
+	return true
 }
 
 // eventKeyResolvesTo reports whether an origin invalidation event for
@@ -128,6 +278,18 @@ func (p *Proxy) handlePushConnect(hello push.Event, resumed bool) {
 		p.fallbackSweep()
 		p.relayReset()
 	}
+}
+
+// handlePushFrameLoss reconciles a dropped stream line (oversized or
+// undecodable): its content is unknown — possibly an update this proxy
+// and its children will never see, possibly a mid-stream Reset — so the
+// catch-up sweep restores paper-mode schedules and the relay announces
+// the hole downstream, exactly as a Reset would. The channel stays
+// healthy: subsequent polls re-stretch, and a well-behaved upstream
+// never triggers this at all.
+func (p *Proxy) handlePushFrameLoss() {
+	p.fallbackSweep()
+	p.relayReset()
 }
 
 // handlePushDisconnect falls back to pure polling: stretching stops and
@@ -225,10 +387,19 @@ type PushStats struct {
 	Connected bool
 	// Events counts update notifications received.
 	Events uint64
-	// Polls counts pushed polls enqueued (coalesced bursts enqueue one).
+	// Polls counts pushed jobs enqueued (coalesced bursts enqueue one).
+	// With PushValues each job first tries to install the event's
+	// payload and only polls when that fails.
 	Polls uint64
 	// Dropped counts events for objects that were not resident.
 	Dropped uint64
+	// ValueApplied counts pushed payloads installed directly — one
+	// message, zero origin polls. ValueFallbacks counts pushed jobs
+	// that degraded to a confirmation poll while value application was
+	// enabled (digest mismatch, missing or over-cap payload, byte-budget
+	// refusal).
+	ValueApplied   uint64
+	ValueFallbacks uint64
 	// Fallbacks counts healthy→disconnected transitions (each one ran a
 	// catch-up sweep).
 	Fallbacks uint64
@@ -249,13 +420,15 @@ type PushStats struct {
 // PushStats returns the invalidation-channel counters.
 func (p *Proxy) PushStats() PushStats {
 	st := PushStats{
-		Enabled:   p.sub != nil,
-		Connected: p.pushHealthy.Load(),
-		Events:    p.pushEvents.Load(),
-		Polls:     p.pushPolls.Load(),
-		Dropped:   p.pushDropped.Load(),
-		Fallbacks: p.pushFallbacks.Load(),
-		LastSeq:   p.pushSeq.Load(),
+		Enabled:        p.sub != nil,
+		Connected:      p.pushHealthy.Load(),
+		Events:         p.pushEvents.Load(),
+		Polls:          p.pushPolls.Load(),
+		Dropped:        p.pushDropped.Load(),
+		Fallbacks:      p.pushFallbacks.Load(),
+		ValueApplied:   p.pushApplied.Load(),
+		ValueFallbacks: p.pushValueFallback.Load(),
+		LastSeq:        p.pushSeq.Load(),
 	}
 	if p.sub != nil {
 		st.Connects = p.sub.Connects()

@@ -298,14 +298,25 @@ func (p *Proxy) scheduledNextAt(e *entry) time.Time {
 }
 
 // pollEntry performs one refresh of e. Triggered and pushed polls leave
-// the regular schedule untouched, mirroring the simulator's proxy.
+// the regular schedule untouched, mirroring the simulator's proxy. A
+// pushed job first tries to install the event's payload directly (the
+// value-carrying fast path) and only reaches the origin when that is
+// impossible.
 func (p *Proxy) pollEntry(e *entry, kind pollKind) {
 	triggered := kind != pollRegular
 	if kind == pollPushed {
-		// Clear the coalescing flag before the fetch: an event arriving
-		// mid-poll must enqueue a fresh poll (this one may already have
-		// read an older version).
+		// Clear the coalescing flag before consuming the event: an event
+		// arriving mid-job must enqueue a fresh job (this one may
+		// already have read an older version).
 		e.pushQueued.Store(false)
+		if p.cfg.PushValues {
+			if pending := e.pendingPush.Swap(nil); pending != nil {
+				if p.applyPushedValue(e, pending) {
+					return // installed (or a recognized duplicate): no origin request
+				}
+				p.pushValueFallback.Add(1)
+			}
+		}
 	}
 	// An entry evicted after being popped off the schedule (or while
 	// queued on its worker) must not poll the origin: eviction promises
@@ -345,6 +356,16 @@ func (p *Proxy) pollEntry(e *entry, kind pollKind) {
 	e.mu.Lock()
 	e.failures = 0
 	e.validatedAt = now
+	// A 304 carries Cache-Control too (the origin writes the §5.1
+	// tolerance directives on every response), and HTTP semantics say a
+	// revalidation updates stored headers. Refreshing it here — not only
+	// on a 200 — matters doubly under value-carrying push: installs
+	// advance lastMod without touching headers, so the periodic
+	// stretched poll's 304 is the only channel left for a tolerance
+	// change to reach this proxy and its children.
+	if cc := resp.header.Get("Cache-Control"); cc != "" {
+		e.cacheControl = cc
+	}
 	if e.isValue {
 		outcome.HasValue = true
 		outcome.PrevValue = e.value
@@ -354,9 +375,6 @@ func (p *Proxy) pollEntry(e *entry, kind pollKind) {
 		e.body = resp.body
 		if resp.contentType != "" {
 			e.contentType = resp.contentType
-		}
-		if cc := resp.header.Get("Cache-Control"); cc != "" {
-			e.cacheControl = cc
 		}
 		if resp.hasLastMod {
 			e.lastMod = resp.lastMod

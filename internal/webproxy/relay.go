@@ -42,7 +42,9 @@ import (
 // 304.
 
 // relayUpstreamEvent republishes an update event received on the
-// upstream channel into the relay hub (pass-through path).
+// upstream channel into the relay hub (pass-through path). The payload
+// rides along untouched: a value-negotiated leaf installs it from this
+// one frame, so the whole subtree is fed by the single origin message.
 func (p *Proxy) relayUpstreamEvent(ev push.Event) {
 	if p.relay == nil || ev.Kind != push.KindUpdate {
 		return
@@ -51,17 +53,54 @@ func (p *Proxy) relayUpstreamEvent(ev push.Event) {
 }
 
 // relayConfirmedUpdate announces a locally confirmed modification of a
-// cached object to downstream subscribers (confirmation path).
+// cached object to downstream subscribers (confirmation path). With
+// value-carrying push enabled the freshly installed body rides along —
+// published after the body swap — so even under a pure-polling parent
+// (relay on, upstream push off) the leaves install the update with zero
+// confirmation polls.
 func (p *Proxy) relayConfirmedUpdate(e *entry, modTime time.Time) {
 	if p.relay == nil {
 		return
 	}
-	p.relay.Publish(push.Event{
+	ev := push.Event{
 		Kind:    push.KindUpdate,
 		Key:     e.key,
 		Group:   e.group,
 		ModTime: modTime,
-	})
+	}
+	if p.cfg.PushValues {
+		e.mu.RLock()
+		ev.Body = e.body // replaced wholesale on refresh, never mutated: safe to share
+		ev.HasBody = true
+		ev.ContentType = e.contentType
+		e.mu.RUnlock()
+		ev.Digest = push.DigestOf(ev.Body)
+	}
+	p.relay.Publish(ev)
+}
+
+// relayAppliedUpdate republishes a directly installed pushed payload
+// downstream, after the local body swap. The pass-through frame already
+// carried the same payload, but a polling (non-value) leaf that fetched
+// on it may have raced the parent's install and seen the stale copy;
+// this confirmation — exactly like the poll-confirmed one — is what
+// closes that window. Value-negotiated leaves recognize it as a
+// duplicate by its modification instant and do nothing.
+//
+// The upstream event's ModTime is republished verbatim, zero included:
+// stamping this proxy's own clock onto a timeless event would poison
+// children whose origin's clock lags it — their duplicate check and
+// If-Modified-Since validators would then suppress genuinely newer
+// origin updates until real modification times caught up to the
+// fabricated one.
+func (p *Proxy) relayAppliedUpdate(e *entry, ev *push.Event) {
+	if p.relay == nil {
+		return
+	}
+	out := *ev
+	out.Key = e.key
+	out.Group = e.group
+	p.relay.Publish(out)
 }
 
 // relayReset propagates an upstream hole downstream: connected leaves
@@ -71,6 +110,18 @@ func (p *Proxy) relayConfirmedUpdate(e *entry, modTime time.Time) {
 func (p *Proxy) relayReset() {
 	if p.relay != nil {
 		p.relay.Reset()
+	}
+}
+
+// KillRelayStreams terminates every connected downstream stream without
+// disabling the endpoint: children reconnect immediately and catch up
+// from the relay's replay ring (or are Reset when the gap outran it).
+// It is the chaos hook mirroring WebOrigin.KillPushStreams, used by the
+// hierarchy soaks to model a transient parent→leaf network cut. A
+// no-op when the relay is disabled.
+func (p *Proxy) KillRelayStreams() {
+	if p.relay != nil {
+		p.relay.KillAll()
 	}
 }
 

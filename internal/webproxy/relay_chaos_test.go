@@ -1,0 +1,327 @@
+package webproxy
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"broadway/internal/core"
+	"broadway/internal/push"
+	"broadway/internal/webserver"
+)
+
+// This file is the deeper-hierarchy chaos battery of ISSUE 5 (ROADMAP
+// open item): a relaying parent under leaf-churn storms — subscribe/
+// unsubscribe cycles racing live publishes — must account every
+// subscription back down to zero with no handler goroutine left
+// behind, and a relay whose replay ring is smaller than a disconnect
+// burst must Reset each resuming leaf exactly once while the fallback
+// sweep keeps the staleness bound.
+
+// newRelayParent builds an origin → relaying-parent pair with fast
+// chaos-friendly timings.
+func newRelayParent(t *testing.T, parentCfg Config) (*webserver.Origin, *Proxy, *httptest.Server) {
+	t.Helper()
+	origin := webserver.NewOrigin(
+		webserver.WithHistoryExtension(true),
+		webserver.WithPushHeartbeat(25*time.Millisecond),
+	)
+	originSrv := httptest.NewServer(origin)
+	t.Cleanup(originSrv.Close)
+
+	originURL, _ := url.Parse(originSrv.URL)
+	pushURL, _ := url.Parse(originSrv.URL + "/events")
+	parentCfg.Origin = originURL
+	parentCfg.PushURL = pushURL
+	parentCfg.RelayEvents = true
+	parentCfg.RelayHeartbeat = 25 * time.Millisecond
+	if parentCfg.PushBackoffMin == 0 {
+		parentCfg.PushBackoffMin = 5 * time.Millisecond
+	}
+	if parentCfg.PushBackoffMax == 0 {
+		parentCfg.PushBackoffMax = 50 * time.Millisecond
+	}
+	if parentCfg.PushHeartbeatTimeout == 0 {
+		parentCfg.PushHeartbeatTimeout = 200 * time.Millisecond
+	}
+	if parentCfg.Bounds == (core.TTRBounds{}) {
+		parentCfg.Bounds = core.TTRBounds{Min: 50 * time.Millisecond, Max: 300 * time.Millisecond}
+	}
+	if parentCfg.DefaultDelta == 0 {
+		parentCfg.DefaultDelta = 50 * time.Millisecond
+	}
+	parent, err := New(parentCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent.Start()
+	t.Cleanup(parent.Close)
+	parentSrv := httptest.NewServer(parent)
+	t.Cleanup(parentSrv.Close)
+	if !waitFor(t, 3*time.Second, func() bool { return parent.PushStats().Connected }) {
+		t.Fatal("parent never connected upstream")
+	}
+	return origin, parent, parentSrv
+}
+
+// TestRelayLeafChurnSoak storms a relaying parent with subscribe/
+// unsubscribe cycles — well-behaved subscribers, clients that vanish
+// mid-stream, and clients that never speak the protocol — while the
+// origin churns updates through the relay. When the storm ends, the
+// hub's subscriber accounting must return to zero, every handler
+// goroutine must unwind, and the relay must still serve a fresh
+// subscriber.
+func TestRelayLeafChurnSoak(t *testing.T) {
+	origin, parent, parentSrv := newRelayParent(t, Config{PushStretch: 10})
+	origin.Set("/page", []byte("v0"), "")
+
+	// Churn the origin throughout so the storm races live broadcasts
+	// (subscription teardown while frames are in flight is the leak-
+	// prone path).
+	stopChurn := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		rev := 0
+		for {
+			select {
+			case <-stopChurn:
+				return
+			case <-time.After(2 * time.Millisecond):
+				rev++
+				origin.Set("/page", []byte(fmt.Sprintf("v%d", rev)), "")
+			}
+		}
+	}()
+
+	baselineGoroutines := runtime.NumGoroutine()
+	const (
+		stormWorkers = 8
+		stormCycles  = 25
+	)
+	var stormWG sync.WaitGroup
+	for w := 0; w < stormWorkers; w++ {
+		stormWG.Add(1)
+		go func(w int) {
+			defer stormWG.Done()
+			for c := 0; c < stormCycles; c++ {
+				switch c % 3 {
+				case 0:
+					// A well-behaved subscriber that lives briefly.
+					sub, err := push.NewSubscriber(push.SubscriberConfig{
+						URL:        parentSrv.URL + "/events",
+						OnEvent:    func(push.Event) {},
+						BackoffMin: time.Millisecond,
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					ctx, cancel := context.WithCancel(context.Background())
+					done := make(chan struct{})
+					go func() { sub.Run(ctx); close(done) }()
+					time.Sleep(time.Duration(1+w) * time.Millisecond)
+					cancel()
+					<-done
+				case 1:
+					// A client that connects and vanishes mid-stream.
+					req, _ := http.NewRequest(http.MethodGet, parentSrv.URL+"/events", nil)
+					resp, err := http.DefaultTransport.RoundTrip(req)
+					if err == nil {
+						time.Sleep(time.Millisecond)
+						resp.Body.Close()
+					}
+				case 2:
+					// A non-subscriber poking the endpoint wrongly.
+					req, _ := http.NewRequest(http.MethodPost, parentSrv.URL+"/events", nil)
+					if resp, err := http.DefaultClient.Do(req); err == nil {
+						resp.Body.Close()
+					}
+				}
+			}
+		}(w)
+	}
+	stormWG.Wait()
+	close(stopChurn)
+	churnWG.Wait()
+
+	// Accounting must return to zero: no registered subscriptions, no
+	// handler goroutines still unwinding.
+	if !waitFor(t, 5*time.Second, func() bool {
+		st := parent.RelayStats().Hub
+		return st.Subscribers == 0 && st.ActiveStreams == 0
+	}) {
+		t.Fatalf("hub accounting did not drain: %+v", parent.RelayStats().Hub)
+	}
+	// No goroutine leak: allow slack for the HTTP server's transient
+	// conn handlers, but a per-cycle leak (200 cycles) must show.
+	if !waitFor(t, 5*time.Second, func() bool {
+		return runtime.NumGoroutine() <= baselineGoroutines+10
+	}) {
+		t.Errorf("goroutines %d after the storm, baseline %d; handlers leaked",
+			runtime.NumGoroutine(), baselineGoroutines)
+	}
+
+	// The relay survived: a fresh subscriber connects and sees events.
+	var got atomic.Int64
+	sub, err := push.NewSubscriber(push.SubscriberConfig{
+		URL:        parentSrv.URL + "/events",
+		OnEvent:    func(push.Event) { got.Add(1) },
+		BackoffMin: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sub.Run(ctx)
+	// Register first: a fresh (since=0) subscription starts at the
+	// stream head, so an event published before it lands is invisible.
+	if !waitFor(t, 3*time.Second, func() bool { return parent.RelayStats().Hub.Subscribers == 1 }) {
+		t.Fatalf("post-storm subscriber never registered: %+v", parent.RelayStats().Hub)
+	}
+	origin.Set("/page", []byte("after-storm"), "")
+	if !waitFor(t, 3*time.Second, func() bool { return got.Load() >= 1 }) {
+		t.Fatalf("relay dead after the storm: hub %+v push %+v", parent.RelayStats().Hub, parent.PushStats())
+	}
+}
+
+// TestRelayReplayOverflowResetsEachLeafOnce: leaves disconnected across
+// a burst larger than the relay's replay ring must be told to Reset on
+// resume — exactly once each — and the fallback sweep must bound the
+// staleness the blind window left behind.
+func TestRelayReplayOverflowResetsEachLeafOnce(t *testing.T) {
+	origin, parent, parentSrv := newRelayParent(t, Config{
+		PushStretch: 10,
+		RelayReplay: 8, // ring far smaller than the burst below
+	})
+	origin.Set("/page", []byte("v1"), "")
+
+	// One full leaf proxy plus two bare subscribers, all resuming slowly
+	// enough that the burst provably lands while they are disconnected.
+	leafCfg := Config{
+		PushStretch:          10,
+		Bounds:               core.TTRBounds{Min: 50 * time.Millisecond, Max: 300 * time.Millisecond},
+		DefaultDelta:         50 * time.Millisecond,
+		PushBackoffMin:       400 * time.Millisecond,
+		PushBackoffMax:       800 * time.Millisecond,
+		PushHeartbeatTimeout: 2 * time.Second,
+	}
+	leafCfg.Origin, _ = url.Parse(parentSrv.URL)
+	leafCfg.PushURL, _ = url.Parse(parentSrv.URL + "/events")
+	leaf, err := New(leafCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf.Start()
+	t.Cleanup(leaf.Close)
+
+	type bareLeaf struct {
+		sub         *push.Subscriber
+		resetHellos atomic.Int64
+	}
+	bares := make([]*bareLeaf, 2)
+	for i := range bares {
+		b := &bareLeaf{}
+		b.sub, err = push.NewSubscriber(push.SubscriberConfig{
+			URL:     parentSrv.URL + "/events",
+			OnEvent: func(push.Event) {},
+			OnConnect: func(hello push.Event, resumed bool) {
+				if hello.Reset && resumed {
+					b.resetHellos.Add(1)
+				}
+			},
+			BackoffMin: 400 * time.Millisecond,
+			BackoffMax: 800 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		t.Cleanup(cancel)
+		go b.sub.Run(ctx)
+		bares[i] = b
+	}
+	if !waitFor(t, 3*time.Second, func() bool {
+		return leaf.PushStats().Connected && parent.RelayStats().Hub.Subscribers == 3
+	}) {
+		t.Fatal("leaves never connected")
+	}
+	// Give every leaf a resume point beyond zero (a since=0 resume can
+	// never Reset), and the proxy leaf a resident object to keep fresh.
+	origin.Set("/page", []byte("v2"), "")
+	rec := httptest.NewRecorder()
+	leaf.ServeHTTP(rec, httptest.NewRequest("GET", "/page", nil))
+	if rec.Code != 200 {
+		t.Fatalf("admission: %d", rec.Code)
+	}
+	if !waitFor(t, 3*time.Second, func() bool { return leaf.PushStats().LastSeq >= 1 }) {
+		t.Fatal("leaf never consumed the warm-up event")
+	}
+	relaySeqBefore := parent.RelayStats().Hub.Seq
+
+	// Cut every leaf, then push a burst through the relay that outruns
+	// its 8-event ring long before the 400ms reconnect backoff expires.
+	parent.KillRelayStreams()
+	for i := 0; i < 64; i++ {
+		origin.Set(fmt.Sprintf("/burst/%d", i), []byte("x"), "")
+	}
+	origin.Set("/page", []byte("v3"), "") // the update the blind window hides
+	if !waitFor(t, 3*time.Second, func() bool {
+		return parent.RelayStats().Hub.Seq >= relaySeqBefore+65
+	}) {
+		t.Fatalf("burst never traversed the relay: %+v", parent.RelayStats().Hub)
+	}
+
+	// Every leaf resumes, is Reset exactly once, and stays connected.
+	if !waitFor(t, 5*time.Second, func() bool {
+		if parent.RelayStats().Hub.ResumeHoles != 3 {
+			return false
+		}
+		for _, b := range bares {
+			if b.resetHellos.Load() != 1 {
+				return false
+			}
+		}
+		return leaf.PushStats().Connected
+	}) {
+		t.Fatalf("resume Resets: hub %+v, bare resets %d/%d, leaf %+v",
+			parent.RelayStats().Hub, bares[0].resetHellos.Load(), bares[1].resetHellos.Load(),
+			leaf.PushStats())
+	}
+	if got := leaf.PushStats().Connects; got != 2 {
+		t.Errorf("leaf connected %d times, want 2 (one cut, one resume)", got)
+	}
+	if parent.RelayStats().Hub.Resets != 0 {
+		t.Errorf("mid-stream Resets %d; the overflow must Reset resumes, not live streams",
+			parent.RelayStats().Hub.Resets)
+	}
+
+	// The fallback sweep bounds the staleness: the leaf's copy of /page
+	// converges to the update hidden by the blind window within the
+	// paper-mode TTR (plus generous CI slack), not the stretched one.
+	start := time.Now()
+	if !waitFor(t, 4*time.Second, func() bool {
+		b, _ := leaf.CachedBody("/page")
+		return string(b) == "v3"
+	}) {
+		t.Fatal("leaf never recovered the update hidden by the overflow")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("recovery took %v; the Reset sweep did not restore paper-mode scheduling", waited)
+	}
+	// A second reconnect must NOT re-Reset: the Reset hello fast-
+	// forwarded every resume point.
+	if parent.RelayStats().Hub.ResumeHoles != 3 {
+		t.Errorf("ResumeHoles = %d after recovery, want exactly one per leaf (3)",
+			parent.RelayStats().Hub.ResumeHoles)
+	}
+}

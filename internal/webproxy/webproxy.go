@@ -159,6 +159,22 @@ type Config struct {
 	// are path-granular) and keys too large for a wire frame — are
 	// never stretched regardless.
 	PushStretch float64
+	// PushValues enables value-carrying push (wire protocol v2): the
+	// subscriber negotiates payload delivery with its upstream, and a
+	// pushed event carrying the object's new body is installed directly
+	// — digest-verified, charged against the eviction byte ledger,
+	// running the same §3.2 group triggering as a poll — with no origin
+	// request at all. Any event that cannot be installed (digest
+	// mismatch, missing or over-cap payload, byte-budget refusal) falls
+	// back to today's pushed poll, so the Δ guarantee never depends on
+	// the payload path. When the proxy relays (RelayEvents), its relay
+	// hub also carries payloads downstream, so one origin message feeds
+	// the whole subtree with zero confirmation polls.
+	PushValues bool
+	// PushPayloadCap bounds the payload size (bytes) the subscriber
+	// requests and the relay hub carries. Zero defaults to
+	// push.DefaultPayloadCap when PushValues is set.
+	PushPayloadCap int
 	// PushBackoffMin and PushBackoffMax bound the subscriber's
 	// reconnect backoff (defaults 100ms and 10s).
 	PushBackoffMin, PushBackoffMax time.Duration
@@ -183,6 +199,10 @@ type Config struct {
 	// RelayHeartbeat is the keepalive interval of relayed streams
 	// (default 15s).
 	RelayHeartbeat time.Duration
+	// RelayReplay bounds the relay hub's replay ring (events kept for
+	// child reconnect catch-up). Zero selects push.DefaultReplayLen.
+	// Chaos tests shrink it to force resume-time Resets.
+	RelayReplay int
 	// PollObserver, when non-nil, is invoked after every successful
 	// origin poll of a cached object (including the admission fetch).
 	// It runs on the polling goroutine and must be fast and
@@ -208,6 +228,9 @@ type PollObservation struct {
 	Triggered bool
 	// Pushed marks polls requested by the invalidation channel.
 	Pushed bool
+	// Applied marks pushed events whose payload was installed directly,
+	// with no origin request at all (Pushed is set too).
+	Applied bool
 	// Value and HasValue carry the parsed body of value-domain objects.
 	Value    float64
 	HasValue bool
@@ -316,10 +339,16 @@ type entry struct {
 	polls     atomic.Uint64
 	triggered atomic.Uint64
 	pushed    atomic.Uint64
+	applied   atomic.Uint64
 	hits      atomic.Uint64
 	// pushQueued coalesces a burst of pushed events into one queued
-	// poll: set when a pushed poll is enqueued, cleared when it starts.
-	pushQueued atomic.Bool
+	// job: set when a pushed job is enqueued, cleared when it starts.
+	// pendingPush holds the newest pushed event for that job — updated
+	// on every event, payload and all, so a coalesced burst applies the
+	// LATEST body rather than the first (installing a stale payload
+	// after dropping its successors would serve old data as fresh).
+	pushQueued  atomic.Bool
+	pendingPush atomic.Pointer[push.Event]
 	// unpushable marks an object whose key cannot fit an invalidation
 	// frame: the origin will never announce its updates, so its TTRs
 	// are never stretched. Immutable after admission.
@@ -393,6 +422,12 @@ type Proxy struct {
 	pushDropped   atomic.Uint64
 	pushFallbacks atomic.Uint64
 	pushSeq       atomic.Uint64
+	// pushApplied counts pushed payloads installed directly (no origin
+	// request); pushValueFallback counts pushed jobs that had to poll
+	// after all — digest mismatch, missing or stripped payload, or a
+	// byte-budget refusal — while value application was enabled.
+	pushApplied       atomic.Uint64
+	pushValueFallback atomic.Uint64
 
 	// Expvar-style cache counters. Misses, evictions, and capped
 	// admissions are counted on the (cold) admission/eviction paths
@@ -456,6 +491,12 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.PushURL != nil && cfg.PushStretch == 0 {
 		cfg.PushStretch = 4
 	}
+	if cfg.PushValues && cfg.PushPayloadCap <= 0 {
+		cfg.PushPayloadCap = push.DefaultPayloadCap
+	}
+	if cfg.PushPayloadCap > push.MaxPayloadCap {
+		cfg.PushPayloadCap = push.MaxPayloadCap
+	}
 	if cfg.RelayPath == "" {
 		cfg.RelayPath = "/events"
 	}
@@ -472,7 +513,15 @@ func New(cfg Config) (*Proxy, error) {
 		p.workers[i] = &worker{wake: make(chan struct{}, 1)}
 	}
 	if cfg.RelayEvents {
-		p.relay = push.NewHub(push.HubConfig{Heartbeat: cfg.RelayHeartbeat})
+		hubCfg := push.HubConfig{Heartbeat: cfg.RelayHeartbeat, ReplayLen: cfg.RelayReplay}
+		if cfg.PushValues {
+			// The relay carries payloads downstream at the same cap the
+			// proxy negotiates upstream, so one origin message feeds the
+			// whole subtree. Leaves that did not ask for payloads get
+			// invalidation-only frames (per-stream negotiation).
+			hubCfg.PayloadCap = cfg.PushPayloadCap
+		}
+		p.relay = push.NewHub(hubCfg)
 	}
 	if cfg.PushURL != nil {
 		sub, err := p.newPushSubscriber()
@@ -935,7 +984,10 @@ type Stats struct {
 	Triggered uint64
 	// Pushed counts polls requested by the invalidation channel.
 	Pushed uint64
-	Hits   uint64
+	// Applied counts pushed payloads installed directly, with no origin
+	// request (not included in Polls or Pushed — nothing was polled).
+	Applied uint64
+	Hits    uint64
 	// Bytes is the resident size charged to the byte ledger.
 	Bytes  int64
 	Cached bool
@@ -1022,6 +1074,7 @@ func (p *Proxy) ObjectStats(key string) Stats {
 		Polls:     e.polls.Load(),
 		Triggered: e.triggered.Load(),
 		Pushed:    e.pushed.Load(),
+		Applied:   e.applied.Load(),
 		Hits:      e.hits.Load(),
 		Bytes:     e.size.Load(),
 		Cached:    true,

@@ -15,11 +15,17 @@ import (
 // missed. When the gap exceeds the buffer, the hello frame carries
 // Reset, telling the proxy to fall back to a revalidation sweep.
 //
+// With WithPushValues the events also carry the object's new body
+// (protocol v2): the hub's replay ring is then byte-budgeted as well as
+// count-bounded, and each stream's payload cap is negotiated at
+// subscribe time (?maxpayload=), with oversized bodies degraded to
+// invalidation-only frames rather than dropped.
+//
 // The hub itself (sequence space, replay ring, slow-subscriber
-// termination, per-subscriber lag accounting, frame write deadlines)
-// lives in internal/push as push.Hub — the same machinery a relaying
-// proxy runs for its own downstream face — so the origin side here is
-// only construction and accessors.
+// termination, per-subscriber lag accounting, frame write deadlines,
+// payload negotiation) lives in internal/push as push.Hub — the same
+// machinery a relaying proxy runs for its own downstream face — so the
+// origin side here is only construction and accessors.
 
 // replayBufferLen bounds the events kept for reconnect catch-up.
 const replayBufferLen = push.DefaultReplayLen
@@ -27,9 +33,10 @@ const replayBufferLen = push.DefaultReplayLen
 // defaultHeartbeat is the interval between keepalive frames.
 const defaultHeartbeat = push.DefaultHeartbeat
 
-func newEventHub(heartbeat time.Duration) *push.Hub {
+func newEventHub(heartbeat time.Duration, payloadCap int) *push.Hub {
 	return push.NewHub(push.HubConfig{
-		Heartbeat: heartbeat,
-		ReplayLen: replayBufferLen,
+		Heartbeat:  heartbeat,
+		ReplayLen:  replayBufferLen,
+		PayloadCap: payloadCap,
 	})
 }

@@ -307,6 +307,81 @@ func TestSlowSubscriberIsTerminatedNotBlocking(t *testing.T) {
 	}
 }
 
+// TestPushValuesCarryBodyAndDigest: with WithPushValues every Set
+// publishes the new body, content type, and digest; subscribers that
+// negotiated payload delivery receive them while plain subscribers get
+// the same event degraded to an invalidation frame.
+func TestPushValuesCarryBodyAndDigest(t *testing.T) {
+	o := NewOrigin(WithPushValues(0))
+	ts := httptest.NewServer(o)
+	t.Cleanup(ts.Close) // registered before the subscriber's cancel: LIFO stops the client first
+
+	valueSink, plainSink := &eventSink{}, &eventSink{}
+	valueSub, err := push.NewSubscriber(push.SubscriberConfig{
+		URL:        ts.URL + "/events",
+		OnEvent:    valueSink.onEvent,
+		OnConnect:  valueSink.onConnect,
+		BackoffMin: 5 * time.Millisecond,
+		PayloadCap: push.DefaultPayloadCap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go valueSub.Run(ctx)
+	startSubscriber(t, ts.URL+"/events", plainSink)
+	if !waitUntil(t, 2*time.Second, func() bool { return o.PushSubscribers() == 2 }) {
+		t.Fatal("subscribers never registered")
+	}
+
+	o.Set("/quote", []byte("165.38\n"), "text/plain; charset=utf-8")
+	for name, sink := range map[string]*eventSink{"value": valueSink, "plain": plainSink} {
+		if !waitUntil(t, 2*time.Second, func() bool {
+			evs, _, _ := sink.snapshot()
+			return len(evs) == 1
+		}) {
+			t.Fatalf("%s subscriber never saw the event", name)
+		}
+	}
+	evs, hellos, _ := valueSink.snapshot()
+	ev := evs[0]
+	if !ev.HasBody || string(ev.Body) != "165.38\n" {
+		t.Fatalf("value event carries no body: %+v", ev)
+	}
+	if ev.Digest != push.DigestOf([]byte("165.38\n")) {
+		t.Errorf("digest = %q", ev.Digest)
+	}
+	if ev.ContentType != "text/plain; charset=utf-8" {
+		t.Errorf("content type = %q", ev.ContentType)
+	}
+	if ev.ModTime.IsZero() {
+		t.Error("payload event lost its modification instant")
+	}
+	if hellos[0].PayloadCap != push.DefaultPayloadCap {
+		t.Errorf("negotiated cap = %d", hellos[0].PayloadCap)
+	}
+	plainEvs, _, _ := plainSink.snapshot()
+	if plainEvs[0].HasBody || plainEvs[0].Key != "/quote" {
+		t.Errorf("plain subscriber got %+v, want an invalidation-only frame", plainEvs[0])
+	}
+
+	// InjectPushEvent is the corruption chaos hook: whatever it carries
+	// goes out verbatim (the consumer's digest check is the defense).
+	o.InjectPushEvent(push.Event{Kind: push.KindUpdate, Key: "/quote",
+		Body: []byte("garbage"), HasBody: true, Digest: "0000000000000000"})
+	if !waitUntil(t, 2*time.Second, func() bool {
+		evs, _, _ := valueSink.snapshot()
+		return len(evs) == 2
+	}) {
+		t.Fatal("injected event never arrived")
+	}
+	evs, _, _ = valueSink.snapshot()
+	if string(evs[1].Body) != "garbage" || evs[1].Digest != "0000000000000000" {
+		t.Errorf("injected event = %+v", evs[1])
+	}
+}
+
 // decodeFirstFrame extracts and decodes the first data: line of an SSE
 // payload.
 func decodeFirstFrame(t *testing.T, raw string) push.Event {

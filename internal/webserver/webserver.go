@@ -35,8 +35,14 @@ type Origin struct {
 	notModified    uint64
 
 	// Push-event channel (see events.go); nil unless WithPushEvents.
-	hub        *push.Hub
-	eventsPath string
+	hub           *push.Hub
+	eventsPath    string
+	pushHeartbeat time.Duration
+	// payloadCap, when positive, makes Set attach the object's new body
+	// (digest-verified, base64-framed on the wire) to the events it
+	// publishes, so subscribers that negotiated payload delivery can
+	// install the update without a confirmation poll.
+	payloadCap int
 }
 
 var _ http.Handler = (*Origin)(nil)
@@ -64,12 +70,7 @@ func WithPushEvents(path string) Option {
 	if path == "" {
 		path = "/events"
 	}
-	return func(o *Origin) {
-		o.eventsPath = path
-		if o.hub == nil {
-			o.hub = newEventHub(0)
-		}
-	}
+	return func(o *Origin) { o.eventsPath = path }
 }
 
 // WithPushHeartbeat sets the keepalive interval of the push-event stream
@@ -80,7 +81,28 @@ func WithPushHeartbeat(interval time.Duration) Option {
 		if o.eventsPath == "" {
 			o.eventsPath = "/events"
 		}
-		o.hub = newEventHub(interval)
+		o.pushHeartbeat = interval
+	}
+}
+
+// WithPushValues makes every published update event carry the object's
+// new body (value-carrying push, protocol v2): subscribers that
+// negotiated payload delivery install the update directly — one
+// message, zero confirmation polls — while plain subscribers keep
+// receiving invalidation-only frames. cap bounds the body size the hub
+// will carry (bytes; <= 0 selects push.DefaultPayloadCap); larger
+// bodies degrade to invalidation-only events at publish time. It
+// implies WithPushEvents at the default path unless one was already
+// configured.
+func WithPushValues(cap int) Option {
+	if cap <= 0 {
+		cap = push.DefaultPayloadCap
+	}
+	return func(o *Origin) {
+		if o.eventsPath == "" {
+			o.eventsPath = "/events"
+		}
+		o.payloadCap = cap
 	}
 }
 
@@ -92,6 +114,9 @@ func NewOrigin(opts ...Option) *Origin {
 	}
 	for _, opt := range opts {
 		opt(o)
+	}
+	if o.eventsPath != "" {
+		o.hub = newEventHub(o.pushHeartbeat, o.payloadCap)
 	}
 	return o
 }
@@ -122,15 +147,39 @@ func (o *Origin) Set(path string, body []byte, contentType string) {
 		obj.modTimes = obj.modTimes[len(obj.modTimes)-httpx.MaxHistoryEntries:]
 	}
 	group := obj.tolerances.Group
+	published := obj.body
 	o.mu.Unlock()
 
 	if o.hub != nil {
-		o.hub.Publish(push.Event{
+		ev := push.Event{
 			Kind:    push.KindUpdate,
 			Key:     path,
 			Group:   group,
 			ModTime: now,
-		})
+		}
+		if o.payloadCap > 0 {
+			// Attach the new body so payload-negotiated subscribers can
+			// install it without a confirmation poll. The slice is the
+			// stored copy, replaced wholesale on the next Set and never
+			// mutated, so sharing it with the hub's replay ring is safe.
+			ev.Body = published
+			ev.HasBody = true
+			ev.ContentType = contentType
+			ev.Digest = push.DigestOf(published)
+		}
+		o.hub.Publish(ev)
+	}
+}
+
+// InjectPushEvent publishes an arbitrary event into the origin's push
+// hub, bypassing Set. It is a chaos/test hook: conformance batteries use
+// it to inject corrupted payloads (digest mismatches, bodies that
+// disagree with the served object) and prove subscribers degrade to a
+// confirmation poll instead of installing garbage. A no-op when push is
+// disabled.
+func (o *Origin) InjectPushEvent(ev push.Event) {
+	if o.hub != nil {
+		o.hub.Publish(ev)
 	}
 }
 

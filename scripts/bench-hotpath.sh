@@ -1,6 +1,7 @@
 #!/bin/sh
 # Runs the hot-path benchmark suite (hit path, refresh scheduler, store
-# replacement, push fan-out) with enough repetitions for benchgate's
+# replacement and eviction churn, push fan-out with and without
+# payloads, value-push apply) with enough repetitions for benchgate's
 # significance test, printing go test -bench output to stdout.
 #
 # Usage: scripts/bench-hotpath.sh [count]
@@ -11,6 +12,6 @@ COUNT="${1:-6}"
 go test -run '^$' -count "$COUNT" -benchtime 200ms \
     -bench 'BenchmarkProxyHitParallel$|BenchmarkProxyHitSingleObject$|BenchmarkProxyChurnParallel$|BenchmarkRefreshSchedulerThroughput$' .
 go test -run '^$' -count "$COUNT" -benchtime 200ms \
-    -bench 'BenchmarkStoreEvictScan$|BenchmarkStoreHitMark$' ./internal/webproxy
+    -bench 'BenchmarkStoreEvictScan$|BenchmarkStoreHitMark$|BenchmarkValuePushApply$' ./internal/webproxy
 go test -run '^$' -count "$COUNT" -benchtime 200ms \
-    -bench 'BenchmarkHubPublishFanout$' ./internal/push
+    -bench 'BenchmarkHubPublishFanout$|BenchmarkHubPublishFanoutPayload$' ./internal/push
