@@ -1,16 +1,26 @@
-// Edgefleet: one origin stream serving a whole fleet through a proxy
-// hierarchy. A churning origin publishes invalidation events; ONE
-// parent proxy subscribes to it and relays every event (and every
-// update its own polls confirm) on its own /events stream; N leaf
-// proxies subscribe to — and fetch through — the parent. The origin
-// pays for a single subscription and a single poller no matter how wide
-// the edge is.
+// Edgefleet: one origin stream serving a whole fleet through a
+// THREE-hop, interest-filtered proxy hierarchy. A churning origin
+// publishes invalidation events; one root proxy subscribes to it and
+// relays on its own /events stream; two mid proxies subscribe to the
+// root, each declaring only its half of the key space; four leaf
+// proxies subscribe to — and fetch through — their mid, each declaring
+// a single shard prefix. Every hub renders each event once and skips
+// the frames a subscriber never asked for, so the origin pays for a
+// single subscription and a single poller no matter how wide (or how
+// narrow-interested) the edge is.
 //
-// Halfway through, the origin's event endpoint is killed and revived:
-// the parent falls back to paper-mode polling and propagates a
-// mid-stream hello/Reset to every leaf (driving their fallback sweeps
-// over live connections), and the whole fleet keeps serving content
-// whose staleness stays inside the pure-polling bound.
+// Three phases:
+//
+//  1. Healthy churn across every shard — each leaf receives exactly its
+//     own shard's events; the root and mid hubs report how many frames
+//     interest filtering skipped.
+//  2. The origin's event endpoint is killed and revived: the root falls
+//     back to paper-mode polling and the blindness propagates as
+//     mid-stream hello/Resets through BOTH relay tiers to every leaf.
+//  3. Leaf 0 fetches an object outside every static declaration: the
+//     admission bounces its subscription — and the mid's, and the
+//     root's — widening the declared interest chain-wide until the
+//     origin's updates for it reach the edge.
 //
 // Everything runs in-process on loopback and finishes in a few seconds.
 //
@@ -33,8 +43,8 @@ import (
 )
 
 const (
-	leaves      = 4
-	objects     = 5
+	shards      = 4
+	perShard    = 2
 	delta       = 100 * time.Millisecond
 	ttrMax      = 2 * time.Second
 	updateEvery = 400 * time.Millisecond
@@ -42,81 +52,99 @@ const (
 )
 
 func main() {
-	// --- Origin: churning objects + invalidation stream. ---
+	// --- Origin: churning sharded objects + invalidation stream. ---
 	origin := broadway.NewWebOrigin(
 		broadway.WithHistoryExtension(true),
 		broadway.WithPushHeartbeat(250*time.Millisecond),
+		broadway.WithPushValues(0),
 	)
-	paths := make([]string, objects)
-	for i := range paths {
-		paths[i] = fmt.Sprintf("/edge/%d", i)
-		origin.Set(paths[i], []byte("rev 0"), "text/plain")
+	var paths []string
+	for s := 0; s < shards; s++ {
+		for o := 0; o < perShard; o++ {
+			paths = append(paths, fmt.Sprintf("/edge/%d/obj%d", s, o))
+		}
 	}
+	for _, p := range paths {
+		origin.Set(p, []byte("rev 0"), "text/plain")
+	}
+	origin.Set("/extra/hot", []byte("rev 0"), "text/plain")
 	originSrv := httptest.NewServer(origin)
 	defer originSrv.Close()
-	originURL, err := url.Parse(originSrv.URL)
-	if err != nil {
-		log.Fatal(err)
-	}
-	originPush, _ := url.Parse(originSrv.URL + "/events")
 
-	// --- Parent: subscribes upstream, relays downstream. ---
-	parent, err := broadway.NewWebProxy(broadway.WebProxyConfig{
-		Origin:               originURL,
-		DefaultDelta:         delta,
-		Bounds:               core.TTRBounds{Min: delta, Max: ttrMax},
-		PushURL:              originPush,
-		PushStretch:          10,
-		PushBackoffMin:       20 * time.Millisecond,
-		PushHeartbeatTimeout: time.Second,
-		RelayEvents:          true,
-		RelayHeartbeat:       250 * time.Millisecond,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	parent.Start()
-	defer parent.Close()
-	parentSrv := httptest.NewServer(parent)
-	defer parentSrv.Close()
-	parentURL, _ := url.Parse(parentSrv.URL)
-	parentPush, _ := url.Parse(parentSrv.URL + "/events")
-
-	// --- Leaves: origin AND event stream are the parent. ---
-	fleet := make([]*broadway.WebProxy, leaves)
-	fleetSrvs := make([]*httptest.Server, leaves)
-	for i := range fleet {
-		leaf, err := broadway.NewWebProxy(broadway.WebProxyConfig{
-			Origin:               parentURL,
+	newNode := func(upstream string, relay bool, prefixes []string) (*broadway.WebProxy, *httptest.Server) {
+		up, err := url.Parse(upstream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		push, _ := url.Parse(upstream + "/events")
+		p, err := broadway.NewWebProxy(broadway.WebProxyConfig{
+			Origin:               up,
 			DefaultDelta:         delta,
 			Bounds:               core.TTRBounds{Min: delta, Max: ttrMax},
-			PushURL:              parentPush,
+			PushURL:              push,
 			PushStretch:          10,
+			PushValues:           true,
+			PushInterest:         true,
+			PushPrefixes:         prefixes,
 			PushBackoffMin:       20 * time.Millisecond,
+			PushBackoffMax:       200 * time.Millisecond,
 			PushHeartbeatTimeout: time.Second,
+			RelayEvents:          relay,
+			RelayHeartbeat:       250 * time.Millisecond,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		leaf.Start()
+		p.Start()
+		var srv *httptest.Server
+		if relay {
+			srv = httptest.NewServer(p)
+		}
+		return p, srv
+	}
+
+	// --- Root: subscribes to the origin, declares every shard. ---
+	root, rootSrv := newNode(originSrv.URL, true,
+		[]string{"/edge/0/", "/edge/1/", "/edge/2/", "/edge/3/"})
+	defer root.Close()
+	defer rootSrv.Close()
+
+	// --- Mids: each declares half the shards to the root. ---
+	mids := make([]*broadway.WebProxy, 2)
+	midSrvs := make([]*httptest.Server, 2)
+	for j := range mids {
+		mids[j], midSrvs[j] = newNode(rootSrv.URL, true,
+			[]string{fmt.Sprintf("/edge/%d/", 2*j), fmt.Sprintf("/edge/%d/", 2*j+1)})
+		defer mids[j].Close()
+		defer midSrvs[j].Close()
+	}
+
+	// --- Leaves: one shard each, fetched through their mid. ---
+	fleet := make([]*broadway.WebProxy, shards)
+	fleetSrvs := make([]*httptest.Server, shards)
+	for i := range fleet {
+		leaf, _ := newNode(midSrvs[i/2].URL, false, []string{fmt.Sprintf("/edge/%d/", i)})
 		defer leaf.Close()
 		fleet[i] = leaf
 		fleetSrvs[i] = httptest.NewServer(leaf)
 		defer fleetSrvs[i].Close()
 	}
 
-	// Warm every leaf cache (which warms the parent once).
-	for _, srv := range fleetSrvs {
-		for _, p := range paths {
-			resp, err := http.Get(srv.URL + p)
-			if err != nil {
-				log.Fatal(err)
-			}
-			resp.Body.Close()
+	// Warm each leaf with ITS shard only (which warms the chain once).
+	get := func(srv *httptest.Server, p string) {
+		resp, err := http.Get(srv.URL + p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	for i, srv := range fleetSrvs {
+		for o := 0; o < perShard; o++ {
+			get(srv, fmt.Sprintf("/edge/%d/obj%d", i, o))
 		}
 	}
 
-	// --- Churn. ---
+	// --- Churn: every shard plus the undeclared extra. ---
 	stop := make(chan struct{})
 	go func() {
 		rev := 0
@@ -128,47 +156,60 @@ func main() {
 				return
 			case <-ticker.C:
 				rev++
+				body := []byte(fmt.Sprintf("rev %d", rev))
 				for _, p := range paths {
-					origin.Set(p, []byte(fmt.Sprintf("rev %d", rev)), "text/plain")
+					origin.Set(p, body, "text/plain")
 				}
+				origin.Set("/extra/hot", body, "text/plain")
 			}
 		}
 	}()
 
-	fmt.Printf("edge fleet: origin → 1 parent (relay) → %d leaves, %d objects, update every %v\n\n",
-		leaves, objects, updateEvery)
+	fmt.Printf("edge fleet: origin → 1 root → 2 mids → %d leaves (1 shard each), %d objects, update every %v\n\n",
+		shards, len(paths)+1, updateEvery)
 
-	fmt.Printf("phase 1: healthy chain for %v...\n", phaseFor)
+	fmt.Printf("phase 1: healthy filtered fan-out for %v...\n", phaseFor)
 	time.Sleep(phaseFor)
-	report(origin, parent, fleet)
+	report(origin, root, mids, fleet)
 
-	fmt.Printf("\nphase 2: killing the origin's event endpoint for %v (parent blind, leaves on live streams)...\n", phaseFor)
+	fmt.Printf("\nphase 2: killing the origin's event endpoint for %v (root blind, Resets relay through both tiers)...\n", phaseFor)
 	origin.SetPushAvailable(false)
 	time.Sleep(phaseFor)
-	report(origin, parent, fleet)
-
-	fmt.Printf("\nphase 3: reviving the endpoint for %v...\n", phaseFor)
 	origin.SetPushAvailable(true)
+	fmt.Printf("         ...revived; letting the chain re-arm for %v...\n", phaseFor/2)
+	time.Sleep(phaseFor / 2)
+	report(origin, root, mids, fleet)
+
+	fmt.Printf("\nphase 3: leaf 0 admits /extra/hot — outside every static declaration...\n")
+	get(fleetSrvs[0], "/extra/hot")
 	time.Sleep(phaseFor)
 	close(stop)
-	report(origin, parent, fleet)
+	report(origin, root, mids, fleet)
+	fmt.Printf("  widening bounces: root=%d mid0=%d leaf0=%d (each hop re-declared a wider interest)\n",
+		root.PushStats().Bounces, mids[0].PushStats().Bounces, fleet[0].PushStats().Bounces)
 
 	fmt.Println("\nThe origin carried ONE subscriber and ONE poller's load for the whole fleet;")
-	fmt.Println("the kill surfaced as a parent fallback plus one mid-stream Reset per leaf —")
-	fmt.Println("their connections to the parent never dropped.")
+	fmt.Println("every hub rendered each event once and skipped it for subscribers that never")
+	fmt.Println("declared it, and one out-of-set fetch re-negotiated interest up the whole chain.")
 }
 
-func report(origin *broadway.WebOrigin, parent *broadway.WebProxy, fleet []*broadway.WebProxy) {
+func report(origin *broadway.WebOrigin, root *broadway.WebProxy, mids, fleet []*broadway.WebProxy) {
 	hub := origin.PushHubStats()
-	rs := parent.RelayStats()
-	ps := parent.PushStats()
-	fmt.Printf("  origin:  %d polls served, %d event-stream subscribers, seq %d\n",
+	rrs := root.RelayStats()
+	rps := root.PushStats()
+	fmt.Printf("  origin: %d polls served, %d subscribers, seq %d\n",
 		origin.Polls(), hub.Subscribers, hub.Seq)
-	fmt.Printf("  parent:  connected=%v fallbacks=%d pushedPolls=%d | relay seq %d → %d subscribers (maxLag %d, resets %d)\n",
-		ps.Connected, ps.Fallbacks, ps.Polls, rs.Hub.Seq, rs.Hub.Subscribers, rs.Hub.MaxLag, rs.Hub.Resets)
+	fmt.Printf("  root:   connected=%v fallbacks=%d | relay seq %d → %d subs, filtered %d, resets %d\n",
+		rps.Connected, rps.Fallbacks, rrs.Hub.Seq, rrs.Hub.Subscribers, rrs.Hub.Filtered, rrs.Hub.Resets)
+	for j, m := range mids {
+		ms := m.PushStats()
+		mrs := m.RelayStats()
+		fmt.Printf("  mid %d:  connected=%v events=%d midStreamResets=%d | relay seq %d → %d subs, filtered %d\n",
+			j, ms.Connected, ms.Events, ms.Resets, mrs.Hub.Seq, mrs.Hub.Subscribers, mrs.Hub.Filtered)
+	}
 	for i, leaf := range fleet {
 		ls := leaf.PushStats()
-		fmt.Printf("  leaf %d:  connected=%v connects=%d midStreamResets=%d pushedPolls=%d events=%d\n",
-			i, ls.Connected, ls.Connects, ls.Resets, ls.Polls, ls.Events)
+		fmt.Printf("  leaf %d: connected=%v connects=%d midStreamResets=%d applied=%d events=%d\n",
+			i, ls.Connected, ls.Connects, ls.Resets, ls.ValueApplied, ls.Events)
 	}
 }

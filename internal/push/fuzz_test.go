@@ -2,6 +2,7 @@ package push
 
 import (
 	"bytes"
+	"net/url"
 	"strings"
 	"testing"
 	"time"
@@ -82,6 +83,88 @@ func FuzzInvalidationEvent(f *testing.F) {
 		st := ev.StripPayload()
 		if st.HasBody || st.Body != nil || st.Digest != "" || st.ContentType != "" {
 			t.Fatalf("StripPayload left payload state: %+v", st)
+		}
+		// The publish-time render must be byte-identical to the
+		// per-subscriber Encode it replaced, for every decodable event
+		// and every negotiated cap the write path can see.
+		rend := Render(ev)
+		if rend.Full() != re {
+			t.Fatalf("Render full form %q != Encode %q", rend.Full(), re)
+		}
+		if want := st.Encode(); rend.Stripped() != want {
+			t.Fatalf("Render stripped form %q != StripPayload().Encode() %q", rend.Stripped(), want)
+		}
+		for _, cap := range []int{0, 1, len(ev.Body) - 1, len(ev.Body), len(ev.Body) + 1, MaxPayloadCap} {
+			want := re
+			if ev.HasBody && (cap <= 0 || len(ev.Body) > cap) {
+				want = st.Encode()
+			}
+			if got := rend.WireFor(cap); got != want {
+				t.Fatalf("WireFor(%d) = %q, want %q (wire %q)", cap, got, want, wire)
+			}
+		}
+	})
+}
+
+// FuzzInterestFilter hammers interest-set construction and matching
+// with hostile terms and keys (escaped '?', literal '-', over-length
+// prefixes). The invariants are the ones delivery correctness rides on:
+//
+//   - Construction, matching, union, coverage, and query encoding never
+//     panic, whatever the terms.
+//   - EncodeQuery always re-parses, and the re-parsed set never matches
+//     LESS than the original (fail open: a round trip may widen — the
+//     empty set encodes as match-all — but must never narrow, because a
+//     narrowed declaration filters away updates the subscriber needs).
+//   - Covers is sound: when s covers o, everything o matches, s matches.
+//   - Union is complete: the union matches whatever either input does.
+//   - Match-all matches everything; prefix matching is literal string
+//     prefixing on the DECODED key, exactly strings.HasPrefix.
+func FuzzInterestFilter(f *testing.F) {
+	f.Add("/news/", "frontpage", "/news/a.html", "frontpage")
+	f.Add("/stock%3Fsym=A", "", "/stock?sym=A", "")
+	f.Add("-", "-", "-key", "-")
+	f.Add(strings.Repeat("p", maxInterestTermLen+1), "g", "/k", "g")
+	f.Add("", "", "/anything", "grp")
+	f.Add("/a\x00b", "g h", "/a\x00bc", "g h")
+	f.Fuzz(func(t *testing.T, prefix, group, key, evGroup string) {
+		s := NewInterest([]string{prefix, "/fixed/"}, []string{group})
+		matched := s.Matches(key, evGroup)
+		// Literal prefix semantics on the decoded key.
+		if prefix != "" && len(prefix) <= maxInterestTermLen &&
+			strings.HasPrefix(key, prefix) && !matched {
+			t.Fatalf("declared prefix %q did not match key %q", prefix, key)
+		}
+		if group != "" && len(group) <= maxInterestTermLen &&
+			evGroup == group && !matched {
+			t.Fatalf("declared group %q did not match event group %q", group, evGroup)
+		}
+		if InterestAll().Covers(s) != true || !InterestAll().Matches(key, evGroup) {
+			t.Fatal("match-all must cover and match everything")
+		}
+		// Query round trip never narrows.
+		q, err := url.ParseQuery(s.EncodeQuery())
+		if err != nil {
+			t.Fatalf("EncodeQuery(%v,%v) unparsable: %v", s.Prefixes(), s.Groups(), err)
+		}
+		s2 := ParseInterest(q)
+		if matched && !s2.Matches(key, evGroup) {
+			t.Fatalf("query round trip narrowed the set: %q lost (%q,%q)",
+				s.EncodeQuery(), key, evGroup)
+		}
+		// Covers soundness and Union completeness against a second set.
+		o := NewInterest([]string{key}, []string{evGroup})
+		if s.Covers(o) && !o.IsEmpty() && o.Matches(key, evGroup) && !matched {
+			t.Fatalf("Covers unsound: s covers o but o matches (%q,%q) and s does not", key, evGroup)
+		}
+		u := s.Union(o)
+		if (matched || o.Matches(key, evGroup)) && !u.Matches(key, evGroup) {
+			t.Fatalf("Union incomplete: inputs match (%q,%q), union does not", key, evGroup)
+		}
+		if !u.Covers(o) && !o.IsAll() {
+			// Union must cover its inputs (conservatism aside, a union
+			// containing o's exact terms always covers them).
+			t.Fatalf("Union does not cover its input: %v ∪ %v", s.Prefixes(), o.Prefixes())
 		}
 	})
 }

@@ -88,6 +88,12 @@ type HubConfig struct {
 	// events at publish time. Zero (the default) carries no payloads at
 	// all — the pre-v2 pure-invalidation hub. Clamped to MaxPayloadCap.
 	PayloadCap int
+	// OnSubscribe, when set, is invoked from ServeHTTP for every stream
+	// that successfully registers, with the interest set it declared. A
+	// relaying proxy uses it to learn that a downstream subscriber wants
+	// more than the relay's own upstream subscription currently covers
+	// (and to widen it). Called outside the hub's lock.
+	OnSubscribe func(InterestSet)
 }
 
 // Hub is a broadcast fan-out with one sequence space: events published
@@ -102,11 +108,16 @@ type Hub struct {
 	// Subscribers and ActiveStreams is write-pinned handlers).
 	active atomic.Int64
 
+	// filtered counts update frames skipped (not written) because they
+	// fell outside a stream's declared interest set; incremented from
+	// serve loops, hence atomic.
+	filtered atomic.Uint64
+
 	mu          sync.Mutex
-	seq         uint64  // last assigned sequence number
-	resetSeq    uint64  // hole barrier: resumes at or before it must Reset
-	buf         []Event // ring of the most recent update events
-	bufBytes    int64   // resident cost of buf (eventCost sum)
+	seq         uint64          // last assigned sequence number
+	resetSeq    uint64          // hole barrier: resumes at or before it must Reset
+	buf         []RenderedEvent // ring of the most recent update events, pre-rendered
+	bufBytes    int64           // resident wire bytes of buf
 	subs        map[*hubSub]struct{}
 	available   bool
 	oversized   uint64 // events dropped because their envelope exceeds MaxFrameLen
@@ -118,14 +129,19 @@ type Hub struct {
 
 // hubSub is one connected subscriber stream.
 type hubSub struct {
-	ch   chan Event
+	ch   chan RenderedEvent
 	done chan struct{} // closed to terminate the stream server-side
 	once sync.Once
 	// payloadCap is the stream's negotiated payload cap: updates with
 	// larger bodies are degraded to invalidation frames for this stream.
 	payloadCap int
-	// lastSent is the sequence number of the last frame written to the
-	// wire, read by Stats to compute per-subscriber lag.
+	// interest is the stream's declared interest set: update frames
+	// outside it are skipped at write time (position still advances).
+	interest InterestSet
+	// lastSent is the stream's resume position: the sequence number of
+	// the last frame written to the wire OR skipped as uninteresting.
+	// Heartbeats carry it (so the subscriber's resume point tracks it),
+	// and Stats reads it to compute per-subscriber lag.
 	lastSent atomic.Uint64
 }
 
@@ -153,12 +169,6 @@ func NewHub(cfg HubConfig) *Hub {
 		subs:      make(map[*hubSub]struct{}),
 		available: true,
 	}
-}
-
-// eventCost is the replay-ring charge for one buffered event: its body
-// plus an envelope approximation.
-func eventCost(ev Event) int64 {
-	return int64(len(ev.Body)+len(ev.Key)+len(ev.Group)+len(ev.ContentType)) + 96
 }
 
 // Publish assigns the next sequence number, buffers the event, and fans
@@ -210,15 +220,19 @@ func (h *Hub) Publish(ev Event) uint64 {
 	}
 	h.seq++
 	ev.Seq = h.seq
-	h.buf = append(h.buf, ev)
-	h.bufBytes += eventCost(ev)
+	// The single Encode site of the publish path: both wire forms are
+	// rendered here, once, and every delivery — live fan-out now, replay
+	// later — is a pre-rendered byte-slice pick.
+	re := Render(ev)
+	h.buf = append(h.buf, re)
+	h.bufBytes += re.cost
 	for len(h.buf) > h.cfg.ReplayLen ||
 		(h.cfg.ReplayBytes >= 0 && h.bufBytes > h.cfg.ReplayBytes && len(h.buf) > 1) {
-		h.bufBytes -= eventCost(h.buf[0])
-		h.buf[0] = Event{} // release the body
+		h.bufBytes -= h.buf[0].cost
+		h.buf[0] = RenderedEvent{} // release the rendered forms
 		h.buf = h.buf[1:]
 	}
-	h.broadcastLocked(ev)
+	h.broadcastLocked(re)
 	return h.seq
 }
 
@@ -235,15 +249,19 @@ func (h *Hub) Reset() {
 	defer h.mu.Unlock()
 	h.resets++
 	h.resetSeq = h.seq
-	h.broadcastLocked(Event{Kind: KindHello, Seq: h.seq, Reset: true})
+	h.broadcastLocked(renderedHello(h.seq, 0, true))
 }
 
-// broadcastLocked fans ev out to every live subscriber, terminating the
-// ones that cannot take it. Callers hold h.mu.
-func (h *Hub) broadcastLocked(ev Event) {
+// broadcastLocked fans re out to every live subscriber, terminating the
+// ones that cannot take it. Callers hold h.mu. Interest filtering does
+// NOT happen here: a frame skipped at broadcast would let a later
+// heartbeat advance the subscriber's resume position past matching
+// frames still queued in its channel — the serve loop is the only place
+// that sees frames in wire order, so it is the only safe filter point.
+func (h *Hub) broadcastLocked(re RenderedEvent) {
 	for s := range h.subs {
 		select {
-		case s.ch <- ev:
+		case s.ch <- re:
 		default:
 			s.terminate()
 			delete(h.subs, s)
@@ -254,43 +272,50 @@ func (h *Hub) broadcastLocked(ev Event) {
 
 // subscribe returns the hello frame and replay backlog for a subscriber
 // resuming from since, and registers its stream. payloadCap is the
-// stream's negotiated payload cap (already clamped by the caller).
-func (h *Hub) subscribe(since uint64, payloadCap int) (hello Event, backlog []Event, sub *hubSub, ok bool) {
+// stream's negotiated payload cap (already clamped by the caller);
+// interest is its declared filter. The backlog is returned unfiltered —
+// the serve loop skips uninteresting frames while advancing the resume
+// position, keeping the filter logic in exactly one place.
+func (h *Hub) subscribe(since uint64, payloadCap int, interest InterestSet) (hello RenderedEvent, backlog []RenderedEvent, sub *hubSub, ok bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if !h.available {
-		return Event{}, nil, nil, false
+		return RenderedEvent{}, nil, nil, false
 	}
-	hello = Event{Kind: KindHello, Seq: h.seq, PayloadCap: uint64(payloadCap)}
+	reset := false
 	switch {
 	case since == 0:
 		// A fresh subscriber has no state to reconcile.
 	case since > h.seq:
 		// The subscriber claims a future position (e.g. the hub's owner
 		// restarted and its sequence space reset): resync from scratch.
-		hello.Reset = true
+		reset = true
 	case since <= h.resetSeq:
 		// The resume point predates (or is exactly) the last announced
 		// hole: events were irrecoverably missed upstream of this hub,
 		// so a contiguous replay of the hub's own ring proves nothing.
-		hello.Reset = true
+		reset = true
 	case since < h.seq:
 		oldest := h.seq - uint64(len(h.buf)) + 1
 		if len(h.buf) == 0 || since+1 < oldest {
 			// The gap outruns the ring: the subscriber's view is no
-			// longer contiguous.
-			hello.Reset = true
+			// longer contiguous. (An interest-filtered subscriber that
+			// kept up heard its position in every heartbeat, so only a
+			// gap in REAL wall-clock disconnection lands here.)
+			reset = true
 		} else {
 			backlog = append(backlog, h.buf[since-oldest+1:]...)
 		}
 	}
-	if hello.Reset && since > 0 {
+	hello = renderedHello(h.seq, uint64(payloadCap), reset)
+	if reset && since > 0 {
 		h.resumeHoles++
 	}
 	sub = &hubSub{
-		ch:         make(chan Event, defaultSubscriberBuffer),
+		ch:         make(chan RenderedEvent, defaultSubscriberBuffer),
 		done:       make(chan struct{}),
 		payloadCap: payloadCap,
+		interest:   interest,
 	}
 	// Seed the lag baseline: a resuming subscriber starts its replay at
 	// since, everyone else (fresh, reset, already caught up) is about to
@@ -386,12 +411,15 @@ type HubStats struct {
 	// an invalidation); Resets counts hole announcements; ResumeHoles
 	// counts Reset hellos served to resuming subscribers (each one is a
 	// leaf that must run its fallback sweep); SlowKills counts
-	// subscribers terminated for not draining their stream.
+	// subscribers terminated for not draining their stream; Filtered
+	// counts update frames skipped (never written) because they fell
+	// outside a stream's declared interest set.
 	Oversized   uint64
 	Degraded    uint64
 	Resets      uint64
 	ResumeHoles uint64
 	SlowKills   uint64
+	Filtered    uint64
 	// MaxLag is the largest per-subscriber lag (sequence distance
 	// between the stream head and the last frame written to that
 	// subscriber's wire); Lags lists every subscriber's.
@@ -416,6 +444,7 @@ func (h *Hub) Stats() HubStats {
 		Resets:        h.resets,
 		ResumeHoles:   h.resumeHoles,
 		SlowKills:     h.slowKills,
+		Filtered:      h.filtered.Load(),
 	}
 	for s := range h.subs {
 		var lag uint64
@@ -432,9 +461,16 @@ func (h *Hub) Stats() HubStats {
 
 // ServeHTTP streams invalidation events over SSE until the client
 // disconnects or the hub terminates the stream. Streams are GET-only; a
-// reconnecting subscriber resumes with ?since=<seq>, and payload
-// delivery is requested with ?maxpayload=<bytes> (clamped to the hub's
-// cap; the hello frame echoes the negotiated value). Every frame write
+// reconnecting subscriber resumes with ?since=<seq>, payload delivery
+// is requested with ?maxpayload=<bytes> (clamped to the hub's cap; the
+// hello frame echoes the negotiated value), and an interest set is
+// declared with repeatable ?prefix= and ?group= parameters (declaring
+// none receives everything). Update frames outside the declared
+// interest are skipped — never written — while the stream's resume
+// position still advances past them: heartbeats carry the per-stream
+// position (not the hub head), so a filtered subscriber that kept up
+// resumes cleanly across holes it never wanted, and a Reset is earned
+// only by a gap the ring genuinely cannot replay. Every frame write
 // carries a deadline (HubConfig.WriteTimeout): a client that stops
 // reading is abandoned on that timescale instead of pinning the handler
 // goroutine inside the write until the kernel buffer drains.
@@ -447,8 +483,9 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
+	query := r.URL.Query()
 	var since uint64
-	if raw := r.URL.Query().Get("since"); raw != "" {
+	if raw := query.Get("since"); raw != "" {
 		v, err := strconv.ParseUint(raw, 10, 64)
 		if err != nil {
 			http.Error(w, "bad since parameter", http.StatusBadRequest)
@@ -457,7 +494,7 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		since = v
 	}
 	payloadCap := 0
-	if raw := r.URL.Query().Get("maxpayload"); raw != "" {
+	if raw := query.Get("maxpayload"); raw != "" {
 		v, err := strconv.ParseUint(raw, 10, 31)
 		if err != nil {
 			http.Error(w, "bad maxpayload parameter", http.StatusBadRequest)
@@ -468,7 +505,8 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			payloadCap = h.cfg.PayloadCap
 		}
 	}
-	hello, backlog, sub, ok := h.subscribe(since, payloadCap)
+	interest := ParseInterest(query)
+	hello, backlog, sub, ok := h.subscribe(since, payloadCap, interest)
 	if !ok {
 		http.Error(w, "event stream unavailable", http.StatusServiceUnavailable)
 		return
@@ -476,20 +514,16 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer h.unsubscribe(sub)
 	h.active.Add(1)
 	defer h.active.Add(-1)
+	if h.cfg.OnSubscribe != nil {
+		h.cfg.OnSubscribe(interest)
+	}
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
 	deadline := h.cfg.WriteTimeout > 0
-	write := func(ev Event) bool {
-		if ev.HasBody && (sub.payloadCap <= 0 || len(ev.Body) > sub.payloadCap) {
-			// The stream's negotiated cap cannot carry this body:
-			// degrade to the invalidation-only frame at encode time —
-			// the subscriber polls to confirm instead of skipping a
-			// frame it cannot parse.
-			ev = ev.StripPayload()
-		}
+	write := func(re RenderedEvent) bool {
 		if deadline {
 			if err := rc.SetWriteDeadline(time.Now().Add(h.cfg.WriteTimeout)); err != nil {
 				// The connection cannot carry deadlines (an exotic
@@ -497,27 +531,52 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				deadline = false
 			}
 		}
-		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, ev.Encode()); err != nil {
+		// WireFor picks the pre-rendered form this stream's negotiated
+		// cap can carry — the only per-subscriber work left on the
+		// delivery path.
+		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", re.Seq, re.WireFor(sub.payloadCap)); err != nil {
 			return false
 		}
 		if err := rc.Flush(); err != nil {
 			return false
 		}
-		// Only frames that advance the subscriber's position feed the
-		// lag metric: update events, and a Reset hello (the subscriber
-		// fast-forwards to its Seq). Heartbeats and plain hellos carry
-		// the stream head, and recording those would zero the reported
-		// lag of a subscriber that is genuinely behind.
-		if ev.Kind == KindUpdate || (ev.Kind == KindHello && ev.Reset) {
-			sub.lastSent.Store(ev.Seq)
+		// Frames that advance the subscriber's position feed the resume
+		// point and the lag metric: update events and Reset hellos (the
+		// subscriber fast-forwards to their Seq). Plain hellos and
+		// heartbeats carry a position the stream already holds.
+		if re.Kind == KindUpdate || (re.Kind == KindHello && re.Reset) {
+			sub.lastSent.Store(re.Seq)
 		}
 		return true
+	}
+	// skip records a frame withheld by the interest filter: the stream's
+	// position advances exactly as if the frame had been written, so the
+	// subscriber's resume point (fed by the next heartbeat) never asks
+	// the ring to replay a hole it chose not to hear.
+	skip := func(re RenderedEvent) {
+		sub.lastSent.Store(re.Seq)
+		h.filtered.Add(1)
 	}
 	if !write(hello) {
 		return
 	}
-	for _, ev := range backlog {
-		if !write(ev) {
+	skipped := false
+	for _, re := range backlog {
+		if !sub.interest.matchesFrame(re) {
+			skip(re)
+			skipped = true
+			continue
+		}
+		if !write(re) {
+			return
+		}
+		skipped = false
+	}
+	if skipped {
+		// The replay ended on filtered frames: hand the subscriber its
+		// advanced position now instead of waiting a heartbeat interval,
+		// so a reconnect in that window resumes past the skipped tail.
+		if !write(renderedHeartbeat(sub.lastSent.Load())) {
 			return
 		}
 	}
@@ -530,12 +589,24 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-sub.done:
 			return
-		case ev := <-sub.ch:
-			if !write(ev) {
+		case re := <-sub.ch:
+			if !sub.interest.matchesFrame(re) {
+				skip(re)
+				if len(sub.ch) == 0 {
+					// Quiet after a filtered frame: flush the advanced
+					// position immediately (a queued frame would carry
+					// it anyway).
+					if !write(renderedHeartbeat(sub.lastSent.Load())) {
+						return
+					}
+				}
+				continue
+			}
+			if !write(re) {
 				return
 			}
 		case <-ticker.C:
-			if !write(Event{Kind: KindHeartbeat, Seq: h.LastSeq()}) {
+			if !write(renderedHeartbeat(sub.lastSent.Load())) {
 				return
 			}
 		}

@@ -139,7 +139,7 @@ func TestHubResetBarrierOnResume(t *testing.T) {
 		{3, true},  // exactly at the barrier: the hole follows it
 	}
 	for _, c := range cases {
-		hello, backlog, sub, ok := h.subscribe(c.since, 0)
+		hello, backlog, sub, ok := h.subscribe(c.since, 0, InterestAll())
 		if !ok {
 			t.Fatalf("since=%d: unavailable", c.since)
 		}
@@ -155,7 +155,7 @@ func TestHubResetBarrierOnResume(t *testing.T) {
 	// Past the barrier normal replay resumes.
 	h.Publish(Event{Kind: KindUpdate, Key: "/b"}) // seq 4
 	h.Publish(Event{Kind: KindUpdate, Key: "/c"}) // seq 5
-	hello, backlog, sub, _ := h.subscribe(4, 0)
+	hello, backlog, sub, _ := h.subscribe(4, 0, InterestAll())
 	defer h.unsubscribe(sub)
 	if hello.Reset || len(backlog) != 1 || backlog[0].Seq != 5 {
 		t.Errorf("post-barrier resume: hello=%+v backlog=%+v", hello, backlog)
@@ -213,7 +213,7 @@ func TestHubWriteDeadlineUnpinsStalledClient(t *testing.T) {
 // the hub actually holds.
 func TestHubStatsLagAndOccupancy(t *testing.T) {
 	h := NewHub(HubConfig{ReplayLen: 8})
-	_, _, sub, ok := h.subscribe(0, 0)
+	_, _, sub, ok := h.subscribe(0, 0, InterestAll())
 	if !ok {
 		t.Fatal("subscribe failed")
 	}
@@ -519,8 +519,10 @@ func TestHubReplayRingByteBudget(t *testing.T) {
 		t.Errorf("ReplayLen = %d; the byte budget did not trim the ring", st.ReplayLen)
 	}
 
-	// A resume within the surviving window replays payloads verbatim.
-	hello, backlog, sub, ok := h.subscribe(uint64(12-st.ReplayLen), 4096)
+	// A resume within the surviving window replays payloads verbatim
+	// (the ring holds pre-rendered wire forms; decode the full form to
+	// check what a payload-negotiated stream would receive).
+	hello, backlog, sub, ok := h.subscribe(uint64(12-st.ReplayLen), 4096, InterestAll())
 	if !ok {
 		t.Fatal("subscribe failed")
 	}
@@ -531,8 +533,12 @@ func TestHubReplayRingByteBudget(t *testing.T) {
 	if len(backlog) != st.ReplayLen {
 		t.Fatalf("backlog %d events, want %d", len(backlog), st.ReplayLen)
 	}
-	for i, ev := range backlog {
+	for i, re := range backlog {
 		want := bodyFor(12 - st.ReplayLen + i)
+		ev, err := Decode(re.WireFor(4096))
+		if err != nil {
+			t.Fatalf("backlog[%d] does not decode: %v", i, err)
+		}
 		if !ev.HasBody || !bytes.Equal(ev.Body, want) || ev.Digest != DigestOf(want) {
 			t.Fatalf("backlog[%d] payload not replayed faithfully: %+v", i, ev)
 		}
@@ -540,7 +546,7 @@ func TestHubReplayRingByteBudget(t *testing.T) {
 
 	// A resume from before the trimmed-off history must Reset: the ring
 	// cannot prove contiguity it no longer holds.
-	hello2, _, sub2, _ := h.subscribe(1, 4096)
+	hello2, _, sub2, _ := h.subscribe(1, 4096, InterestAll())
 	defer h.unsubscribe(sub2)
 	if !hello2.Reset {
 		t.Error("out-of-window resume not Reset")
@@ -550,14 +556,14 @@ func TestHubReplayRingByteBudget(t *testing.T) {
 	}
 }
 
-// BenchmarkHubPublishFanout measures the push fan-out hot path: one
-// publisher broadcasting to a fleet of draining subscribers.
-func BenchmarkHubPublishFanout(b *testing.B) {
-	h := NewHub(HubConfig{})
-	const fleet = 16
+// drainHubFleet registers fleet subscribers with the given interest and
+// drains their channels until KillAll; it returns a wait func for the
+// drain goroutines.
+func drainHubFleet(b *testing.B, h *Hub, fleet int, interest InterestSet) func() {
+	b.Helper()
 	var wg sync.WaitGroup
 	for i := 0; i < fleet; i++ {
-		_, _, sub, ok := h.subscribe(0, 0)
+		_, _, sub, ok := h.subscribe(0, 0, interest)
 		if !ok {
 			b.Fatal("subscribe failed")
 		}
@@ -572,8 +578,44 @@ func BenchmarkHubPublishFanout(b *testing.B) {
 				}
 			}
 		}()
-		defer h.unsubscribe(sub)
+		b.Cleanup(func() { h.unsubscribe(sub) })
 	}
+	return wg.Wait
+}
+
+// BenchmarkHubPublishFanout measures the push fan-out hot path: one
+// publisher broadcasting to fleets of draining subscribers. The
+// allocation count must be INDEPENDENT of the fleet size — the event is
+// rendered once at publish, and each delivery is a channel send of the
+// pre-rendered forms (TestPublishAllocsIndependentOfFanout pins this).
+func BenchmarkHubPublishFanout(b *testing.B) {
+	for _, fleet := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("subs=%d", fleet), func(b *testing.B) {
+			h := NewHub(HubConfig{})
+			wait := drainHubFleet(b, h, fleet, InterestAll())
+			ev := Event{Kind: KindUpdate, Key: "/obj/path", Group: "g"}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Publish(ev)
+			}
+			b.StopTimer()
+			h.KillAll()
+			wait()
+		})
+	}
+}
+
+// BenchmarkHubPublishFanoutFiltered measures fan-out through interest
+// filtering: a fleet of subscribers that declared a disjoint prefix, so
+// every published frame is skipped at the serve stage — the publish
+// cost is one render plus per-subscriber channel sends, with zero wire
+// writes. (The serve-side skip itself is exercised by the HTTP-path
+// tests; here the subscribers never drain through ServeHTTP, so this
+// bounds the publish half of the filtered path.)
+func BenchmarkHubPublishFanoutFiltered(b *testing.B) {
+	h := NewHub(HubConfig{})
+	wait := drainHubFleet(b, h, 16, NewInterest([]string{"/other"}, nil))
 	ev := Event{Kind: KindUpdate, Key: "/obj/path", Group: "g"}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -582,7 +624,42 @@ func BenchmarkHubPublishFanout(b *testing.B) {
 	}
 	b.StopTimer()
 	h.KillAll()
-	wg.Wait()
+	wait()
+}
+
+// TestPublishAllocsIndependentOfFanout pins the render-once contract:
+// the allocations of one Publish must not grow with the subscriber
+// count, because the only per-subscriber work is a channel send of the
+// pre-rendered event.
+func TestPublishAllocsIndependentOfFanout(t *testing.T) {
+	allocsWith := func(fleet int) float64 {
+		h := NewHub(HubConfig{})
+		subs := make([]*hubSub, fleet)
+		for i := range subs {
+			// No drain goroutines: the per-sub channels hold
+			// defaultSubscriberBuffer frames, far more than the measured
+			// runs publish, so sends never fall into the terminate path
+			// (and nothing concurrent disturbs the allocation count).
+			_, _, sub, ok := h.subscribe(0, 0, InterestAll())
+			if !ok {
+				t.Fatal("subscribe failed")
+			}
+			subs[i] = sub
+		}
+		defer func() {
+			for _, sub := range subs {
+				h.unsubscribe(sub)
+			}
+		}()
+		ev := Event{Kind: KindUpdate, Key: "/obj/path", Group: "g"}
+		return testing.AllocsPerRun(50, func() {
+			h.Publish(ev)
+		})
+	}
+	one, many := allocsWith(1), allocsWith(128)
+	if many > one {
+		t.Errorf("Publish allocates %.1f/op with 128 subscribers vs %.1f/op with 1: fan-out is re-encoding per subscriber", many, one)
+	}
 }
 
 // BenchmarkHubPublishFanoutPayload is the value-carrying variant: the
@@ -593,7 +670,7 @@ func BenchmarkHubPublishFanoutPayload(b *testing.B) {
 	const fleet = 16
 	var wg sync.WaitGroup
 	for i := 0; i < fleet; i++ {
-		_, _, sub, ok := h.subscribe(0, DefaultPayloadCap)
+		_, _, sub, ok := h.subscribe(0, DefaultPayloadCap, InterestAll())
 		if !ok {
 			b.Fatal("subscribe failed")
 		}

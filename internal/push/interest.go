@@ -1,0 +1,248 @@
+package push
+
+import (
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// This file defines interest sets: the subscriber-declared filter that
+// turns the hub's broadcast fan-out into targeted delivery. A
+// subscriber names the slices of the key space it caches — path
+// prefixes (?prefix=) and consistency groups (?group=), repeatable —
+// and the hub skips every update frame outside them at write time,
+// advancing the stream's resume position without shipping the frame.
+// Filtering is an optimization, never a correctness lever: every bound
+// here fails OPEN (toward match-all), because delivering a frame nobody
+// asked for costs one ignored line while suppressing a frame somebody
+// needed silently widens the Δ guarantee.
+
+// Interest-set bounds. A declaration exceeding either bound widens to
+// match-all instead of being truncated: dropping a declared term would
+// filter away updates the subscriber depends on.
+const (
+	// maxInterestTerms bounds the prefixes and the groups (each) one
+	// declaration may carry, after normalization.
+	maxInterestTerms = 64
+	// maxInterestTermLen bounds one term's byte length. Keys are bounded
+	// by the frame envelope anyway; a longer term is hostile or a bug.
+	maxInterestTermLen = 1024
+)
+
+// InterestSet describes which update events a subscriber wants: keys
+// under any of a set of path prefixes, or objects in any of a set of
+// consistency groups. InterestAll matches every event. The zero value
+// matches no update events at all — construct sets with NewInterest,
+// InterestAll, or ParseInterest rather than from struct literals.
+type InterestSet struct {
+	prefixes []string
+	groups   []string
+	all      bool
+}
+
+// InterestAll returns the set matching every event — the declaration of
+// a subscriber that wants the whole stream (and what every overflowing
+// declaration widens to).
+func InterestAll() InterestSet { return InterestSet{all: true} }
+
+// NewInterest builds a set from raw prefix and group terms: empty terms
+// are dropped, duplicates and prefix-subsumed entries are pruned, and a
+// declaration exceeding the bounds widens to match-all.
+func NewInterest(prefixes, groups []string) InterestSet {
+	var s InterestSet
+	for _, p := range prefixes {
+		if p == "" {
+			continue
+		}
+		if len(p) > maxInterestTermLen {
+			return InterestAll()
+		}
+		s.prefixes = append(s.prefixes, p)
+	}
+	for _, g := range groups {
+		if g == "" {
+			continue
+		}
+		if len(g) > maxInterestTermLen {
+			return InterestAll()
+		}
+		s.groups = append(s.groups, g)
+	}
+	s.normalize()
+	if len(s.prefixes) > maxInterestTerms || len(s.groups) > maxInterestTerms {
+		return InterestAll()
+	}
+	return s
+}
+
+// ParseInterest builds the set declared by a stream's query parameters
+// (?prefix= and ?group=, each repeatable). A request declaring nothing
+// receives everything: filtering is opt-in, and the pre-interest wire
+// contract — every subscriber sees every frame — is the default.
+func ParseInterest(q url.Values) InterestSet {
+	if len(q["prefix"]) == 0 && len(q["group"]) == 0 {
+		return InterestAll()
+	}
+	return NewInterest(q["prefix"], q["group"])
+}
+
+// normalize sorts, dedupes, and prunes prefix-subsumed terms ("/a"
+// makes "/a/b" redundant). In sorted order every string subsumed by a
+// kept prefix q sorts inside (q, q-with-continuation], so comparing
+// against only the most recently kept term finds every subsumption.
+func (s *InterestSet) normalize() {
+	sort.Strings(s.prefixes)
+	out := s.prefixes[:0]
+	for _, p := range s.prefixes {
+		if n := len(out); n > 0 && strings.HasPrefix(p, out[n-1]) {
+			continue
+		}
+		out = append(out, p)
+	}
+	s.prefixes = out
+	sort.Strings(s.groups)
+	gout := s.groups[:0]
+	for _, g := range s.groups {
+		if n := len(gout); n > 0 && gout[n-1] == g {
+			continue
+		}
+		gout = append(gout, g)
+	}
+	s.groups = gout
+}
+
+// IsAll reports whether the set matches every event.
+func (s InterestSet) IsAll() bool { return s.all }
+
+// IsEmpty reports whether the set matches no update events (the state
+// of a declaration with nothing to declare — not the same as IsAll).
+func (s InterestSet) IsEmpty() bool {
+	return !s.all && len(s.prefixes) == 0 && len(s.groups) == 0
+}
+
+// Matches reports whether an update for key (in group, possibly empty)
+// falls inside the set: the key carries one of the declared prefixes,
+// or the group is one of the declared groups.
+func (s InterestSet) Matches(key, group string) bool {
+	if s.all {
+		return true
+	}
+	for _, p := range s.prefixes {
+		if strings.HasPrefix(key, p) {
+			return true
+		}
+	}
+	if group != "" {
+		for _, g := range s.groups {
+			if g == group {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// matchesFrame reports whether a rendered frame falls inside the set.
+// Control frames (hello, heartbeat) always match: filtering applies to
+// update content only, never to the stream's liveness or Reset
+// machinery.
+func (s InterestSet) matchesFrame(re RenderedEvent) bool {
+	if re.Kind != KindUpdate {
+		return true
+	}
+	return s.Matches(re.Key, re.Group)
+}
+
+// Covers reports whether every event matching o also matches s. It is
+// conservative: prefixes are only covered by prefixes and groups by
+// groups, so a false negative is possible but a true result is always
+// sound — which is the direction that matters, since an uncovered
+// downstream declaration forces the upstream subscription to widen.
+func (s InterestSet) Covers(o InterestSet) bool {
+	if s.all {
+		return true
+	}
+	if o.all {
+		return false
+	}
+	for _, op := range o.prefixes {
+		covered := false
+		for _, sp := range s.prefixes {
+			if strings.HasPrefix(op, sp) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	for _, og := range o.groups {
+		covered := false
+		for _, sg := range s.groups {
+			if sg == og {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the set matching everything either input matches,
+// widening to match-all when the merged declaration overflows the
+// bounds.
+func (s InterestSet) Union(o InterestSet) InterestSet {
+	if s.all || o.all {
+		return InterestAll()
+	}
+	u := InterestSet{
+		prefixes: append(append([]string(nil), s.prefixes...), o.prefixes...),
+		groups:   append(append([]string(nil), s.groups...), o.groups...),
+	}
+	u.normalize()
+	if len(u.prefixes) > maxInterestTerms || len(u.groups) > maxInterestTerms {
+		return InterestAll()
+	}
+	return u
+}
+
+// Prefixes returns a copy of the declared path prefixes.
+func (s InterestSet) Prefixes() []string {
+	return append([]string(nil), s.prefixes...)
+}
+
+// Groups returns a copy of the declared consistency groups.
+func (s InterestSet) Groups() []string {
+	return append([]string(nil), s.groups...)
+}
+
+// EncodeQuery renders the set as URL query parameters ("prefix=...&
+// group=...", escaped), empty for match-all. An empty set also encodes
+// as no constraints: the wire has no way to ask for nothing, and a
+// subscriber with nothing to declare tolerates extra frames — fail
+// open, never narrow.
+func (s InterestSet) EncodeQuery() string {
+	if s.all {
+		return ""
+	}
+	var b strings.Builder
+	for _, p := range s.prefixes {
+		if b.Len() > 0 {
+			b.WriteByte('&')
+		}
+		b.WriteString("prefix=")
+		b.WriteString(url.QueryEscape(p))
+	}
+	for _, g := range s.groups {
+		if b.Len() > 0 {
+			b.WriteByte('&')
+		}
+		b.WriteString("group=")
+		b.WriteString(url.QueryEscape(g))
+	}
+	return b.String()
+}

@@ -246,6 +246,145 @@ func (e Event) Encode() string {
 		ctype, digest, e.PayloadCap, payload)
 }
 
+// RenderedEvent is one published event rendered to its canonical wire
+// forms exactly once, at publish time. A frame has at most two spellings
+// on the wire: the full form (v2, payload riding along) and the
+// stripped form (the v1 invalidation every consumer understands), and
+// which one a given stream receives depends only on its negotiated
+// payload cap — so rendering both at publish makes delivery to any
+// number of subscribers a byte-slice pick instead of a per-subscriber
+// Encode. The decoded routing fields (Kind, Seq, Key, Group, Reset)
+// stay exported so interest filters and replay bookkeeping never have
+// to re-parse what they just rendered.
+type RenderedEvent struct {
+	Kind  Kind
+	Seq   uint64
+	Key   string
+	Group string
+	Reset bool
+
+	// payloadLen is the byte length of the payload carried by the full
+	// form, -1 when the event carries none (HasBody unset) — the
+	// distinction the per-stream cap check needs, preserved across the
+	// render exactly as Event.HasBody preserved it across the wire.
+	payloadLen int
+	// full and stripped are the two wire forms; for an event with no
+	// payload state they are the same string rendered once.
+	full     string
+	stripped string
+	// cost is the event's replay-ring charge: the real wire bytes held
+	// resident (both forms when they differ).
+	cost int64
+}
+
+// Render renders the event's wire forms. The event must already be
+// publishable (sanitized digest, payload within the hub cap, envelope
+// within bounds) — Render is the single Encode site of the publish
+// path, not a validator.
+func Render(ev Event) RenderedEvent {
+	re := RenderedEvent{
+		Kind:       ev.Kind,
+		Seq:        ev.Seq,
+		Key:        ev.Key,
+		Group:      ev.Group,
+		Reset:      ev.Reset,
+		payloadLen: -1,
+	}
+	if ev.HasBody {
+		re.payloadLen = len(ev.Body)
+	}
+	if !ev.HasBody && ev.ContentType == "" && ev.Digest == "" && ev.PayloadCap == 0 {
+		// Pure invalidation state: the full and stripped forms are the
+		// same v1 line; render it once and share the backing.
+		re.full = ev.Encode()
+		re.stripped = re.full
+		re.cost = int64(len(re.full))
+		return re
+	}
+	re.full = ev.Encode()
+	re.stripped = ev.StripPayload().Encode()
+	re.cost = int64(len(re.full) + len(re.stripped))
+	return re
+}
+
+// Full returns the payload-carrying wire form (identical to Stripped
+// when the event carries no payload state).
+func (re RenderedEvent) Full() string { return re.full }
+
+// Stripped returns the invalidation-only wire form.
+func (re RenderedEvent) Stripped() string { return re.stripped }
+
+// WireFor picks the wire form for a stream with the given negotiated
+// payload cap: the stripped form when the event carries a payload the
+// cap cannot (including cap 0 — a stream that negotiated no payloads
+// cannot parse a 'p'-flagged frame even for an empty body), the full
+// form otherwise. Byte-identical to what per-subscriber
+// StripPayload-then-Encode produced before rendering moved to publish
+// time.
+func (re RenderedEvent) WireFor(payloadCap int) string {
+	if re.payloadLen >= 0 && (payloadCap <= 0 || re.payloadLen > payloadCap) {
+		return re.stripped
+	}
+	return re.full
+}
+
+// helloPrefixV1 and helloPrefixV2 are the cached invariant prefixes of
+// hello frames ("v<ver> <kind> "); only the seq, flags, and (v2) cap
+// fields vary per connect, so the renderers below append just those.
+const (
+	helloPrefixV1     = "v1 1 "
+	helloPrefixV2     = "v2 1 "
+	heartbeatPrefixV1 = "v1 3 "
+)
+
+// renderedHello renders the hello frame opening (or, with reset,
+// resynchronizing) a stream, byte-identical to Render(Event{Kind:
+// KindHello, Seq: seq, PayloadCap: payloadCap, Reset: reset}) without
+// the fmt round trip — hellos are built per connect, and under
+// reconnect churn that path is hot.
+func renderedHello(seq, payloadCap uint64, reset bool) RenderedEvent {
+	re := RenderedEvent{Kind: KindHello, Seq: seq, Reset: reset, payloadLen: -1}
+	flags := byte('-')
+	if reset {
+		flags = 'r'
+	}
+	var b []byte
+	if payloadCap == 0 {
+		b = make([]byte, 0, 32)
+		b = append(b, helloPrefixV1...)
+		b = strconv.AppendUint(b, seq, 10)
+		b = append(b, ' ', '0', ' ', flags)
+		b = append(b, " - -"...)
+	} else {
+		b = make([]byte, 0, 56)
+		b = append(b, helloPrefixV2...)
+		b = strconv.AppendUint(b, seq, 10)
+		b = append(b, ' ', '0', ' ', flags)
+		b = append(b, " - - - - "...)
+		b = strconv.AppendUint(b, payloadCap, 10)
+		b = append(b, ' ', '-')
+	}
+	re.full = string(b)
+	re.stripped = re.full
+	re.cost = int64(len(re.full))
+	return re
+}
+
+// renderedHeartbeat renders a keepalive frame carrying the stream's
+// position, byte-identical to Render(Event{Kind: KindHeartbeat, Seq:
+// seq}).
+func renderedHeartbeat(seq uint64) RenderedEvent {
+	re := RenderedEvent{Kind: KindHeartbeat, Seq: seq, payloadLen: -1}
+	b := make([]byte, 0, 32)
+	b = append(b, heartbeatPrefixV1...)
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, " 0 - - -"...)
+	re.full = string(b)
+	re.stripped = re.full
+	re.cost = int64(len(re.full))
+	return re
+}
+
 // escapeField query-escapes a key, group, or content type for the wire.
 // A literal "-" survives QueryEscape unchanged but collides with the
 // empty-field sentinel, so it is forced into escaped form (QueryEscape

@@ -517,3 +517,23 @@ func TestSubscriberStopsOnContextCancel(t *testing.T) {
 		t.Fatal("Run did not return after cancel")
 	}
 }
+
+// BenchmarkEventRender measures the render-once cost itself: producing
+// both wire forms (full and payload-stripped) of a value-carrying
+// event. On the publish path this price is paid exactly once per event
+// regardless of fan-out; per-subscriber delivery only picks one of the
+// two pre-rendered byte slices.
+func BenchmarkEventRender(b *testing.B) {
+	body := bytes.Repeat([]byte("v"), 512)
+	ev := Event{Kind: KindUpdate, Seq: 42, Key: "/obj/path", Group: "g",
+		ModTime: time.Unix(1_700_000_000, 0), Body: body, HasBody: true,
+		Digest: DigestOf(body)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re := Render(ev)
+		if len(re.full) == 0 || len(re.stripped) == 0 {
+			b.Fatal("render produced an empty form")
+		}
+	}
+}

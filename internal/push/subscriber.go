@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -56,6 +57,12 @@ type SubscriberConfig struct {
 	// every payload before it reaches the wire. Clamped to
 	// MaxPayloadCap.
 	PayloadCap int
+	// Interest, when set, is evaluated at every connection attempt and
+	// declares the subscriber's interest set upstream (?prefix= and
+	// ?group= parameters): the server skips update frames outside it.
+	// Nil declares interest in everything. A consumer whose interest
+	// widened mid-stream calls Bounce to reconnect and re-declare.
+	Interest func() InterestSet
 	// HeartbeatTimeout declares the stream dead when no frame (of any
 	// kind) arrives for this long. It must exceed the server's heartbeat
 	// interval. Defaults to 30s; negative disables the check.
@@ -69,6 +76,16 @@ type Subscriber struct {
 	cfg     SubscriberConfig
 	lastSeq atomic.Uint64
 
+	// declared is the interest set sent with the current (or most
+	// recent) connection attempt — what the upstream is actually
+	// filtering by, as opposed to what Interest would return now.
+	declared atomic.Pointer[InterestSet]
+	// bounceMu guards bounceFn, the cancel function of the in-flight
+	// connection attempt; Bounce calls it to force a reconnect (which
+	// re-evaluates Interest) without cancelling the subscriber itself.
+	bounceMu sync.Mutex
+	bounceFn context.CancelFunc
+
 	// connects and disconnects count stream lifecycle transitions.
 	connects    atomic.Uint64
 	disconnects atomic.Uint64
@@ -76,10 +93,12 @@ type Subscriber struct {
 	// lost its own upstream); skipped counts oversized stream lines
 	// dropped without killing the connection; overCap counts payloads
 	// stripped client-side because they exceeded the negotiated cap (a
-	// server honoring the negotiation never causes one).
+	// server honoring the negotiation never causes one); bounces counts
+	// deliberate reconnects forced by Bounce.
 	resets  atomic.Uint64
 	skipped atomic.Uint64
 	overCap atomic.Uint64
+	bounces atomic.Uint64
 }
 
 // NewSubscriber validates cfg and returns a subscriber. Call Run to
@@ -144,6 +163,38 @@ func (s *Subscriber) SkippedFrames() uint64 { return s.skipped.Load() }
 // upstream ignored the cap, and the affected updates were handled as
 // plain invalidations (the consumer polls to confirm).
 func (s *Subscriber) OverCapPayloads() uint64 { return s.overCap.Load() }
+
+// Bounces returns the number of deliberate reconnects forced by Bounce.
+func (s *Subscriber) Bounces() uint64 { return s.bounces.Load() }
+
+// DeclaredInterest returns the interest set sent with the current (or
+// most recent) connection attempt — what the upstream is actually
+// filtering by. Before the first attempt it is match-all: nothing has
+// been narrowed yet, so nothing can have been missed.
+func (s *Subscriber) DeclaredInterest() InterestSet {
+	if p := s.declared.Load(); p != nil {
+		return *p
+	}
+	return InterestAll()
+}
+
+// Bounce terminates the in-flight connection attempt (if any) so Run
+// reconnects, re-evaluating Interest and re-declaring it upstream. The
+// consumer sees a full disconnect/reconnect cycle — OnDisconnect, then
+// OnConnect — which is deliberate: a widened interest means frames
+// matching the new terms may already have been filtered away upstream,
+// and only the disconnect reconciliation (the consumer's catch-up
+// sweep) bounds what that hole could hide. A no-op between attempts:
+// the next connect re-evaluates Interest anyway.
+func (s *Subscriber) Bounce() {
+	s.bounceMu.Lock()
+	fn := s.bounceFn
+	s.bounceMu.Unlock()
+	if fn != nil {
+		s.bounces.Add(1)
+		fn()
+	}
+}
 
 // Run consumes the stream until ctx is cancelled, reconnecting on every
 // failure with capped exponential backoff. The backoff resets only
@@ -224,20 +275,52 @@ const frameLost = "\x00frame-lost"
 // connected reports whether the hello frame was received (and OnConnect
 // invoked); err is the reason the stream ended.
 func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
+	// The attempt gets its own cancellation so Bounce can kill just this
+	// stream (forcing a reconnect that re-declares interest) without
+	// touching the subscriber's own context.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s.bounceMu.Lock()
+	s.bounceFn = cancel
+	s.bounceMu.Unlock()
+
 	u := s.cfg.URL
 	since := s.lastSeq.Load()
-	addParam := func(k string, v uint64) {
+	addQuery := func(kv string) {
 		sep := "?"
 		if strings.Contains(u, "?") {
 			sep = "&"
 		}
-		u = fmt.Sprintf("%s%s%s=%d", u, sep, k, v)
+		u += sep + kv
+	}
+	addParam := func(k string, v uint64) {
+		addQuery(fmt.Sprintf("%s=%d", k, v))
 	}
 	if since > 0 {
 		addParam("since", since)
 	}
 	if s.cfg.PayloadCap > 0 {
 		addParam("maxpayload", uint64(s.cfg.PayloadCap))
+	}
+	interest := InterestAll()
+	if s.cfg.Interest != nil {
+		interest = s.cfg.Interest()
+		if interest.IsEmpty() {
+			// The wire cannot ask for nothing (an empty set encodes as no
+			// constraints — fail open), so the declaration must record
+			// what the upstream will actually deliver: everything. A
+			// consumer comparing coverage against DeclaredInterest then
+			// sees the truth, not a narrower set nobody is filtering by.
+			interest = InterestAll()
+		}
+	}
+	// Publish the declaration BEFORE the request goes out: by the time
+	// the stream is established (and any consumer starts trusting push
+	// coverage), DeclaredInterest already reports what this attempt
+	// asked for — never a stale, wider set.
+	s.declared.Store(&interest)
+	if q := interest.EncodeQuery(); q != "" {
+		addQuery(q)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
@@ -427,9 +510,22 @@ func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 				if s.cfg.OnConnect != nil {
 					s.cfg.OnConnect(ev, true)
 				}
+			case ev.Kind == KindHeartbeat:
+				// Heartbeats carry the stream's per-subscriber position:
+				// with interest filtering the upstream advances it past
+				// frames it withheld, and adopting it (forward-only —
+				// a regressing position is a confused upstream, never a
+				// reason to re-request frames already processed) is what
+				// keeps a filtered subscriber's resume point from
+				// drifting behind holes it never wanted to hear.
+				for {
+					cur := s.lastSeq.Load()
+					if ev.Seq <= cur || s.lastSeq.CompareAndSwap(cur, ev.Seq) {
+						break
+					}
+				}
 			default:
-				// Heartbeats (and redundant non-Reset hellos) only feed
-				// the watchdog.
+				// Redundant non-Reset hellos only feed the watchdog.
 			}
 		}
 	}

@@ -1,0 +1,596 @@
+package webproxy
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"broadway/internal/metrics"
+	"broadway/internal/push"
+	"broadway/internal/simtime"
+	"broadway/internal/trace"
+	"broadway/internal/tracegen"
+	"broadway/internal/webserver"
+)
+
+// This file is the fleet-scale fan-out soak of ISSUE 6: the conformance
+// battery's stepped-clock replay discipline applied to a THREE-hop
+// hierarchy — origin → root relay → mid relays → leaves — where the
+// leaf tier is hundreds of interest-filtered subscribers. The key space
+// is sharded by path prefix; every node declares only the slice it
+// serves, so each hub skips the frames its subscriber never asked for.
+//
+// The phases, in replay order:
+//
+//  1. Healthy fan-out: trace updates flow to every shard; filtered
+//     watchers must receive exactly their own shard's updates.
+//  2. Resume-hole churn: every mid→leaf stream is killed and an update
+//     published into ONE shard while the leaves are down. On resume,
+//     watchers of the other shards have a hole consisting purely of
+//     frames they never declared — they must come back with NO Reset
+//     and no deliveries, while the matching shard's watchers get the
+//     update (replayed or live).
+//  3. Interest widening: a leaf admits an object outside every static
+//     declaration. The admission must bounce the subscription at every
+//     level (leaf, mid, root), each reconnect re-declaring a wider set,
+//     until the origin announces the new object end to end.
+//  4. Upstream kill/revive: the origin's event endpoint dies and comes
+//     back. The root's blindness must propagate as mid-stream Resets
+//     through both relay hops to every watcher — a REAL hole is
+//     announced exactly where a filtered hole was not.
+//
+// Throughout, the four Δt-instrumented proxy leaves replay their
+// shard's trace with zero violations: filtering and churn may cost
+// frames and reconnects, never staleness beyond Δ.
+
+const (
+	fleetHorizon  = 4 * time.Hour
+	fleetShards   = 4
+	fleetWatchers = 200
+)
+
+// fleetWatcher is one raw interest-filtered subscriber at the leaf tier.
+type fleetWatcher struct {
+	prefix  string
+	sub     *push.Subscriber
+	cancel  context.CancelFunc
+	done    chan struct{}
+	events  atomic.Uint64 // update events delivered
+	foreign atomic.Uint64 // deliveries outside the declared prefix
+	resets  atomic.Uint64 // Reset hellos (connect-time or mid-stream)
+}
+
+func startFleetWatcher(t *testing.T, streamURL, prefix string) *fleetWatcher {
+	t.Helper()
+	w := &fleetWatcher{prefix: prefix, done: make(chan struct{})}
+	sub, err := push.NewSubscriber(push.SubscriberConfig{
+		URL: streamURL,
+		OnEvent: func(ev push.Event) {
+			w.events.Add(1)
+			if !strings.HasPrefix(ev.Key, prefix) {
+				w.foreign.Add(1)
+			}
+		},
+		OnConnect: func(hello push.Event, resumed bool) {
+			if hello.Reset && resumed {
+				w.resets.Add(1)
+			}
+		},
+		Interest: func() push.InterestSet {
+			return push.NewInterest([]string{prefix}, nil)
+		},
+		// Wide enough that a churn's publish lands in the hub ring
+		// before the reconnect, narrow enough to keep the soak fast.
+		BackoffMin:       5 * time.Millisecond,
+		BackoffMax:       50 * time.Millisecond,
+		HeartbeatTimeout: -1,
+		PayloadCap:       push.DefaultPayloadCap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.sub = sub
+	ctx, cancel := context.WithCancel(context.Background())
+	w.cancel = cancel
+	go func() {
+		defer close(w.done)
+		sub.Run(ctx)
+	}()
+	return w
+}
+
+func TestFleetFanoutHierarchy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet soak: skipped under -short (CI runs it in a dedicated job)")
+	}
+	clk := newSimClock()
+
+	origin := webserver.NewOrigin(
+		webserver.WithClock(clk.Now),
+		webserver.WithHistoryExtension(true),
+		webserver.WithPushEvents(""),
+		webserver.WithPushValues(0),
+	)
+	originSrv := httptest.NewServer(origin)
+	defer originSrv.Close()
+
+	// One trace per shard, distinct presets so shard update instants
+	// interleave rather than coincide.
+	presets := []*trace.Trace{tracegen.CNNFN(), tracegen.NYTReuters(), tracegen.NYTAP(), tracegen.CNNFN()}
+	objs := make([]replayObject, fleetShards)
+	for i := range objs {
+		tr := clipRound(presets[i], fleetHorizon)
+		if tr.NumUpdates() < 3 {
+			t.Fatalf("shard %d trace has only %d updates", i, tr.NumUpdates())
+		}
+		objs[i] = replayObject{path: fmt.Sprintf("/s%d/obj", i), tr: tr}
+		origin.Set(objs[i].path, replayBody(objs[i], 0), "")
+	}
+	origin.Set("/s0/hole", []byte("hole rev 0"), "")
+	origin.Set("/extra/obj", []byte("extra rev 0"), "")
+
+	var logMu sync.Mutex
+	leafLogs := make([]map[string][]metrics.Refresh, fleetShards)
+	for i := range leafLogs {
+		leafLogs[i] = make(map[string][]metrics.Refresh)
+	}
+
+	newNode := func(upstream string, relay bool, prefixes []string, obs func(PollObservation)) *Proxy {
+		up, err := url.Parse(upstream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pushURL, err := url.Parse(upstream + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(Config{
+			Origin:               up,
+			Clock:                clk.Now,
+			PollWorkers:          1,
+			DefaultDelta:         confDelta,
+			Bounds:               confBounds,
+			PushURL:              pushURL,
+			PushStretch:          16,
+			PushValues:           true,
+			PushInterest:         true,
+			PushPrefixes:         prefixes,
+			PushHeartbeatTimeout: -1,
+			PushBackoffMin:       time.Millisecond,
+			PushBackoffMax:       10 * time.Millisecond,
+			RelayEvents:          relay,
+			PollObserver:         obs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		return p
+	}
+
+	root := newNode(originSrv.URL, true, []string{"/s0/", "/s1/", "/s2/", "/s3/"}, nil)
+	defer root.Close()
+	rootSrv := httptest.NewServer(root)
+	defer rootSrv.Close()
+
+	mids := make([]*Proxy, 2)
+	midSrvs := make([]*httptest.Server, 2)
+	for j := range mids {
+		mids[j] = newNode(rootSrv.URL, true,
+			[]string{fmt.Sprintf("/s%d/", 2*j), fmt.Sprintf("/s%d/", 2*j+1)}, nil)
+		defer mids[j].Close()
+		midSrvs[j] = httptest.NewServer(mids[j])
+		defer midSrvs[j].Close()
+	}
+
+	leaves := make([]*Proxy, fleetShards)
+	for i := range leaves {
+		shard := i
+		leaves[i] = newNode(midSrvs[i/2].URL, false,
+			[]string{fmt.Sprintf("/s%d/", i)},
+			func(o PollObservation) {
+				logMu.Lock()
+				leafLogs[shard][o.Key] = append(leafLogs[shard][o.Key], metrics.Refresh{
+					At:        simtime.At(o.At.Sub(clk.base)),
+					Modified:  o.Modified,
+					Value:     o.Value,
+					Triggered: o.Triggered || o.Pushed,
+				})
+				logMu.Unlock()
+			})
+		defer leaves[i].Close()
+	}
+
+	nodes := []*Proxy{root, mids[0], mids[1], leaves[0], leaves[1], leaves[2], leaves[3]}
+	upstreamSeq := []func() uint64{
+		origin.PushSeq,
+		func() uint64 { return root.RelayStats().Hub.Seq },
+		func() uint64 { return root.RelayStats().Hub.Seq },
+		func() uint64 { return mids[0].RelayStats().Hub.Seq },
+		func() uint64 { return mids[0].RelayStats().Hub.Seq },
+		func() uint64 { return mids[1].RelayStats().Hub.Seq },
+		func() uint64 { return mids[1].RelayStats().Hub.Seq },
+	}
+	allConnected := func() bool {
+		for _, n := range nodes {
+			if !n.PushStats().Connected {
+				return false
+			}
+		}
+		return true
+	}
+	if !waitFor(t, 10*time.Second, allConnected) {
+		t.Fatal("hierarchy never connected")
+	}
+
+	// Chain quiescence: every hop's stream position caught up to its
+	// upstream's head (heartbeats advance it past filtered frames), every
+	// proxy idle, stable across two passes. Disconnected hops are exempt
+	// from the seq check — the chaos phases waitFor reconnection before
+	// trusting a quiesce.
+	quiesce := func() {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		stable := 0
+		for {
+			pass := func() bool {
+				now := clk.Now()
+				for i, n := range nodes {
+					ps := n.PushStats()
+					if ps.Connected && ps.LastSeq < upstreamSeq[i]() {
+						return false
+					}
+					if n.InFlightPolls() != 0 {
+						return false
+					}
+					if next, ok := n.NextRefreshAt(); ok && !next.After(now) {
+						return false
+					}
+				}
+				return true
+			}
+			if pass() {
+				if stable++; stable >= 2 {
+					return
+				}
+			} else {
+				stable = 0
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("fleet never quiesced: originSeq=%d rootSeq=%d midSeqs=[%d %d] now=%v",
+					origin.PushSeq(), root.PushStats().LastSeq,
+					mids[0].PushStats().LastSeq, mids[1].PushStats().LastSeq, clk.Now())
+			}
+			for _, n := range nodes {
+				n.Kick()
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	quiesce()
+
+	// Admit each shard's object at its leaf (cascading through mid and
+	// root), plus the hole probe on leaf 0. Every key sits inside its
+	// whole chain's static declaration, so admission must not bounce.
+	clk.AdvanceTo(clk.base.Add(admissionPhase))
+	for _, n := range nodes {
+		n.Kick()
+	}
+	admit := func(leaf *Proxy, path string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		leaf.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("admission of %s: %d %s", path, rec.Code, rec.Body.String())
+		}
+	}
+	for i, o := range objs {
+		admit(leaves[i], o.path)
+	}
+	admit(leaves[0], "/s0/hole")
+	quiesce()
+	for _, n := range nodes {
+		if b := n.PushStats().Bounces; b != 0 {
+			t.Fatalf("a covered admission bounced the stream (%d bounces)", b)
+		}
+	}
+
+	// The leaf tier: fleetWatchers filtered subscribers spread over the
+	// mids, each declaring exactly one shard prefix.
+	watchers := make([]*fleetWatcher, fleetWatchers)
+	for i := range watchers {
+		shard := i % fleetShards
+		watchers[i] = startFleetWatcher(t, midSrvs[shard/2].URL+"/events", fmt.Sprintf("/s%d/", shard))
+		defer func(w *fleetWatcher) {
+			w.cancel()
+			<-w.done
+		}(watchers[i])
+	}
+	if !waitFor(t, 15*time.Second, func() bool {
+		for _, w := range watchers {
+			if w.sub.Connects() == 0 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("watcher fleet never connected")
+	}
+
+	watcherMidSeq := func(i int) uint64 {
+		return mids[(i%fleetShards)/2].RelayStats().Hub.Seq
+	}
+	watchersCaughtUp := func() bool {
+		for i, w := range watchers {
+			if w.sub.LastSeq() < watcherMidSeq(i) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Replay schedule: every shard's trace updates, plus the chaos
+	// instants, all off the whole-second grid the updates live on.
+	const (
+		actHole       = -1 // kill every mid→leaf stream, update shard 0 only
+		actExtraAdmit = -2 // admit an object outside every static declaration
+		actExtraSet   = -3 // update it once the declarations have widened
+	)
+	type fleetEvent struct {
+		at  time.Duration
+		obj int // shard index, or one of the act* markers
+		rev int
+	}
+	var events []fleetEvent
+	for i, o := range objs {
+		for r, u := range o.tr.Updates {
+			events = append(events, fleetEvent{at: u.At, obj: i, rev: r + 1})
+		}
+	}
+	events = append(events,
+		fleetEvent{at: fleetHorizon/4 + 511*time.Millisecond, obj: actHole},
+		fleetEvent{at: fleetHorizon/2 + 511*time.Millisecond, obj: actExtraAdmit},
+		fleetEvent{at: fleetHorizon/2 + 5*time.Second + 511*time.Millisecond, obj: actExtraSet},
+	)
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		return events[a].obj > events[b].obj // shard order for same-instant updates
+	})
+
+	runHoleChurn := func() {
+		t.Helper()
+		// Drain in-flight deliveries from the previous step before
+		// snapshotting: a frame already written to a watcher's socket but
+		// not yet counted would read as churn-window delivery.
+		if !waitFor(t, 15*time.Second, watchersCaughtUp) {
+			t.Fatal("watcher fleet never drained before the churn")
+		}
+		preEvents := make([]uint64, len(watchers))
+		preConnects := make([]uint64, len(watchers))
+		for i, w := range watchers {
+			preEvents[i] = w.events.Load()
+			preConnects[i] = w.sub.Connects()
+		}
+		preLeafConnects := make([]uint64, len(leaves))
+		for i, l := range leaves {
+			preLeafConnects[i] = l.PushStats().Connects
+		}
+		// Cut every mid→leaf stream, then publish into shard 0 while the
+		// whole leaf tier is down: the update lands in the mid rings (the
+		// root and mids stay connected), so every resumed stream sees a
+		// hole — matching for shard 0, purely filtered for the rest.
+		mids[0].KillRelayStreams()
+		mids[1].KillRelayStreams()
+		origin.Set("/s0/hole", []byte("hole rev 1"), "")
+		if !waitFor(t, 10*time.Second, func() bool {
+			for i, l := range leaves {
+				ps := l.PushStats()
+				if !ps.Connected || ps.Connects <= preLeafConnects[i] {
+					return false
+				}
+			}
+			return true
+		}) {
+			t.Fatal("proxy leaves never resumed after the mid-stream kill")
+		}
+		quiesce()
+		if !waitFor(t, 15*time.Second, func() bool {
+			for i, w := range watchers {
+				if w.sub.Connects() <= preConnects[i] || w.sub.LastSeq() < watcherMidSeq(i) {
+					return false
+				}
+			}
+			return true
+		}) {
+			t.Fatal("watcher fleet never resumed after the mid-stream kill")
+		}
+		for i, w := range watchers {
+			shard := i % fleetShards
+			if r := w.resets.Load(); r != 0 {
+				t.Errorf("watcher %d (shard %d) was Reset across a resume hole it never declared (%d resets)", i, shard, r)
+			}
+			got := w.events.Load()
+			if shard == 0 {
+				if got <= preEvents[i] {
+					t.Errorf("shard-0 watcher %d missed the update published across the kill", i)
+				}
+			} else if got != preEvents[i] {
+				t.Errorf("watcher %d (shard %d) received %d frames outside its interest across the churn",
+					i, shard, got-preEvents[i])
+			}
+		}
+	}
+
+	runExtraAdmit := func() {
+		t.Helper()
+		admit(leaves[0], "/extra/obj")
+		// The admission cascaded the object through mid 0 and the root;
+		// none of their declarations cover /extra/, so each must bounce
+		// and re-declare until the whole chain announces it.
+		if !waitFor(t, 10*time.Second, func() bool {
+			for _, n := range []*Proxy{root, mids[0], leaves[0]} {
+				ps := n.PushStats()
+				if !ps.Connected || ps.Bounces == 0 {
+					return false
+				}
+				if !n.sub.DeclaredInterest().Matches("/extra/obj", "") {
+					return false
+				}
+			}
+			return true
+		}) {
+			t.Fatalf("interest widening never converged: bounces root=%d mid0=%d leaf0=%d",
+				root.PushStats().Bounces, mids[0].PushStats().Bounces, leaves[0].PushStats().Bounces)
+		}
+		quiesce()
+	}
+
+	end := clk.base.Add(fleetHorizon)
+	ei := 0
+	for {
+		var stepAt time.Time
+		haveStep := false
+		if ei < len(events) {
+			stepAt = clk.base.Add(events[ei].at)
+			haveStep = true
+		}
+		for _, n := range nodes {
+			if next, ok := n.NextRefreshAt(); ok && !next.After(end) {
+				if !haveStep || next.Before(stepAt) {
+					stepAt = next
+					haveStep = true
+				}
+			}
+		}
+		if !haveStep || stepAt.After(end) {
+			break
+		}
+		clk.AdvanceTo(stepAt)
+		for ei < len(events) && !clk.base.Add(events[ei].at).After(stepAt) {
+			ev := events[ei]
+			ei++
+			switch ev.obj {
+			case actHole:
+				runHoleChurn()
+			case actExtraAdmit:
+				runExtraAdmit()
+			case actExtraSet:
+				origin.Set("/extra/obj", []byte("extra rev 1"), "")
+			default:
+				o := objs[ev.obj]
+				origin.Set(o.path, replayBody(o, ev.rev), "")
+			}
+		}
+		for _, n := range nodes {
+			n.Kick()
+		}
+		quiesce()
+	}
+	clk.AdvanceTo(end)
+	for _, n := range nodes {
+		n.Kick()
+	}
+	quiesce()
+	if !waitFor(t, 15*time.Second, watchersCaughtUp) {
+		t.Fatal("watcher fleet never caught up to the replayed horizon")
+	}
+
+	// Snapshot the Δt logs before the upstream kill below adds
+	// post-horizon sweep polls.
+	logMu.Lock()
+	finalLogs := make([]map[string][]metrics.Refresh, fleetShards)
+	for i := range leafLogs {
+		finalLogs[i] = make(map[string][]metrics.Refresh, len(leafLogs[i]))
+		for k, v := range leafLogs[i] {
+			finalLogs[i][k] = append([]metrics.Refresh(nil), v...)
+		}
+	}
+	logMu.Unlock()
+
+	// Phase 4: a REAL upstream hole. The root's blindness must propagate
+	// as mid-stream Resets through both relay hops — every leaf proxy and
+	// every watcher hears it, exactly where the filtered hole stayed
+	// silent.
+	preResets := make([]uint64, len(watchers))
+	for i, w := range watchers {
+		preResets[i] = w.resets.Load()
+	}
+	origin.SetPushAvailable(false)
+	if !waitFor(t, 10*time.Second, func() bool { return !root.PushStats().Connected }) {
+		t.Fatal("root never noticed the origin kill")
+	}
+	if !waitFor(t, 15*time.Second, func() bool {
+		for _, l := range leaves {
+			if l.PushStats().Resets == 0 {
+				return false
+			}
+		}
+		for i, w := range watchers {
+			if w.resets.Load() <= preResets[i] {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("the origin kill never propagated Resets through the hierarchy")
+	}
+	origin.SetPushAvailable(true)
+	if !waitFor(t, 10*time.Second, allConnected) {
+		t.Fatal("hierarchy never re-armed after the revive")
+	}
+	quiesce()
+
+	// --- Verdicts. ---
+	if root.PushStats().Fallbacks == 0 {
+		t.Error("the origin kill never produced a root fallback")
+	}
+	for i := range objs {
+		log := finalLogs[i][objs[i].path]
+		if len(log) < 3 {
+			t.Fatalf("leaf %d recorded only %d polls", i, len(log))
+		}
+		meas := metrics.EvaluateTemporal(objs[i].tr, log, confDelta, fleetHorizon)
+		t.Logf("leaf %d measured: %v", i, meas)
+		if meas.Violations != 0 {
+			t.Errorf("leaf %d Δt violations through the filtered hierarchy: %d", i, meas.Violations)
+		}
+	}
+	for _, probe := range []struct{ key, want string }{
+		{"/s0/hole", "hole rev 1"},
+		{"/extra/obj", "extra rev 1"},
+	} {
+		body, ok := leaves[0].CachedBody(probe.key)
+		if !ok || string(body) != probe.want {
+			t.Errorf("leaf 0 %s = %q, %v; want %q", probe.key, body, ok, probe.want)
+		}
+	}
+	for i, w := range watchers {
+		if f := w.foreign.Load(); f != 0 {
+			t.Errorf("watcher %d received %d frames outside its declared prefix %s", i, f, w.prefix)
+		}
+		if w.events.Load() == 0 {
+			t.Errorf("watcher %d (prefix %s) received nothing over the whole soak", i, w.prefix)
+		}
+	}
+	// Filtering did real work at both relay tiers: the root skipped
+	// cross-subtree frames for the mids, the mids for their watchers.
+	if f := root.RelayStats().Hub.Filtered; f == 0 {
+		t.Error("root hub filtered nothing; mids were not interest-narrowed")
+	}
+	for j, m := range mids {
+		if f := m.RelayStats().Hub.Filtered; f == 0 {
+			t.Errorf("mid %d hub filtered nothing; watchers were not interest-narrowed", j)
+		}
+	}
+	t.Logf("fleet: origin polls=%d rootHub=%+v mid0Hub=%+v mid1Hub=%+v",
+		origin.Polls(), root.RelayStats().Hub, mids[0].RelayStats().Hub, mids[1].RelayStats().Hub)
+}

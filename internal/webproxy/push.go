@@ -48,7 +48,7 @@ func (p *Proxy) newPushSubscriber() (*push.Subscriber, error) {
 	if p.cfg.PushValues {
 		payloadCap = p.cfg.PushPayloadCap
 	}
-	return push.NewSubscriber(push.SubscriberConfig{
+	scfg := push.SubscriberConfig{
 		URL: p.cfg.PushURL.String(),
 		// The proxy's upstream client is unusable here: its global
 		// Timeout would kill the long-lived stream.
@@ -61,7 +61,74 @@ func (p *Proxy) newPushSubscriber() (*push.Subscriber, error) {
 		BackoffMax:       p.cfg.PushBackoffMax,
 		HeartbeatTimeout: p.cfg.PushHeartbeatTimeout,
 		PayloadCap:       payloadCap,
-	})
+	}
+	if p.cfg.PushInterest {
+		scfg.Interest = p.declaredInterest
+	}
+	return push.NewSubscriber(scfg)
+}
+
+// declaredInterest computes the interest set the subscriber declares on
+// its next (re)connect: the configured static seeds, one first-path-
+// segment prefix per resident object, and the sticky union of every
+// downstream subscriber's own declaration. The closure runs per
+// connection attempt, so a bounce (see Bounce) is all it takes to
+// renegotiate. An empty result encodes as no query constraints — the
+// upstream delivers everything — so filtering fails open, never closed.
+func (p *Proxy) declaredInterest() push.InterestSet {
+	prefixes := append([]string(nil), p.cfg.PushPrefixes...)
+	for i := range p.store.shards {
+		sh := &p.store.shards[i]
+		sh.mu.RLock()
+		for key := range sh.entries {
+			prefixes = append(prefixes, residentPrefix(key))
+		}
+		sh.mu.RUnlock()
+	}
+	set := push.NewInterest(prefixes, p.cfg.PushGroups)
+	p.downMu.Lock()
+	down := p.downstream
+	p.downMu.Unlock()
+	return set.Union(down)
+}
+
+// residentPrefix maps a cache key to the interest prefix declared for
+// it: its first path segment (slash included, so "/news/" never drags
+// in "/newsy"). Folding siblings under one term keeps a large cache
+// from exploding the declaration past the term bounds — overflow would
+// widen it to match-all and forfeit filtering entirely. Query-bearing
+// keys declare their path part; such objects are unpushable anyway
+// (events are path-granular), so the term is only ever harmlessly wide.
+func residentPrefix(key string) string {
+	if len(key) > 1 && key[0] == '/' {
+		if i := strings.IndexByte(key[1:], '/'); i >= 0 {
+			return key[:i+2]
+		}
+	}
+	if i := strings.IndexByte(key, '?'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// noteDownstreamInterest folds a downstream subscriber's declared
+// interest into the sticky union this proxy declares upstream (it is
+// the relay hub's OnSubscribe hook). When the live upstream declaration
+// does not cover the newcomer, the stream is bounced: the reconnect
+// re-runs declaredInterest with the union folded in, so the subtree's
+// objects are announced through this proxy from then on. Until that
+// reconnect lands the child is no worse off than under a disconnected
+// parent — its own stretch gate keeps uncovered objects polling.
+func (p *Proxy) noteDownstreamInterest(is push.InterestSet) {
+	if p.sub == nil || is.IsEmpty() {
+		return
+	}
+	p.downMu.Lock()
+	p.downstream = p.downstream.Union(is)
+	p.downMu.Unlock()
+	if !p.sub.DeclaredInterest().Covers(is) {
+		p.sub.Bounce()
+	}
 }
 
 // handlePushEvent converts an update notification into an immediate
@@ -181,56 +248,31 @@ func (p *Proxy) applyPushedValue(e *entry, ev *push.Event) bool {
 			outcome.Value = v
 		}
 	}
-	value, hasValue := e.value, e.isValue
 	paired := e.paired
 	e.mu.Unlock()
-
-	// The install replaced the body: re-charge the byte ledger and
-	// re-enforce the budget, exactly as a refresh-time growth would
-	// (the single-object overflow case was refused above).
-	p.store.resize(e, size)
-	if p.cfg.Eviction == EvictClock {
-		p.unwind(p.store.shrink(p.cfg.MaxObjects, p.cfg.MaxBytes, p.store.shardIndex(e.key), e))
-	}
-
-	// Republish downstream AFTER the body swap, payload included: a
-	// value-negotiated leaf installs it directly, and a polling leaf
-	// that fetches on this event finds the fresh copy, never the stale
-	// one the pass-through frame raced.
-	p.relayAppliedUpdate(e, ev)
 
 	e.applied.Add(1)
 	p.pushApplied.Add(1)
 
-	gs := p.groupState(e.group)
-	if gs != nil {
-		gs.mu.Lock()
-		// Same eviction-token discipline as pollEntry: never resurrect
-		// controller state for an object leaveGroup has forgotten.
-		if !e.evicted.Load() {
-			gs.ctrl.ObserveOutcome(core.ObjectID(e.key), outcome)
-		}
-		gs.mu.Unlock()
-	}
-	if e.evicted.Load() {
-		return true // evicted mid-apply: installed copy is gone, no triggering
-	}
-	// §3.2 group triggering: an update learned from a payload imposes
-	// the same mutual obligation as one learned by polling.
-	if gs != nil && !paired {
-		p.triggerGroup(e, gs, now)
-	}
-	if obs := p.cfg.PollObserver; obs != nil {
-		obs(PollObservation{
-			Key:      e.key,
-			At:       now,
-			Modified: true,
-			Pushed:   true,
-			Applied:  true,
-			Value:    value,
-			HasValue: hasValue,
-		})
-	}
+	// The shared post-refresh bookkeeping: byte-ledger re-charge with
+	// budget re-enforcement (the single-object overflow case was refused
+	// above), the downstream republication AFTER the body swap — payload
+	// included, so a value-negotiated leaf installs it directly and a
+	// polling leaf that fetches on it finds the fresh copy, never the
+	// stale one the pass-through frame raced — the eviction-token-
+	// guarded controller observation, and the §3.2 group triggering an
+	// update learned from a payload imposes exactly as one learned by
+	// polling. pollPushed leaves the regular schedule untouched.
+	p.finishRefresh(e, refreshResult{
+		kind:    pollPushed,
+		now:     now,
+		outcome: outcome,
+		paired:  paired,
+		resized: true,
+		newSize: size,
+		applied: true,
+		relay:   func() { p.relayAppliedUpdate(e, ev) },
+	})
 	return true
 }
 
@@ -368,6 +410,18 @@ func (p *Proxy) stretchTTR(e *entry, ttr time.Duration) time.Duration {
 	if p.sub == nil || p.cfg.PushStretch <= 1 || e.unpushable || !p.pushHealthy.Load() {
 		return ttr
 	}
+	if p.cfg.PushInterest && !p.sub.DeclaredInterest().Matches(e.key, e.group) {
+		// The live upstream declaration does not cover this object: its
+		// updates are filtered away before they reach us, so the channel
+		// cannot carry its freshness burden. Pure-polling TTR until a
+		// bounce widens the declaration. Checked dynamically — not
+		// marked at admission — because the declaration this object
+		// missed is itself refreshed by the admission-time bounce.
+		// Sound against a racing reconnect: stretching requires
+		// pushHealthy, which flips only after the attempt's declaration
+		// (stored before its request goes out) is in place.
+		return ttr
+	}
 	s := time.Duration(float64(ttr) * p.cfg.PushStretch)
 	if max := p.maxBackoff(); s > max {
 		s = max
@@ -406,6 +460,10 @@ type PushStats struct {
 	// Connects counts successful stream establishments (a mid-stream
 	// Reset reconciliation is not one: the stream stayed up).
 	Connects uint64
+	// Bounces counts deliberate stream drops forcing an interest
+	// renegotiation (an admission or a downstream subscriber outside
+	// the live declaration).
+	Bounces uint64
 	// Resets counts mid-stream hello/Reset frames received (a relaying
 	// upstream announcing a hole without dropping the connection); each
 	// one ran the same reconciliation as a Reset at connect time.
@@ -413,7 +471,11 @@ type PushStats struct {
 	// SkippedFrames counts oversized stream lines the subscriber
 	// dropped in place of dying and livelocking on reconnect replay.
 	SkippedFrames uint64
-	// LastSeq is the sequence number of the last fully processed event.
+	// LastSeq is the last fully processed stream position: the highest
+	// of the last event handled and the stream position heartbeats have
+	// advanced past frames the upstream withheld under this proxy's
+	// declared interest (a filtered frame is processed by definition —
+	// nobody here wanted it).
 	LastSeq uint64
 }
 
@@ -432,8 +494,16 @@ func (p *Proxy) PushStats() PushStats {
 	}
 	if p.sub != nil {
 		st.Connects = p.sub.Connects()
+		st.Bounces = p.sub.Bounces()
 		st.Resets = p.sub.Resets()
 		st.SkippedFrames = p.sub.SkippedFrames()
+		// An event's seq is stored after its poll is enqueued, and the
+		// subscriber advances only after the handler returns, so taking
+		// the max preserves the quiescence invariant "LastSeq advances
+		// only once the matching work is in flight".
+		if ls := p.sub.LastSeq(); ls > st.LastSeq {
+			st.LastSeq = ls
+		}
 	}
 	return st
 }

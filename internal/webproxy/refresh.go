@@ -339,6 +339,13 @@ func (p *Proxy) pollEntry(e *entry, kind pollKind) {
 		p.deferRetry(e, now, kind)
 		return
 	}
+	e.polls.Add(1)
+	switch kind {
+	case pollTriggered:
+		e.triggered.Add(1)
+	case pollPushed:
+		e.pushed.Add(1)
+	}
 
 	outcome := core.PollOutcome{
 		Now:      p.toSim(now),
@@ -394,15 +401,66 @@ func (p *Proxy) pollEntry(e *entry, kind pollKind) {
 	paired := e.paired
 	e.mu.Unlock()
 
+	rr := refreshResult{kind: kind, now: now, ttr: ttr, outcome: outcome, paired: paired}
 	if !resp.notModified {
+		rr.resized = true
+		rr.newSize = entrySize(e.key, resp.body)
+		// Confirmation relay: the cached copy is fresh as of now, so
+		// downstream subscribers can be told (published after the body
+		// swap above — a child that polls on this event must find the
+		// new version, not the stale one the pass-through event raced).
+		mod := now
+		if resp.hasLastMod {
+			mod = resp.lastMod
+		}
+		rr.relay = func() { p.relayConfirmedUpdate(e, mod) }
+	}
+	p.finishRefresh(e, rr)
+}
+
+// refreshResult carries what finishRefresh needs from the two paths
+// that install a fresh validation of an object: an origin poll
+// (pollEntry) and a direct pushed-value install (applyPushedValue).
+type refreshResult struct {
+	kind    pollKind
+	now     time.Time
+	outcome core.PollOutcome
+	paired  bool
+	// ttr is the policy's next regular interval; consumed only for
+	// kind == pollRegular (triggered and pushed refreshes leave the
+	// regular schedule untouched).
+	ttr time.Duration
+	// resized marks a body replacement: newSize re-charges the byte
+	// ledger and the budget is re-enforced.
+	resized bool
+	newSize int64
+	// relay, when non-nil, publishes the update downstream. It runs
+	// after the ledger update — and therefore after the body swap the
+	// caller performed — so a child that polls on the relayed event
+	// finds the fresh copy, never the stale one.
+	relay func()
+	// applied marks a pushed payload installed with no origin request.
+	applied bool
+}
+
+// finishRefresh is the post-refresh bookkeeping shared by every path
+// that installs a fresh validation of e — scheduled, triggered, and
+// pushed polls, and direct pushed-value installs. In order: byte-ledger
+// re-charge with budget re-enforcement, downstream relay publication,
+// the eviction-token-guarded controller observation, rescheduling,
+// §3.2 group triggering, and the observer emission. It reports whether
+// the entry survived (an eviction mid-refresh stops everything past the
+// controller guard: the object no longer owns a refresh slot).
+func (p *Proxy) finishRefresh(e *entry, rr refreshResult) bool {
+	if rr.resized {
 		// The refresh replaced the body: re-charge the byte ledger.
-		// Polls of one entry serialize on its affinity worker, so the
-		// size transition is single-threaded; resize itself is a no-op
-		// if the entry was evicted meanwhile. Growth can push the
+		// Refreshes of one entry serialize on its affinity worker, so
+		// the size transition is single-threaded; resize itself is a
+		// no-op if the entry was evicted meanwhile. Growth can push the
 		// ledger past MaxBytes with no admission in sight, so the
 		// budget is re-enforced here too (the refreshed object itself
 		// is protected — it is demonstrably live).
-		p.store.resize(e, entrySize(e.key, resp.body))
+		p.store.resize(e, rr.newSize)
 		if p.cfg.Eviction == EvictClock {
 			if p.cfg.MaxBytes >= 0 && e.size.Load() > p.cfg.MaxBytes {
 				// The body grew past the whole budget: an object this
@@ -419,58 +477,40 @@ func (p *Proxy) pollEntry(e *entry, kind pollKind) {
 			p.unwind(p.store.shrink(p.cfg.MaxObjects, p.cfg.MaxBytes, p.store.shardIndex(e.key), e))
 		}
 	}
-
-	if !resp.notModified {
-		// Confirmation relay: the cached copy is fresh as of now, so
-		// downstream subscribers can be told (published after the body
-		// swap above — a child that polls on this event must find the
-		// new version, not the stale one the pass-through event raced).
-		mod := now
-		if resp.hasLastMod {
-			mod = resp.lastMod
-		}
-		p.relayConfirmedUpdate(e, mod)
-	}
-
-	e.polls.Add(1)
-	switch kind {
-	case pollTriggered:
-		e.triggered.Add(1)
-	case pollPushed:
-		e.pushed.Add(1)
+	if rr.relay != nil {
+		rr.relay()
 	}
 
 	gs := p.groupState(e.group)
 	if gs != nil {
 		gs.mu.Lock()
 		// Re-check the eviction token under gs.mu: if the entry was
-		// evicted while this poll's fetch was in flight, leaveGroup
-		// has run (or will run) Forget for it, and feeding the outcome
-		// now would resurrect controller state for a non-resident
-		// object. The token is set before leaveGroup takes gs.mu, so
-		// whichever side acquires gs.mu second leaves the controller
-		// clean.
+		// evicted while this refresh was in flight, leaveGroup has run
+		// (or will run) Forget for it, and feeding the outcome now
+		// would resurrect controller state for a non-resident object.
+		// The token is set before leaveGroup takes gs.mu, so whichever
+		// side acquires gs.mu second leaves the controller clean.
 		if !e.evicted.Load() {
-			gs.ctrl.ObserveOutcome(core.ObjectID(e.key), outcome)
+			gs.ctrl.ObserveOutcome(core.ObjectID(e.key), rr.outcome)
 		}
 		gs.mu.Unlock()
 	}
 	if e.evicted.Load() {
-		return // evicted mid-poll: no reschedule, no triggering
+		return false // evicted mid-refresh: no reschedule, no triggering
 	}
 
-	if kind == pollRegular {
+	if rr.kind == pollRegular {
 		// While the push channel is healthy the regular poll is only a
 		// safety net; stretch it toward the upper bound and remember the
 		// paper-mode instant for the fallback sweep.
-		p.rescheduleHybrid(e, now, ttr)
+		p.rescheduleHybrid(e, rr.now, rr.ttr)
 	}
 	// Temporal group triggering; partitioned M_v pairs maintain their
-	// mutual guarantee through the tolerance split instead. Pushed polls
-	// trigger too: an update learned via the channel imposes the same
-	// mutual obligation as one learned by polling.
-	if kind != pollTriggered && outcome.Modified && gs != nil && !paired {
-		p.triggerGroup(e, gs, now)
+	// mutual guarantee through the tolerance split instead. Pushed
+	// refreshes trigger too: an update learned via the channel imposes
+	// the same mutual obligation as one learned by polling.
+	if rr.kind != pollTriggered && rr.outcome.Modified && gs != nil && !rr.paired {
+		p.triggerGroup(e, gs, rr.now)
 	}
 	if obs := p.cfg.PollObserver; obs != nil {
 		e.mu.RLock()
@@ -478,14 +518,16 @@ func (p *Proxy) pollEntry(e *entry, kind pollKind) {
 		e.mu.RUnlock()
 		obs(PollObservation{
 			Key:       e.key,
-			At:        now,
-			Modified:  outcome.Modified,
-			Triggered: kind == pollTriggered,
-			Pushed:    kind == pollPushed,
+			At:        rr.now,
+			Modified:  rr.outcome.Modified,
+			Triggered: rr.kind == pollTriggered,
+			Pushed:    rr.kind == pollPushed,
+			Applied:   rr.applied,
 			Value:     value,
 			HasValue:  hasValue,
 		})
 	}
+	return true
 }
 
 // deferRetry handles an upstream failure with capped exponential backoff

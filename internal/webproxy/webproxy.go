@@ -182,6 +182,27 @@ type Config struct {
 	// arrives for this long; it must exceed the origin's heartbeat
 	// interval. Defaults to 30s; negative disables the watchdog.
 	PushHeartbeatTimeout time.Duration
+	// PushInterest narrows the upstream subscription to a declared
+	// interest set instead of the full event stream: on every
+	// (re)connect the subscriber declares the union of PushPrefixes and
+	// PushGroups, one path-segment prefix per resident object, and —
+	// when relaying — every interest set its own downstream subscribers
+	// have declared. The upstream hub then skips frames outside the
+	// declaration, so an edge proxy caching a slice of the key space
+	// pays fan-out for that slice only. An object admitted (or a child
+	// connected) outside the current declaration bounces the stream to
+	// renegotiate; until the wider declaration is live such objects keep
+	// pure-polling freshness (see stretchTTR), so filtering never
+	// widens a Δt bound. False (the default) subscribes to everything.
+	PushInterest bool
+	// PushPrefixes and PushGroups seed the declared interest set when
+	// PushInterest is on: key prefixes and consistency groups this
+	// proxy wants announced even before anything matching is resident.
+	// With both empty and nothing resident the declaration is empty,
+	// which the wire cannot express and therefore widens to match-all —
+	// interest filtering fails open, never closed.
+	PushPrefixes []string
+	PushGroups   []string
 	// RelayEvents, when true, gives the proxy a downstream face: it
 	// republishes every upstream invalidation event and every locally
 	// confirmed update into its own hub (own sequence space), served at
@@ -428,6 +449,14 @@ type Proxy struct {
 	// byte-budget refusal — while value application was enabled.
 	pushApplied       atomic.Uint64
 	pushValueFallback atomic.Uint64
+	// downstream is the sticky union of every interest set a downstream
+	// subscriber has declared against the relay hub (see
+	// noteDownstreamInterest); folded into this proxy's own upstream
+	// declaration when PushInterest is on. Sticky by design: a child
+	// that drops and resumes re-declares the same slice, and keeping a
+	// departed child's terms only costs extra frames, never correctness.
+	downMu     sync.Mutex
+	downstream push.InterestSet
 
 	// Expvar-style cache counters. Misses, evictions, and capped
 	// admissions are counted on the (cold) admission/eviction paths
@@ -520,6 +549,12 @@ func New(cfg Config) (*Proxy, error) {
 			// whole subtree. Leaves that did not ask for payloads get
 			// invalidation-only frames (per-stream negotiation).
 			hubCfg.PayloadCap = cfg.PushPayloadCap
+		}
+		if cfg.PushInterest && cfg.PushURL != nil {
+			// Every downstream declaration folds into this proxy's own
+			// upstream interest, widening it (with a stream bounce) when
+			// a child wants a slice the current subscription filters out.
+			hubCfg.OnSubscribe = p.noteDownstreamInterest
 		}
 		p.relay = push.NewHub(hubCfg)
 	}
@@ -784,6 +819,16 @@ func (p *Proxy) admit(key string) (*entry, error) {
 	p.unwind(victims)
 	if group != "" {
 		p.joinGroup(e, group, groupDelta, valueDelta)
+	}
+	if p.sub != nil && p.cfg.PushInterest && !e.unpushable &&
+		!p.sub.DeclaredInterest().Matches(key, group) {
+		// The upstream declaration predates this object: its updates
+		// are filtered away before they ever reach us. Bounce the
+		// stream — the reconnect re-runs the interest closure with this
+		// resident included — while the stretch gate keeps the object
+		// on pure-polling freshness until the wider declaration is
+		// live, so the window never widens its Δt bound.
+		p.sub.Bounce()
 	}
 
 	e.mu.RLock()
