@@ -24,6 +24,7 @@
 //	internal/webserver    live HTTP origin
 //	internal/webproxy     live HTTP caching proxy (the Squid future work)
 //	internal/push         origin-driven invalidation channel (hybrid push–pull)
+//	internal/ops          operational surface (/metrics, /healthz, admin API)
 //	internal/sched        wall-clock min-heap refresh schedule
 //	internal/singleflight duplicate-suppressed cache admission
 //
@@ -100,6 +101,7 @@ import (
 	"broadway/internal/experiments"
 	"broadway/internal/httpx"
 	"broadway/internal/metrics"
+	"broadway/internal/ops"
 	"broadway/internal/push"
 	"broadway/internal/trace"
 	"broadway/internal/tracegen"
@@ -319,7 +321,42 @@ type (
 	// occupancy and per-subscriber lag, visible on both the origin
 	// (WebOrigin.PushHubStats) and every relay (WebProxy.RelayStats).
 	PushHubStats = push.HubStats
+	// WebProxyUpstreamStatus reports a proxy's upstream reachability:
+	// failed-fetch count, last error detail, and last success instant.
+	// The detail lives here (and on /healthz) — never on a client-facing
+	// 502 body.
+	WebProxyUpstreamStatus = webproxy.UpstreamStatus
+	// WebOriginStats aggregates an origin's serving counters and its
+	// event hub's state.
+	WebOriginStats = webserver.OriginStats
 )
+
+// Operational surface: /metrics (Prometheus text format), /healthz, and
+// a token-gated admin API over any combination of a WebProxy and a
+// WebOrigin. Mount an OpsHandler on its own listener; see
+// cmd/mcproxy's -ops-listen flag and examples/edgefleet.
+type (
+	// OpsHandler serves /metrics, /healthz, and /admin/*.
+	OpsHandler = ops.Handler
+	// OpsConfig parameterizes an OpsHandler.
+	OpsConfig = ops.Config
+	// OpsHealth is the /healthz response body.
+	OpsHealth = ops.Health
+	// OpsScrape is a parsed Prometheus exposition (see ParseOpsExposition).
+	OpsScrape = ops.Scrape
+	// OpsLabel is one label pair on a scraped series.
+	OpsLabel = ops.Label
+)
+
+// NewOpsHandler returns the operational-surface handler for a node. At
+// least one of cfg.Proxy and cfg.Origin must be set.
+func NewOpsHandler(cfg OpsConfig) (*OpsHandler, error) { return ops.NewHandler(cfg) }
+
+// ParseOpsExposition parses and strictly validates a Prometheus text
+// exposition (such as an OpsHandler /metrics response body): every
+// sample must be typed, series must be unique, label syntax must be
+// legal. Monitoring integration tests and cmd/opscheck are built on it.
+func ParseOpsExposition(r io.Reader) (*OpsScrape, error) { return ops.ParseExposition(r) }
 
 // Replacement policies for the live proxy.
 const (

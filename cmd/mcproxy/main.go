@@ -77,6 +77,7 @@ import (
 
 	"broadway/internal/core"
 	"broadway/internal/httpx"
+	"broadway/internal/ops"
 	"broadway/internal/webproxy"
 	"broadway/internal/webserver"
 )
@@ -109,6 +110,8 @@ func run(args []string) error {
 	pushValues := fs.Bool("push-values", false, "value-carrying push (protocol v2): negotiate payload delivery on the event stream and install pushed bodies directly, with no confirmation poll; with -relay-events the relayed stream carries payloads too, and with -demo the demo origin publishes them")
 	relayEvents := fs.Bool("relay-events", false, "republish invalidation events downstream: serve this proxy's own event stream so child proxies can subscribe to it (proxy hierarchy)")
 	eventsPath := fs.String("events-path", "/events", "path the relayed event stream is served at (with -relay-events)")
+	opsListen := fs.String("ops-listen", "", "operational-surface listen address serving /metrics, /healthz, and /admin (empty = disabled); kept off the proxy's own listener so scrapes and admin calls never share a port with cached content")
+	opsToken := fs.String("ops-token", "", "bearer token gating the /admin API on -ops-listen (empty = open)")
 	drain := fs.Duration("drain", 5*time.Second, "in-flight request drain timeout on shutdown")
 	runFor := fs.Duration("run-for", 0, "exit after this long (0 = run until interrupted)")
 	if err := fs.Parse(args); err != nil {
@@ -133,14 +136,16 @@ func run(args []string) error {
 	}
 
 	var stopDemo func()
+	var demoOrigin *webserver.Origin
 	if *demo {
 		if *originURL != "" {
 			return fmt.Errorf("-demo and -origin are mutually exclusive")
 		}
-		u, stop, err := startDemoOrigin(*demoListen, *pushValues)
+		o, u, stop, err := startDemoOrigin(*demoListen, *pushValues)
 		if err != nil {
 			return err
 		}
+		demoOrigin = o
 		stopDemo = stop
 		defer stopDemo()
 		*originURL = u
@@ -197,6 +202,31 @@ func run(args []string) error {
 	fmt.Printf("mcproxy listening on %s (origin %s, Δ=%v, δ=%v, mode %s, eviction %s, push %v, values %v, relay %v)\n",
 		*listen, origin, *delta, *groupDelta, *mode, evictionPolicy, *pushEnabled, *pushValues, *relayEvents)
 
+	var opsSrv *http.Server
+	if *opsListen != "" {
+		opsHandler, err := ops.NewHandler(ops.Config{
+			Proxy:  px,
+			Origin: demoOrigin,
+			Token:  *opsToken,
+		})
+		if err != nil {
+			return err
+		}
+		// net.Listen before Serve so ":0" resolves and the printed
+		// address is curlable (tests depend on this).
+		opsLn, err := net.Listen("tcp", *opsListen)
+		if err != nil {
+			return fmt.Errorf("ops listener: %w", err)
+		}
+		opsSrv = &http.Server{Handler: opsHandler}
+		go func() {
+			if err := opsSrv.Serve(opsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errCh <- fmt.Errorf("ops server: %w", err)
+			}
+		}()
+		fmt.Printf("ops surface listening on %s (/metrics /healthz /admin)\n", opsLn.Addr())
+	}
+
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)
 	defer signal.Stop(interrupt)
@@ -215,6 +245,11 @@ func run(args []string) error {
 	// reset active connections and clients would see truncated bodies.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if opsSrv != nil {
+		// The ops surface carries no client payloads; close it hard so
+		// the drain window belongs entirely to content requests.
+		opsSrv.Close()
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		// The drain window expired with requests still running: tear
 		// the rest down hard, and say so — clients saw truncated
@@ -230,8 +265,9 @@ func run(args []string) error {
 // origin also streams invalidation events at /events so the proxy can be
 // run with -push; with values it attaches each update's new body to the
 // event (value-carrying push), so a -push-values proxy installs updates
-// with zero confirmation polls.
-func startDemoOrigin(addr string, values bool) (string, func(), error) {
+// with zero confirmation polls. The *Origin is returned alongside the
+// URL so -ops-listen can export its stats too.
+func startDemoOrigin(addr string, values bool) (*webserver.Origin, string, func(), error) {
 	opts := []webserver.Option{
 		webserver.WithHistoryExtension(true),
 		webserver.WithPushHeartbeat(5 * time.Second),
@@ -260,7 +296,7 @@ func startDemoOrigin(addr string, values bool) (string, func(), error) {
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", nil, err
+		return nil, "", nil, err
 	}
 	srv := &http.Server{Handler: origin}
 	var wg sync.WaitGroup
@@ -293,5 +329,5 @@ func startDemoOrigin(addr string, values bool) (string, func(), error) {
 		srv.Close()
 		wg.Wait()
 	}
-	return "http://" + ln.Addr().String(), stop, nil
+	return origin, "http://" + ln.Addr().String(), stop, nil
 }

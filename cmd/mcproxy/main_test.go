@@ -9,10 +9,12 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"broadway/internal/ops"
 )
 
 func TestDemoOriginServesAndUpdates(t *testing.T) {
-	url, stop, err := startDemoOrigin("127.0.0.1:0", false)
+	_, url, stop, err := startDemoOrigin("127.0.0.1:0", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +42,7 @@ func TestDemoOriginServesAndUpdates(t *testing.T) {
 }
 
 func TestDemoOriginStopIsClean(t *testing.T) {
-	url, stop, err := startDemoOrigin("127.0.0.1:0", false)
+	_, url, stop, err := startDemoOrigin("127.0.0.1:0", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,6 +247,124 @@ func TestRunWithPushValuesServesPayloadStream(t *testing.T) {
 	if !strings.Contains(frame, "data: v2 1 ") || !strings.Contains(frame, " 65536 ") {
 		t.Fatalf("relay did not negotiate payload delivery: %q", frame)
 	}
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunWithOpsListenServesOperationalSurface: -ops-listen must expose
+// /metrics (parseable Prometheus text, covering the proxy AND the demo
+// origin), /healthz (200 once the push channel is up), and the
+// token-gated /admin API, all on a separate listener so scrapes never
+// share a port with cached content.
+func TestRunWithOpsListenServesOperationalSurface(t *testing.T) {
+	reserve := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+	addr, opsAddr := reserve(), reserve()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-demo", "-listen", addr, "-push", "-relay-events",
+			"-ops-listen", opsAddr, "-ops-token", "sesame", "-run-for", "6s"})
+	}()
+
+	// Warm the cache through the proxy so the scrape has traffic behind it.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("http://%s/news/story.html", addr))
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// /healthz turns 200 once the push subscription connects.
+	var health *http.Response
+	var err error
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		health, err = http.Get(fmt.Sprintf("http://%s/healthz", opsAddr))
+		if err == nil && health.StatusCode == http.StatusOK {
+			break
+		}
+		if err == nil {
+			health.Body.Close()
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("ops listener never came up: %v", err)
+	}
+	healthBody, _ := io.ReadAll(health.Body)
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, body %s", health.StatusCode, healthBody)
+	}
+	if !strings.Contains(string(healthBody), `"status": "ok"`) {
+		t.Errorf("/healthz body = %s", healthBody)
+	}
+
+	// /metrics parses under the strict exposition rules and covers the
+	// proxy's cache, the relay hub, and the demo origin's hub.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", opsAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := ops.ParseExposition(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics unparseable: %v", err)
+	}
+	for _, name := range []string{
+		ops.SeriesKey("broadway_cache_hits_total"),
+		ops.SeriesKey("broadway_hub_seq", ops.Label{Name: "hub", Value: ops.HubRelay}),
+		ops.SeriesKey("broadway_hub_seq", ops.Label{Name: "hub", Value: ops.HubOrigin}),
+		ops.SeriesKey("broadway_origin_polls_total"),
+	} {
+		if _, ok := scrape.Values[name]; !ok {
+			t.Errorf("scrape is missing %s", name)
+		}
+	}
+
+	// The admin API honors the token: no credentials 401, wrong 403,
+	// right one evicts.
+	resp, err = http.Post(fmt.Sprintf("http://%s/admin/evict?key=/news/story.html", opsAddr), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("tokenless admin call = %d, want 401", resp.StatusCode)
+	}
+	adminReq := func(token string) int {
+		req, err := http.NewRequest(http.MethodPost,
+			fmt.Sprintf("http://%s/admin/evict?key=/news/story.html", opsAddr), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := adminReq("wrong"); code != http.StatusForbidden {
+		t.Errorf("wrong-token admin call = %d, want 403", code)
+	}
+	if code := adminReq("sesame"); code != http.StatusOK {
+		t.Errorf("authorized admin call = %d, want 200", code)
+	}
+
 	if err := <-done; err != nil {
 		t.Fatalf("run: %v", err)
 	}

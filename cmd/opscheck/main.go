@@ -1,0 +1,38 @@
+// Command opscheck validates a Prometheus text exposition read from
+// stdin: it must parse under the strict rules of ops.ParseExposition
+// (every sample typed, no duplicate series) and contain at least one
+// sample. CI pipes `curl /metrics` through it so an exposition that a
+// real scraper would reject fails the build.
+//
+//	curl -fsS http://127.0.0.1:9090/metrics | opscheck
+//
+// On success it prints the series count; on failure it prints the parse
+// error and exits nonzero.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"broadway/internal/ops"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "opscheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	scrape, err := ops.ParseExposition(in)
+	if err != nil {
+		return err
+	}
+	if len(scrape.Values) == 0 {
+		return fmt.Errorf("exposition parsed but contains no samples")
+	}
+	fmt.Fprintf(out, "ok: %d series across %d families\n", len(scrape.Values), len(scrape.Types))
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAcceptsValidExposition(t *testing.T) {
+	in := strings.NewReader(`# HELP broadway_cache_hits_total Cache hits.
+# TYPE broadway_cache_hits_total counter
+broadway_cache_hits_total 42
+# TYPE broadway_hub_max_lag gauge
+broadway_hub_max_lag{hub="relay"} 3
+`)
+	var out strings.Builder
+	if err := run(in, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "ok: 2 series") {
+		t.Fatalf("unexpected output %q", out.String())
+	}
+}
+
+func TestRunRejectsUntypedSample(t *testing.T) {
+	if err := run(strings.NewReader("mystery_metric 1\n"), &strings.Builder{}); err == nil {
+		t.Fatal("untyped sample accepted")
+	}
+}
+
+func TestRunRejectsEmptyExposition(t *testing.T) {
+	if err := run(strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Fatal("empty exposition accepted")
+	}
+}

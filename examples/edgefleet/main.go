@@ -22,6 +22,11 @@
 //     root's — widening the declared interest chain-wide until the
 //     origin's updates for it reach the edge.
 //
+// Every node — origin, root, mids, leaves — also mounts the operational
+// surface (broadway.NewOpsHandler) on its own listener, so the whole
+// hierarchy is scrapeable: the run finishes by probing each node's
+// /healthz and cross-checking a /metrics scrape with the strict parser.
+//
 // Everything runs in-process on loopback and finishes in a few seconds.
 //
 // Run with:
@@ -71,6 +76,28 @@ func main() {
 	originSrv := httptest.NewServer(origin)
 	defer originSrv.Close()
 
+	// Every node gets its own ops listener: name → /metrics + /healthz +
+	// /admin, exactly what a scrape config would target per instance.
+	type opsNode struct {
+		name string
+		srv  *httptest.Server
+	}
+	var opsNodes []opsNode
+	mountOps := func(name string, px *broadway.WebProxy, o *broadway.WebOrigin) {
+		h, err := broadway.NewOpsHandler(broadway.OpsConfig{Proxy: px, Origin: o})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := httptest.NewServer(h)
+		opsNodes = append(opsNodes, opsNode{name, srv})
+	}
+	defer func() {
+		for _, n := range opsNodes {
+			n.srv.Close()
+		}
+	}()
+	mountOps("origin", nil, origin)
+
 	newNode := func(upstream string, relay bool, prefixes []string) (*broadway.WebProxy, *httptest.Server) {
 		up, err := url.Parse(upstream)
 		if err != nil {
@@ -108,6 +135,7 @@ func main() {
 		[]string{"/edge/0/", "/edge/1/", "/edge/2/", "/edge/3/"})
 	defer root.Close()
 	defer rootSrv.Close()
+	mountOps("root", root, nil)
 
 	// --- Mids: each declares half the shards to the root. ---
 	mids := make([]*broadway.WebProxy, 2)
@@ -117,6 +145,7 @@ func main() {
 			[]string{fmt.Sprintf("/edge/%d/", 2*j), fmt.Sprintf("/edge/%d/", 2*j+1)})
 		defer mids[j].Close()
 		defer midSrvs[j].Close()
+		mountOps(fmt.Sprintf("mid%d", j), mids[j], nil)
 	}
 
 	// --- Leaves: one shard each, fetched through their mid. ---
@@ -128,6 +157,7 @@ func main() {
 		fleet[i] = leaf
 		fleetSrvs[i] = httptest.NewServer(leaf)
 		defer fleetSrvs[i].Close()
+		mountOps(fmt.Sprintf("leaf%d", i), leaf, nil)
 	}
 
 	// Warm each leaf with ITS shard only (which warms the chain once).
@@ -188,9 +218,43 @@ func main() {
 	fmt.Printf("  widening bounces: root=%d mid0=%d leaf0=%d (each hop re-declared a wider interest)\n",
 		root.PushStats().Bounces, mids[0].PushStats().Bounces, fleet[0].PushStats().Bounces)
 
+	// --- Operational sweep: probe every node the way monitoring would. ---
+	fmt.Printf("\nops sweep: %d scrape targets (one per node)\n", len(opsNodes))
+	for _, n := range opsNodes {
+		resp, err := http.Get(n.srv.URL + "/healthz")
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		health := "ok"
+		if resp.StatusCode != http.StatusOK {
+			health = fmt.Sprintf("degraded (%d)", resp.StatusCode)
+		}
+		m, err := http.Get(n.srv.URL + "/metrics")
+		if err != nil {
+			log.Fatal(err)
+		}
+		scrape, err := broadway.ParseOpsExposition(m.Body)
+		m.Body.Close()
+		if err != nil {
+			log.Fatalf("%s: /metrics failed strict parse: %v", n.name, err)
+		}
+		switch n.name {
+		case "origin":
+			seq, _ := scrape.Value("broadway_hub_seq", broadway.OpsLabel{Name: "hub", Value: "origin"})
+			fmt.Printf("  %-7s healthz=%s  %d series  hub seq %.0f\n", n.name, health, len(scrape.Values), seq)
+		default:
+			events, _ := scrape.Value("broadway_push_events_total")
+			filtered, _ := scrape.Value("broadway_hub_filtered_total", broadway.OpsLabel{Name: "hub", Value: "relay"})
+			fmt.Printf("  %-7s healthz=%s  %d series  events %.0f  relay-filtered %.0f\n",
+				n.name, health, len(scrape.Values), events, filtered)
+		}
+	}
+
 	fmt.Println("\nThe origin carried ONE subscriber and ONE poller's load for the whole fleet;")
 	fmt.Println("every hub rendered each event once and skipped it for subscribers that never")
 	fmt.Println("declared it, and one out-of-set fetch re-negotiated interest up the whole chain.")
+	fmt.Println("Every node exposed /metrics and /healthz, and every scrape passed strict parsing.")
 }
 
 func report(origin *broadway.WebOrigin, root *broadway.WebProxy, mids, fleet []*broadway.WebProxy) {

@@ -1,0 +1,132 @@
+package ops
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"broadway/internal/webproxy"
+	"broadway/internal/webserver"
+)
+
+// EvictResult is the /admin/evict response body.
+type EvictResult struct {
+	Key     string `json:"key"`
+	Evicted bool   `json:"evicted"`
+}
+
+// KillStreamsResult is the /admin/kill-streams response body, reporting
+// which stream sets the call could reach on this node.
+type KillStreamsResult struct {
+	RelayKilled  bool `json:"relay_killed"`
+	OriginKilled bool `json:"origin_killed"`
+}
+
+// StatsDump is the /admin/stats response body: every stats struct the
+// node exposes, verbatim JSON. Sections for absent components are
+// omitted.
+type StatsDump struct {
+	Cache    *webproxy.CacheStats     `json:"cache,omitempty"`
+	Upstream *webproxy.UpstreamStatus `json:"upstream,omitempty"`
+	Push     *webproxy.PushStats      `json:"push,omitempty"`
+	Relay    *webproxy.RelayStats     `json:"relay,omitempty"`
+	Origin   *webserver.OriginStats   `json:"origin,omitempty"`
+}
+
+// serveAdmin routes the (already authorized) admin API.
+func (h *Handler) serveAdmin(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/admin/evict":
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
+		h.adminEvict(w, r)
+	case "/admin/kill-streams":
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
+		h.adminKillStreams(w, r)
+	case "/admin/stats":
+		if !allowReadMethods(w, r) {
+			return
+		}
+		h.adminStats(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// requireMethod admits exactly one method, answering everything else
+// with a conformant 405.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	return false
+}
+
+// adminEvict drops one cached object by key, mirroring Proxy.Evict: the
+// next request re-fetches from upstream.
+func (h *Handler) adminEvict(w http.ResponseWriter, r *http.Request) {
+	p := h.cfg.Proxy
+	if p == nil {
+		http.Error(w, "no proxy on this node", http.StatusUnprocessableEntity)
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing key parameter", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, EvictResult{Key: key, Evicted: p.Evict(key)})
+}
+
+// adminKillStreams severs every push stream this node owns — the relay
+// hub's downstream subscribers and/or the origin hub's — without
+// disabling the endpoints, so clients reconnect and resume. It is the
+// operational form of the chaos tests' transient network cut.
+func (h *Handler) adminKillStreams(w http.ResponseWriter, r *http.Request) {
+	res := KillStreamsResult{}
+	if p := h.cfg.Proxy; p != nil && p.RelayStats().Enabled {
+		p.KillRelayStreams()
+		res.RelayKilled = true
+	}
+	if o := h.cfg.Origin; o != nil && o.Stats().PushEnabled {
+		o.KillPushStreams()
+		res.OriginKilled = true
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// adminStats dumps every stats struct as JSON — the machine-readable
+// sibling of /metrics, with nothing flattened away.
+func (h *Handler) adminStats(w http.ResponseWriter, r *http.Request) {
+	dump := StatsDump{}
+	if p := h.cfg.Proxy; p != nil {
+		cs, us, ps, rs := p.CacheStats(), p.UpstreamStatus(), p.PushStats(), p.RelayStats()
+		dump.Cache = &cs
+		dump.Upstream = &us
+		dump.Push = &ps
+		dump.Relay = &rs
+	}
+	if o := h.cfg.Origin; o != nil {
+		os := o.Stats()
+		dump.Origin = &os
+	}
+	if r.Method == http.MethodHead {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	writeJSON(w, http.StatusOK, dump)
+}
+
+// writeJSON renders v as indented JSON with the right headers.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

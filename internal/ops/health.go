@@ -1,0 +1,211 @@
+package ops
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Health states. A node is "ok" when every applicable check is; any
+// degraded check degrades the whole response (and turns it into a 503,
+// so plain HTTP probes and load balancers need no JSON parsing).
+const (
+	StatusOK       = "ok"
+	StatusDegraded = "degraded"
+	StatusDisabled = "disabled"
+)
+
+// Health is the /healthz response body. Checks for components the node
+// does not run are omitted.
+type Health struct {
+	Status string `json:"status"` // ok | degraded
+
+	// Upstream reports origin reachability: degraded while the most
+	// recent upstream fetch failed (LastErrorAt after LastOKAt).
+	Upstream *UpstreamHealth `json:"upstream,omitempty"`
+	// Push reports invalidation-channel liveness: degraded when the
+	// channel is enabled but disconnected (paper-mode fallback in
+	// effect), or connected yet silent past its heartbeat timeout.
+	Push *PushHealth `json:"push,omitempty"`
+	// Relay reports downstream backpressure: degraded when a
+	// subscriber's lag reaches the replay ring's capacity (the next
+	// reconnect Resets) or subscribers were slow-killed since the
+	// previous probe.
+	Relay *RelayHealth `json:"relay,omitempty"`
+	// OriginHub reports the origin's event endpoint availability.
+	OriginHub *OriginHubHealth `json:"origin_hub,omitempty"`
+}
+
+// UpstreamHealth is the origin-reachability check of a proxy node.
+type UpstreamHealth struct {
+	Status string `json:"status"`
+	// Errors is the all-time failed-fetch count; LastError the most
+	// recent failure's detail (operator-facing — this is the data the
+	// client-facing 502 deliberately omits).
+	Errors    uint64 `json:"errors"`
+	LastError string `json:"last_error,omitempty"`
+	// LastErrorAgeSeconds and LastOKAgeSeconds are the ages of the most
+	// recent failed and successful fetches; -1 before any.
+	LastErrorAgeSeconds float64 `json:"last_error_age_seconds"`
+	LastOKAgeSeconds    float64 `json:"last_ok_age_seconds"`
+}
+
+// PushHealth is the invalidation-channel liveness check of a proxy node.
+type PushHealth struct {
+	Status    string `json:"status"` // ok | degraded | disabled
+	Connected bool   `json:"connected"`
+	// SinceLastFrameSeconds is the time since any stream frame arrived
+	// (-1 before the first); HeartbeatTimeoutSeconds is the watchdog
+	// interval it is judged against.
+	SinceLastFrameSeconds   float64 `json:"since_last_frame_seconds"`
+	HeartbeatTimeoutSeconds float64 `json:"heartbeat_timeout_seconds"`
+	// Fallbacks counts healthy-to-disconnected transitions to date.
+	Fallbacks uint64 `json:"fallbacks"`
+}
+
+// RelayHealth is the downstream-backpressure check of a relaying node.
+type RelayHealth struct {
+	Status      string `json:"status"` // ok | degraded | disabled
+	Subscribers int    `json:"subscribers"`
+	MaxLag      uint64 `json:"max_lag"`
+	ReplayCap   int    `json:"replay_cap"`
+	// SlowKillsDelta is the subscribers slow-killed since the previous
+	// /healthz probe (the first probe reports the all-time count).
+	SlowKillsDelta uint64 `json:"slow_kills_delta"`
+	Resets         uint64 `json:"resets"`
+}
+
+// OriginHubHealth is the event-endpoint check of an origin node.
+type OriginHubHealth struct {
+	Status      string `json:"status"` // ok | degraded | disabled
+	Available   bool   `json:"available"`
+	Subscribers int    `json:"subscribers"`
+}
+
+// serveHealthz evaluates every applicable check and answers 200 for ok,
+// 503 for degraded, with the Health JSON either way.
+func (h *Handler) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	health := h.checkHealth()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	code := http.StatusOK
+	if health.Status != StatusOK {
+		code = http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	if r.Method != http.MethodHead {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(health)
+	}
+}
+
+// checkHealth builds the Health snapshot for the configured components.
+func (h *Handler) checkHealth() Health {
+	now := h.cfg.Now()
+	out := Health{Status: StatusOK}
+	degrade := func(s string) {
+		if s == StatusDegraded {
+			out.Status = StatusDegraded
+		}
+	}
+
+	if p := h.cfg.Proxy; p != nil {
+		us := p.UpstreamStatus()
+		up := &UpstreamHealth{
+			Status:              StatusOK,
+			Errors:              us.Errors,
+			LastError:           us.LastError,
+			LastErrorAgeSeconds: -1,
+			LastOKAgeSeconds:    -1,
+		}
+		if !us.LastErrorAt.IsZero() {
+			up.LastErrorAgeSeconds = now.Sub(us.LastErrorAt).Seconds()
+		}
+		if !us.LastOKAt.IsZero() {
+			up.LastOKAgeSeconds = now.Sub(us.LastOKAt).Seconds()
+		}
+		// Degraded while the most recent contact failed. No contact at
+		// all is ok: an idle proxy with an empty cache has nothing to
+		// prove reachability against.
+		if !us.LastErrorAt.IsZero() && us.LastErrorAt.After(us.LastOKAt) {
+			up.Status = StatusDegraded
+		}
+		out.Upstream = up
+		degrade(up.Status)
+
+		ps := p.PushStats()
+		ph := &PushHealth{
+			Status:                  StatusDisabled,
+			Connected:               ps.Connected,
+			SinceLastFrameSeconds:   -1,
+			HeartbeatTimeoutSeconds: ps.HeartbeatTimeout.Seconds(),
+			Fallbacks:               ps.Fallbacks,
+		}
+		if !ps.LastFrameAt.IsZero() {
+			ph.SinceLastFrameSeconds = now.Sub(ps.LastFrameAt).Seconds()
+		}
+		if ps.Enabled {
+			switch {
+			case !ps.Connected:
+				// The subscriber flips Connected the instant its stream
+				// dies, so a SetPushAvailable(false) upstream reflects
+				// here within one heartbeat — long before the fallback
+				// sweep's effects are visible in poll traffic.
+				ph.Status = StatusDegraded
+			case ps.HeartbeatTimeout > 0 && !ps.LastFrameAt.IsZero() &&
+				now.Sub(ps.LastFrameAt) > ps.HeartbeatTimeout:
+				// Connected but silent past the watchdog: the stream is
+				// about to be declared dead; surface it now.
+				ph.Status = StatusDegraded
+			default:
+				ph.Status = StatusOK
+			}
+		}
+		out.Push = ph
+		degrade(ph.Status)
+
+		rs := p.RelayStats()
+		rh := &RelayHealth{
+			Status:      StatusDisabled,
+			Subscribers: rs.Hub.Subscribers,
+			MaxLag:      rs.Hub.MaxLag,
+			ReplayCap:   rs.Hub.ReplayCap,
+			Resets:      rs.Hub.Resets,
+		}
+		if rs.Enabled {
+			h.mu.Lock()
+			rh.SlowKillsDelta = rs.Hub.SlowKills - h.lastSlowKills
+			h.lastSlowKills = rs.Hub.SlowKills
+			h.mu.Unlock()
+			rh.Status = StatusOK
+			if rh.SlowKillsDelta > 0 {
+				rh.Status = StatusDegraded
+			}
+			if rs.Hub.ReplayCap > 0 && rs.Hub.MaxLag >= uint64(rs.Hub.ReplayCap) {
+				// A subscriber this far behind cannot be replayed to:
+				// its next reconnect is a Reset and a fallback sweep.
+				rh.Status = StatusDegraded
+			}
+		}
+		out.Relay = rh
+		degrade(rh.Status)
+	}
+
+	if o := h.cfg.Origin; o != nil {
+		os := o.Stats()
+		oh := &OriginHubHealth{
+			Status:      StatusDisabled,
+			Available:   os.Hub.Available,
+			Subscribers: os.Hub.Subscribers,
+		}
+		if os.PushEnabled {
+			oh.Status = StatusOK
+			if !os.Hub.Available {
+				oh.Status = StatusDegraded
+			}
+		}
+		out.OriginHub = oh
+		degrade(oh.Status)
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package ops
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"time"
+
+	"broadway/internal/push"
+	"broadway/internal/webproxy"
+	"broadway/internal/webserver"
+)
+
+// This file flattens the in-process stats structs — CacheStats,
+// PushStats, RelayStats, OriginStats, and both hubs' HubStats — into
+// the /metrics exposition. The names below are STABLE: dashboards and
+// alerts hang off them, and TestMetricsCrossCheckAgainstStructs walks
+// every struct field against this mapping, so adding a stats field
+// without exporting it (or renaming a metric) fails the build's tests.
+
+// Hub label values: the same HubStats shape is exported for a proxy's
+// downstream relay hub and an origin's event hub, distinguished by the
+// hub label.
+const (
+	HubRelay  = "relay"
+	HubOrigin = "origin"
+)
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// timestampSeconds renders a time as a unix-seconds gauge, 0 when unset
+// (the Prometheus convention for *_timestamp_seconds).
+func timestampSeconds(t time.Time) float64 {
+	if t.IsZero() {
+		return 0
+	}
+	return float64(t.UnixNano()) / 1e9
+}
+
+// writeProxyMetrics emits the proxy's cache, upstream, push-channel,
+// and relay families.
+func writeProxyMetrics(e *exposition, p *webproxy.Proxy) {
+	cs := p.CacheStats()
+	e.counter("broadway_cache_hits_total", "Cache hits on resident objects.", float64(cs.Hits))
+	e.counter("broadway_cache_misses_total", "Requests that entered the admission path.", float64(cs.Misses))
+	e.counter("broadway_cache_evictions_total", "Objects displaced by replacement or admin eviction.", float64(cs.Evictions))
+	e.counter("broadway_cache_capped_total", "Admissions refused residency at capacity.", float64(cs.Capped))
+	e.gauge("broadway_cache_resident_objects", "Currently cached objects.", float64(cs.ResidentObjects))
+	e.gauge("broadway_cache_resident_bytes", "Approximate resident bytes of cached objects.", float64(cs.ResidentBytes))
+
+	us := p.UpstreamStatus()
+	e.counter("broadway_upstream_errors_total", "Failed upstream fetches (all refresh and admission paths).", float64(us.Errors))
+	e.gauge("broadway_upstream_last_error_timestamp_seconds", "Unix time of the most recent failed upstream fetch (0 before any).", timestampSeconds(us.LastErrorAt))
+	e.gauge("broadway_upstream_last_ok_timestamp_seconds", "Unix time of the most recent successful upstream fetch (0 before any).", timestampSeconds(us.LastOKAt))
+
+	ps := p.PushStats()
+	e.gauge("broadway_push_enabled", "1 when the proxy subscribes to an invalidation channel.", boolVal(ps.Enabled))
+	e.gauge("broadway_push_connected", "1 while the invalidation channel is healthy (also CacheStats.PushConnected).", boolVal(ps.Connected))
+	e.counter("broadway_push_events_total", "Update notifications received on the channel (also CacheStats.PushEvents).", float64(ps.Events))
+	e.counter("broadway_push_polls_total", "Pushed jobs enqueued from events (also CacheStats.PushPolls).", float64(ps.Polls))
+	e.counter("broadway_push_dropped_total", "Events dropped for non-resident objects.", float64(ps.Dropped))
+	e.counter("broadway_push_value_applied_total", "Pushed payloads installed directly, zero origin polls.", float64(ps.ValueApplied))
+	e.counter("broadway_push_value_fallbacks_total", "Pushed jobs degraded to a confirmation poll.", float64(ps.ValueFallbacks))
+	e.counter("broadway_push_fallbacks_total", "Healthy-to-disconnected transitions, each running a catch-up sweep (also CacheStats.PushFallbacks).", float64(ps.Fallbacks))
+	e.counter("broadway_push_connects_total", "Successful stream establishments.", float64(ps.Connects))
+	e.counter("broadway_push_bounces_total", "Deliberate stream drops forcing interest renegotiation.", float64(ps.Bounces))
+	e.counter("broadway_push_stream_resets_total", "Mid-stream hello/Reset frames received.", float64(ps.Resets))
+	e.counter("broadway_push_skipped_frames_total", "Oversized or undecodable stream lines dropped in place.", float64(ps.SkippedFrames))
+	e.gauge("broadway_push_last_seq", "Last fully processed stream position.", float64(ps.LastSeq))
+	e.gauge("broadway_push_last_frame_timestamp_seconds", "Unix time of the last stream frame of any kind (0 before any).", timestampSeconds(ps.LastFrameAt))
+	e.gauge("broadway_push_heartbeat_timeout_seconds", "Watchdog interval declaring the stream dead without frames.", ps.HeartbeatTimeout.Seconds())
+
+	rs := p.RelayStats()
+	e.gauge("broadway_relay_enabled", "1 when the proxy relays events downstream.", boolVal(rs.Enabled))
+	e.gauge("broadway_relay_info", "Constant 1; the path label names the relayed stream's endpoint.", 1, Label{"path", rs.Path})
+	writeHubMetrics(e, rs.Hub, HubRelay)
+}
+
+// writeHubMetrics emits one hub's HubStats under the given hub label.
+func writeHubMetrics(e *exposition, hs push.HubStats, which string) {
+	l := Label{"hub", which}
+	e.gauge("broadway_hub_seq", "Last assigned sequence number.", float64(hs.Seq), l)
+	e.gauge("broadway_hub_subscribers", "Registered streams.", float64(hs.Subscribers), l)
+	e.gauge("broadway_hub_active_streams", "Stream handler goroutines (surplus over subscribers is unwinding handlers).", float64(hs.ActiveStreams), l)
+	e.gauge("broadway_hub_replay_events", "Replay ring occupancy in events.", float64(hs.ReplayLen), l)
+	e.gauge("broadway_hub_replay_events_cap", "Replay ring capacity in events.", float64(hs.ReplayCap), l)
+	e.gauge("broadway_hub_replay_bytes", "Replay ring resident wire bytes.", float64(hs.ReplayBytes), l)
+	e.gauge("broadway_hub_replay_bytes_cap", "Replay ring byte budget (-1 unbounded).", float64(hs.ReplayByteCap), l)
+	e.counter("broadway_hub_oversized_total", "Update events dropped for exceeding the wire envelope limit.", float64(hs.Oversized), l)
+	e.counter("broadway_hub_degraded_total", "Payloads stripped at publish for exceeding the hub cap.", float64(hs.Degraded), l)
+	e.counter("broadway_hub_resets_total", "Hole announcements (mid-stream Resets) made.", float64(hs.Resets), l)
+	e.counter("broadway_hub_resume_holes_total", "Reset hellos served to resuming subscribers.", float64(hs.ResumeHoles), l)
+	e.counter("broadway_hub_slow_kills_total", "Subscribers terminated for not draining their stream.", float64(hs.SlowKills), l)
+	e.counter("broadway_hub_filtered_total", "Update frames skipped by interest filtering.", float64(hs.Filtered), l)
+	e.gauge("broadway_hub_available", "1 while the endpoint accepts streams.", boolVal(hs.Available), l)
+	e.gauge("broadway_hub_max_lag", "Largest per-subscriber lag behind the stream head.", float64(hs.MaxLag), l)
+	lags := make([]float64, len(hs.Lags))
+	for i, v := range hs.Lags {
+		lags[i] = float64(v)
+	}
+	e.histogram("broadway_hub_subscriber_lag", "Per-subscriber lag behind the stream head, one observation per subscriber per scrape.", lags, l)
+}
+
+// writeOriginMetrics emits the origin's serving counters and its event
+// hub under hub="origin".
+func writeOriginMetrics(e *exposition, o *webserver.Origin) {
+	os := o.Stats()
+	e.gauge("broadway_origin_objects", "Hosted resources.", float64(os.Objects))
+	e.counter("broadway_origin_polls_total", "Conditional or plain GETs served for hosted objects.", float64(os.Polls))
+	e.counter("broadway_origin_not_modified_total", "304 responses served.", float64(os.NotModified))
+	e.gauge("broadway_origin_push_enabled", "1 when the origin streams invalidation events.", boolVal(os.PushEnabled))
+	writeHubMetrics(e, os.Hub, HubOrigin)
+}
+
+// serveMetrics renders the exposition for the configured components.
+func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	e := newExposition()
+	if h.cfg.Proxy != nil {
+		writeProxyMetrics(e, h.cfg.Proxy)
+	}
+	if h.cfg.Origin != nil {
+		writeOriginMetrics(e, h.cfg.Origin)
+	}
+	var buf bytes.Buffer
+	e.render(&buf)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		w.Write(buf.Bytes())
+	}
+}

@@ -1,0 +1,126 @@
+// Package ops is the operational surface of the live stack: a
+// dependency-free Prometheus-text /metrics endpoint flattening the
+// in-process stats (CacheStats, PushStats, RelayStats, OriginStats,
+// and both hubs' HubStats), a /healthz endpoint reporting upstream
+// reachability, push-channel liveness, and relay backpressure, and a
+// small admin API (evict, kill-streams, stats dump) gated by an
+// optional bearer token.
+//
+// One Handler serves any combination of a proxy and an origin — a leaf
+// proxy exports its cache and subscription, a relaying mid adds its hub,
+// an origin node exports its serving counters and event hub, and a
+// single-process demo (mcproxy -demo) exports both at once. Mount it on
+// its own listener (mcproxy -ops-listen) so operational traffic never
+// shares a port with cached content.
+package ops
+
+import (
+	"crypto/subtle"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"broadway/internal/webproxy"
+	"broadway/internal/webserver"
+)
+
+// Config parameterizes a Handler. At least one of Proxy and Origin must
+// be set.
+type Config struct {
+	// Proxy, when set, exports the proxy's cache/push/relay metrics,
+	// health checks, and admin actions.
+	Proxy *webproxy.Proxy
+	// Origin, when set, exports the origin's serving counters and event
+	// hub (an origin node, or the in-process demo origin).
+	Origin *webserver.Origin
+	// Token, when non-empty, gates every /admin/* route behind
+	// "Authorization: Bearer <Token>": requests without credentials get
+	// 401, requests with wrong credentials get 403. Empty leaves the
+	// admin API open (trusted-network deployments); /metrics and
+	// /healthz are never gated.
+	Token string
+	// Now substitutes the clock (tests); defaults to time.Now.
+	Now func() time.Time
+}
+
+// Handler serves /metrics, /healthz, and the /admin API.
+type Handler struct {
+	cfg Config
+
+	// lastSlowKills backs the health probe's SlowKills delta: each
+	// /healthz call reports the kills since the previous one, so a
+	// single historic kill does not latch the node degraded forever.
+	mu            sync.Mutex
+	lastSlowKills uint64
+}
+
+var _ http.Handler = (*Handler)(nil)
+
+// NewHandler validates cfg and returns the ops handler.
+func NewHandler(cfg Config) (*Handler, error) {
+	if cfg.Proxy == nil && cfg.Origin == nil {
+		return nil, errors.New("ops: Config needs a Proxy or an Origin (or both)")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Handler{cfg: cfg}, nil
+}
+
+// ServeHTTP routes the operational endpoints. Unknown paths 404 so the
+// handler can share a mux prefix without swallowing anything else.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/metrics":
+		if !allowReadMethods(w, r) {
+			return
+		}
+		h.serveMetrics(w, r)
+	case r.URL.Path == "/healthz":
+		if !allowReadMethods(w, r) {
+			return
+		}
+		h.serveHealthz(w, r)
+	case strings.HasPrefix(r.URL.Path, "/admin/"):
+		if !h.authorize(w, r) {
+			return
+		}
+		h.serveAdmin(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// allowReadMethods admits GET and HEAD, answering anything else with a
+// conformant 405 (Allow header set).
+func allowReadMethods(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	return false
+}
+
+// authorize enforces the bearer token on /admin/* routes: 401 for
+// absent or malformed credentials, 403 for wrong ones. Comparison is
+// constant-time so the token cannot be recovered byte by byte.
+func (h *Handler) authorize(w http.ResponseWriter, r *http.Request) bool {
+	if h.cfg.Token == "" {
+		return true
+	}
+	auth := r.Header.Get("Authorization")
+	got, ok := strings.CutPrefix(auth, "Bearer ")
+	if !ok || got == "" {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="broadway-ops"`)
+		http.Error(w, "authorization required", http.StatusUnauthorized)
+		return false
+	}
+	if subtle.ConstantTimeCompare([]byte(got), []byte(h.cfg.Token)) != 1 {
+		http.Error(w, "forbidden", http.StatusForbidden)
+		return false
+	}
+	return true
+}

@@ -420,6 +420,9 @@ type HubStats struct {
 	ResumeHoles uint64
 	SlowKills   uint64
 	Filtered    uint64
+	// Available reports whether the endpoint is accepting streams (see
+	// SetAvailable; a disabled hub 503s new connections).
+	Available bool
 	// MaxLag is the largest per-subscriber lag (sequence distance
 	// between the stream head and the last frame written to that
 	// subscriber's wire); Lags lists every subscriber's.
@@ -427,10 +430,12 @@ type HubStats struct {
 	Lags   []uint64
 }
 
-// Stats snapshots the hub's backpressure state.
+// Stats snapshots the hub's backpressure state. The per-subscriber lag
+// walk runs OUTSIDE the hub lock — subscriber pointers are snapshotted
+// under it, lastSent is atomic — so a metrics scraper polling Stats can
+// never contend with Publish for the duration of the walk.
 func (h *Hub) Stats() HubStats {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	st := HubStats{
 		Seq:           h.seq,
 		Subscribers:   len(h.subs),
@@ -445,11 +450,18 @@ func (h *Hub) Stats() HubStats {
 		ResumeHoles:   h.resumeHoles,
 		SlowKills:     h.slowKills,
 		Filtered:      h.filtered.Load(),
+		Available:     h.available,
 	}
+	subs := make([]*hubSub, 0, len(h.subs))
 	for s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	st.Lags = make([]uint64, 0, len(subs))
+	for _, s := range subs {
 		var lag uint64
-		if sent := s.lastSent.Load(); sent < h.seq {
-			lag = h.seq - sent
+		if sent := s.lastSent.Load(); sent < st.Seq {
+			lag = st.Seq - sent
 		}
 		st.Lags = append(st.Lags, lag)
 		if lag > st.MaxLag {
@@ -476,6 +488,7 @@ func (h *Hub) Stats() HubStats {
 // goroutine inside the write until the kernel buffer drains.
 func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}

@@ -76,6 +76,12 @@ type Subscriber struct {
 	cfg     SubscriberConfig
 	lastSeq atomic.Uint64
 
+	// lastFrame is the wall-clock instant (unix nanoseconds) the last
+	// stream frame of any kind arrived; 0 before the first. Together
+	// with HeartbeatTimeout it bounds how stale a "connected" reading
+	// can be — the liveness signal a health endpoint reports.
+	lastFrame atomic.Int64
+
 	// declared is the interest set sent with the current (or most
 	// recent) connection attempt — what the upstream is actually
 	// filtering by, as opposed to what Interest would return now.
@@ -137,6 +143,22 @@ func NewSubscriber(cfg SubscriberConfig) (*Subscriber, error) {
 // LastSeq returns the sequence number of the last update event handed to
 // OnEvent (0 before any).
 func (s *Subscriber) LastSeq() uint64 { return s.lastSeq.Load() }
+
+// LastFrameAt returns the wall-clock instant the last stream frame of
+// any kind (update, hello, heartbeat) arrived, or the zero time before
+// the first. A connected stream whose LastFrameAt trails now by more
+// than HeartbeatTimeout is about to be declared dead by the watchdog.
+func (s *Subscriber) LastFrameAt() time.Time {
+	n := s.lastFrame.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// HeartbeatTimeout returns the resolved watchdog interval (the
+// configured value with defaults applied; <= 0 means disabled).
+func (s *Subscriber) HeartbeatTimeout() time.Duration { return s.cfg.HeartbeatTimeout }
 
 // Connects returns the number of successfully established streams.
 func (s *Subscriber) Connects() uint64 { return s.connects.Load() }
@@ -423,6 +445,7 @@ func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 				}
 				return connected, err
 			}
+			s.lastFrame.Store(time.Now().UnixNano())
 			if watchdog != nil {
 				if !watchdog.Stop() {
 					<-watchdog.C

@@ -477,6 +477,13 @@ type PushStats struct {
 	// declared interest (a filtered frame is processed by definition —
 	// nobody here wanted it).
 	LastSeq uint64
+	// LastFrameAt is the wall-clock instant the last stream frame of
+	// any kind arrived (zero before the first); HeartbeatTimeout is the
+	// resolved watchdog interval. Together they bound how stale a
+	// Connected reading can be — a health probe flags a connected
+	// channel whose LastFrameAt trails now by more than the timeout.
+	LastFrameAt      time.Time
+	HeartbeatTimeout time.Duration
 }
 
 // PushStats returns the invalidation-channel counters.
@@ -497,6 +504,8 @@ func (p *Proxy) PushStats() PushStats {
 		st.Bounces = p.sub.Bounces()
 		st.Resets = p.sub.Resets()
 		st.SkippedFrames = p.sub.SkippedFrames()
+		st.LastFrameAt = p.sub.LastFrameAt()
+		st.HeartbeatTimeout = p.sub.HeartbeatTimeout()
 		// An event's seq is stored after its poll is enqueued, and the
 		// subscriber advances only after the handler returns, so taking
 		// the max preserves the quiescence invariant "LastSeq advances

@@ -466,6 +466,14 @@ type Proxy struct {
 	evictions atomic.Uint64
 	cappedN   atomic.Uint64
 
+	// Upstream-health state (see UpstreamStatus): written on the cold
+	// fetch path only, read by /healthz and /metrics scrapes.
+	upMu              sync.Mutex
+	upstreamErrs      uint64
+	lastUpstreamErr   string
+	lastUpstreamErrAt time.Time
+	lastUpstreamOKAt  time.Time
+
 	lifeMu  sync.Mutex
 	started bool
 	closed  bool
@@ -661,7 +669,11 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.relay.ServeHTTP(w, r)
 		return
 	}
-	if r.Method != http.MethodGet {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		// RFC 9110 §15.5.6: a 405 must name the methods the resource
+		// supports. HEAD is served from the cached entry's headers with
+		// no body, exactly like the 304 face.
+		w.Header().Set("Allow", "GET, HEAD")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
@@ -679,7 +691,11 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	p.misses.Add(1)
 	v, err, _ := p.flight.Do(key, func() (any, error) { return p.admit(key) })
 	if err != nil {
-		http.Error(w, fmt.Sprintf("upstream fetch failed: %v", err), http.StatusBadGateway)
+		// The raw error names upstream hosts and transport details —
+		// operator data, not client data. Clients get a generic 502;
+		// the detail is retained in UpstreamStatus for /healthz and
+		// the upstream-error counter for /metrics.
+		http.Error(w, "upstream fetch failed", http.StatusBadGateway)
 		return
 	}
 	e := v.(*entry)
@@ -712,7 +728,7 @@ func (p *Proxy) serveEntry(w http.ResponseWriter, r *http.Request, e *entry, cac
 			}
 		}
 	}
-	writeObject(w, body, contentType, cacheControl, lastMod, hasLastMod, cacheStatus)
+	writeObject(w, r, body, contentType, cacheControl, lastMod, hasLastMod, cacheStatus)
 }
 
 // setObjectHeaders writes the response headers shared by 200 and 304
@@ -732,8 +748,16 @@ func setObjectHeaders(w http.ResponseWriter, contentType, cacheControl string, l
 	w.Header().Set("X-Cache", cacheStatus)
 }
 
-func writeObject(w http.ResponseWriter, body []byte, contentType, cacheControl string, lastMod time.Time, hasLastMod bool, cacheStatus string) {
+func writeObject(w http.ResponseWriter, r *http.Request, body []byte, contentType, cacheControl string, lastMod time.Time, hasLastMod bool, cacheStatus string) {
 	setObjectHeaders(w, contentType, cacheControl, lastMod, hasLastMod, cacheStatus)
+	if r.Method == http.MethodHead {
+		// HEAD gets the representation's headers — Content-Length
+		// included, which net/http cannot infer with no body written —
+		// and nothing else.
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(http.StatusOK)
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
 }
@@ -941,10 +965,58 @@ type upstreamResponse struct {
 	header      http.Header
 }
 
-// fetch performs a GET against the origin, conditional when since is
-// non-zero. key carries the canonical path-plus-query, which is replayed
-// onto the upstream URL.
+// fetch performs one upstream request and records its outcome in the
+// proxy's upstream-health state: every origin interaction — admission
+// fetches, scheduled polls, triggered and pushed polls — flows through
+// here, so UpstreamStatus always reflects the most recent contact.
 func (p *Proxy) fetch(key string, since time.Time) (*upstreamResponse, error) {
+	resp, err := p.fetchUpstream(key, since)
+	now := p.cfg.Clock()
+	p.upMu.Lock()
+	if err != nil {
+		p.upstreamErrs++
+		p.lastUpstreamErr = err.Error()
+		p.lastUpstreamErrAt = now
+	} else {
+		p.lastUpstreamOKAt = now
+	}
+	p.upMu.Unlock()
+	return resp, err
+}
+
+// UpstreamStatus reports the proxy's most recent origin contact: the
+// error counter feeding broadway_upstream_errors_total, and the last
+// error's detail — kept here, off the client-facing 502 body, for
+// /healthz to surface to operators.
+type UpstreamStatus struct {
+	// Errors counts failed upstream requests (transport errors and
+	// non-200/304 statuses), across every fetch path.
+	Errors uint64
+	// LastError is the most recent failure's detail ("" before any).
+	LastError string
+	// LastErrorAt and LastOKAt are the instants of the most recent
+	// failed and successful upstream requests (zero before any). The
+	// upstream is considered reachable while LastOKAt >= LastErrorAt.
+	LastErrorAt time.Time
+	LastOKAt    time.Time
+}
+
+// UpstreamStatus returns the most recent upstream fetch outcomes.
+func (p *Proxy) UpstreamStatus() UpstreamStatus {
+	p.upMu.Lock()
+	defer p.upMu.Unlock()
+	return UpstreamStatus{
+		Errors:      p.upstreamErrs,
+		LastError:   p.lastUpstreamErr,
+		LastErrorAt: p.lastUpstreamErrAt,
+		LastOKAt:    p.lastUpstreamOKAt,
+	}
+}
+
+// fetchUpstream performs a GET against the origin, conditional when
+// since is non-zero. key carries the canonical path-plus-query, which is
+// replayed onto the upstream URL.
+func (p *Proxy) fetchUpstream(key string, since time.Time) (*upstreamResponse, error) {
 	u := *p.cfg.Origin
 	escPath, rawQuery := key, ""
 	if i := strings.IndexByte(key, '?'); i >= 0 {
@@ -1056,6 +1128,10 @@ type CacheStats struct {
 	// ResidentObjects and ResidentBytes are the current store footprint.
 	ResidentObjects int
 	ResidentBytes   int64
+	// UpstreamErrors counts failed upstream fetches (all paths); the
+	// last error's detail is on UpstreamStatus, not here and never on
+	// a client-facing response body.
+	UpstreamErrors uint64
 	// PushConnected reports whether the invalidation channel is healthy.
 	PushConnected bool
 	// PushEvents counts update notifications received on the channel.
@@ -1077,6 +1153,7 @@ func (p *Proxy) CacheStats() CacheStats {
 		Capped:          p.cappedN.Load(),
 		ResidentObjects: p.store.len(),
 		ResidentBytes:   p.store.residentBytes(),
+		UpstreamErrors:  p.UpstreamStatus().Errors,
 		PushConnected:   p.pushHealthy.Load(),
 		PushEvents:      p.pushEvents.Load(),
 		PushPolls:       p.pushPolls.Load(),

@@ -245,6 +245,37 @@ func (o *Origin) PushHubStats() push.HubStats {
 	return o.hub.Stats()
 }
 
+// OriginStats aggregates the origin's serving and push-channel state
+// for the operational surface (/metrics, /admin/stats).
+type OriginStats struct {
+	// Objects is the number of hosted resources.
+	Objects int
+	// Polls counts conditional or plain GETs served for hosted objects;
+	// NotModified counts the 304 responses among them.
+	Polls       uint64
+	NotModified uint64
+	// PushEnabled reports whether the invalidation channel is
+	// configured; Hub is its backpressure snapshot (zero when not).
+	PushEnabled bool
+	Hub         push.HubStats
+}
+
+// Stats returns the origin-wide counters.
+func (o *Origin) Stats() OriginStats {
+	o.mu.RLock()
+	st := OriginStats{
+		Objects:     len(o.objects),
+		Polls:       o.polls,
+		NotModified: o.notModified,
+	}
+	o.mu.RUnlock()
+	if o.hub != nil {
+		st.PushEnabled = true
+		st.Hub = o.hub.Stats()
+	}
+	return st
+}
+
 // SetPushAvailable toggles the event endpoint. Disabling terminates all
 // connected streams and 503s new connections — the failure-injection
 // hook for chaos tests; events published while down still enter the
@@ -273,6 +304,7 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Boots mcproxy -demo with the operational surface on its own listener,
+# waits for /healthz to report ok (the push channel connects in well
+# under a second), validates the /metrics exposition with the strict
+# in-repo parser (cmd/opscheck), exercises the serve path once, and
+# re-scrapes. Fails on any non-200 probe or unparseable exposition.
+set -eu
+cd "$(dirname "$0")/.."
+
+LISTEN="${LISTEN:-127.0.0.1:18089}"
+OPS="${OPS:-127.0.0.1:19089}"
+
+go build -o /tmp/mcproxy-ops-smoke ./cmd/mcproxy
+go build -o /tmp/opscheck-ops-smoke ./cmd/opscheck
+
+/tmp/mcproxy-ops-smoke -demo -push -push-values -relay-events \
+  -listen "$LISTEN" -ops-listen "$OPS" -run-for 60s &
+PROXY_PID=$!
+trap 'kill "$PROXY_PID" 2>/dev/null || true' EXIT INT TERM
+
+# /healthz is 503 until the push subscription connects; poll briefly.
+i=0
+until curl -fsS "http://$OPS/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 100 ]; then
+    echo "ops-smoke: /healthz never reported ok" >&2
+    curl -sS "http://$OPS/healthz" >&2 || true
+    exit 1
+  fi
+  sleep 0.1
+done
+echo "ops-smoke: /healthz ok"
+
+curl -fsS "http://$OPS/metrics" | /tmp/opscheck-ops-smoke
+
+# Drive the serve path once and confirm the scrape still validates (and
+# the traffic is visible in it).
+curl -fsS "http://$LISTEN/news/story.html" >/dev/null
+curl -fsS -I "http://$LISTEN/news/story.html" >/dev/null  # HEAD conformance
+curl -fsS "http://$OPS/metrics" | /tmp/opscheck-ops-smoke
+curl -fsS "http://$OPS/metrics" | grep -q '^broadway_cache_misses_total [1-9]' || {
+  echo "ops-smoke: proxied traffic not visible in the scrape" >&2
+  exit 1
+}
+echo "ops-smoke: pass"
