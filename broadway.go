@@ -315,6 +315,10 @@ type (
 	// invalidation stream so child proxies subscribe to it exactly as it
 	// subscribes to its origin.
 	WebProxyRelayStats = webproxy.RelayStats
+	// WebProxyDiskStats reports the persistent disk tier's state
+	// (WebProxyConfig.DiskDir): restarts rehydrate the cache warm and
+	// replacement victims demote to disk instead of being lost.
+	WebProxyDiskStats = webproxy.DiskStats
 	// PushEvent is one frame of the origin-driven invalidation stream.
 	PushEvent = push.Event
 	// PushHubStats is an event hub's backpressure snapshot: replay-ring

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"broadway/internal/diskstore"
+)
+
+func TestRunVerifiesAndCountsRecords(t *testing.T) {
+	dir := t.TempDir()
+	st, err := diskstore.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put(diskstore.Record{Key: "/a", ValidatedAt: time.Unix(1_700_000_000, 0)}, []byte("body a"))
+	st.Put(diskstore.Record{Key: "/b", ValidatedAt: time.Unix(1_700_000_000, 0)}, []byte("body b"))
+	st.Close()
+
+	if err := run([]string{dir}, os.Stdout); err != nil {
+		t.Fatalf("run on a consistent store: %v", err)
+	}
+
+	// Corrupt one blob (truncate it): the size check must trip.
+	var blob string
+	filepath.Walk(filepath.Join(dir, "blobs"), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			blob = path
+		}
+		return nil
+	})
+	if blob == "" {
+		t.Fatal("no blob written")
+	}
+	if err := os.Truncate(blob, 1); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{dir}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "blob size") {
+		t.Errorf("run on a truncated blob = %v, want a size mismatch", err)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(nil, os.Stdout); err == nil {
+		t.Error("run with no args must fail")
+	}
+	if err := run([]string{"/does/not/exist"}, os.Stdout); err == nil {
+		t.Error("run on a missing directory must fail")
+	}
+}

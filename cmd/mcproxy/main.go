@@ -26,6 +26,14 @@
 //
 //	mcproxy -demo -max-objects 10000 -max-bytes 67108864 -eviction clock
 //
+// A -disk-dir adds a persistent tier under the memory cache:
+// replacement victims are demoted to disk instead of lost, and a
+// restart rehydrates the cache warm, with every rehydrated object
+// re-validated against the origin (served as X-Cache: GRACE until it
+// is) so the Δt guarantee holds across the restart:
+//
+//	mcproxy -demo -disk-dir /var/cache/mcproxy -disk-max-bytes 268435456
+//
 // Hybrid push–pull consistency: when the origin streams invalidation
 // events (the webserver's /events endpoint; the demo origin does), -push
 // subscribes the proxy to them. Updates then reach the cache the moment
@@ -112,10 +120,33 @@ func run(args []string) error {
 	eventsPath := fs.String("events-path", "/events", "path the relayed event stream is served at (with -relay-events)")
 	opsListen := fs.String("ops-listen", "", "operational-surface listen address serving /metrics, /healthz, and /admin (empty = disabled); kept off the proxy's own listener so scrapes and admin calls never share a port with cached content")
 	opsToken := fs.String("ops-token", "", "bearer token gating the /admin API on -ops-listen (empty = open)")
+	diskDir := fs.String("disk-dir", "", "directory for the persistent disk tier (empty = memory only); survives restarts, rehydrating cached objects with their learned TTR state")
+	diskMaxBytes := fs.Int64("disk-max-bytes", 0, "byte budget for the disk tier's blobs (0 = unlimited); oldest-validated records are dropped beyond it")
 	drain := fs.Duration("drain", 5*time.Second, "in-flight request drain timeout on shutdown")
 	runFor := fs.Duration("run-for", 0, "exit after this long (0 = run until interrupted)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Nonsensical values used to fall silently through to defaults (a
+	// negative -max-bytes behaved like "unlimited", a negative
+	// -poll-workers like GOMAXPROCS); fail loudly instead so a typo in a
+	// unit file is caught at startup, not discovered as an unbounded
+	// cache in production. Zero stays valid where the help text gives it
+	// a meaning (-poll-workers 0, -push-stretch 0, -max-bytes 0).
+	switch {
+	case *maxBytes < 0:
+		return fmt.Errorf("-max-bytes must be >= 0 (0 = unlimited), got %d", *maxBytes)
+	case *pollWorkers < 0:
+		return fmt.Errorf("-poll-workers must be >= 0 (0 = GOMAXPROCS), got %d", *pollWorkers)
+	case *pushStretch < 0:
+		return fmt.Errorf("-push-stretch must be >= 0 (0 and 1 disable stretching), got %v", *pushStretch)
+	case *shards < 1:
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	case *diskMaxBytes < 0:
+		return fmt.Errorf("-disk-max-bytes must be >= 0 (0 = unlimited), got %d", *diskMaxBytes)
+	case *diskMaxBytes > 0 && *diskDir == "":
+		return fmt.Errorf("-disk-max-bytes needs -disk-dir")
 	}
 
 	evictionPolicy, err := webproxy.ParseEvictionPolicy(*eviction)
@@ -173,6 +204,8 @@ func run(args []string) error {
 		RelayEvents:       *relayEvents,
 		RelayPath:         *eventsPath,
 		PushValues:        *pushValues,
+		DiskDir:           *diskDir,
+		DiskMaxBytes:      *diskMaxBytes,
 	}
 	if *pushEnabled {
 		pushURL, err := origin.Parse(*pushPath)

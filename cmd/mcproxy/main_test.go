@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -473,11 +474,107 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-demo", "-origin", "http://x"},
 		{"-origin", "://bad"},
 		{"-bad-flag"},
-		{"-demo", "-eviction", "lru"}, // unknown eviction policy
+		{"-demo", "-eviction", "lru"},             // unknown eviction policy
+		{"-demo", "-max-bytes", "-1"},             // negative budget is not "unlimited"
+		{"-demo", "-poll-workers", "-2"},          // negative workers is not GOMAXPROCS
+		{"-demo", "-push", "-push-stretch", "-1"}, // only 0 and >=1 are documented
+		{"-demo", "-push-stretch", "-0.5"},        // rejected even without -push
+		{"-demo", "-shards", "0"},
+		{"-demo", "-disk-max-bytes", "-1"},
+		{"-demo", "-disk-max-bytes", "4096"}, // budget without -disk-dir
 	}
 	for _, args := range tests {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) must fail", args)
 		}
+	}
+	// The documented zero values stay valid: they must get past flag
+	// validation (the run then fails later only for the missing origin,
+	// proving validation did not reject them).
+	for _, args := range [][]string{
+		{"-poll-workers", "0"},
+		{"-push-stretch", "0"},
+		{"-max-bytes", "0"},
+	} {
+		err := run(args)
+		if err == nil || !strings.Contains(err.Error(), "either -origin or -demo") {
+			t.Errorf("run(%v) = %v, want only the missing-origin error", args, err)
+		}
+	}
+}
+
+// TestRunDiskTierSurvivesRestart is the command-level restart story: one
+// mcproxy run against a static origin populates -disk-dir; a second run
+// over the same directory must serve the object warm — from the cache,
+// without refetching the body from a now-dead origin.
+func TestRunDiskTierSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// A origin that counts full-body fetches and can validate (304).
+	var fetches atomic.Int64
+	lastMod := time.Now().UTC().Add(-time.Hour).Format(http.TimeFormat)
+	origin := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("If-Modified-Since") == lastMod {
+			w.Header().Set("Last-Modified", lastMod)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		fetches.Add(1)
+		w.Header().Set("Last-Modified", lastMod)
+		io.WriteString(w, "durable payload")
+	})
+	originLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	originSrv := &http.Server{Handler: origin}
+	go originSrv.Serve(originLn)
+	defer originSrv.Close()
+	originURL := "http://" + originLn.Addr().String()
+
+	runOnce := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		done := make(chan error, 1)
+		go func() {
+			done <- run([]string{"-origin", originURL, "-listen", addr,
+				"-disk-dir", dir, "-run-for", "3s"})
+		}()
+		var body string
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(fmt.Sprintf("http://%s/obj", addr))
+			if err == nil {
+				b, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				body = string(b)
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return body
+	}
+
+	if body := runOnce(); body != "durable payload" {
+		t.Fatalf("first run served %q", body)
+	}
+	first := fetches.Load()
+	if first == 0 {
+		t.Fatal("first run never fetched from the origin")
+	}
+	if body := runOnce(); body != "durable payload" {
+		t.Fatalf("second run served %q", body)
+	}
+	// The second run may re-validate (304), but must not need the body
+	// again: full fetches stay where the first run left them.
+	if got := fetches.Load(); got != first {
+		t.Errorf("second run refetched the body: %d full fetches, want %d", got, first)
 	}
 }

@@ -111,6 +111,27 @@ func (a *AdaptiveTTR) SetDelta(delta float64) {
 // conservative choice before any rate information exists.
 func (a *AdaptiveTTR) InitialTTR() time.Duration { return a.cfg.Bounds.Min }
 
+// TTR returns the most recently computed TTR without consuming an
+// outcome (the floor until the first poll).
+func (a *AdaptiveTTR) TTR() time.Duration {
+	if a.prevTTR <= 0 {
+		return a.cfg.Bounds.Min
+	}
+	return a.prevTTR
+}
+
+// RestoreTTR re-seeds the learned TTR from a persisted snapshot (e.g. a
+// disk-tier rehydration), clamped to the configured bounds. Non-positive
+// values are ignored: the policy keeps its InitialTTR and re-learns.
+// The observed-rate tracker is NOT restored — the first post-restart
+// poll re-seeds it, which only makes the next TTR more conservative.
+func (a *AdaptiveTTR) RestoreTTR(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	a.prevTTR = a.cfg.Bounds.clamp(d)
+}
+
 // Reset implements Policy.
 func (a *AdaptiveTTR) Reset() {
 	a.prevTTR = a.cfg.Bounds.Min

@@ -109,6 +109,16 @@ func (l *LIMD) InitialTTR() time.Duration { return l.cfg.Bounds.Min }
 // TTR returns the current TTR value without consuming an outcome.
 func (l *LIMD) TTR() time.Duration { return l.ttr }
 
+// RestoreTTR re-seeds the learned TTR from a persisted snapshot (e.g. a
+// disk-tier rehydration), clamped to the configured bounds. Non-positive
+// values are ignored: the policy keeps its InitialTTR and re-learns.
+func (l *LIMD) RestoreTTR(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	l.ttr = l.cfg.Bounds.clamp(d)
+}
+
 // CaseCount returns how many poll outcomes were classified as the given
 // LIMD case (1–4).
 func (l *LIMD) CaseCount(c int) uint64 {

@@ -67,7 +67,9 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 }
 
 // adminEvict drops one cached object by key, mirroring Proxy.Evict: the
-// next request re-fetches from upstream.
+// next request re-fetches from upstream. A key resident in neither tier
+// answers 404 (still JSON), so an operator can tell a typo from a real
+// eviction.
 func (h *Handler) adminEvict(w http.ResponseWriter, r *http.Request) {
 	p := h.cfg.Proxy
 	if p == nil {
@@ -79,7 +81,12 @@ func (h *Handler) adminEvict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing key parameter", http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, http.StatusOK, EvictResult{Key: key, Evicted: p.Evict(key)})
+	code := http.StatusOK
+	evicted := p.Evict(key)
+	if !evicted {
+		code = http.StatusNotFound
+	}
+	writeJSON(w, code, EvictResult{Key: key, Evicted: evicted})
 }
 
 // adminKillStreams severs every push stream this node owns — the relay

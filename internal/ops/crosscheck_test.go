@@ -149,6 +149,23 @@ func proxyExpectations(cs webproxy.CacheStats, us webproxy.UpstreamStatus, ps we
 	return cache, upstream, pushExp, relay
 }
 
+func diskExpectations(ds webproxy.DiskStats) map[string]fieldExpectation {
+	return map[string]fieldExpectation{
+		"Enabled":       one("broadway_disk_enabled", boolVal(ds.Enabled)),
+		"Records":       one("broadway_disk_records", float64(ds.Records)),
+		"Bytes":         one("broadway_disk_bytes", float64(ds.Bytes)),
+		"PendingWrites": one("broadway_disk_pending_writes", float64(ds.PendingWrites)),
+		"Writes":        one("broadway_disk_writes_total", float64(ds.Writes)),
+		"WriteErrors":   one("broadway_disk_write_errors_total", float64(ds.WriteErrors)),
+		"Deletes":       one("broadway_disk_deletes_total", float64(ds.Deletes)),
+		"Evictions":     one("broadway_disk_evictions_total", float64(ds.Evictions)),
+		"Demotions":     one("broadway_disk_demotions_total", float64(ds.Demotions)),
+		"Promotions":    one("broadway_disk_promotions_total", float64(ds.Promotions)),
+		"Rehydrated":    one("broadway_disk_rehydrated_total", float64(ds.Rehydrated)),
+		"GraceServes":   one("broadway_disk_grace_serves_total", float64(ds.GraceServes)),
+	}
+}
+
 func originExpectations(os webserver.OriginStats) map[string]fieldExpectation {
 	return map[string]fieldExpectation{
 		"Objects":     one("broadway_origin_objects", float64(os.Objects)),
@@ -289,12 +306,14 @@ func TestMetricsCrossCheckAgainstStructs(t *testing.T) {
 			t.Fatal(err)
 		}
 		cs, us, ps, rs := node.px.CacheStats(), node.px.UpstreamStatus(), node.px.PushStats(), node.px.RelayStats()
+		ds := node.px.DiskStats()
 		sc := scrapeHandler(h)
 		cacheExp, upExp, pushExp, relayExp := proxyExpectations(cs, us, ps, rs)
 		crossCheckStruct(t, sc, node.name+".CacheStats", cs, cacheExp)
 		crossCheckStruct(t, sc, node.name+".UpstreamStatus", us, upExp)
 		crossCheckStruct(t, sc, node.name+".PushStats", ps, pushExp)
 		crossCheckStruct(t, sc, node.name+".RelayStats", rs, relayExp)
+		crossCheckStruct(t, sc, node.name+".DiskStats", ds, diskExpectations(ds))
 	}
 
 	oh, err := NewHandler(Config{Origin: origin})

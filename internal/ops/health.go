@@ -173,10 +173,7 @@ func (h *Handler) checkHealth() Health {
 			Resets:      rs.Hub.Resets,
 		}
 		if rs.Enabled {
-			h.mu.Lock()
-			rh.SlowKillsDelta = rs.Hub.SlowKills - h.lastSlowKills
-			h.lastSlowKills = rs.Hub.SlowKills
-			h.mu.Unlock()
+			rh.SlowKillsDelta = h.slowKillsDelta(rs.Hub.SlowKills)
 			rh.Status = StatusOK
 			if rh.SlowKillsDelta > 0 {
 				rh.Status = StatusDegraded

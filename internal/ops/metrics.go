@@ -79,6 +79,20 @@ func writeProxyMetrics(e *exposition, p *webproxy.Proxy) {
 	e.gauge("broadway_relay_enabled", "1 when the proxy relays events downstream.", boolVal(rs.Enabled))
 	e.gauge("broadway_relay_info", "Constant 1; the path label names the relayed stream's endpoint.", 1, Label{"path", rs.Path})
 	writeHubMetrics(e, rs.Hub, HubRelay)
+
+	ds := p.DiskStats()
+	e.gauge("broadway_disk_enabled", "1 when the persistent disk tier is configured.", boolVal(ds.Enabled))
+	e.gauge("broadway_disk_records", "Records in the durable metadata index.", float64(ds.Records))
+	e.gauge("broadway_disk_bytes", "Blob bytes accounted by the durable index.", float64(ds.Bytes))
+	e.gauge("broadway_disk_pending_writes", "Write-behind queue depth in coalesced keys.", float64(ds.PendingWrites))
+	e.counter("broadway_disk_writes_total", "Persist operations applied by the write-behind worker.", float64(ds.Writes))
+	e.counter("broadway_disk_write_errors_total", "Persist operations that failed at the filesystem.", float64(ds.WriteErrors))
+	e.counter("broadway_disk_deletes_total", "Durable records purged (admin eviction).", float64(ds.Deletes))
+	e.counter("broadway_disk_evictions_total", "Durable records dropped by the disk byte budget.", float64(ds.Evictions))
+	e.counter("broadway_disk_demotions_total", "Replacement victims retained on disk instead of lost.", float64(ds.Demotions))
+	e.counter("broadway_disk_promotions_total", "Disk records re-admitted through a validating fetch.", float64(ds.Promotions))
+	e.counter("broadway_disk_rehydrated_total", "Entries restored warm from disk at startup.", float64(ds.Rehydrated))
+	e.counter("broadway_disk_grace_serves_total", "Hits served as X-Cache: GRACE before re-validation.", float64(ds.GraceServes))
 }
 
 // writeHubMetrics emits one hub's HubStats under the given hub label.

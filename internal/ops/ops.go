@@ -19,7 +19,7 @@ import (
 	"errors"
 	"net/http"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"broadway/internal/webproxy"
@@ -52,8 +52,28 @@ type Handler struct {
 	// lastSlowKills backs the health probe's SlowKills delta: each
 	// /healthz call reports the kills since the previous one, so a
 	// single historic kill does not latch the node degraded forever.
-	mu            sync.Mutex
-	lastSlowKills uint64
+	// Advanced by a monotonic compare-and-swap (see slowKillsDelta) so
+	// concurrent scrapers neither double-count a kill nor regress the
+	// cursor and miss one.
+	lastSlowKills atomic.Uint64
+}
+
+// slowKillsDelta advances the SlowKills cursor to total and returns the
+// distance covered. Concurrent probes race benignly: each kill is
+// attributed to exactly one probe (the one whose CAS claims it), a
+// probe that loses every race reports zero, and a probe holding a stale
+// total (snapshotted before a racing probe's newer one) reports zero
+// rather than underflowing.
+func (h *Handler) slowKillsDelta(total uint64) uint64 {
+	for {
+		last := h.lastSlowKills.Load()
+		if total <= last {
+			return 0
+		}
+		if h.lastSlowKills.CompareAndSwap(last, total) {
+			return total - last
+		}
+	}
 }
 
 var _ http.Handler = (*Handler)(nil)

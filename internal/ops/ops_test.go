@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -320,8 +322,11 @@ func TestAdminEvictMirrorsProxyEvict(t *testing.T) {
 		t.Fatalf("second evict = %v %+v", err, res)
 	}
 	rec = s.do(http.MethodPost, "/admin/evict?key=/obj", nil)
-	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil || res.Evicted {
-		t.Fatalf("evict of non-resident key = %v %+v", err, res)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("evict of non-resident key = %d, want 404 so operators can tell a typo from an evict", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil || res.Evicted || res.Key != "/obj" {
+		t.Fatalf("evict of non-resident key: body = %q (err %v), want JSON EvictResult", rec.Body, err)
 	}
 
 	if rec := s.do(http.MethodPost, "/admin/evict", nil); rec.Code != http.StatusBadRequest {
@@ -470,5 +475,72 @@ func TestOriginOnlyHandler(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/evict?key=/a", nil))
 	if rec.Code != http.StatusUnprocessableEntity {
 		t.Errorf("evict on origin-only node = %d, want 422", rec.Code)
+	}
+}
+
+// TestSlowKillsDeltaSequential pins the cursor semantics the health
+// probe depends on: each kill is reported exactly once, repeats report
+// zero, and a stale total (snapshotted before a racing probe advanced
+// the cursor) reports zero instead of underflowing the unsigned delta.
+func TestSlowKillsDeltaSequential(t *testing.T) {
+	h := &Handler{}
+	for _, step := range []struct {
+		total, want uint64
+	}{
+		{0, 0},
+		{5, 5},  // first probe claims all five kills
+		{5, 0},  // repeat probe: nothing new
+		{7, 2},  // two more kills
+		{6, 0},  // stale snapshot: must not underflow to 2^64-1
+		{7, 0},  // cursor held at 7 through the stale probe
+		{10, 3}, // and keeps attributing correctly afterwards
+	} {
+		if got := h.slowKillsDelta(step.total); got != step.want {
+			t.Fatalf("slowKillsDelta(%d) = %d, want %d", step.total, got, step.want)
+		}
+	}
+}
+
+// TestSlowKillsDeltaConcurrentProbes is the regression for the shared
+// probe state race: two (here, many) scrapers hammering /healthz while
+// kills accumulate must collectively report every kill exactly once —
+// the old lock-free read-modify-write could both double-count a kill
+// and regress the cursor into an unsigned underflow.
+func TestSlowKillsDeltaConcurrentProbes(t *testing.T) {
+	h := &Handler{}
+	var total atomic.Uint64
+	const (
+		scrapers   = 8
+		perScraper = 5000
+	)
+	var sum atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < scrapers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perScraper; j++ {
+				// Half the scrapers also produce kills, so snapshots
+				// interleave with advancing totals.
+				if j%2 == 0 {
+					total.Add(1)
+				}
+				snap := total.Load()
+				d := h.slowKillsDelta(snap)
+				if d > snap {
+					t.Errorf("delta %d exceeds total %d (underflow)", d, snap)
+					return
+				}
+				sum.Add(d)
+			}
+		}()
+	}
+	wg.Wait()
+	// Any kills left unclaimed by racing snapshots surface on the next
+	// quiet probe; after it the books must balance exactly.
+	sum.Add(h.slowKillsDelta(total.Load()))
+	if sum.Load() != total.Load() {
+		t.Fatalf("probes reported %d kills in total, hub recorded %d — kills were missed or double-counted",
+			sum.Load(), total.Load())
 	}
 }

@@ -668,3 +668,81 @@ func keysOf(entries []*entry) []string {
 	}
 	return keys
 }
+
+// TestStoreInvariantsAcrossDemotePromoteEvictCycles extends the drift
+// checks to the disk tier: many rounds of admissions beyond the byte
+// budget (demotions), re-requests of displaced keys (promotions), and
+// interleaved admin evictions must leave the shard maps, CLOCK rings,
+// and byte ledger agreeing after every round — and an evicted key gone
+// from both tiers while every other key survives in at least one.
+func TestStoreInvariantsAcrossDemotePromoteEvictCycles(t *testing.T) {
+	lastMod := time.Now().UTC().Add(-time.Hour).Truncate(time.Second)
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Last-Modified", lastMod.Format(http.TimeFormat))
+		if ims := r.Header.Get("If-Modified-Since"); ims != "" {
+			if since, err := http.ParseTime(ims); err == nil && !lastMod.After(since) {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+		body := "cycle body for " + r.URL.Path
+		for len(body) < 512 {
+			body += "."
+		}
+		io.WriteString(w, body)
+	})
+	// ~1KiB per resident entry against a 4KiB budget: every round of
+	// admissions displaces most of the previous round to disk.
+	px, _ := newHandlerProxy(t, handler, Config{
+		MaxBytes:     4096,
+		Shards:       4,
+		Bounds:       noRefreshBounds,
+		DefaultDelta: time.Hour,
+		DiskDir:      t.TempDir(),
+	})
+
+	const keys = 24
+	key := func(i int) string { return fmt.Sprintf("/cycle/%d", i) }
+	evicted := make(map[string]bool)
+	for round := 0; round < 6; round++ {
+		// Admit/promote a sliding window of keys (wrapping, so later
+		// rounds re-request keys earlier rounds demoted).
+		for i := 0; i < keys; i++ {
+			k := key((round*7 + i) % keys)
+			if evicted[k] {
+				continue
+			}
+			if code, _, _ := proxyGet(t, px, k); code != 200 {
+				t.Fatalf("round %d: GET %s = %d", round, k, code)
+			}
+		}
+		// Evict one resident and one (likely) demoted key each round.
+		for _, k := range []string{key(round), key(keys - 1 - round)} {
+			if !evicted[k] && !px.Evict(k) {
+				t.Errorf("round %d: Evict(%s) found nothing in either tier", round, k)
+			}
+			evicted[k] = true
+		}
+		checkStoreInvariants(t, px)
+	}
+
+	px.FlushDisk()
+	for i := 0; i < keys; i++ {
+		k := key(i)
+		_, onDisk := px.disk.Meta(k)
+		resident := px.lookup(k) != nil
+		if evicted[k] {
+			if resident || onDisk {
+				t.Errorf("%s evicted but still present (resident=%v disk=%v)", k, resident, onDisk)
+			}
+		} else if !resident && !onDisk {
+			t.Errorf("%s lost from both tiers", k)
+		}
+	}
+	ds := px.DiskStats()
+	if ds.Demotions == 0 || ds.Promotions == 0 || ds.Deletes == 0 {
+		t.Errorf("cycle stats: demotions=%d promotions=%d deletes=%d, want all nonzero",
+			ds.Demotions, ds.Promotions, ds.Deletes)
+	}
+	checkStoreInvariants(t, px)
+}

@@ -474,7 +474,7 @@ func (p *Proxy) finishRefresh(e *entry, rr refreshResult) bool {
 					p.unwind([]*entry{e})
 				}
 			}
-			p.unwind(p.store.shrink(p.cfg.MaxObjects, p.cfg.MaxBytes, p.store.shardIndex(e.key), e))
+			p.demote(p.store.shrink(p.cfg.MaxObjects, p.cfg.MaxBytes, p.store.shardIndex(e.key), e))
 		}
 	}
 	if rr.relay != nil {
@@ -498,6 +498,15 @@ func (p *Proxy) finishRefresh(e *entry, rr refreshResult) bool {
 	if e.evicted.Load() {
 		return false // evicted mid-refresh: no reschedule, no triggering
 	}
+
+	// The refresh confirmed (or replaced) the cached copy against the
+	// origin: a rehydrated entry sheds its suspect mark, and the
+	// validated state flows to the disk tier (async write-behind; no-op
+	// when persistence is disabled).
+	if e.suspect.Load() {
+		e.suspect.Store(false)
+	}
+	p.persistEntry(e)
 
 	if rr.kind == pollRegular {
 		// While the push channel is healthy the regular poll is only a

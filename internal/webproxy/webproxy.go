@@ -87,6 +87,7 @@ import (
 	"time"
 
 	"broadway/internal/core"
+	"broadway/internal/diskstore"
 	"broadway/internal/httpx"
 	"broadway/internal/push"
 	"broadway/internal/sched"
@@ -231,6 +232,26 @@ type Config struct {
 	// per-object refresh logs; production deployments would hang
 	// metrics export off it.
 	PollObserver func(PollObservation)
+	// DiskDir, when set, enables the persistent disk tier (see disk.go
+	// and internal/diskstore): every validated object is written behind
+	// the in-memory store asynchronously, CLOCK victims demote to disk
+	// instead of vanishing (promoted back through a validating fetch on
+	// the next request), and a restart rehydrates the cache warm with
+	// learned TTR state intact. Empty disables persistence (the
+	// default).
+	DiskDir string
+	// DiskMaxBytes bounds the disk tier's blob bytes; the oldest-
+	// validated records are dropped beyond it. Zero or negative means
+	// unbounded.
+	DiskMaxBytes int64
+	// DiskGrace bounds how stale a rehydrated entry may be at startup
+	// and still be served before its re-validation poll completes
+	// (served marked X-Cache: GRACE, so the widened bound is explicit,
+	// never silent). Records older than the grace window stay on disk
+	// and are only served after a validating promote. Zero defaults to
+	// 5 minutes; negative disables grace entirely — nothing is served
+	// until validated, every record promotes on demand.
+	DiskGrace time.Duration
 }
 
 // PollObservation describes one successful origin poll, as reported to
@@ -374,6 +395,17 @@ type entry struct {
 	// frame: the origin will never announce its updates, so its TTRs
 	// are never stretched. Immutable after admission.
 	unpushable bool
+	// delta and groupDelta are the resolved Δ/δ tolerances the entry
+	// was admitted with (config defaults overlaid by origin
+	// directives), snapshotted here so the disk tier can persist and
+	// restore them. Immutable after admission.
+	delta      time.Duration
+	groupDelta time.Duration
+	// suspect marks a rehydrated entry not yet re-validated against the
+	// origin in this process lifetime: hits serve it as X-Cache: GRACE
+	// until its validation poll clears the mark, so the Δt bound never
+	// widens silently across a restart.
+	suspect atomic.Bool
 	// refbit is the CLOCK access bit, marked lock-free on hits (see
 	// markAccessed) and consumed by the victim sweep. It sits next to
 	// hits so a hit that does write it touches the cache line the hit
@@ -458,6 +490,13 @@ type Proxy struct {
 	downMu     sync.Mutex
 	downstream push.InterestSet
 
+	// Persistent disk tier (see disk.go); nil unless Config.DiskDir.
+	disk            *diskstore.Store
+	diskDemotions   atomic.Uint64
+	diskPromotions  atomic.Uint64
+	diskRehydrated  atomic.Uint64
+	diskGraceServes atomic.Uint64
+
 	// Expvar-style cache counters. Misses, evictions, and capped
 	// admissions are counted on the (cold) admission/eviction paths
 	// only; the hit path stays free of shared counters so it gains no
@@ -537,6 +576,9 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.RelayPath == "" {
 		cfg.RelayPath = "/events"
 	}
+	if cfg.DiskGrace == 0 {
+		cfg.DiskGrace = 5 * time.Minute
+	}
 	p := &Proxy{
 		cfg:     cfg,
 		epoch:   cfg.Clock(),
@@ -572,6 +614,18 @@ func New(cfg Config) (*Proxy, error) {
 			return nil, err
 		}
 		p.sub = sub
+	}
+	if cfg.DiskDir != "" {
+		ds, err := diskstore.Open(cfg.DiskDir, cfg.DiskMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		p.disk = ds
+		// Rehydrate before Start: entries land in the store and their
+		// validation polls land on the schedule heap, drained by the
+		// worker pool once Start runs — so a restart cannot self-herd
+		// the origin any harder than PollWorkers allows.
+		p.rehydrate()
 	}
 	return p, nil
 }
@@ -629,6 +683,11 @@ func (p *Proxy) Close() {
 	}
 	if started {
 		p.wg.Wait()
+	}
+	if p.disk != nil {
+		// After wg.Wait no refresh path can enqueue more writes; drain
+		// the write-behind queue so the journal is complete on exit.
+		p.disk.Close()
 	}
 }
 
@@ -713,6 +772,13 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // child proxy in a hierarchy revalidates against this one without
 // re-downloading, exactly as this proxy revalidates against its origin.
 func (p *Proxy) serveEntry(w http.ResponseWriter, r *http.Request, e *entry, cacheStatus string) {
+	if cacheStatus == "HIT" && e.suspect.Load() {
+		// A rehydrated copy awaiting its re-validation poll: served, but
+		// labeled — the client sees that the staleness bound is the
+		// configured grace window, not Δ (see Config.DiskGrace).
+		cacheStatus = "GRACE"
+		p.diskGraceServes.Add(1)
+	}
 	e.mu.RLock()
 	body := e.body
 	contentType := e.contentType
@@ -768,84 +834,163 @@ func (p *Proxy) admit(key string) (*entry, error) {
 	if e := p.store.get(key); e != nil {
 		return e, nil
 	}
+	if p.disk != nil {
+		if rec, body, ok := p.disk.Get(key); ok {
+			// Demoted to disk earlier (or left beyond the grace window at
+			// startup): promote through a validating conditional fetch.
+			// Running inside the singleflight group guards the
+			// re-admission race — one promote per key, concurrent
+			// requesters share it.
+			return p.promote(key, rec, body)
+		}
+	}
 	resp, err := p.fetch(key, time.Time{})
 	if err != nil {
 		return nil, err
 	}
 
-	delta := p.cfg.DefaultDelta
-	groupDelta := p.cfg.DefaultGroupDelta
-	valueDelta := 0.0
-	group := ""
-	if tol, err := httpx.TolerancesFrom(resp.header); err == nil {
-		if tol.Delta > 0 {
-			delta = tol.Delta
-		}
-		if tol.GroupDelta > 0 {
-			groupDelta = tol.GroupDelta
-		}
-		valueDelta = tol.ValueDelta
-		group = tol.Group
-	}
-
 	now := p.cfg.Clock()
-	e := &entry{
-		key:          key,
-		group:        group,
+	a := admission{
 		body:         resp.body,
 		contentType:  resp.contentType,
 		cacheControl: resp.header.Get("Cache-Control"),
 		lastMod:      resp.lastMod,
 		hasLastMod:   resp.hasLastMod,
 		validatedAt:  now,
+		delta:        p.cfg.DefaultDelta,
+		groupDelta:   p.cfg.DefaultGroupDelta,
+		initialPoll:  true,
 	}
+	if tol, err := httpx.TolerancesFrom(resp.header); err == nil {
+		if tol.Delta > 0 {
+			a.delta = tol.Delta
+		}
+		if tol.GroupDelta > 0 {
+			a.groupDelta = tol.GroupDelta
+		}
+		a.valueDelta = tol.ValueDelta
+		a.group = tol.Group
+	}
+
+	// Parsed from the local body slice, not the published entry: a
+	// pushed or triggered poll can mutate e.value the moment the entry
+	// is visible, and the observer call below must not race it.
+	var admittedValue float64
+	var admittedHasValue bool
+	if v, ok := parseValueBody(a.body); ok && a.valueDelta > 0 {
+		admittedValue, admittedHasValue = v, true
+	}
+
+	e, inserted := p.installEntry(key, a)
+	if !inserted {
+		return e, nil
+	}
+	p.persistEntry(e)
+	if obs := p.cfg.PollObserver; obs != nil {
+		obs(PollObservation{
+			Key: key, At: now, Modified: true, Initial: true,
+			Value: admittedValue, HasValue: admittedHasValue,
+		})
+	}
+	return e, nil
+}
+
+// admission carries everything installEntry needs to build and register
+// a cache entry. Three paths feed it: a first-contact origin fetch
+// (admit), a disk-tier promote (validating conditional fetch), and a
+// startup rehydration (no fetch at all — the entry is born suspect).
+type admission struct {
+	body         []byte
+	contentType  string
+	cacheControl string
+	lastMod      time.Time
+	hasLastMod   bool
+	validatedAt  time.Time
+	delta        time.Duration
+	groupDelta   time.Duration
+	valueDelta   float64
+	group        string
+	// restoreTTR re-seeds the refresh policy's learned TTR (clamped to
+	// Bounds); zero learns from scratch at InitialTTR.
+	restoreTTR time.Duration
+	// suspect marks a rehydrated entry awaiting re-validation.
+	suspect bool
+	// initialPoll counts the admission fetch in the entry's poll stats
+	// (false for rehydration, which performed no fetch).
+	initialPoll bool
+	// scheduleAt overrides the first refresh instant; zero schedules
+	// the policy's TTR after validatedAt.
+	scheduleAt time.Time
+}
+
+// installEntry builds the entry and registers it with the store, its
+// consistency group, and the refresh schedule. It reports whether the
+// entry was inserted: false means capped (e.capped set, served
+// uncached) or lost to a concurrent admission (the resident entry is
+// returned instead).
+func (p *Proxy) installEntry(key string, a admission) (*entry, bool) {
+	e := &entry{
+		key:          key,
+		group:        a.group,
+		body:         a.body,
+		contentType:  a.contentType,
+		cacheControl: a.cacheControl,
+		lastMod:      a.lastMod,
+		hasLastMod:   a.hasLastMod,
+		validatedAt:  a.validatedAt,
+		delta:        a.delta,
+		groupDelta:   a.groupDelta,
+	}
+	e.suspect.Store(a.suspect)
 	if p.sub != nil {
 		// An object the channel can never announce must not have its
 		// TTRs stretched — the object keeps pure-polling freshness
 		// instead (see eventKeyResolvesTo).
 		e.unpushable = !p.eventKeyResolvesTo(key) ||
-			push.Event{Kind: push.KindUpdate, Key: key, Group: group}.Oversized()
+			push.Event{Kind: push.KindUpdate, Key: key, Group: a.group}.Oversized()
 	}
-	e.polls.Store(1)
+	if a.initialPoll {
+		e.polls.Store(1)
+	}
 	// An origin advertising a Δv tolerance with a numeric body selects
 	// value-domain consistency (§4.1); everything else runs LIMD.
-	if v, ok := parseValueBody(resp.body); ok && valueDelta > 0 {
+	if v, ok := parseValueBody(a.body); ok && a.valueDelta > 0 {
 		e.isValue = true
 		e.value = v
-		e.valueDelta = valueDelta
+		e.valueDelta = a.valueDelta
 		e.policy = core.NewAdaptiveTTR(core.AdaptiveTTRConfig{
-			Delta:  valueDelta,
+			Delta:  a.valueDelta,
 			Bounds: p.cfg.Bounds,
 		})
 	} else {
-		e.policy = core.NewLIMD(core.LIMDConfig{Delta: delta, Bounds: p.cfg.Bounds})
+		e.policy = core.NewLIMD(core.LIMDConfig{Delta: a.delta, Bounds: p.cfg.Bounds})
+	}
+	if a.restoreTTR > 0 {
+		if r, ok := e.policy.(interface{ RestoreTTR(time.Duration) }); ok {
+			r.RestoreTTR(a.restoreTTR)
+		}
 	}
 
-	// Captured before put publishes the entry: a pushed or triggered
-	// poll can mutate e.value the moment it is visible, and the
-	// observer call below must not race it.
-	admittedValue, admittedHasValue := e.value, e.isValue
-
-	e.size.Store(entrySize(key, resp.body))
+	e.size.Store(entrySize(key, a.body))
 	actual, inserted, victims, capped := p.store.put(key, e, p.cfg.MaxObjects, p.cfg.MaxBytes, p.cfg.Eviction == EvictClock)
 	if capped {
 		// The object is served but not admitted: no store entry, no
 		// refresh schedule. The next request proxies again.
 		e.capped = true
 		p.cappedN.Add(1)
-		return e, nil
+		return e, false
 	}
 	if !inserted {
-		return actual, nil
+		return actual, false
 	}
 	// Unwind the victims the admission displaced before scheduling the
 	// newcomer, so their refresh slots are gone by the time ours exists.
-	p.unwind(victims)
-	if group != "" {
-		p.joinGroup(e, group, groupDelta, valueDelta)
+	p.demote(victims)
+	if a.group != "" {
+		p.joinGroup(e, a.group, a.groupDelta, a.valueDelta)
 	}
 	if p.sub != nil && p.cfg.PushInterest && !e.unpushable &&
-		!p.sub.DeclaredInterest().Matches(key, group) {
+		!p.sub.DeclaredInterest().Matches(key, a.group) {
 		// The upstream declaration predates this object: its updates
 		// are filtered away before they ever reach us. Bounce the
 		// stream — the reconnect re-runs the interest closure with this
@@ -855,17 +1000,18 @@ func (p *Proxy) admit(key string) (*entry, error) {
 		p.sub.Bounce()
 	}
 
-	e.mu.RLock()
-	ttr := e.policy.InitialTTR()
-	e.mu.RUnlock()
-	p.reschedule(e, now.Add(ttr))
-	if obs := p.cfg.PollObserver; obs != nil {
-		obs(PollObservation{
-			Key: key, At: now, Modified: true, Initial: true,
-			Value: admittedValue, HasValue: admittedHasValue,
-		})
+	at := a.scheduleAt
+	if at.IsZero() {
+		e.mu.RLock()
+		ttr := e.policy.InitialTTR()
+		if t, ok := e.policy.(interface{ TTR() time.Duration }); ok && a.restoreTTR > 0 {
+			ttr = t.TTR() // restored schedule, not a cold restart at TTRmin
+		}
+		e.mu.RUnlock()
+		at = a.validatedAt.Add(ttr)
 	}
-	return e, nil
+	p.reschedule(e, at)
+	return e, true
 }
 
 // unwind finishes an eviction: each victim — already removed from the
@@ -883,19 +1029,26 @@ func (p *Proxy) unwind(victims []*entry) {
 }
 
 // Evict removes key from the cache immediately (admin eviction): the
-// object is descheduled from the refresh heap and detached from its
-// group, exactly as a replacement victim. It reports whether an object
-// was resident.
+// object is descheduled from the refresh heap, detached from its group,
+// and — unlike a replacement victim, which demotes — purged from the
+// disk tier too. It reports whether an object was resident in either
+// tier, so an operator can tell a real eviction from a typo.
 func (p *Proxy) Evict(key string) bool {
-	e := p.lookup(key)
-	if e == nil {
-		return false
+	evicted := false
+	if e := p.lookup(key); e != nil && p.store.removeEntry(e) {
+		p.unwind([]*entry{e})
+		evicted = true
 	}
-	if !p.store.removeEntry(e) {
-		return false // lost a race with a concurrent eviction
+	if p.disk != nil {
+		ck := key
+		if u, err := url.Parse(key); err == nil {
+			ck = canonicalKey(u)
+		}
+		if p.disk.Delete(ck) {
+			evicted = true
+		}
 	}
-	p.unwind([]*entry{e})
-	return true
+	return evicted
 }
 
 // joinGroup registers e with its consistency group, pairing two

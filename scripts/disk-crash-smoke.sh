@@ -1,0 +1,64 @@
+#!/bin/sh
+# Crash-consistency smoke for the persistent disk tier: boots mcproxy
+# with -disk-dir, drives traffic through it while the write-behind
+# worker is active, SIGKILLs the process mid-flight (no drain, no
+# journal close), verifies the surviving directory with the strict
+# read-only checker (cmd/diskcheck: journal parses, every live record's
+# blob matches size and digest — a torn tail is tolerated, a partial
+# entry serve is not), then restarts over the same directory and
+# confirms the proxy comes back serving the cached objects.
+set -eu
+cd "$(dirname "$0")/.."
+
+LISTEN="${LISTEN:-127.0.0.1:18090}"
+DISK="$(mktemp -d /tmp/mcproxy-disk-smoke.XXXXXX)"
+trap 'kill "$PROXY_PID" 2>/dev/null || true; rm -rf "$DISK"' EXIT INT TERM
+PROXY_PID=""
+
+go build -o /tmp/mcproxy-disk-smoke ./cmd/mcproxy
+go build -o /tmp/diskcheck-disk-smoke ./cmd/diskcheck
+
+boot() {
+  /tmp/mcproxy-disk-smoke -demo -listen "$LISTEN" \
+    -disk-dir "$DISK" -run-for 60s &
+  PROXY_PID=$!
+  i=0
+  until curl -fsS "http://$LISTEN/news/story.html" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+      echo "disk-crash-smoke: proxy never came up" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+boot
+# Populate the cache — and therefore the write-behind queue — with
+# every demo object, repeatedly, so the SIGKILL lands with disk writes
+# plausibly in flight.
+for pass in 1 2 3; do
+  for obj in /news/story.html /news/photo.jpg /news/score.js /quote/acme; do
+    curl -fsS "http://$LISTEN$obj" >/dev/null
+  done
+done
+
+# The crash: no signal handler runs, no drain, no journal close.
+kill -9 "$PROXY_PID"
+wait "$PROXY_PID" 2>/dev/null || true
+PROXY_PID=""
+
+# The directory must verify: whatever the kill tore off the journal
+# tail, every record that IS live must have its exact blob.
+/tmp/diskcheck-disk-smoke "$DISK"
+
+# Restart over the crashed directory: the proxy must boot (rehydrating
+# what survived) and serve — no partial entry, no refusal to open.
+boot
+for obj in /news/story.html /quote/acme; do
+  curl -fsS "$(printf 'http://%s%s' "$LISTEN" "$obj")" >/dev/null
+done
+echo "disk-crash-smoke: survived SIGKILL, directory verified, restart serves"
+kill "$PROXY_PID" 2>/dev/null || true
+wait "$PROXY_PID" 2>/dev/null || true
+PROXY_PID=""
