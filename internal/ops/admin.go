@@ -2,7 +2,10 @@ package ops
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
+	"strconv"
+	"time"
 
 	"broadway/internal/webproxy"
 	"broadway/internal/webserver"
@@ -45,6 +48,11 @@ func (h *Handler) serveAdmin(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		h.adminKillStreams(w, r)
+	case "/admin/tolerance":
+		if !requireMethod(w, r, http.MethodPost) {
+			return
+		}
+		h.adminTolerance(w, r)
 	case "/admin/stats":
 		if !allowReadMethods(w, r) {
 			return
@@ -87,6 +95,55 @@ func (h *Handler) adminEvict(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusNotFound
 	}
 	writeJSON(w, code, EvictResult{Key: key, Evicted: evicted})
+}
+
+// adminTolerance applies a runtime Δ/Δv override to one resident
+// object: POST /admin/tolerance?key=<key>&dt=<duration>&dv=<float>.
+// dt is the time tolerance (Go duration syntax, e.g. 30s); dv the
+// value tolerance; either may be omitted to leave that bound alone,
+// but at least one must be supplied. The override is journaled through
+// the disk tier (a restart rehydrates it) and the next origin response
+// carrying tolerance directives supersedes it.
+func (h *Handler) adminTolerance(w http.ResponseWriter, r *http.Request) {
+	p := h.cfg.Proxy
+	if p == nil {
+		http.Error(w, "no proxy on this node", http.StatusUnprocessableEntity)
+		return
+	}
+	q := r.URL.Query()
+	key := q.Get("key")
+	if key == "" {
+		http.Error(w, "missing key parameter", http.StatusBadRequest)
+		return
+	}
+	var dt time.Duration
+	if s := q.Get("dt"); s != "" {
+		v, err := time.ParseDuration(s)
+		if err != nil || v <= 0 {
+			http.Error(w, "dt must be a positive duration", http.StatusBadRequest)
+			return
+		}
+		dt = v
+	}
+	var dv float64
+	if s := q.Get("dv"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			http.Error(w, "dv must be a positive number", http.StatusBadRequest)
+			return
+		}
+		dv = v
+	}
+	if dt == 0 && dv == 0 {
+		http.Error(w, "supply dt and/or dv", http.StatusBadRequest)
+		return
+	}
+	res, ok := p.OverrideTolerance(key, dt, dv)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, webproxy.ToleranceOverride{Key: key})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // adminKillStreams severs every push stream this node owns — the relay

@@ -91,6 +91,8 @@ func hubExpectations(hs push.HubStats, which string) map[string]fieldExpectation
 		"ResumeHoles":   one("broadway_hub_resume_holes_total", float64(hs.ResumeHoles), l),
 		"SlowKills":     one("broadway_hub_slow_kills_total", float64(hs.SlowKills), l),
 		"Filtered":      one("broadway_hub_filtered_total", float64(hs.Filtered), l),
+		"DeltaFrames":   one("broadway_hub_delta_frames_total", float64(hs.DeltaFrames), l),
+		"ChunkFrames":   one("broadway_hub_chunk_frames_total", float64(hs.ChunkFrames), l),
 		"Available":     one("broadway_hub_available", boolVal(hs.Available), l),
 		"MaxLag":        one("broadway_hub_max_lag", float64(hs.MaxLag), l),
 		"Lags": {checks: []seriesCheck{
@@ -115,6 +117,8 @@ func proxyExpectations(cs webproxy.CacheStats, us webproxy.UpstreamStatus, ps we
 		"PushEvents":    one("broadway_push_events_total", float64(cs.PushEvents)),
 		"PushPolls":     one("broadway_push_polls_total", float64(cs.PushPolls)),
 		"PushFallbacks": one("broadway_push_fallbacks_total", float64(cs.PushFallbacks)),
+
+		"ToleranceOverrides": one("broadway_cache_tolerance_overrides_total", float64(cs.ToleranceOverrides)),
 	}
 	upstream = map[string]fieldExpectation{
 		"Errors": one("broadway_upstream_errors_total", float64(us.Errors)),
@@ -132,6 +136,12 @@ func proxyExpectations(cs webproxy.CacheStats, us webproxy.UpstreamStatus, ps we
 		"Dropped":          one("broadway_push_dropped_total", float64(ps.Dropped)),
 		"ValueApplied":     one("broadway_push_value_applied_total", float64(ps.ValueApplied)),
 		"ValueFallbacks":   one("broadway_push_value_fallbacks_total", float64(ps.ValueFallbacks)),
+		"DeltaApplied":     one("broadway_push_delta_applied_total", float64(ps.DeltaApplied)),
+		"DeltaBaseMisses":  one("broadway_push_delta_base_misses_total", float64(ps.DeltaBaseMisses)),
+		"DeltaRebased":     one("broadway_push_delta_rebased_total", float64(ps.DeltaRebased)),
+		"DiskApplied":      one("broadway_push_disk_applied_total", float64(ps.DiskApplied)),
+		"ChunksAssembled":  one("broadway_push_chunks_assembled_total", float64(ps.ChunksAssembled)),
+		"ChunksBroken":     one("broadway_push_chunks_broken_total", float64(ps.ChunksBroken)),
 		"Fallbacks":        one("broadway_push_fallbacks_total", float64(ps.Fallbacks)),
 		"Connects":         one("broadway_push_connects_total", float64(ps.Connects)),
 		"Bounces":          one("broadway_push_bounces_total", float64(ps.Bounces)),

@@ -52,6 +52,7 @@ func writeProxyMetrics(e *exposition, p *webproxy.Proxy) {
 	e.counter("broadway_cache_capped_total", "Admissions refused residency at capacity.", float64(cs.Capped))
 	e.gauge("broadway_cache_resident_objects", "Currently cached objects.", float64(cs.ResidentObjects))
 	e.gauge("broadway_cache_resident_bytes", "Approximate resident bytes of cached objects.", float64(cs.ResidentBytes))
+	e.counter("broadway_cache_tolerance_overrides_total", "Runtime tolerance overrides applied via /admin/tolerance.", float64(cs.ToleranceOverrides))
 
 	us := p.UpstreamStatus()
 	e.counter("broadway_upstream_errors_total", "Failed upstream fetches (all refresh and admission paths).", float64(us.Errors))
@@ -66,6 +67,12 @@ func writeProxyMetrics(e *exposition, p *webproxy.Proxy) {
 	e.counter("broadway_push_dropped_total", "Events dropped for non-resident objects.", float64(ps.Dropped))
 	e.counter("broadway_push_value_applied_total", "Pushed payloads installed directly, zero origin polls.", float64(ps.ValueApplied))
 	e.counter("broadway_push_value_fallbacks_total", "Pushed jobs degraded to a confirmation poll.", float64(ps.ValueFallbacks))
+	e.counter("broadway_push_delta_applied_total", "Pushed delta frames reconstructed, verified, and installed.", float64(ps.DeltaApplied))
+	e.counter("broadway_push_delta_base_misses_total", "Pushed deltas refused for a base digest mismatch, degraded down the ladder.", float64(ps.DeltaBaseMisses))
+	e.counter("broadway_push_delta_rebased_total", "Relay publications carrying a delta form for this proxy's downstream.", float64(ps.DeltaRebased))
+	e.counter("broadway_push_disk_applied_total", "Pushed payloads landed on demoted objects' disk records.", float64(ps.DiskApplied))
+	e.counter("broadway_push_chunks_assembled_total", "Chunked bodies reassembled and delivered whole.", float64(ps.ChunksAssembled))
+	e.counter("broadway_push_chunks_broken_total", "Chunk sets abandoned and degraded to a confirmation poll.", float64(ps.ChunksBroken))
 	e.counter("broadway_push_fallbacks_total", "Healthy-to-disconnected transitions, each running a catch-up sweep (also CacheStats.PushFallbacks).", float64(ps.Fallbacks))
 	e.counter("broadway_push_connects_total", "Successful stream establishments.", float64(ps.Connects))
 	e.counter("broadway_push_bounces_total", "Deliberate stream drops forcing interest renegotiation.", float64(ps.Bounces))
@@ -111,6 +118,8 @@ func writeHubMetrics(e *exposition, hs push.HubStats, which string) {
 	e.counter("broadway_hub_resume_holes_total", "Reset hellos served to resuming subscribers.", float64(hs.ResumeHoles), l)
 	e.counter("broadway_hub_slow_kills_total", "Subscribers terminated for not draining their stream.", float64(hs.SlowKills), l)
 	e.counter("broadway_hub_filtered_total", "Update frames skipped by interest filtering.", float64(hs.Filtered), l)
+	e.counter("broadway_hub_delta_frames_total", "Update frames delivered on the delta rung (base matched a held digest).", float64(hs.DeltaFrames), l)
+	e.counter("broadway_hub_chunk_frames_total", "Chunk frames written for bodies over a stream's payload cap.", float64(hs.ChunkFrames), l)
 	e.gauge("broadway_hub_available", "1 while the endpoint accepts streams.", boolVal(hs.Available), l)
 	e.gauge("broadway_hub_max_lag", "Largest per-subscriber lag behind the stream head.", float64(hs.MaxLag), l)
 	lags := make([]float64, len(hs.Lags))

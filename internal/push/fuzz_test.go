@@ -35,6 +35,32 @@ func FuzzInvalidationEvent(f *testing.F) {
 	f.Add(Event{Kind: KindHello, Seq: 6, PayloadCap: DefaultPayloadCap}.Encode())
 	f.Add(Event{Kind: KindUpdate, Seq: 7, Key: "/e", Body: []byte{}, HasBody: true}.Encode())
 	f.Add(Event{Kind: KindUpdate, Seq: 8, Key: "/s", Digest: "deadbeef00112233"}.Encode())
+	// v3 seeds: a pure delta frame, first/last chunks of a set, and a
+	// cap-boundary chunk set (index MaxChunkTotal-1 of MaxChunkTotal).
+	f.Add(Event{Kind: KindUpdate, Seq: 9, Key: "/doc", Body: []byte{0x01, 0x02, 'h', 'i'},
+		HasBody: true, Digest: DigestOf([]byte("target")),
+		BaseDigest: DigestOf([]byte("base")), DeltaCodec: DeltaCodecBlock,
+		ModTime: time.Unix(1700000001, 0)}.Encode())
+	f.Add(Event{Kind: KindUpdate, Seq: 10, Key: "/doc", Body: []byte("chunk zero"),
+		HasBody: true, Digest: DigestOf([]byte("whole")), ChunkIndex: 0, ChunkTotal: 3}.Encode())
+	f.Add(Event{Kind: KindUpdate, Seq: 11, Key: "/doc", Body: []byte("last"),
+		HasBody: true, Digest: DigestOf([]byte("whole")), ChunkIndex: 2, ChunkTotal: 3}.Encode())
+	f.Add(Event{Kind: KindUpdate, Seq: 12, Key: "/doc", Body: []byte("edge"),
+		HasBody: true, Digest: DigestOf([]byte("whole")),
+		ChunkIndex: MaxChunkTotal - 1, ChunkTotal: MaxChunkTotal}.Encode())
+	// Hostile v3 lines the decoder must refuse: a non-hex base digest, a
+	// base without its codec (and vice versa), chunk index beyond the
+	// total, a total beyond MaxChunkTotal, a delta on a payload-less
+	// frame, delta and chunk state on one frame, and ladder state on a
+	// hello.
+	f.Add("v3 2 12 0 p /k - - deadbeef 0 ZZZZ 1 0 0 aGk=")
+	f.Add("v3 2 13 0 p /k - - deadbeef 0 deadbeef 0 0 0 aGk=")
+	f.Add("v3 2 14 0 p /k - - deadbeef 0 - 1 0 0 aGk=")
+	f.Add("v3 2 15 0 p /k - - deadbeef 0 - 0 5 3 aGk=")
+	f.Add("v3 2 16 0 p /k - - deadbeef 0 - 0 0 1025 aGk=")
+	f.Add("v3 2 17 0 - /k - - - 0 deadbeef 1 0 0 -")
+	f.Add("v3 2 18 0 p /k - - deadbeef 0 deadbeef 1 0 3 aGk=")
+	f.Add("v3 1 19 0 r - - - - 65536 deadbeef 1 0 0 -")
 	f.Add("v1 2 1 0 - /k -")
 	f.Add("v1 2 1 0 - %2D %2D")
 	f.Add("v1 2 1 0 r %2Fa%20b grp")
@@ -65,6 +91,23 @@ func FuzzInvalidationEvent(f *testing.F) {
 		if len(ev.Body) > MaxPayloadCap {
 			t.Fatalf("Decode(%q) accepted a payload of %d bytes", wire, len(ev.Body))
 		}
+		// Ladder-state invariants the hub and subscriber dispatch on: a
+		// base digest and its codec travel together, a delta is always a
+		// payload-carrying update with no chunk state, and chunk
+		// positions are always in range of a bounded total.
+		if (ev.BaseDigest != "") != (ev.DeltaCodec != 0) {
+			t.Fatalf("Decode(%q) split base %q from codec %d", wire, ev.BaseDigest, ev.DeltaCodec)
+		}
+		if ev.BaseDigest != "" && (!ev.HasBody || ev.Kind != KindUpdate || ev.ChunkTotal != 0) {
+			t.Fatalf("Decode(%q) accepted an impossible delta frame: %+v", wire, ev)
+		}
+		if ev.ChunkTotal > 0 && (!ev.HasBody || ev.Kind != KindUpdate ||
+			ev.ChunkIndex >= ev.ChunkTotal || ev.ChunkTotal > MaxChunkTotal) {
+			t.Fatalf("Decode(%q) accepted an impossible chunk frame: %+v", wire, ev)
+		}
+		if ev.ChunkTotal == 0 && ev.ChunkIndex != 0 {
+			t.Fatalf("Decode(%q) accepted a chunk index without a total: %+v", wire, ev)
+		}
 		re := ev.Encode()
 		ev2, err := Decode(re)
 		if err != nil {
@@ -74,21 +117,37 @@ func FuzzInvalidationEvent(f *testing.F) {
 			ev2.Group != ev.Group || ev2.Reset != ev.Reset || !ev2.ModTime.Equal(ev.ModTime) ||
 			ev2.HasBody != ev.HasBody || !bytes.Equal(ev2.Body, ev.Body) ||
 			ev2.ContentType != ev.ContentType || ev2.Digest != ev.Digest ||
-			ev2.PayloadCap != ev.PayloadCap {
+			ev2.PayloadCap != ev.PayloadCap ||
+			ev2.BaseDigest != ev.BaseDigest || ev2.DeltaCodec != ev.DeltaCodec ||
+			ev2.ChunkIndex != ev.ChunkIndex || ev2.ChunkTotal != ev.ChunkTotal {
 			t.Fatalf("round trip diverged: %+v vs %+v (wire %q)", ev, ev2, wire)
 		}
 		// Stripping is idempotent and always yields an encodable,
 		// envelope-bounded-or-oversized frame — the exact degradation the
 		// hub performs, so it must hold for every decodable event.
 		st := ev.StripPayload()
-		if st.HasBody || st.Body != nil || st.Digest != "" || st.ContentType != "" {
+		if st.HasBody || st.Body != nil || st.Digest != "" || st.ContentType != "" ||
+			st.BaseDigest != "" || st.DeltaCodec != 0 || st.ChunkIndex != 0 || st.ChunkTotal != 0 {
 			t.Fatalf("StripPayload left payload state: %+v", st)
 		}
 		// The publish-time render must be byte-identical to the
 		// per-subscriber Encode it replaced, for every decodable event
-		// and every negotiated cap the write path can see.
+		// and every negotiated cap the write path can see. A decoded
+		// delta frame is a PURE delta (its body IS the delta), so its
+		// ladder has no full form at all — WireFor degrades every cap to
+		// the stripped form, and the delta form re-encodes the frame
+		// byte-identically for the hub's delta rung.
+		pureDelta := ev.HasBody && ev.BaseDigest != "" && ev.DeltaCodec != 0
 		rend := Render(ev)
-		if rend.Full() != re {
+		if pureDelta {
+			if rend.Full() != "" {
+				t.Fatalf("pure delta rendered a full form %q (wire %q)", rend.Full(), wire)
+			}
+			if frame, base := rend.Delta(); frame != re || base != ev.BaseDigest {
+				t.Fatalf("pure delta form %q (base %q) != Encode %q (base %q)",
+					frame, base, re, ev.BaseDigest)
+			}
+		} else if rend.Full() != re {
 			t.Fatalf("Render full form %q != Encode %q", rend.Full(), re)
 		}
 		if want := st.Encode(); rend.Stripped() != want {
@@ -96,11 +155,55 @@ func FuzzInvalidationEvent(f *testing.F) {
 		}
 		for _, cap := range []int{0, 1, len(ev.Body) - 1, len(ev.Body), len(ev.Body) + 1, MaxPayloadCap} {
 			want := re
-			if ev.HasBody && (cap <= 0 || len(ev.Body) > cap) {
+			if pureDelta || (ev.HasBody && (cap <= 0 || len(ev.Body) > cap)) {
 				want = st.Encode()
 			}
 			if got := rend.WireFor(cap); got != want {
 				t.Fatalf("WireFor(%d) = %q, want %q (wire %q)", cap, got, want, wire)
+			}
+		}
+	})
+}
+
+// FuzzDeltaApply hammers the delta decoder with arbitrary base and op
+// streams. The invariants are the ones install safety rides on:
+// ApplyDelta never panics, never returns a body over the size bound,
+// and is deterministic; and every delta MakeDelta emits from the fuzzed
+// inputs applies back to the exact target (the encoder and decoder
+// cannot drift apart, whatever bytes the objects hold).
+func FuzzDeltaApply(f *testing.F) {
+	f.Add([]byte("base body"), []byte{0x01, 0x02, 'h', 'i'}, 0)
+	f.Add([]byte(""), []byte{0x02, 0x00, 0x05}, 64)
+	f.Add(bytes.Repeat([]byte("block content "), 64), []byte{0x02, 0x00, 0xff, 0x07}, 1<<20)
+	f.Add([]byte("b"), []byte{0x01, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, 0)
+	f.Fuzz(func(t *testing.T, base, delta []byte, maxSize int) {
+		out, err := ApplyDelta(DeltaCodecBlock, base, delta, maxSize)
+		if err == nil {
+			bound := maxSize
+			if bound <= 0 {
+				bound = MaxAssembledBody
+			}
+			if len(out) > bound {
+				t.Fatalf("ApplyDelta produced %d bytes over the %d bound", len(out), bound)
+			}
+			out2, err2 := ApplyDelta(DeltaCodecBlock, base, delta, maxSize)
+			if err2 != nil || !bytes.Equal(out, out2) {
+				t.Fatal("ApplyDelta is not deterministic")
+			}
+		}
+		if _, err := ApplyDelta(0, base, delta, maxSize); err == nil {
+			t.Fatal("unknown codec accepted")
+		}
+		// Round trip: whatever MakeDelta emits for these inputs (base →
+		// delta-as-target, and delta-as-target → base) must apply back
+		// exactly.
+		for _, pair := range [][2][]byte{{base, delta}, {delta, base}} {
+			if enc, ok := MakeDelta(pair[0], pair[1]); ok {
+				got, err := ApplyDelta(DeltaCodecBlock, pair[0], enc, 0)
+				if err != nil || !bytes.Equal(got, pair[1]) {
+					t.Fatalf("MakeDelta round trip broke: err=%v got %d bytes want %d",
+						err, len(got), len(pair[1]))
+				}
 			}
 		}
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,10 +85,30 @@ type HubConfig struct {
 	// Defaults to DefaultWriteTimeout; negative disables the deadline.
 	WriteTimeout time.Duration
 	// PayloadCap is the largest update body (bytes, pre-base64) the hub
-	// will carry; larger payloads are degraded to invalidation-only
-	// events at publish time. Zero (the default) carries no payloads at
-	// all — the pre-v2 pure-invalidation hub. Clamped to MaxPayloadCap.
+	// will carry in a single frame; larger payloads are degraded to
+	// invalidation-only events at publish time unless ChunkPayload
+	// enables chunked delivery. Zero (the default) carries no payloads
+	// at all — the pre-v2 pure-invalidation hub. Clamped to
+	// MaxPayloadCap.
 	PayloadCap int
+	// ChunkPayload, when positive, enables chunked delivery (wire v3):
+	// a body too large for one frame is additionally rendered as a
+	// chunk set at this payload size per frame — so streams whose
+	// negotiated cap cannot carry the whole body still receive it,
+	// bounded by MaxChunkTotal frames and MaxAssembledBody bytes —
+	// and bodies beyond PayloadCap survive publish as chunk-only
+	// events instead of degrading to invalidation. Clamped to
+	// PayloadCap (a chunk frame must fit the caps streams can
+	// negotiate). Zero disables chunking (the pre-v3 hub).
+	ChunkPayload int
+	// AnchorEvery thins the replay ring when delta forms flow: an
+	// update carrying a delta stores only its delta + stripped forms
+	// in the ring, except every AnchorEvery-th sequence number, which
+	// keeps its full/chunked forms as an anchor a resuming subscriber
+	// without a matching base can still install. Live fan-out always
+	// carries every form. Zero defaults to 4; negative disables
+	// thinning (every ring event keeps all forms).
+	AnchorEvery int
 	// OnSubscribe, when set, is invoked from ServeHTTP for every stream
 	// that successfully registers, with the interest set it declared. A
 	// relaying proxy uses it to learn that a downstream subscriber wants
@@ -112,6 +133,13 @@ type Hub struct {
 	// fell outside a stream's declared interest set; incremented from
 	// serve loops, hence atomic.
 	filtered atomic.Uint64
+
+	// deltaFrames and chunkFrames count ladder deliveries: update
+	// events written as a delta against the stream's held digest, and
+	// update events written as chunk sets (counted once per event, not
+	// per frame); incremented from serve loops, hence atomic.
+	deltaFrames atomic.Uint64
+	chunkFrames atomic.Uint64
 
 	mu          sync.Mutex
 	seq         uint64          // last assigned sequence number
@@ -143,6 +171,14 @@ type hubSub struct {
 	// Heartbeats carry it (so the subscriber's resume point tracks it),
 	// and Stats reads it to compute per-subscriber lag.
 	lastSent atomic.Uint64
+	// held maps object key → body digest this stream is known to hold:
+	// seeded from the connect-time ?held= declaration, advanced on
+	// every payload-form delivery, and dropped on any delivery the
+	// stream must confirm by polling (the hub then no longer knows what
+	// the poll installed). Touched ONLY by the stream's serve
+	// goroutine, so it needs no lock; nil until something populates it,
+	// so invalidation-only workloads never allocate it.
+	held map[string]string
 }
 
 func (s *hubSub) terminate() { s.once.Do(func() { close(s.done) }) }
@@ -163,6 +199,12 @@ func NewHub(cfg HubConfig) *Hub {
 	}
 	if cfg.PayloadCap > MaxPayloadCap {
 		cfg.PayloadCap = MaxPayloadCap
+	}
+	if cfg.ChunkPayload > cfg.PayloadCap {
+		cfg.ChunkPayload = cfg.PayloadCap
+	}
+	if cfg.AnchorEvery == 0 {
+		cfg.AnchorEvery = 4
 	}
 	return &Hub{
 		cfg:       cfg,
@@ -190,6 +232,10 @@ func (h *Hub) Publish(ev Event) uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	in := ev
+	// Chunk fields are a render-time artifact of THIS hub's chunk size:
+	// they never survive republication (a consumer reassembles chunks
+	// into one full-bodied event before handing it on).
+	ev.ChunkIndex, ev.ChunkTotal = 0, 0
 	if !validWireDigest(ev.Digest) {
 		// A digest Encode cannot frame (spaces, non-hex) would produce a
 		// ring-buffered frame every subscriber rejects — the poison-frame
@@ -199,11 +245,40 @@ func (h *Hub) Publish(ev Event) uint64 {
 		// rather than ship bytes no consumer may use.
 		ev = ev.StripPayload()
 	}
+	// Delta state must arrive whole — base digest and codec paired, the
+	// base frameable, and (for a sidecar) a full-body digest to verify
+	// the application against. Anything less drops to the next rung:
+	// a sidecar is discarded (the full body still rides), a pure delta
+	// body is stripped (undeliverable without its base).
+	if ev.BaseDigest != "" || ev.DeltaCodec != 0 || len(ev.DeltaBody) > 0 {
+		ok := ev.HasBody && ev.BaseDigest != "" && ev.DeltaCodec != 0 &&
+			isHexDigest(ev.BaseDigest) && ev.Digest != "" && ev.Kind == KindUpdate
+		if !ok {
+			if len(ev.DeltaBody) > 0 {
+				ev.BaseDigest, ev.DeltaCodec, ev.DeltaBody = "", 0, nil
+			} else if ev.BaseDigest != "" || ev.DeltaCodec != 0 {
+				ev = ev.StripPayload()
+			}
+		}
+	}
+	chunkPayload := h.cfg.ChunkPayload
+	suppressFull := false
 	if ev.HasBody && (h.cfg.PayloadCap <= 0 || len(ev.Body) > h.cfg.PayloadCap) {
-		ev = ev.StripPayload()
+		if h.chunkableLocked(ev, chunkPayload) {
+			// The body cannot ride one frame, but it can ride a chunk
+			// set: keep it, suppress the (undeliverable) full form.
+			suppressFull = true
+		} else {
+			ev = ev.StripPayload()
+		}
+	}
+	if len(ev.DeltaBody) > 0 && len(ev.DeltaBody) > h.cfg.PayloadCap {
+		// A delta no stream's cap could carry saves nothing; drop the
+		// sidecar, the full/chunked forms still deliver.
+		ev.BaseDigest, ev.DeltaCodec, ev.DeltaBody = "", 0, nil
 	}
 	if ev.Oversized() {
-		// A v2 envelope over the limit (fat content type, near-limit key)
+		// An envelope over the limit (fat content type, near-limit key)
 		// may still fit as a bare invalidation — degrading keeps the
 		// update announced; only an envelope that cannot fit either way
 		// is dropped (and only then does Oversized count: a dropped event
@@ -214,18 +289,30 @@ func (h *Hub) Publish(ev Event) uint64 {
 			return h.seq
 		}
 		ev = stripped
+		suppressFull = false
 	}
 	if ev.HasBody != in.HasBody || ev.Digest != in.Digest || ev.ContentType != in.ContentType {
 		h.degraded++
 	}
 	h.seq++
 	ev.Seq = h.seq
-	// The single Encode site of the publish path: both wire forms are
+	// The single Encode site of the publish path: every wire form is
 	// rendered here, once, and every delivery — live fan-out now, replay
 	// later — is a pre-rendered byte-slice pick.
-	re := Render(ev)
-	h.buf = append(h.buf, re)
-	h.bufBytes += re.cost
+	re := RenderLadder(ev, chunkPayload)
+	if suppressFull {
+		re = re.SuppressFull()
+	}
+	ring := re
+	if h.cfg.AnchorEvery > 1 && ring.delta != "" && ev.Seq%uint64(h.cfg.AnchorEvery) != 0 {
+		// Delta-bearing events thin to delta + stripped in the ring: a
+		// resuming subscriber replays the delta chain against the base
+		// it holds, and the periodic full anchor (plus live fan-out,
+		// which keeps every form) covers the ones that hold nothing.
+		ring = ring.trimToDelta()
+	}
+	h.buf = append(h.buf, ring)
+	h.bufBytes += ring.cost
 	for len(h.buf) > h.cfg.ReplayLen ||
 		(h.cfg.ReplayBytes >= 0 && h.bufBytes > h.cfg.ReplayBytes && len(h.buf) > 1) {
 		h.bufBytes -= h.buf[0].cost
@@ -234,6 +321,36 @@ func (h *Hub) Publish(ev Event) uint64 {
 	}
 	h.broadcastLocked(re)
 	return h.seq
+}
+
+// chunkableLocked reports whether ev's body, too large for a single
+// frame, can ride a chunk set instead: chunking enabled, the chunk
+// count within bounds, and the per-chunk envelope (index/total fields
+// at their widest) within the wire limit — a chunk frame the
+// subscriber must reject would poison the stream for nothing.
+func (h *Hub) chunkableLocked(ev Event, chunkPayload int) bool {
+	if chunkPayload <= 0 || !ev.HasBody || ev.Kind != KindUpdate {
+		return false
+	}
+	if len(ev.DeltaBody) == 0 && ev.BaseDigest != "" {
+		return false // the body IS a delta; chunking it is meaningless
+	}
+	if ev.Digest == "" {
+		return false // no terminal check — nothing could verify reassembly
+	}
+	if len(ev.Body) > MaxAssembledBody {
+		return false
+	}
+	n := (len(ev.Body) + chunkPayload - 1) / chunkPayload
+	if n > MaxChunkTotal {
+		return false
+	}
+	probe := ev
+	probe.Body = nil
+	probe.DeltaBody = nil
+	probe.BaseDigest, probe.DeltaCodec = "", 0
+	probe.ChunkIndex, probe.ChunkTotal = MaxChunkTotal-1, MaxChunkTotal
+	return !probe.Oversized()
 }
 
 // Reset announces a mid-stream resynchronization: the hub's owner lost
@@ -276,7 +393,7 @@ func (h *Hub) broadcastLocked(re RenderedEvent) {
 // interest is its declared filter. The backlog is returned unfiltered —
 // the serve loop skips uninteresting frames while advancing the resume
 // position, keeping the filter logic in exactly one place.
-func (h *Hub) subscribe(since uint64, payloadCap int, interest InterestSet) (hello RenderedEvent, backlog []RenderedEvent, sub *hubSub, ok bool) {
+func (h *Hub) subscribe(since uint64, payloadCap int, interest InterestSet, held map[string]string) (hello RenderedEvent, backlog []RenderedEvent, sub *hubSub, ok bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if !h.available {
@@ -316,6 +433,7 @@ func (h *Hub) subscribe(since uint64, payloadCap int, interest InterestSet) (hel
 		done:       make(chan struct{}),
 		payloadCap: payloadCap,
 		interest:   interest,
+		held:       held,
 	}
 	// Seed the lag baseline: a resuming subscriber starts its replay at
 	// since, everyone else (fresh, reset, already caught up) is about to
@@ -327,6 +445,40 @@ func (h *Hub) subscribe(since uint64, payloadCap int, interest InterestSet) (hel
 	}
 	h.subs[sub] = struct{}{}
 	return hello, backlog, sub, true
+}
+
+// maxHeldTerms bounds the connect-time ?held= declaration, mirroring
+// maxInterestTerms: beyond it a hostile client is just burning its own
+// delta eligibility.
+const maxHeldTerms = 64
+
+// parseHeld decodes the repeatable ?held=<key>:<digest> connect
+// parameters into the stream's initial held-digest map. Each value is
+// an object key (which may itself contain ':') and the DigestOf-style
+// hex digest of the body the subscriber holds, split at the LAST
+// colon. Malformed terms are silently ignored — held state is an
+// optimization (it unlocks the delta rung), so parsing fails open to
+// "holds nothing", never closed.
+func parseHeld(terms []string) map[string]string {
+	var held map[string]string
+	for _, t := range terms {
+		if len(held) >= maxHeldTerms {
+			break
+		}
+		i := strings.LastIndexByte(t, ':')
+		if i <= 0 || i == len(t)-1 {
+			continue
+		}
+		key, digest := t[:i], t[i+1:]
+		if len(key) > MaxFrameLen || !isHexDigest(digest) {
+			continue
+		}
+		if held == nil {
+			held = make(map[string]string, len(terms))
+		}
+		held[key] = digest
+	}
+	return held
 }
 
 func (h *Hub) unsubscribe(sub *hubSub) {
@@ -420,6 +572,13 @@ type HubStats struct {
 	ResumeHoles uint64
 	SlowKills   uint64
 	Filtered    uint64
+	// DeltaFrames counts updates delivered as a delta against the
+	// stream's held digest; ChunkFrames counts updates delivered as a
+	// chunk set (once per update, not per chunk). Both are the ladder's
+	// savings ledger: frames that would otherwise have been a full body
+	// or a degradation to invalidation.
+	DeltaFrames uint64
+	ChunkFrames uint64
 	// Available reports whether the endpoint is accepting streams (see
 	// SetAvailable; a disabled hub 503s new connections).
 	Available bool
@@ -450,6 +609,8 @@ func (h *Hub) Stats() HubStats {
 		ResumeHoles:   h.resumeHoles,
 		SlowKills:     h.slowKills,
 		Filtered:      h.filtered.Load(),
+		DeltaFrames:   h.deltaFrames.Load(),
+		ChunkFrames:   h.chunkFrames.Load(),
 		Available:     h.available,
 	}
 	subs := make([]*hubSub, 0, len(h.subs))
@@ -519,7 +680,11 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	interest := ParseInterest(query)
-	hello, backlog, sub, ok := h.subscribe(since, payloadCap, interest)
+	var held map[string]string
+	if payloadCap > 0 {
+		held = parseHeld(query["held"])
+	}
+	hello, backlog, sub, ok := h.subscribe(since, payloadCap, interest, held)
 	if !ok {
 		http.Error(w, "event stream unavailable", http.StatusServiceUnavailable)
 		return
@@ -536,7 +701,7 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
 	deadline := h.cfg.WriteTimeout > 0
-	write := func(re RenderedEvent) bool {
+	writeFrame := func(seq uint64, wire string) bool {
 		if deadline {
 			if err := rc.SetWriteDeadline(time.Now().Add(h.cfg.WriteTimeout)); err != nil {
 				// The connection cannot carry deadlines (an exotic
@@ -544,21 +709,92 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				deadline = false
 			}
 		}
-		// WireFor picks the pre-rendered form this stream's negotiated
-		// cap can carry — the only per-subscriber work left on the
-		// delivery path.
-		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", re.Seq, re.WireFor(sub.payloadCap)); err != nil {
+		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", seq, wire); err != nil {
 			return false
 		}
-		if err := rc.Flush(); err != nil {
+		return rc.Flush() == nil
+	}
+	// holdSet advances (or voids) the hub's knowledge of what body this
+	// stream holds for key — the state the delta rung selects against.
+	holdSet := func(key, digest string) {
+		if digest == "" {
+			delete(sub.held, key)
+			return
+		}
+		if sub.held == nil {
+			sub.held = make(map[string]string)
+		}
+		sub.held[key] = digest
+	}
+	// write delivers one event on the cheapest ladder rung this stream
+	// can use: delta when the stream holds the delta's base, the full
+	// body in one frame when the cap carries it, the chunk set when
+	// only per-chunk frames fit, and the stripped invalidation
+	// otherwise (the stream then confirms by polling — the next rung
+	// down, never a dropped update). Every pick is a pre-rendered
+	// byte-slice; the only per-subscriber work is the cap compare and,
+	// when deltas flow, one map probe.
+	write := func(re RenderedEvent) bool {
+		if re.Kind == KindUpdate {
+			if re.delta != "" && re.deltaLen >= 0 && re.deltaLen <= sub.payloadCap && len(sub.held) > 0 {
+				if d, ok := sub.held[re.Key]; ok && d == re.baseDigest {
+					if !writeFrame(re.Seq, re.delta) {
+						return false
+					}
+					holdSet(re.Key, re.digest)
+					h.deltaFrames.Add(1)
+					sub.lastSent.Store(re.Seq)
+					return true
+				}
+			}
+			if re.full != "" && re.payloadLen >= 0 && sub.payloadCap > 0 && re.payloadLen <= sub.payloadCap {
+				if !writeFrame(re.Seq, re.full) {
+					return false
+				}
+				holdSet(re.Key, re.digest)
+				sub.lastSent.Store(re.Seq)
+				return true
+			}
+			if len(re.chunks) > 0 && re.chunkLen > 0 && re.chunkLen <= sub.payloadCap {
+				// All chunk frames ride back to back under one sequence
+				// number; the position advances once, after the terminal
+				// chunk, so a disconnect mid-set resumes before the set
+				// and replays it whole.
+				for _, c := range re.chunks {
+					if !writeFrame(re.Seq, c) {
+						return false
+					}
+				}
+				holdSet(re.Key, re.digest)
+				h.chunkFrames.Add(1)
+				sub.lastSent.Store(re.Seq)
+				return true
+			}
+			wire := re.WireFor(sub.payloadCap)
+			if !writeFrame(re.Seq, wire) {
+				return false
+			}
+			if sub.held != nil && (re.digest != "" || re.payloadLen >= 0 || wire == re.stripped) {
+				// The stream confirms this update by polling; the hub no
+				// longer knows which body that poll will install.
+				delete(sub.held, re.Key)
+			}
+			sub.lastSent.Store(re.Seq)
+			return true
+		}
+		if !writeFrame(re.Seq, re.WireFor(sub.payloadCap)) {
 			return false
 		}
 		// Frames that advance the subscriber's position feed the resume
-		// point and the lag metric: update events and Reset hellos (the
-		// subscriber fast-forwards to their Seq). Plain hellos and
-		// heartbeats carry a position the stream already holds.
-		if re.Kind == KindUpdate || (re.Kind == KindHello && re.Reset) {
+		// point and the lag metric: update events (above) and Reset
+		// hellos (the subscriber fast-forwards to their Seq). Plain
+		// hellos and heartbeats carry a position the stream already
+		// holds.
+		if re.Kind == KindHello && re.Reset {
 			sub.lastSent.Store(re.Seq)
+			// The stream's owner now revalidates by polling; every held
+			// digest is stale knowledge.
+			sub.held = nil
 		}
 		return true
 	}
@@ -568,6 +804,9 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// the ring to replay a hole it chose not to hear.
 	skip := func(re RenderedEvent) {
 		sub.lastSent.Store(re.Seq)
+		if sub.held != nil && re.Kind == KindUpdate {
+			delete(sub.held, re.Key)
+		}
 		h.filtered.Add(1)
 	}
 	if !write(hello) {

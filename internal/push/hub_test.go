@@ -139,7 +139,7 @@ func TestHubResetBarrierOnResume(t *testing.T) {
 		{3, true},  // exactly at the barrier: the hole follows it
 	}
 	for _, c := range cases {
-		hello, backlog, sub, ok := h.subscribe(c.since, 0, InterestAll())
+		hello, backlog, sub, ok := h.subscribe(c.since, 0, InterestAll(), nil)
 		if !ok {
 			t.Fatalf("since=%d: unavailable", c.since)
 		}
@@ -155,7 +155,7 @@ func TestHubResetBarrierOnResume(t *testing.T) {
 	// Past the barrier normal replay resumes.
 	h.Publish(Event{Kind: KindUpdate, Key: "/b"}) // seq 4
 	h.Publish(Event{Kind: KindUpdate, Key: "/c"}) // seq 5
-	hello, backlog, sub, _ := h.subscribe(4, 0, InterestAll())
+	hello, backlog, sub, _ := h.subscribe(4, 0, InterestAll(), nil)
 	defer h.unsubscribe(sub)
 	if hello.Reset || len(backlog) != 1 || backlog[0].Seq != 5 {
 		t.Errorf("post-barrier resume: hello=%+v backlog=%+v", hello, backlog)
@@ -213,7 +213,7 @@ func TestHubWriteDeadlineUnpinsStalledClient(t *testing.T) {
 // the hub actually holds.
 func TestHubStatsLagAndOccupancy(t *testing.T) {
 	h := NewHub(HubConfig{ReplayLen: 8})
-	_, _, sub, ok := h.subscribe(0, 0, InterestAll())
+	_, _, sub, ok := h.subscribe(0, 0, InterestAll(), nil)
 	if !ok {
 		t.Fatal("subscribe failed")
 	}
@@ -522,7 +522,7 @@ func TestHubReplayRingByteBudget(t *testing.T) {
 	// A resume within the surviving window replays payloads verbatim
 	// (the ring holds pre-rendered wire forms; decode the full form to
 	// check what a payload-negotiated stream would receive).
-	hello, backlog, sub, ok := h.subscribe(uint64(12-st.ReplayLen), 4096, InterestAll())
+	hello, backlog, sub, ok := h.subscribe(uint64(12-st.ReplayLen), 4096, InterestAll(), nil)
 	if !ok {
 		t.Fatal("subscribe failed")
 	}
@@ -546,7 +546,7 @@ func TestHubReplayRingByteBudget(t *testing.T) {
 
 	// A resume from before the trimmed-off history must Reset: the ring
 	// cannot prove contiguity it no longer holds.
-	hello2, _, sub2, _ := h.subscribe(1, 4096, InterestAll())
+	hello2, _, sub2, _ := h.subscribe(1, 4096, InterestAll(), nil)
 	defer h.unsubscribe(sub2)
 	if !hello2.Reset {
 		t.Error("out-of-window resume not Reset")
@@ -563,7 +563,7 @@ func drainHubFleet(b *testing.B, h *Hub, fleet int, interest InterestSet) func()
 	b.Helper()
 	var wg sync.WaitGroup
 	for i := 0; i < fleet; i++ {
-		_, _, sub, ok := h.subscribe(0, 0, interest)
+		_, _, sub, ok := h.subscribe(0, 0, interest, nil)
 		if !ok {
 			b.Fatal("subscribe failed")
 		}
@@ -640,7 +640,7 @@ func TestPublishAllocsIndependentOfFanout(t *testing.T) {
 			// defaultSubscriberBuffer frames, far more than the measured
 			// runs publish, so sends never fall into the terminate path
 			// (and nothing concurrent disturbs the allocation count).
-			_, _, sub, ok := h.subscribe(0, 0, InterestAll())
+			_, _, sub, ok := h.subscribe(0, 0, InterestAll(), nil)
 			if !ok {
 				t.Fatal("subscribe failed")
 			}
@@ -670,7 +670,7 @@ func BenchmarkHubPublishFanoutPayload(b *testing.B) {
 	const fleet = 16
 	var wg sync.WaitGroup
 	for i := 0; i < fleet; i++ {
-		_, _, sub, ok := h.subscribe(0, DefaultPayloadCap, InterestAll())
+		_, _, sub, ok := h.subscribe(0, DefaultPayloadCap, InterestAll(), nil)
 		if !ok {
 			b.Fatal("subscribe failed")
 		}

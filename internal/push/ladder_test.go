@@ -1,0 +1,754 @@
+package push
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// This file tests the v3 value-delivery ladder end to end inside the
+// package: the delta codec, the v3 wire frames, the publish-time form
+// set (RenderLadder), the hub's per-stream rung selection (delta when
+// the stream holds the base, chunks when only per-chunk frames fit),
+// and the subscriber's chunk reassembly. The cross-process halves —
+// the proxy applying deltas against its cache and the relay re-basing
+// them — live in internal/webproxy.
+
+// --- delta codec ---
+
+func TestMakeApplyDeltaRoundTrip(t *testing.T) {
+	long := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 200)
+	cases := []struct {
+		name         string
+		base, target []byte
+	}{
+		{"append", long, append(append([]byte(nil), long...), []byte("tail line\n")...)},
+		{"prepend", long, append([]byte("head line\n"), long...)},
+		{"edit middle", long, bytes.Replace(long, []byte("lazy"), []byte("busy"), 3)},
+		{"moved block", append(long[4096:], long[:4096]...), long},
+		{"identical", long, long},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			delta, ok := MakeDelta(c.base, c.target)
+			if !ok {
+				t.Fatalf("MakeDelta found no delta smaller than %d bytes", len(c.target))
+			}
+			if len(delta) >= len(c.target) {
+				t.Fatalf("delta of %d bytes for a %d-byte target", len(delta), len(c.target))
+			}
+			got, err := ApplyDelta(DeltaCodecBlock, c.base, delta, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, c.target) {
+				t.Fatalf("round trip diverged: %d bytes, want %d", len(got), len(c.target))
+			}
+		})
+	}
+}
+
+func TestMakeDeltaRefusesWhenNotSmaller(t *testing.T) {
+	cases := []struct {
+		name         string
+		base, target []byte
+	}{
+		{"empty base", nil, []byte("body")},
+		{"empty target", []byte("body"), nil},
+		{"disjoint content", []byte(strings.Repeat("a", 256)), []byte(strings.Repeat("z", 48))},
+	}
+	for _, c := range cases {
+		if delta, ok := MakeDelta(c.base, c.target); ok {
+			t.Errorf("%s: MakeDelta returned a %d-byte delta, want refusal", c.name, len(delta))
+		}
+	}
+}
+
+// TestApplyDeltaHostile drives the decoder with the streams a hostile
+// upstream could craft. Every case must error — never panic, never
+// return bytes — and the output bound must hold even when the stream
+// itself is tiny (a small COPY loop amplifying the base).
+func TestApplyDeltaHostile(t *testing.T) {
+	base := []byte("0123456789abcdef")
+	uv := func(vals ...byte) []byte { return vals } // readable literals below
+	cases := []struct {
+		name  string
+		delta []byte
+	}{
+		{"unknown op", uv(0xff)},
+		{"truncated add header", uv(opAdd)},
+		{"add length past stream", uv(opAdd, 0x10, 'x')},
+		{"truncated copy offset", uv(opCopy)},
+		{"truncated copy length", uv(opCopy, 0x00)},
+		{"copy offset out of base", uv(opCopy, 0x7f, 0x01)},
+		{"copy length out of base", uv(opCopy, 0x08, 0x7f)},
+		// 11 continuation bytes: an offset the uvarint decoder rejects
+		// as overflow instead of silently truncating.
+		{"monster varint", append([]byte{opCopy}, bytes.Repeat([]byte{0xff}, 11)...)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, err := ApplyDelta(DeltaCodecBlock, base, c.delta, 0)
+			if err == nil {
+				t.Fatalf("hostile stream accepted, %d bytes out", len(out))
+			}
+			if !errors.Is(err, ErrBadDelta) {
+				t.Fatalf("error %v is not ErrBadDelta", err)
+			}
+		})
+	}
+
+	// Output amplification: a few bytes of COPY ops reference the whole
+	// base repeatedly; maxSize must stop the build mid-way.
+	var amplifier []byte
+	for i := 0; i < 64; i++ {
+		amplifier = append(amplifier, opCopy, 0x00, 0x10) // copy base[0:16]
+	}
+	if _, err := ApplyDelta(DeltaCodecBlock, base, amplifier, 100); err == nil {
+		t.Fatal("amplified output exceeded maxSize without error")
+	}
+	if _, err := ApplyDelta(0, base, uv(opAdd, 0x01, 'x'), 0); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}
+
+// --- v3 wire frames ---
+
+func TestV3EncodeDecodeRoundTrip(t *testing.T) {
+	body := []byte("delta-or-chunk-bytes")
+	cases := []Event{
+		{Kind: KindUpdate, Seq: 9, Key: "/obj", Body: body, HasBody: true,
+			Digest: DigestOf([]byte("full")), BaseDigest: DigestOf([]byte("base")),
+			DeltaCodec: DeltaCodecBlock, ModTime: time.Unix(1700000000, 0)},
+		{Kind: KindUpdate, Seq: 10, Key: "/obj", Body: body, HasBody: true,
+			Digest: DigestOf([]byte("full")), ChunkIndex: 2, ChunkTotal: 5,
+			ContentType: "text/html", Group: "frontpage"},
+		{Kind: KindUpdate, Seq: 11, Key: "/obj", Body: body, HasBody: true,
+			Digest: DigestOf([]byte("full")), ChunkIndex: 0, ChunkTotal: 1},
+	}
+	for i, ev := range cases {
+		wire := ev.Encode()
+		if !strings.HasPrefix(wire, "v3 ") {
+			t.Fatalf("case %d encoded as %q, want a v3 frame", i, wire)
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.BaseDigest != ev.BaseDigest || got.DeltaCodec != ev.DeltaCodec ||
+			got.ChunkIndex != ev.ChunkIndex || got.ChunkTotal != ev.ChunkTotal ||
+			!bytes.Equal(got.Body, ev.Body) || got.Digest != ev.Digest ||
+			got.Key != ev.Key || got.Seq != ev.Seq {
+			t.Fatalf("case %d diverged: %+v vs %+v", i, ev, got)
+		}
+	}
+}
+
+// TestDecodeV3Rejections pins the structural rules of the delta/chunk
+// extension: Decode must refuse (not half-parse) every frame whose
+// ladder fields cannot describe a deliverable update.
+func TestDecodeV3Rejections(t *testing.T) {
+	frame := func(flags, digest, base, codec, ci, ct, payload string) string {
+		return fmt.Sprintf("v3 2 1 0 %s /k - - %s 0 %s %s %s %s %s",
+			flags, digest, base, codec, ci, ct, payload)
+	}
+	d := DigestOf([]byte("x"))
+	cases := []struct {
+		name, wire string
+	}{
+		{"base without codec", frame("p", d, d, "0", "0", "0", "aGk=")},
+		{"codec without base", frame("p", d, "-", "1", "0", "0", "aGk=")},
+		{"delta without payload", frame("-", d, d, "1", "0", "0", "-")},
+		{"delta plus chunk state", frame("p", d, d, "1", "0", "2", "aGk=")},
+		{"chunk index at total", frame("p", d, "-", "0", "2", "2", "aGk=")},
+		{"chunk index past total", frame("p", d, "-", "0", "7", "2", "aGk=")},
+		{"chunk index without total", frame("p", d, "-", "0", "3", "0", "aGk=")},
+		{"chunk total over bound", frame("p", d, "-", "0", "0", "1025", "aGk=")},
+		{"chunk without payload", frame("-", d, "-", "0", "0", "2", "-")},
+		{"hostile base digest", frame("p", d, "nothex!!", "1", "0", "0", "aGk=")},
+		{"v3 with no v3 fields", frame("p", d, "-", "0", "0", "0", "aGk=")},
+		{"delta on a hello", "v3 1 1 0 p - - - " + d + " 0 " + d + " 1 0 0 aGk="},
+	}
+	for _, c := range cases {
+		if ev, err := Decode(c.wire); err == nil {
+			t.Errorf("%s: accepted as %+v", c.name, ev)
+		}
+	}
+}
+
+// --- publish-time form set ---
+
+func TestRenderLadderSidecarForms(t *testing.T) {
+	base := bytes.Repeat([]byte("base content line\n"), 40)
+	body := append(append([]byte(nil), base...), []byte("new tail\n")...)
+	delta, ok := MakeDelta(base, body)
+	if !ok {
+		t.Fatal("no delta")
+	}
+	ev := Event{Kind: KindUpdate, Seq: 3, Key: "/obj", Body: body, HasBody: true,
+		Digest: DigestOf(body), BaseDigest: DigestOf(base), DeltaCodec: DeltaCodecBlock,
+		DeltaBody: delta}
+	re := RenderLadder(ev, 256)
+
+	full, err := Decode(re.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.BaseDigest != "" || full.DeltaCodec != 0 || !bytes.Equal(full.Body, body) {
+		t.Fatalf("full form carries delta state or the wrong body: %+v", full)
+	}
+	dFrame, dBase := re.Delta()
+	if dBase != DigestOf(base) {
+		t.Fatalf("delta base = %q", dBase)
+	}
+	dec, err := Decode(dFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Body, delta) || dec.BaseDigest != DigestOf(base) || dec.Digest != DigestOf(body) {
+		t.Fatalf("delta form diverged: %+v", dec)
+	}
+	chunks, chunkLen := re.Chunks()
+	if chunkLen != 256 || len(chunks) != (len(body)+255)/256 {
+		t.Fatalf("chunk set: %d frames at %d bytes for a %d-byte body", len(chunks), chunkLen, len(body))
+	}
+	// Reassemble the chunk frames; they must rebuild the exact body.
+	var joined []byte
+	for i, c := range chunks {
+		cev, err := Decode(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cev.ChunkIndex != uint32(i) || int(cev.ChunkTotal) != len(chunks) || cev.Digest != DigestOf(body) {
+			t.Fatalf("chunk %d framing: %+v", i, cev)
+		}
+		joined = append(joined, cev.Body...)
+	}
+	if !bytes.Equal(joined, body) {
+		t.Fatal("chunk frames do not reassemble the body")
+	}
+	if st, err := Decode(re.Stripped()); err != nil || st.HasBody {
+		t.Fatalf("stripped form: %+v err=%v", st, err)
+	}
+}
+
+// TestRenderLadderPureDelta pins the relay republication shape: a
+// decoded v3 delta frame (Body IS the delta, no sidecar) renders as
+// delta + stripped only — there is no full body to spell out, so a
+// stream without the base degrades to the invalidation.
+func TestRenderLadderPureDelta(t *testing.T) {
+	ev := Event{Kind: KindUpdate, Seq: 4, Key: "/obj", Body: []byte{opAdd, 0x01, 'x'},
+		HasBody: true, Digest: DigestOf([]byte("x")), BaseDigest: DigestOf([]byte("b")),
+		DeltaCodec: DeltaCodecBlock}
+	re := RenderLadder(ev, 128)
+	if re.Full() != "" {
+		t.Fatalf("pure delta rendered a full form: %q", re.Full())
+	}
+	if d, base := re.Delta(); d == "" || base != ev.BaseDigest {
+		t.Fatalf("delta form missing: %q base %q", d, base)
+	}
+	if chunks, _ := re.Chunks(); len(chunks) != 0 {
+		t.Fatalf("chunked a delta body: %d frames", len(chunks))
+	}
+	if got := re.WireFor(1 << 20); got != re.Stripped() {
+		t.Fatalf("WireFor fell to %q, want the stripped form", got)
+	}
+}
+
+// --- hub rung selection ---
+
+// startHeldSubscriber runs a Subscriber that resumes from since and
+// advertises held digests, until test cleanup.
+func startHeldSubscriber(t *testing.T, url string, sink *hubSink, payloadCap int, since uint64, held func() []HeldDigest) *Subscriber {
+	t.Helper()
+	sub, err := NewSubscriber(SubscriberConfig{
+		URL:        url,
+		OnEvent:    sink.onEvent,
+		OnConnect:  sink.onConnect,
+		BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 50 * time.Millisecond,
+		PayloadCap: payloadCap,
+		Held:       held,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.lastSeq.Store(since)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go sub.Run(ctx)
+	return sub
+}
+
+// TestHubDeltaRung drives the delta rung end to end over HTTP: the
+// first update delivers the full body (nothing held yet), advancing the
+// hub's per-stream held digest; the second update's frame must then be
+// the delta, and the subscriber must see the raw v3 delta event.
+func TestHubDeltaRung(t *testing.T) {
+	h := NewHub(HubConfig{PayloadCap: DefaultPayloadCap})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	sink := &hubSink{}
+	startHubSubscriberCap(t, ts.URL, sink, DefaultPayloadCap)
+	if !waitCond(t, 2*time.Second, func() bool { return h.Subscribers() == 1 }) {
+		t.Fatal("never connected")
+	}
+
+	v1 := bytes.Repeat([]byte("first revision of the body\n"), 30)
+	v2 := append(append([]byte(nil), v1...), []byte("and one more line\n")...)
+	delta, ok := MakeDelta(v1, v2)
+	if !ok {
+		t.Fatal("no delta")
+	}
+	h.Publish(Event{Kind: KindUpdate, Key: "/obj", Body: v1, HasBody: true, Digest: DigestOf(v1)})
+	h.Publish(Event{Kind: KindUpdate, Key: "/obj", Body: v2, HasBody: true, Digest: DigestOf(v2),
+		BaseDigest: DigestOf(v1), DeltaCodec: DeltaCodecBlock, DeltaBody: delta})
+	if !waitCond(t, 2*time.Second, func() bool {
+		evs, _, _ := sink.snapshot()
+		return len(evs) == 2
+	}) {
+		t.Fatal("events never arrived")
+	}
+	evs, _, _ := sink.snapshot()
+	if evs[0].BaseDigest != "" || !bytes.Equal(evs[0].Body, v1) {
+		t.Fatalf("first delivery not the full body: %+v", evs[0])
+	}
+	if evs[1].BaseDigest != DigestOf(v1) || evs[1].DeltaCodec != DeltaCodecBlock {
+		t.Fatalf("second delivery not a delta frame: %+v", evs[1])
+	}
+	got, err := ApplyDelta(evs[1].DeltaCodec, v1, evs[1].Body, 0)
+	if err != nil || DigestOf(got) != evs[1].Digest {
+		t.Fatalf("delivered delta does not rebuild v2: %v", err)
+	}
+	if st := h.Stats(); st.DeltaFrames != 1 {
+		t.Fatalf("DeltaFrames = %d, want 1 (stats %+v)", st.DeltaFrames, st)
+	}
+}
+
+// TestHubDeltaRungFromConnectHeld seeds the held digest through the
+// ?held= connect parameter instead of a prior delivery: a subscriber
+// that advertises the base it holds receives its very first update as
+// a delta.
+func TestHubDeltaRungFromConnectHeld(t *testing.T) {
+	h := NewHub(HubConfig{PayloadCap: DefaultPayloadCap})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	v1 := bytes.Repeat([]byte("held base body\n"), 30)
+	v2 := append(append([]byte(nil), v1...), []byte("tail\n")...)
+	delta, ok := MakeDelta(v1, v2)
+	if !ok {
+		t.Fatal("no delta")
+	}
+
+	sink := &hubSink{}
+	startHeldSubscriber(t, ts.URL, sink, DefaultPayloadCap, 0, func() []HeldDigest {
+		return []HeldDigest{
+			{Key: "/obj", Digest: DigestOf(v1)},
+			{Key: "", Digest: DigestOf(v1)},    // malformed: dropped client-side
+			{Key: "/bad", Digest: "not a hex"}, // malformed: dropped client-side
+		}
+	})
+	if !waitCond(t, 2*time.Second, func() bool { return h.Subscribers() == 1 }) {
+		t.Fatal("never connected")
+	}
+
+	h.Publish(Event{Kind: KindUpdate, Key: "/obj", Body: v2, HasBody: true, Digest: DigestOf(v2),
+		BaseDigest: DigestOf(v1), DeltaCodec: DeltaCodecBlock, DeltaBody: delta})
+	if !waitCond(t, 2*time.Second, func() bool {
+		evs, _, _ := sink.snapshot()
+		return len(evs) == 1
+	}) {
+		t.Fatal("event never arrived")
+	}
+	evs, _, _ := sink.snapshot()
+	if evs[0].BaseDigest != DigestOf(v1) {
+		t.Fatalf("first delivery not a delta despite the held advertisement: %+v", evs[0])
+	}
+	if st := h.Stats(); st.DeltaFrames != 1 {
+		t.Fatalf("DeltaFrames = %d, want 1", st.DeltaFrames)
+	}
+}
+
+// TestHubChunkedDelivery proves a body beyond both the hub cap and the
+// stream cap still arrives whole: published as a chunk-only event
+// (full form suppressed), delivered as a chunk set, reassembled by the
+// subscriber with the terminal digest check.
+func TestHubChunkedDelivery(t *testing.T) {
+	h := NewHub(HubConfig{PayloadCap: 1024, ChunkPayload: 256})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	sink := &hubSink{}
+	sub := startHubSubscriberCap(t, ts.URL, sink, 1024)
+	if !waitCond(t, 2*time.Second, func() bool { return h.Subscribers() == 1 }) {
+		t.Fatal("never connected")
+	}
+
+	body := bytes.Repeat([]byte("0123456789abcdef"), 200) // 3200 bytes > hub cap
+	h.Publish(Event{Kind: KindUpdate, Key: "/big", Body: body, HasBody: true,
+		Digest: DigestOf(body), ContentType: "text/plain"})
+	if !waitCond(t, 2*time.Second, func() bool {
+		evs, _, _ := sink.snapshot()
+		return len(evs) == 1
+	}) {
+		t.Fatal("chunked update never assembled")
+	}
+	evs, _, _ := sink.snapshot()
+	got := evs[0]
+	if !bytes.Equal(got.Body, body) || got.ChunkTotal != 0 || got.Digest != DigestOf(body) {
+		t.Fatalf("assembled event diverged: %d bytes, chunk total %d", len(got.Body), got.ChunkTotal)
+	}
+	if sub.ChunksAssembled() != 1 || sub.ChunksBroken() != 0 {
+		t.Fatalf("assembled=%d broken=%d", sub.ChunksAssembled(), sub.ChunksBroken())
+	}
+	st := h.Stats()
+	if st.ChunkFrames != 1 {
+		t.Fatalf("ChunkFrames = %d, want 1", st.ChunkFrames)
+	}
+	if st.Degraded != 0 {
+		t.Fatalf("a chunkable body was degraded: %+v", st)
+	}
+
+	// A pure-invalidation stream on the same hub must receive the
+	// stripped form of the same event, never a chunk frame it cannot use.
+	bare := &hubSink{}
+	startHubSubscriber(t, ts.URL, bare)
+	if !waitCond(t, 2*time.Second, func() bool { return h.Subscribers() == 2 }) {
+		t.Fatal("bare stream never connected")
+	}
+	h.Publish(Event{Kind: KindUpdate, Key: "/big", Body: body, HasBody: true, Digest: DigestOf(body)})
+	if !waitCond(t, 2*time.Second, func() bool {
+		evs, _, _ := bare.snapshot()
+		return len(evs) == 1
+	}) {
+		t.Fatal("stripped update never arrived")
+	}
+	bevs, _, _ := bare.snapshot()
+	if bevs[0].HasBody || bevs[0].ChunkTotal != 0 {
+		t.Fatalf("bare stream received payload state: %+v", bevs[0])
+	}
+}
+
+// applyLadderChain walks a delivered frame sequence the way a consumer
+// would: installing full bodies, applying deltas against the current
+// body, and treating stripped frames as "poll here" (the base is no
+// longer known). A delta that arrives when no base is held, or whose
+// base does not match the held body, is a protocol violation. Returns
+// the final body and whether any full body arrived.
+func applyLadderChain(t *testing.T, evs []Event, cur []byte, haveBase bool) ([]byte, bool) {
+	t.Helper()
+	sawFull := false
+	for _, ev := range evs {
+		switch {
+		case ev.BaseDigest != "":
+			if !haveBase {
+				t.Fatalf("delta frame for a stream holding no base: %+v", ev)
+			}
+			if ev.BaseDigest != DigestOf(cur) {
+				t.Fatalf("delta base %q does not chain from held %q", ev.BaseDigest, DigestOf(cur))
+			}
+			next, err := ApplyDelta(ev.DeltaCodec, cur, ev.Body, 0)
+			if err != nil {
+				t.Fatalf("delivered delta failed to apply: %v", err)
+			}
+			if DigestOf(next) != ev.Digest {
+				t.Fatal("delivered delta built the wrong body")
+			}
+			cur = next
+		case ev.HasBody:
+			cur = ev.Body
+			haveBase = true
+			sawFull = true
+		default:
+			haveBase = false // stripped: the consumer confirms by polling
+		}
+	}
+	return cur, sawFull
+}
+
+// TestHubAnchorReplay pins the thinned replay ring: non-anchor ring
+// entries keep only their delta and stripped forms, every
+// AnchorEvery-th sequence keeps the full body. A resumer holding the
+// chain's base replays pure deltas; a resumer holding nothing gets
+// stripped frames until the first full anchor re-bases its stream,
+// then rides deltas — and is never handed a delta it cannot apply.
+func TestHubAnchorReplay(t *testing.T) {
+	h := NewHub(HubConfig{PayloadCap: DefaultPayloadCap, AnchorEvery: 4})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	// A chain of 8 delta-bearing revisions: seq i carries bodies[i]
+	// based on bodies[i-1].
+	bodies := make([][]byte, 9)
+	bodies[0] = bytes.Repeat([]byte("revision zero body line\n"), 20)
+	for i := 1; i <= 8; i++ {
+		bodies[i] = append(append([]byte(nil), bodies[i-1]...),
+			[]byte(fmt.Sprintf("line added at revision %d\n", i))...)
+		delta, ok := MakeDelta(bodies[i-1], bodies[i])
+		if !ok {
+			t.Fatalf("no delta at revision %d", i)
+		}
+		h.Publish(Event{Kind: KindUpdate, Key: "/obj", Body: bodies[i], HasBody: true,
+			Digest: DigestOf(bodies[i]), BaseDigest: DigestOf(bodies[i-1]),
+			DeltaCodec: DeltaCodecBlock, DeltaBody: delta})
+	}
+
+	// Resumer holding bodies[1], resuming from seq 1: the replay (seqs
+	// 2..8) must arrive entirely on the delta rung, in base order.
+	held := &hubSink{}
+	startHeldSubscriber(t, ts.URL, held, DefaultPayloadCap, 1, func() []HeldDigest {
+		return []HeldDigest{{Key: "/obj", Digest: DigestOf(bodies[1])}}
+	})
+	if !waitCond(t, 2*time.Second, func() bool {
+		evs, _, _ := held.snapshot()
+		return len(evs) == 7
+	}) {
+		evs, _, _ := held.snapshot()
+		t.Fatalf("replay delivered %d events, want 7", len(evs))
+	}
+	evs, _, _ := held.snapshot()
+	for _, ev := range evs {
+		if ev.BaseDigest == "" {
+			t.Fatalf("a held resumer fell off the delta rung: %+v", ev)
+		}
+	}
+	cur, _ := applyLadderChain(t, evs, bodies[1], true)
+	if !bytes.Equal(cur, bodies[8]) {
+		t.Fatal("held replay did not converge on the final body")
+	}
+	if st := h.Stats(); st.DeltaFrames != 7 {
+		t.Fatalf("DeltaFrames = %d, want 7", st.DeltaFrames)
+	}
+
+	// Resumer holding NOTHING: thinned entries degrade to stripped for
+	// it until a full anchor (seq 4) re-bases the stream; from there
+	// the deltas chain. The invariant is not "no deltas" — it is
+	// "never an inapplicable delta".
+	blank := &hubSink{}
+	startHeldSubscriber(t, ts.URL, blank, DefaultPayloadCap, 1, nil)
+	if !waitCond(t, 2*time.Second, func() bool {
+		evs, _, _ := blank.snapshot()
+		return len(evs) == 7
+	}) {
+		evs, _, _ := blank.snapshot()
+		t.Fatalf("blank replay delivered %d events, want 7", len(evs))
+	}
+	bevs, _, _ := blank.snapshot()
+	if bevs[0].HasBody || bevs[0].BaseDigest != "" {
+		t.Fatalf("first thinned frame should be stripped for a blank resumer: %+v", bevs[0])
+	}
+	cur, sawAnchor := applyLadderChain(t, bevs, nil, false)
+	if !sawAnchor {
+		t.Fatal("no full anchor in the thinned replay")
+	}
+	if !bytes.Equal(cur, bodies[8]) {
+		t.Fatal("blank replay did not converge on the final body")
+	}
+}
+
+// --- subscriber chunk assembly (unit level) ---
+
+func chunkSet(t *testing.T, key string, seq uint64, body []byte, n int) []Event {
+	t.Helper()
+	if len(body)%n != 0 {
+		t.Fatalf("test body %d not divisible by %d", len(body), n)
+	}
+	size := len(body) / n
+	evs := make([]Event, n)
+	for i := 0; i < n; i++ {
+		evs[i] = Event{Kind: KindUpdate, Seq: seq, Key: key,
+			Body: body[i*size : (i+1)*size], HasBody: true,
+			Digest: DigestOf(body), ChunkIndex: uint32(i), ChunkTotal: uint32(n)}
+	}
+	return evs
+}
+
+func TestAssembleUpdateInOrder(t *testing.T) {
+	s := &Subscriber{}
+	var asm chunkAssembly
+	body := bytes.Repeat([]byte("abcd"), 30)
+	var out []Event
+	for _, ev := range chunkSet(t, "/k", 7, body, 3) {
+		out = append(out, s.assembleUpdate(&asm, ev)...)
+	}
+	if len(out) != 1 {
+		t.Fatalf("delivered %d events, want 1", len(out))
+	}
+	if !bytes.Equal(out[0].Body, body) || out[0].ChunkTotal != 0 || out[0].Seq != 7 {
+		t.Fatalf("assembled event: %+v", out[0])
+	}
+	if s.chunksAssembled.Load() != 1 || s.chunksBroken.Load() != 0 {
+		t.Fatalf("counters: assembled=%d broken=%d", s.chunksAssembled.Load(), s.chunksBroken.Load())
+	}
+}
+
+func TestAssembleUpdateHoleDegrades(t *testing.T) {
+	s := &Subscriber{}
+	var asm chunkAssembly
+	body := bytes.Repeat([]byte("abcd"), 30)
+	set := chunkSet(t, "/k", 7, body, 3)
+	out := s.assembleUpdate(&asm, set[0])
+	out = append(out, s.assembleUpdate(&asm, set[2])...) // hole: chunk 1 lost
+	if len(out) == 0 {
+		t.Fatal("a holed set delivered nothing — the update would be silently dropped")
+	}
+	for _, ev := range out {
+		if ev.HasBody {
+			t.Fatalf("a holed set delivered payload bytes: %+v", ev)
+		}
+		if ev.Key != "/k" || ev.Seq != 7 {
+			t.Fatalf("degraded event lost its identity: %+v", ev)
+		}
+	}
+	if s.chunksBroken.Load() == 0 {
+		t.Fatal("broken counter never moved")
+	}
+}
+
+func TestAssembleUpdateJoinMidSet(t *testing.T) {
+	s := &Subscriber{}
+	var asm chunkAssembly
+	body := bytes.Repeat([]byte("abcd"), 30)
+	set := chunkSet(t, "/k", 7, body, 3)
+	out := s.assembleUpdate(&asm, set[1]) // first frame seen is mid-set
+	if len(out) != 1 || out[0].HasBody {
+		t.Fatalf("mid-set join: %+v", out)
+	}
+	if s.chunksBroken.Load() != 1 {
+		t.Fatalf("broken = %d", s.chunksBroken.Load())
+	}
+}
+
+func TestAssembleUpdateTerminalDigestMismatch(t *testing.T) {
+	s := &Subscriber{}
+	var asm chunkAssembly
+	body := bytes.Repeat([]byte("abcd"), 30)
+	set := chunkSet(t, "/k", 7, body, 3)
+	for i := range set {
+		set[i].Digest = DigestOf([]byte("someone else's body"))
+	}
+	var out []Event
+	for _, ev := range set {
+		out = append(out, s.assembleUpdate(&asm, ev)...)
+	}
+	if len(out) != 1 || out[0].HasBody {
+		t.Fatalf("digest mismatch delivered: %+v", out)
+	}
+	if s.chunksBroken.Load() != 1 || s.chunksAssembled.Load() != 0 {
+		t.Fatalf("counters: assembled=%d broken=%d", s.chunksAssembled.Load(), s.chunksBroken.Load())
+	}
+}
+
+func TestAssembleUpdateInterleavedUpdateAbandons(t *testing.T) {
+	s := &Subscriber{}
+	var asm chunkAssembly
+	body := bytes.Repeat([]byte("abcd"), 30)
+	set := chunkSet(t, "/k", 7, body, 3)
+	out := s.assembleUpdate(&asm, set[0])
+	plain := Event{Kind: KindUpdate, Seq: 8, Key: "/other"}
+	out = append(out, s.assembleUpdate(&asm, plain)...)
+	if len(out) != 2 {
+		t.Fatalf("delivered %d events, want abandoned-stripped + plain", len(out))
+	}
+	if out[0].HasBody || out[0].Key != "/k" || out[0].Seq != 7 {
+		t.Fatalf("abandonment event: %+v", out[0])
+	}
+	if out[1].Key != "/other" {
+		t.Fatalf("interleaved update lost: %+v", out[1])
+	}
+}
+
+func TestAssembleUpdateOverBudgetAbandons(t *testing.T) {
+	s := &Subscriber{}
+	// Pre-position an assembly one byte under the budget; the next
+	// chunk must abandon rather than buffer past MaxAssembledBody.
+	asm := chunkAssembly{
+		active: true,
+		ev:     Event{Kind: KindUpdate, Seq: 7, Key: "/k", Digest: DigestOf(nil), ChunkTotal: 4},
+		next:   1,
+		buf:    make([]byte, MaxAssembledBody-1),
+	}
+	ev := Event{Kind: KindUpdate, Seq: 7, Key: "/k", Digest: DigestOf(nil),
+		Body: []byte("xx"), HasBody: true, ChunkIndex: 1, ChunkTotal: 4}
+	out := s.assembleUpdate(&asm, ev)
+	if len(out) != 1 || out[0].HasBody || asm.active {
+		t.Fatalf("over-budget chunk: out=%+v active=%v", out, asm.active)
+	}
+	if s.chunksBroken.Load() != 1 {
+		t.Fatalf("broken = %d", s.chunksBroken.Load())
+	}
+}
+
+// --- benchmarks (wired into scripts/bench-hotpath.sh) ---
+
+// BenchmarkDeltaApply measures the proxy-side hot path of the delta
+// rung: reconstructing a ~64KiB body from a small edit delta.
+func BenchmarkDeltaApply(b *testing.B) {
+	base := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog.\n"), 1456)
+	target := bytes.Replace(base, []byte("lazy"), []byte("busy"), 10)
+	delta, ok := MakeDelta(base, target)
+	if !ok {
+		b.Fatal("no delta")
+	}
+	b.SetBytes(int64(len(target)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ApplyDelta(DeltaCodecBlock, base, delta, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHubPublishFanoutDelta measures the ladder's publish cost: a
+// delta-sidecar event rendered once (full + delta + stripped forms) and
+// fanned out to a draining fleet — the delta rung must not reintroduce
+// per-subscriber rendering.
+func BenchmarkHubPublishFanoutDelta(b *testing.B) {
+	h := NewHub(HubConfig{PayloadCap: DefaultPayloadCap})
+	const fleet = 16
+	var wg sync.WaitGroup
+	for i := 0; i < fleet; i++ {
+		_, _, sub, ok := h.subscribe(0, DefaultPayloadCap, InterestAll(), nil)
+		if !ok {
+			b.Fatal("subscribe failed")
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-sub.ch:
+				case <-sub.done:
+					return
+				}
+			}
+		}()
+		defer h.unsubscribe(sub)
+	}
+	base := bytes.Repeat([]byte("v"), 4096)
+	body := append(append([]byte(nil), base...), []byte("tail")...)
+	delta, ok := MakeDelta(base, body)
+	if !ok {
+		b.Fatal("no delta")
+	}
+	ev := Event{Kind: KindUpdate, Key: "/obj/path", Group: "g",
+		Body: body, HasBody: true, Digest: DigestOf(body),
+		BaseDigest: DigestOf(base), DeltaCodec: DeltaCodecBlock, DeltaBody: delta}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Publish(ev)
+	}
+	b.StopTimer()
+	h.KillAll()
+	wg.Wait()
+}

@@ -60,15 +60,18 @@ import (
 
 // Protocol versions. Encode emits the lowest version able to carry the
 // event — v1 when only invalidation fields are set, v2 when a payload,
-// digest, content type, or payload cap rides along — so pure
-// invalidation streams are byte-identical to what pre-v2 hubs emitted.
-// Decode accepts both and rejects anything else so incompatible future
-// formats fail loudly instead of being half-parsed.
+// digest, content type, or payload cap rides along, v3 when the payload
+// is a delta against a held base or one chunk of a larger body — so
+// pure invalidation streams are byte-identical to what pre-v2 hubs
+// emitted and plain payload streams to what pre-v3 hubs emitted.
+// Decode accepts all three and rejects anything else so incompatible
+// future formats fail loudly instead of being half-parsed.
 const (
 	ProtocolV1 = 1
 	ProtocolV2 = 2
+	ProtocolV3 = 3
 	// ProtocolVersion is the highest version this package speaks.
-	ProtocolVersion = ProtocolV2
+	ProtocolVersion = ProtocolV3
 )
 
 // MaxFrameLen bounds the encoded size of a frame's envelope — everything
@@ -159,6 +162,29 @@ type Event struct {
 	// PayloadCap is the negotiated per-stream payload size in bytes,
 	// echoed on hello frames (0 = the stream carries no payloads).
 	PayloadCap uint64
+
+	// BaseDigest, when set, marks Body as a delta rather than the full
+	// body: it addresses the base body (by DigestOf) the delta was
+	// computed against, DeltaCodec names the encoding, and Digest names
+	// the RESULT of applying the delta — the terminal check a consumer
+	// verifies before install. BaseDigest and DeltaCodec travel
+	// together; Decode rejects one without the other.
+	BaseDigest string
+	DeltaCodec uint8
+	// ChunkIndex and ChunkTotal mark one chunk of a body too large for
+	// a single frame: chunk ChunkIndex of ChunkTotal (zero-based). All
+	// chunks of one logical update share one Seq and ModTime, each
+	// carries a contiguous slice of the body, and Digest names the
+	// digest of the COMPLETE body — the terminal check a reassembling
+	// consumer verifies. ChunkTotal 0 means unchunked.
+	ChunkIndex, ChunkTotal uint32
+
+	// DeltaBody is a publish-time sidecar, never encoded on the wire:
+	// a publisher hands Publish the full Body plus, optionally, a
+	// precomputed delta here (with BaseDigest/DeltaCodec describing
+	// it), and the hub renders both forms — full frames carry Body,
+	// the delta frame carries DeltaBody. Decode never populates it.
+	DeltaBody []byte
 }
 
 // DigestOf returns the content digest announced with a payload: the
@@ -180,6 +206,11 @@ func (e Event) StripPayload() Event {
 	e.HasBody = false
 	e.ContentType = ""
 	e.Digest = ""
+	e.BaseDigest = ""
+	e.DeltaCodec = 0
+	e.ChunkIndex = 0
+	e.ChunkTotal = 0
+	e.DeltaBody = nil
 	return e
 }
 
@@ -199,6 +230,11 @@ var (
 // the v2 layout:
 //
 //	v2 <kind> <seq> <modtime-unixnano> <flags> <key> <group> <ctype> <digest> <cap> <payload-b64>
+//
+// Events whose payload is a delta (base digest + codec) or one chunk of
+// a larger body (index/total) use the v3 layout:
+//
+//	v3 <kind> <seq> <modtime-unixnano> <flags> <key> <group> <ctype> <digest> <cap> <base> <codec> <ci> <ct> <payload-b64>
 //
 // Key, group, and content type are query-escaped so they can never
 // contain the space separator; empty fields encode as "-". The payload
@@ -227,7 +263,8 @@ func (e Event) Encode() string {
 	case e.HasBody:
 		flags = "p"
 	}
-	if !e.HasBody && e.ContentType == "" && e.Digest == "" && e.PayloadCap == 0 {
+	v3 := e.BaseDigest != "" || e.DeltaCodec != 0 || e.ChunkIndex != 0 || e.ChunkTotal != 0
+	if !v3 && !e.HasBody && e.ContentType == "" && e.Digest == "" && e.PayloadCap == 0 {
 		return fmt.Sprintf("v%d %d %d %d %s %s %s",
 			ProtocolV1, uint8(e.Kind), e.Seq, mod, flags, key, group)
 	}
@@ -241,21 +278,36 @@ func (e Event) Encode() string {
 	if e.HasBody && len(e.Body) > 0 {
 		payload = base64.StdEncoding.EncodeToString(e.Body)
 	}
-	return fmt.Sprintf("v%d %d %d %d %s %s %s %s %s %d %s",
-		ProtocolV2, uint8(e.Kind), e.Seq, mod, flags, key, group,
-		ctype, digest, e.PayloadCap, payload)
+	if !v3 {
+		return fmt.Sprintf("v%d %d %d %d %s %s %s %s %s %d %s",
+			ProtocolV2, uint8(e.Kind), e.Seq, mod, flags, key, group,
+			ctype, digest, e.PayloadCap, payload)
+	}
+	base := "-"
+	if e.BaseDigest != "" {
+		base = e.BaseDigest
+	}
+	return fmt.Sprintf("v%d %d %d %d %s %s %s %s %s %d %s %d %d %d %s",
+		ProtocolV3, uint8(e.Kind), e.Seq, mod, flags, key, group,
+		ctype, digest, e.PayloadCap, base, e.DeltaCodec, e.ChunkIndex, e.ChunkTotal, payload)
 }
 
 // RenderedEvent is one published event rendered to its canonical wire
-// forms exactly once, at publish time. A frame has at most two spellings
-// on the wire: the full form (v2, payload riding along) and the
-// stripped form (the v1 invalidation every consumer understands), and
-// which one a given stream receives depends only on its negotiated
-// payload cap — so rendering both at publish makes delivery to any
-// number of subscribers a byte-slice pick instead of a per-subscriber
-// Encode. The decoded routing fields (Kind, Seq, Key, Group, Reset)
-// stay exported so interest filters and replay bookkeeping never have
-// to re-parse what they just rendered.
+// forms exactly once, at publish time. An update has a small, fixed set
+// of spellings on the wire — the rungs of the delivery ladder:
+//
+//	delta    — v3, the body as a delta against a base the receiver holds
+//	chunks   — v3, the full body split across bounded frames
+//	full     — v2, the body in one frame
+//	stripped — v1, the invalidation every consumer understands
+//
+// Which rung a given stream receives depends only on its negotiated
+// payload cap and (for the delta) the digest it holds — so rendering
+// every applicable form at publish makes delivery to any number of
+// subscribers a byte-slice pick instead of a per-subscriber Encode.
+// The decoded routing fields (Kind, Seq, Key, Group, Reset) stay
+// exported so interest filters and replay bookkeeping never have to
+// re-parse what they just rendered.
 type RenderedEvent struct {
 	Kind  Kind
 	Seq   uint64
@@ -268,20 +320,53 @@ type RenderedEvent struct {
 	// distinction the per-stream cap check needs, preserved across the
 	// render exactly as Event.HasBody preserved it across the wire.
 	payloadLen int
-	// full and stripped are the two wire forms; for an event with no
-	// payload state they are the same string rendered once.
+	// full and stripped are the two classic wire forms; for an event
+	// with no payload state they are the same string rendered once.
+	// full is empty when the body exceeded the hub's payload cap and
+	// only chunked delivery can carry it.
 	full     string
 	stripped string
+
+	// digest is the full body's digest — what a receiver holds after
+	// installing this update by any payload rung.
+	digest string
+	// delta is the v3 delta wire form (empty when the publisher
+	// supplied no delta sidecar); baseDigest addresses the base it
+	// applies to and deltaLen is its payload length for the cap check.
+	delta      string
+	baseDigest string
+	deltaLen   int
+	// chunks are the v3 chunked wire forms of the full body, rendered
+	// at chunkLen payload bytes per frame (the cap a stream must have
+	// negotiated to receive them). Empty when the body fits the full
+	// form for every possible cap or chunking is disabled on the hub.
+	chunks   []string
+	chunkLen int
+
 	// cost is the event's replay-ring charge: the real wire bytes held
-	// resident (both forms when they differ).
+	// resident (every retained form).
 	cost int64
 }
 
-// Render renders the event's wire forms. The event must already be
-// publishable (sanitized digest, payload within the hub cap, envelope
-// within bounds) — Render is the single Encode site of the publish
-// path, not a validator.
+// Render renders the event's wire forms with chunking disabled —
+// exactly the two-form render pre-v3 hubs performed, plus the delta
+// form when the publisher supplied a delta sidecar. The event must
+// already be publishable (sanitized digest, payload within the hub
+// cap, envelope within bounds) — Render is the single Encode site of
+// the publish path, not a validator.
 func Render(ev Event) RenderedEvent {
+	return RenderLadder(ev, 0)
+}
+
+// RenderLadder renders the event's full ladder of wire forms.
+// chunkPayload, when positive, is the per-frame payload size chunked
+// forms are rendered at: a body larger than chunkPayload additionally
+// renders as a chunk set (bounded by MaxChunkTotal and
+// MaxAssembledBody), so streams whose cap cannot carry the whole body
+// can still receive it. A body the full form cannot carry at all
+// (publish decided it exceeds the hub cap) is marked by
+// SuppressFull before rendering.
+func RenderLadder(ev Event, chunkPayload int) RenderedEvent {
 	re := RenderedEvent{
 		Kind:       ev.Kind,
 		Seq:        ev.Seq,
@@ -289,11 +374,13 @@ func Render(ev Event) RenderedEvent {
 		Group:      ev.Group,
 		Reset:      ev.Reset,
 		payloadLen: -1,
+		deltaLen:   -1,
 	}
 	if ev.HasBody {
 		re.payloadLen = len(ev.Body)
 	}
-	if !ev.HasBody && ev.ContentType == "" && ev.Digest == "" && ev.PayloadCap == 0 {
+	if !ev.HasBody && ev.ContentType == "" && ev.Digest == "" && ev.PayloadCap == 0 &&
+		ev.BaseDigest == "" && ev.DeltaCodec == 0 && ev.ChunkTotal == 0 {
 		// Pure invalidation state: the full and stripped forms are the
 		// same v1 line; render it once and share the backing.
 		re.full = ev.Encode()
@@ -301,18 +388,114 @@ func Render(ev Event) RenderedEvent {
 		re.cost = int64(len(re.full))
 		return re
 	}
-	re.full = ev.Encode()
+	re.digest = ev.Digest
 	re.stripped = ev.StripPayload().Encode()
-	re.cost = int64(len(re.full) + len(re.stripped))
+	re.cost = int64(len(re.stripped))
+
+	if ev.HasBody && ev.BaseDigest != "" && ev.DeltaCodec != 0 && len(ev.DeltaBody) == 0 {
+		// The body IS the delta (a decoded v3 frame republished by a
+		// relay whose own cache missed the base): there is no full body
+		// to render, so the ladder is delta → stripped only.
+		re.delta = ev.Encode()
+		re.baseDigest = ev.BaseDigest
+		re.deltaLen = len(ev.Body)
+		re.payloadLen = -1
+		re.cost += int64(len(re.delta))
+		return re
+	}
+
+	// The full form is a plain v2 frame: the delta sidecar describes a
+	// sibling form, not this one, so it never rides the full spelling.
+	fullEv := ev
+	fullEv.BaseDigest, fullEv.DeltaCodec, fullEv.DeltaBody = "", 0, nil
+	re.full = fullEv.Encode()
+	re.cost += int64(len(re.full))
+
+	if ev.HasBody && len(ev.DeltaBody) > 0 && ev.BaseDigest != "" && ev.DeltaCodec != 0 {
+		dEv := fullEv
+		dEv.Body = ev.DeltaBody
+		dEv.BaseDigest = ev.BaseDigest
+		dEv.DeltaCodec = ev.DeltaCodec
+		re.delta = dEv.Encode()
+		re.baseDigest = ev.BaseDigest
+		re.deltaLen = len(ev.DeltaBody)
+		re.cost += int64(len(re.delta))
+	}
+
+	if chunkPayload > 0 && ev.HasBody && len(ev.Body) > chunkPayload &&
+		len(ev.Body) <= MaxAssembledBody {
+		n := (len(ev.Body) + chunkPayload - 1) / chunkPayload
+		if n <= MaxChunkTotal {
+			cEv := fullEv
+			cEv.ChunkTotal = uint32(n)
+			re.chunks = make([]string, 0, n)
+			for i := 0; i < n; i++ {
+				lo := i * chunkPayload
+				hi := lo + chunkPayload
+				if hi > len(ev.Body) {
+					hi = len(ev.Body)
+				}
+				cEv.ChunkIndex = uint32(i)
+				cEv.Body = ev.Body[lo:hi]
+				frame := cEv.Encode()
+				re.chunks = append(re.chunks, frame)
+				re.cost += int64(len(frame))
+			}
+			re.chunkLen = chunkPayload
+		}
+	}
+	return re
+}
+
+// SuppressFull drops the full form (a publish decision: the body
+// exceeds the hub's payload cap, so no stream's negotiated cap could
+// ever receive it — holding it in the ring would charge bytes no
+// subscriber can use). Delta and chunked forms survive; WireFor then
+// degrades streams that can use neither to the stripped form.
+func (re RenderedEvent) SuppressFull() RenderedEvent {
+	if re.full != re.stripped {
+		re.cost -= int64(len(re.full))
+	}
+	re.full = ""
+	return re
+}
+
+// trimToDelta drops the full and chunked forms, keeping delta +
+// stripped: the replay-ring spelling of a delta-bearing event between
+// anchors (see HubConfig.AnchorEvery).
+func (re RenderedEvent) trimToDelta() RenderedEvent {
+	if re.full != "" && re.full != re.stripped {
+		re.cost -= int64(len(re.full))
+	}
+	re.full = ""
+	for _, c := range re.chunks {
+		re.cost -= int64(len(c))
+	}
+	re.chunks = nil
+	re.chunkLen = 0
 	return re
 }
 
 // Full returns the payload-carrying wire form (identical to Stripped
-// when the event carries no payload state).
+// when the event carries no payload state; empty when suppressed).
 func (re RenderedEvent) Full() string { return re.full }
 
 // Stripped returns the invalidation-only wire form.
 func (re RenderedEvent) Stripped() string { return re.stripped }
+
+// Delta returns the v3 delta wire form ("" when the event has none)
+// and the base digest it applies against.
+func (re RenderedEvent) Delta() (frame, baseDigest string) { return re.delta, re.baseDigest }
+
+// Chunks returns the chunked wire forms (nil when the event has none)
+// and the per-frame payload size a stream must accept to receive them.
+func (re RenderedEvent) Chunks() (frames []string, chunkPayload int) {
+	return re.chunks, re.chunkLen
+}
+
+// Digest returns the full body's digest ("" for non-payload events):
+// what a receiver holds after installing this update.
+func (re RenderedEvent) Digest() string { return re.digest }
 
 // WireFor picks the wire form for a stream with the given negotiated
 // payload cap: the stripped form when the event carries a payload the
@@ -320,9 +503,11 @@ func (re RenderedEvent) Stripped() string { return re.stripped }
 // cannot parse a 'p'-flagged frame even for an empty body), the full
 // form otherwise. Byte-identical to what per-subscriber
 // StripPayload-then-Encode produced before rendering moved to publish
-// time.
+// time. Delta and chunk selection live in the hub's serve loop
+// (framesFor), which needs per-subscriber held-digest state WireFor
+// deliberately knows nothing about.
 func (re RenderedEvent) WireFor(payloadCap int) string {
-	if re.payloadLen >= 0 && (payloadCap <= 0 || re.payloadLen > payloadCap) {
+	if re.full == "" || (re.payloadLen >= 0 && (payloadCap <= 0 || re.payloadLen > payloadCap)) {
 		return re.stripped
 	}
 	return re.full
@@ -343,7 +528,7 @@ const (
 // the fmt round trip — hellos are built per connect, and under
 // reconnect churn that path is hot.
 func renderedHello(seq, payloadCap uint64, reset bool) RenderedEvent {
-	re := RenderedEvent{Kind: KindHello, Seq: seq, Reset: reset, payloadLen: -1}
+	re := RenderedEvent{Kind: KindHello, Seq: seq, Reset: reset, payloadLen: -1, deltaLen: -1}
 	flags := byte('-')
 	if reset {
 		flags = 'r'
@@ -374,7 +559,7 @@ func renderedHello(seq, payloadCap uint64, reset bool) RenderedEvent {
 // position, byte-identical to Render(Event{Kind: KindHeartbeat, Seq:
 // seq}).
 func renderedHeartbeat(seq uint64) RenderedEvent {
-	re := RenderedEvent{Kind: KindHeartbeat, Seq: seq, payloadLen: -1}
+	re := RenderedEvent{Kind: KindHeartbeat, Seq: seq, payloadLen: -1, deltaLen: -1}
 	b := make([]byte, 0, 32)
 	b = append(b, heartbeatPrefixV1...)
 	b = strconv.AppendUint(b, seq, 10)
@@ -416,11 +601,12 @@ func (e Event) Oversized() bool {
 	if len(e.StripPayload().Encode()) > MaxFrameLen {
 		return true
 	}
-	if e.HasBody || e.ContentType != "" || e.Digest != "" || e.PayloadCap != 0 {
-		// Measure the v2 envelope exactly as Decode does: the full frame
-		// minus the payload field. With the body cleared (HasBody kept)
-		// the payload field encodes as "-", so the encoded length minus
-		// that one byte is the envelope plus its separating space —
+	if e.HasBody || e.ContentType != "" || e.Digest != "" || e.PayloadCap != 0 ||
+		e.BaseDigest != "" || e.DeltaCodec != 0 || e.ChunkIndex != 0 || e.ChunkTotal != 0 {
+		// Measure the v2/v3 envelope exactly as Decode does: the full
+		// frame minus the payload field. With the body cleared (HasBody
+		// kept) the payload field encodes as "-", so the encoded length
+		// minus that one byte is the envelope plus its separating space —
 		// Decode's len(s)-len(payload).
 		e.Body = nil
 		if len(e.Encode())-1 > MaxFrameLen {
@@ -455,9 +641,18 @@ func Decode(s string) (Event, error) {
 			return Event{}, ErrFrameTooLong
 		}
 		return decodeBounded(fields[:7], fields[7:], len(s)-len(payload))
+	case len(fields) == 15 && fields[0] == "v3":
+		payload := fields[14]
+		if len(s)-len(payload) > MaxFrameLen {
+			return Event{}, ErrFrameTooLong
+		}
+		if len(payload) > maxPayloadFieldLen {
+			return Event{}, ErrFrameTooLong
+		}
+		return decodeBounded(fields[:7], fields[7:], len(s)-len(payload))
 	case len(fields) > 0 && strings.HasPrefix(fields[0], "v"):
 		if ver, err := strconv.ParseUint(fields[0][1:], 10, 16); err == nil &&
-			ver != ProtocolV1 && ver != ProtocolV2 {
+			ver != ProtocolV1 && ver != ProtocolV2 && ver != ProtocolV3 {
 			return Event{}, fmt.Errorf("%w: v%d", ErrBadVersion, ver)
 		}
 		return Event{}, fmt.Errorf("%w: %d fields for %s", ErrBadFrame, len(fields), fields[0])
@@ -533,16 +728,46 @@ func decodeCommon(fields, ext []string) (Event, error) {
 		if e.PayloadCap, err = strconv.ParseUint(ext[2], 10, 64); err != nil {
 			return Event{}, fmt.Errorf("%w: bad payload cap %q", ErrBadFrame, ext[2])
 		}
+		if len(ext) == 8 {
+			// v3 extension: <base> <codec> <chunk-index> <chunk-total>.
+			if ext[3] != "-" {
+				if !isHexDigest(ext[3]) {
+					return Event{}, fmt.Errorf("%w: bad base digest %q", ErrBadFrame, ext[3])
+				}
+				e.BaseDigest = ext[3]
+			}
+			codec, err := strconv.ParseUint(ext[4], 10, 8)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: bad delta codec %q", ErrBadFrame, ext[4])
+			}
+			e.DeltaCodec = uint8(codec)
+			ci, err := strconv.ParseUint(ext[5], 10, 32)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: bad chunk index %q", ErrBadFrame, ext[5])
+			}
+			ct, err := strconv.ParseUint(ext[6], 10, 32)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: bad chunk total %q", ErrBadFrame, ext[6])
+			}
+			e.ChunkIndex, e.ChunkTotal = uint32(ci), uint32(ct)
+			if e.BaseDigest == "" && e.DeltaCodec == 0 && e.ChunkIndex == 0 && e.ChunkTotal == 0 {
+				// An event with no delta/chunk state encodes as v2; a v3
+				// spelling of it would be a second wire form for the same
+				// event (round-trip ambiguity).
+				return Event{}, fmt.Errorf("%w: v3 frame without delta or chunk fields", ErrBadFrame)
+			}
+		}
+		payload := ext[len(ext)-1]
 		switch {
-		case ext[3] == "-" && hasBody:
+		case payload == "-" && hasBody:
 			e.Body = []byte{}
 			e.HasBody = true
-		case ext[3] == "-":
+		case payload == "-":
 			// No payload.
 		case !hasBody:
 			return Event{}, fmt.Errorf("%w: payload without the p flag", ErrBadFrame)
 		default:
-			body, err := base64.StdEncoding.DecodeString(ext[3])
+			body, err := base64.StdEncoding.DecodeString(payload)
 			if err != nil {
 				return Event{}, fmt.Errorf("%w: bad payload base64", ErrBadFrame)
 			}
@@ -558,6 +783,9 @@ func decodeCommon(fields, ext []string) (Event, error) {
 			e.Body = body
 			e.HasBody = true
 		}
+		if err := validateLadderFields(e); err != nil {
+			return Event{}, err
+		}
 	}
 
 	// Escaped fields round-trip through QueryUnescape, but an unescaped
@@ -568,6 +796,47 @@ func decodeCommon(fields, ext []string) (Event, error) {
 		return Event{}, fmt.Errorf("%w: update without key", ErrBadFrame)
 	}
 	return e, nil
+}
+
+// validateLadderFields enforces the structural rules of the v3
+// delta/chunk extension (trivially true for v1/v2 events, whose fields
+// are all zero): base digest and codec travel together, a delta or
+// chunk is always a payload-carrying update, a chunk index sits inside
+// a bounded chunk total, and delta and chunk state never combine on
+// one frame.
+func validateLadderFields(e Event) error {
+	if (e.BaseDigest != "") != (e.DeltaCodec != 0) {
+		return fmt.Errorf("%w: delta base and codec must travel together", ErrBadFrame)
+	}
+	if e.BaseDigest != "" {
+		if !e.HasBody {
+			return fmt.Errorf("%w: delta frame without payload", ErrBadFrame)
+		}
+		if e.Kind != KindUpdate {
+			return fmt.Errorf("%w: delta on a non-update frame", ErrBadFrame)
+		}
+		if e.ChunkIndex != 0 || e.ChunkTotal != 0 {
+			return fmt.Errorf("%w: delta and chunk state on one frame", ErrBadFrame)
+		}
+	}
+	if e.ChunkIndex != 0 && e.ChunkTotal == 0 {
+		return fmt.Errorf("%w: chunk index without chunk total", ErrBadFrame)
+	}
+	if e.ChunkTotal != 0 {
+		if e.ChunkTotal > MaxChunkTotal {
+			return fmt.Errorf("%w: chunk total %d exceeds %d", ErrBadFrame, e.ChunkTotal, MaxChunkTotal)
+		}
+		if e.ChunkIndex >= e.ChunkTotal {
+			return fmt.Errorf("%w: chunk index %d outside total %d", ErrBadFrame, e.ChunkIndex, e.ChunkTotal)
+		}
+		if !e.HasBody {
+			return fmt.Errorf("%w: chunk frame without payload", ErrBadFrame)
+		}
+		if e.Kind != KindUpdate {
+			return fmt.Errorf("%w: chunk on a non-update frame", ErrBadFrame)
+		}
+	}
+	return nil
 }
 
 // decodeBounded parses the frame fields and additionally enforces that

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -63,6 +64,14 @@ type SubscriberConfig struct {
 	// Nil declares interest in everything. A consumer whose interest
 	// widened mid-stream calls Bounce to reconnect and re-declare.
 	Interest func() InterestSet
+	// Held, when set, is evaluated at every connection attempt and
+	// declares the body digests this subscriber already holds
+	// (repeatable ?held=<key>:<digest> parameters, capped server-side
+	// at maxHeldTerms): the server may then open matching updates on
+	// the delta rung — a delta against the held body instead of the
+	// full payload. Purely an optimization; meaningless (and not sent)
+	// without PayloadCap.
+	Held func() []HeldDigest
 	// HeartbeatTimeout declares the stream dead when no frame (of any
 	// kind) arrives for this long. It must exceed the server's heartbeat
 	// interval. Defaults to 30s; negative disables the check.
@@ -105,6 +114,19 @@ type Subscriber struct {
 	skipped atomic.Uint64
 	overCap atomic.Uint64
 	bounces atomic.Uint64
+	// chunksAssembled counts chunked bodies reassembled and delivered
+	// whole; chunksBroken counts chunk sets abandoned (mid-set hole,
+	// out-of-order frame, oversized reassembly, or terminal digest
+	// mismatch) and degraded to a stripped invalidation.
+	chunksAssembled atomic.Uint64
+	chunksBroken    atomic.Uint64
+}
+
+// HeldDigest names one body a subscriber holds: the object's key and
+// the DigestOf of the body. See SubscriberConfig.Held.
+type HeldDigest struct {
+	Key    string
+	Digest string
 }
 
 // NewSubscriber validates cfg and returns a subscriber. Call Run to
@@ -188,6 +210,16 @@ func (s *Subscriber) OverCapPayloads() uint64 { return s.overCap.Load() }
 
 // Bounces returns the number of deliberate reconnects forced by Bounce.
 func (s *Subscriber) Bounces() uint64 { return s.bounces.Load() }
+
+// ChunksAssembled returns the number of chunked bodies reassembled and
+// delivered whole to OnEvent.
+func (s *Subscriber) ChunksAssembled() uint64 { return s.chunksAssembled.Load() }
+
+// ChunksBroken returns the number of chunk sets abandoned (hole,
+// out-of-order frame, oversized reassembly, terminal digest mismatch);
+// each one was degraded to a stripped invalidation, so the consumer
+// confirmed by polling.
+func (s *Subscriber) ChunksBroken() uint64 { return s.chunksBroken.Load() }
 
 // DeclaredInterest returns the interest set sent with the current (or
 // most recent) connection attempt — what the upstream is actually
@@ -293,6 +325,87 @@ func readFrameLine(br *bufio.Reader, limit int) (line string, skipped bool, err 
 // its line would fail to decode and be counted as lost anyway.
 const frameLost = "\x00frame-lost"
 
+// chunkAssembly is the single-slot reassembly buffer for chunked
+// updates. One slot suffices: the server writes a chunk set
+// contiguously on the stream, so an interleaved frame is itself proof
+// the set is broken.
+type chunkAssembly struct {
+	active bool
+	// ev is the first chunk's event — the update's identity (key,
+	// seq, modtime, digest, chunk total) with the body dropped.
+	ev   Event
+	next uint32
+	buf  []byte
+}
+
+// assembleUpdate routes one decoded update through the chunk
+// reassembler and returns the events to hand the consumer, in order:
+// possibly a stripped event for an assembly this frame proved broken,
+// then the current delivery. A mid-set chunk returns nothing — the
+// update is delivered (and the resume position advanced) only by its
+// terminal chunk, so a disconnect mid-set replays the whole set.
+func (s *Subscriber) assembleUpdate(asm *chunkAssembly, ev Event) []Event {
+	var out []Event
+	if ev.ChunkTotal == 0 {
+		if asm.active {
+			out = append(out, s.abandonAssembly(asm))
+		}
+		return append(out, ev)
+	}
+	if asm.active && (ev.Seq != asm.ev.Seq || ev.Key != asm.ev.Key ||
+		ev.Digest != asm.ev.Digest || ev.ChunkTotal != asm.ev.ChunkTotal ||
+		ev.ChunkIndex != asm.next) {
+		out = append(out, s.abandonAssembly(asm))
+	}
+	if !asm.active {
+		if ev.ChunkIndex != 0 {
+			// Joining mid-set (the opening chunks were lost): nothing to
+			// assemble against — degrade this update to an invalidation.
+			s.chunksBroken.Add(1)
+			return append(out, ev.StripPayload())
+		}
+		asm.active = true
+		asm.ev = ev
+		asm.ev.Body = nil
+		asm.next = 0
+		asm.buf = asm.buf[:0]
+	}
+	if len(asm.buf)+len(ev.Body) > MaxAssembledBody {
+		out = append(out, s.abandonAssembly(asm))
+		return out
+	}
+	asm.buf = append(asm.buf, ev.Body...)
+	asm.next++
+	if asm.next < ev.ChunkTotal {
+		return out
+	}
+	// Terminal chunk: the digest every chunk carried names the complete
+	// body — the end-to-end check that catches both corruption and a
+	// mis-framed set.
+	full := asm.ev
+	body := asm.buf
+	asm.active, asm.buf = false, nil
+	if DigestOf(body) != full.Digest {
+		s.chunksBroken.Add(1)
+		return append(out, full.StripPayload())
+	}
+	full.Body = body
+	full.HasBody = true
+	full.ChunkIndex, full.ChunkTotal = 0, 0
+	s.chunksAssembled.Add(1)
+	return append(out, full)
+}
+
+// abandonAssembly drops the in-flight chunk set and returns its update
+// as a stripped invalidation: the consumer confirms by polling — the
+// established degradation, never a dropped update.
+func (s *Subscriber) abandonAssembly(asm *chunkAssembly) Event {
+	s.chunksBroken.Add(1)
+	st := asm.ev.StripPayload()
+	asm.active, asm.buf = false, nil
+	return st
+}
+
 // stream performs one connection attempt and consumes it until it dies.
 // connected reports whether the hello frame was received (and OnConnect
 // invoked); err is the reason the stream ended.
@@ -343,6 +456,21 @@ func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 	s.declared.Store(&interest)
 	if q := interest.EncodeQuery(); q != "" {
 		addQuery(q)
+	}
+	if s.cfg.PayloadCap > 0 && s.cfg.Held != nil {
+		// Advertise held digests so the server can open on the delta
+		// rung. Malformed terms are dropped here for the same reason the
+		// server ignores them: held state is an optimization, and a bad
+		// term must cost a full payload, not the connection.
+		for i, hd := range s.cfg.Held() {
+			if i >= maxHeldTerms {
+				break
+			}
+			if hd.Key == "" || !isHexDigest(hd.Digest) {
+				continue
+			}
+			addQuery("held=" + url.QueryEscape(hd.Key+":"+hd.Digest))
+		}
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
@@ -429,6 +557,10 @@ func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 		defer watchdog.Stop()
 		timeoutC = watchdog.C
 	}
+	// asm is the chunk-reassembly slot; it dies with the stream (a set
+	// split across connections replays whole, because non-terminal
+	// chunks never advance the resume position).
+	var asm chunkAssembly
 	for {
 		select {
 		case <-ctx.Done():
@@ -456,7 +588,10 @@ func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 				// The pump dropped an oversized line unread. Its content
 				// is unknown — possibly an update or a Reset — so an
 				// established consumer must reconcile (sweep) rather
-				// than stay confidently stretched over it.
+				// than stay confidently stretched over it. Any chunk set in
+				// flight dies with it (the lost line may have been one of
+				// its frames); the same sweep reconciles that update.
+				asm.active, asm.buf = false, nil
 				if connected && s.cfg.OnFrameLoss != nil {
 					s.cfg.OnFrameLoss()
 				}
@@ -485,6 +620,7 @@ func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 				// update, a Reset) is now an unknown loss that must not
 				// hide behind stretched TTRs.
 				s.skipped.Add(1)
+				asm.active, asm.buf = false, nil
 				if s.cfg.OnFrameLoss != nil {
 					s.cfg.OnFrameLoss()
 				}
@@ -517,8 +653,10 @@ func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 					s.cfg.OnConnect(ev, since > 0)
 				}
 			case ev.Kind == KindUpdate:
-				s.cfg.OnEvent(ev)
-				s.lastSeq.Store(ev.Seq)
+				for _, out := range s.assembleUpdate(&asm, ev) {
+					s.cfg.OnEvent(out)
+					s.lastSeq.Store(out.Seq)
+				}
 			case ev.Kind == KindHello && ev.Reset:
 				// A mid-stream Reset: a relaying upstream lost ITS
 				// upstream, so this stream's content has a hole even
@@ -529,6 +667,7 @@ func (s *Subscriber) stream(ctx context.Context) (connected bool, err error) {
 				// would leave the consumer confidently stretched over
 				// events that no longer exist.
 				s.resets.Add(1)
+				asm.active, asm.buf = false, nil
 				s.lastSeq.Store(ev.Seq)
 				if s.cfg.OnConnect != nil {
 					s.cfg.OnConnect(ev, true)

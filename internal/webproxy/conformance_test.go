@@ -1,6 +1,7 @@
 package webproxy
 
 import (
+	"bytes"
 	"fmt"
 	"net/http/httptest"
 	"net/url"
@@ -93,6 +94,11 @@ type replayObject struct {
 	// (with the 1-based revision) — the corruption hook value-domain
 	// conformance uses to interleave hostile events with clean ones.
 	inject func(o *webserver.Origin, rev int)
+	// pad, when positive, appends that many whitespace bytes to every
+	// revision's body. Whitespace keeps a value trace parseable (the
+	// proxy trims before reading the decimal) while making the object
+	// large enough to exercise the chunk and delta rungs of the ladder.
+	pad int
 }
 
 // replayBody renders the origin body for revision rev of o (rev 0 is
@@ -101,14 +107,20 @@ type replayObject struct {
 // the live proxy run the Δv machinery and lets the evaluator compare
 // cached values against the trace's ground truth.
 func replayBody(o replayObject, rev int) []byte {
+	var b []byte
 	if o.tr.Kind == trace.Value {
 		v := o.tr.InitialValue
 		if rev > 0 {
 			v = o.tr.Updates[rev-1].Value
 		}
-		return []byte(strconv.FormatFloat(v, 'f', -1, 64) + "\n")
+		b = []byte(strconv.FormatFloat(v, 'f', -1, 64) + "\n")
+	} else {
+		b = []byte(fmt.Sprintf("%s rev %d", o.path, rev))
 	}
-	return []byte(fmt.Sprintf("%s rev %d", o.path, rev))
+	if o.pad > 0 {
+		b = append(b, bytes.Repeat([]byte(" "), o.pad)...)
+	}
+	return b
 }
 
 // replayResult carries the measured side of one conformance run.

@@ -45,8 +45,10 @@ type twoHopResult struct {
 // virtual minutes later — exercising the mid-stream Reset path through
 // the relay while the replay keeps running. values enables end-to-end
 // payload delivery on every hop (origin publishes bodies, both proxies
-// install them directly).
-func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration, pushStretch float64, killUpstreamAt time.Duration, values bool) twoHopResult {
+// install them directly); payloadCap, when positive, bounds every hop's
+// negotiated payload size, forcing bodies beyond it onto the chunk rung
+// (0 keeps the protocol default).
+func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration, pushStretch float64, killUpstreamAt time.Duration, values bool, payloadCap int) twoHopResult {
 	t.Helper()
 	clk := newSimClock()
 
@@ -56,7 +58,7 @@ func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration,
 		webserver.WithPushEvents(""),
 	}
 	if values {
-		originOpts = append(originOpts, webserver.WithPushValues(0))
+		originOpts = append(originOpts, webserver.WithPushValues(payloadCap))
 	}
 	origin := webserver.NewOrigin(originOpts...)
 	originSrv := httptest.NewServer(origin)
@@ -78,6 +80,7 @@ func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration,
 		PushBackoffMin:       time.Millisecond,
 		PushBackoffMax:       10 * time.Millisecond,
 		RelayEvents:          true,
+		PushPayloadCap:       payloadCap,
 	}
 	pushURL, _ := url.Parse(originSrv.URL + "/events")
 	parentCfg.PushURL = pushURL
@@ -108,6 +111,7 @@ func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration,
 		PushHeartbeatTimeout: -1,
 		PushBackoffMin:       time.Millisecond,
 		PushBackoffMax:       10 * time.Millisecond,
+		PushPayloadCap:       payloadCap,
 		PollObserver: func(o PollObservation) {
 			mu.Lock()
 			logs[o.Key] = append(logs[o.Key], metrics.Refresh{
@@ -313,7 +317,7 @@ func replayTraceTwoHop(t *testing.T, objs []replayObject, horizon time.Duration,
 // replayed trace — the relay may add a hop, never staleness beyond Δ.
 func TestConformanceTwoHopRelayHoldsLeafDeltaBound(t *testing.T) {
 	tr := confTrace(t)
-	res := replayTraceTwoHop(t, []replayObject{{path: "/news", tr: tr}}, confHorizon, 16, 0, false)
+	res := replayTraceTwoHop(t, []replayObject{{path: "/news", tr: tr}}, confHorizon, 16, 0, false, 0)
 
 	log := res.leafLogs["/news"]
 	if len(log) < 3 {
@@ -349,7 +353,7 @@ func TestConformanceTwoHopSurvivesUpstreamKill(t *testing.T) {
 	tr := confTrace(t)
 	// Kill just after the first third of the horizon: the trace is
 	// guaranteed to still have updates in flight afterwards.
-	res := replayTraceTwoHop(t, []replayObject{{path: "/news", tr: tr}}, confHorizon, 16, confHorizon/3, false)
+	res := replayTraceTwoHop(t, []replayObject{{path: "/news", tr: tr}}, confHorizon, 16, confHorizon/3, false, 0)
 
 	log := res.leafLogs["/news"]
 	meas := metrics.EvaluateTemporal(tr, log, confDelta, confHorizon)

@@ -200,7 +200,7 @@ func TestConformanceValueTwoHop(t *testing.T) {
 	tr := valueTrace(t, tracegen.ATT(), attHorizon)
 	path := "/" + tr.Name
 	res := replayTraceTwoHop(t, []replayObject{{path: path, tr: tr,
-		tol: httpx.Tolerances{ValueDelta: attDelta}}}, attHorizon, 16, 0, true)
+		tol: httpx.Tolerances{ValueDelta: attDelta}}}, attHorizon, 16, 0, true, 0)
 
 	meas := metrics.EvaluateValue(tr, res.leafLogs[path], attDelta, attHorizon)
 	t.Logf("leaf measured: %+v (origin polls %d, applied %d, pushed polls %d, parent %+v, leaf %+v)",
@@ -220,6 +220,56 @@ func TestConformanceValueTwoHop(t *testing.T) {
 	}
 	if res.relay.Hub.Seq == 0 {
 		t.Error("parent relayed nothing")
+	}
+}
+
+// TestConformanceValueLargeObjectTwoHop is the ladder's large-object
+// acceptance run: the AT&T preset with every body padded to ~12 KiB
+// against a 4 KiB negotiated cap on both hops. The first payload must
+// travel chunked (it exceeds every cap), every later tick must ride the
+// delta rung at both hops (the padded bodies differ by a few bytes),
+// and the Δv bound must hold with zero confirmation polls and zero
+// fallbacks anywhere in the chain.
+func TestConformanceValueLargeObjectTwoHop(t *testing.T) {
+	const (
+		largeCap = 4 << 10
+		largePad = 12 << 10
+	)
+	tr := valueTrace(t, tracegen.ATT(), attHorizon/2)
+	path := "/" + tr.Name
+	res := replayTraceTwoHop(t, []replayObject{{path: path, tr: tr,
+		tol: httpx.Tolerances{ValueDelta: attDelta}, pad: largePad}},
+		attHorizon/2, 16, 0, true, largeCap)
+
+	meas := metrics.EvaluateValue(tr, res.leafLogs[path], attDelta, attHorizon/2)
+	t.Logf("leaf measured: %+v (origin polls %d, applied %d, pushed polls %d, parent %+v, leaf %+v)",
+		meas, res.originPolls, res.leafApplied, res.leafPushedPolls, res.parentPush, res.leafPush)
+	assertValuePushPerfect(t, "large two-hop "+tr.Name, tr, res.leafLogs[path], attDelta, meas)
+	if res.leafPushedPolls != 0 {
+		t.Errorf("leaf issued %d confirmation polls; the ladder must feed it directly", res.leafPushedPolls)
+	}
+	if res.parentPush.ValueFallbacks != 0 || res.leafPush.ValueFallbacks != 0 {
+		t.Errorf("fallbacks on the clean path: parent %d leaf %d",
+			res.parentPush.ValueFallbacks, res.leafPush.ValueFallbacks)
+	}
+	if res.parentPush.DeltaBaseMisses != 0 || res.leafPush.DeltaBaseMisses != 0 {
+		t.Errorf("base misses on the clean path: parent %d leaf %d",
+			res.parentPush.DeltaBaseMisses, res.leafPush.DeltaBaseMisses)
+	}
+	// Both hops must have used both expensive-body rungs: chunks for the
+	// first over-cap delivery, deltas once a base is held.
+	if res.parentPush.ChunksAssembled == 0 {
+		t.Errorf("parent assembled no chunk sets: %+v", res.parentPush)
+	}
+	if res.parentPush.DeltaApplied == 0 {
+		t.Errorf("parent applied no deltas: %+v", res.parentPush)
+	}
+	if res.leafPush.DeltaApplied == 0 {
+		t.Errorf("leaf applied no deltas: %+v", res.leafPush)
+	}
+	// Re-basing at the parent is what feeds the leaf's delta rung.
+	if res.parentPush.DeltaRebased == 0 {
+		t.Errorf("parent republished no delta sidecars: %+v", res.parentPush)
 	}
 }
 
@@ -247,6 +297,19 @@ func TestConformanceValueInjectionsFallBack(t *testing.T) {
 					Kind: push.KindUpdate, Key: path,
 					Body: []byte("999999.99\n"), HasBody: true,
 					Digest: "00000000deadbeef",
+				})
+				injected++
+			case 2:
+				// Forged-base pure delta: no stream holds the base it
+				// claims, and a pure delta has no full form to fall back
+				// on, so the hub walks the whole ladder down to a
+				// stripped invalidation and the proxy confirms by
+				// polling. The hostile bytes can never be applied.
+				o.InjectPushEvent(push.Event{
+					Kind: push.KindUpdate, Key: path,
+					Body: []byte{0x01, 0x02, '9', '9'}, HasBody: true,
+					Digest:     push.DigestOf([]byte("unreachable")),
+					BaseDigest: "00000000deadbeef", DeltaCodec: push.DeltaCodecBlock,
 				})
 				injected++
 			case 3:

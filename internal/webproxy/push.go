@@ -3,6 +3,7 @@ package webproxy
 import (
 	"net/http"
 	"net/url"
+	"sort"
 	"strings"
 	"time"
 
@@ -65,7 +66,54 @@ func (p *Proxy) newPushSubscriber() (*push.Subscriber, error) {
 	if p.cfg.PushInterest {
 		scfg.Interest = p.declaredInterest
 	}
+	if p.cfg.PushValues {
+		scfg.Held = p.heldDigests
+	}
 	return push.NewSubscriber(scfg)
+}
+
+// heldAdvertiseMax bounds the held-digest terms advertised on connect
+// (mirroring the server-side per-stream cap): the largest bodies are
+// the ones whose deltas save the most, so the advertisement is the
+// top residents by size, not an arbitrary slice of the store.
+const heldAdvertiseMax = 64
+
+// heldDigests is the Held hook: the body digests this proxy holds,
+// advertised at (re)connect so the upstream can open matching updates
+// on the delta rung. Evaluated per connection attempt — a reconnect
+// after churn advertises the current residency, never a stale snapshot.
+func (p *Proxy) heldDigests() []push.HeldDigest {
+	var cands []*entry
+	for i := range p.store.shards {
+		sh := &p.store.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			cands = append(cands, e)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].size.Load() > cands[j].size.Load()
+	})
+	if len(cands) > heldAdvertiseMax {
+		cands = cands[:heldAdvertiseMax]
+	}
+	held := make([]push.HeldDigest, 0, len(cands))
+	for _, e := range cands {
+		if e.evicted.Load() || e.unpushable {
+			continue
+		}
+		e.mu.RLock()
+		d := e.bodyDigest
+		if d == "" && len(e.body) > 0 {
+			d = push.DigestOf(e.body)
+		}
+		e.mu.RUnlock()
+		if d != "" {
+			held = append(held, push.HeldDigest{Key: e.key, Digest: d})
+		}
+	}
+	return held
 }
 
 // declaredInterest computes the interest set the subscriber declares on
@@ -156,6 +204,9 @@ func (p *Proxy) handlePushEvent(ev push.Event) {
 	p.relayUpstreamEvent(ev)
 	e := p.lookup(ev.Key)
 	if e == nil || e.evicted.Load() {
+		if p.applyPushedToDisk(ev) {
+			return // demoted object: its disk record absorbed the update
+		}
 		p.pushDropped.Add(1)
 		return
 	}
@@ -199,10 +250,24 @@ func (p *Proxy) applyPushedValue(e *entry, ev *push.Event) bool {
 		// may be installed for (or polled on behalf of) an evicted entry.
 		return false
 	}
-	if push.DigestOf(ev.Body) != ev.Digest {
+	body := ev.Body
+	wasDelta := false
+	if ev.BaseDigest != "" && ev.DeltaCodec != 0 {
+		// The body is a delta against a base the sender believes we
+		// hold — the cheapest rung of the ladder. Reconstruct and verify
+		// before anything is installed; any mismatch (a forged or stale
+		// base, a hostile delta stream, a result that does not hash to
+		// the frame's digest) falls through to the confirmation poll.
+		full, ok := p.resolveDelta(e, ev)
+		if !ok {
+			return false
+		}
+		body = full
+		wasDelta = true
+	} else if push.DigestOf(ev.Body) != ev.Digest {
 		return false
 	}
-	size := entrySize(e.key, ev.Body)
+	size := entrySize(e.key, body)
 	if p.cfg.MaxBytes >= 0 && size > p.cfg.MaxBytes {
 		// An object this size is refused at admission and self-evicts on
 		// refresh growth; let the pushed poll run those established
@@ -231,7 +296,8 @@ func (p *Proxy) applyPushedValue(e *entry, ev *push.Event) bool {
 	}
 	e.failures = 0
 	e.validatedAt = now
-	e.body = ev.Body
+	e.body = body
+	e.bodyDigest = ev.Digest // verified above: DigestOf(body)
 	if ev.ContentType != "" {
 		e.contentType = ev.ContentType
 	}
@@ -243,7 +309,7 @@ func (p *Proxy) applyPushedValue(e *entry, ev *push.Event) bool {
 		outcome.HasValue = true
 		outcome.PrevValue = e.value
 		outcome.Value = e.value
-		if v, ok := parseValueBody(ev.Body); ok {
+		if v, ok := parseValueBody(body); ok {
 			e.value = v
 			outcome.Value = v
 		}
@@ -253,6 +319,22 @@ func (p *Proxy) applyPushedValue(e *entry, ev *push.Event) bool {
 
 	e.applied.Add(1)
 	p.pushApplied.Add(1)
+	if wasDelta {
+		p.pushDeltaApplied.Add(1)
+	}
+
+	// The downstream republication carries the reconstructed full body
+	// (a delta frame's raw bytes would be useless to a leaf that missed
+	// the base) plus the upstream delta as a sidecar: our children track
+	// the same origin body history we do, so the base that matched here
+	// matches there, and one origin delta feeds the whole subtree
+	// without re-encoding.
+	out := *ev
+	if wasDelta {
+		out.Body = body
+		out.DeltaBody = ev.Body
+		p.pushDeltaRebased.Add(1)
+	}
 
 	// The shared post-refresh bookkeeping: byte-ledger re-charge with
 	// budget re-enforcement (the single-object overflow case was refused
@@ -271,8 +353,91 @@ func (p *Proxy) applyPushedValue(e *entry, ev *push.Event) bool {
 		resized: true,
 		newSize: size,
 		applied: true,
-		relay:   func() { p.relayAppliedUpdate(e, ev) },
+		relay:   func() { p.relayAppliedUpdate(e, &out) },
 	})
+	return true
+}
+
+// resolveDelta reconstructs a pushed delta frame's full body against
+// this proxy's resident copy of e. It reports ok=false — counting a
+// base miss — when the advertised base digest does not match the body
+// actually held, when the delta stream is malformed, or when the
+// reconstruction does not hash to the frame's digest. The base digest
+// is always compared against the digest of the bytes in hand (cached at
+// the last swap, or hashed on demand), never against bookkeeping that
+// could have gone stale — that is the invariant keeping a demoted or
+// raced body from ever serving as a silent wrong base.
+func (p *Proxy) resolveDelta(e *entry, ev *push.Event) ([]byte, bool) {
+	e.mu.RLock()
+	base := e.body
+	baseDigest := e.bodyDigest
+	e.mu.RUnlock()
+	if baseDigest == "" {
+		baseDigest = push.DigestOf(base)
+	}
+	if baseDigest != ev.BaseDigest {
+		p.pushDeltaBaseMiss.Add(1)
+		return nil, false
+	}
+	full, err := push.ApplyDelta(ev.DeltaCodec, base, ev.Body, 0)
+	if err != nil || push.DigestOf(full) != ev.Digest {
+		p.pushDeltaBaseMiss.Add(1)
+		return nil, false
+	}
+	return full, true
+}
+
+// applyPushedToDisk lands a pushed payload on the disk record of an
+// object that is no longer (or not yet again) resident — a CLOCK
+// demotion whose record survives in the persistent tier. Without this,
+// every push for a demoted object is dropped and the record ages
+// toward a promotion poll; with it, the record tracks the origin and
+// the next promotion's conditional fetch answers 304 against fresh
+// state. A delta frame is applied against the disk body, whose digest
+// is computed from the bytes actually read back (the content-addressed
+// store verifies them against the record on every Get) — the same
+// base-authority rule as the resident path. It reports whether the
+// event was fully handled (installed, or recognized as a duplicate).
+func (p *Proxy) applyPushedToDisk(ev push.Event) bool {
+	if !p.cfg.PushValues || p.disk == nil || !ev.HasBody {
+		return false
+	}
+	ck := ev.Key
+	if u, err := url.Parse(ev.Key); err == nil {
+		ck = canonicalKey(u)
+	}
+	rec, base, ok := p.disk.Get(ck)
+	if !ok {
+		return false
+	}
+	if rec.HasLastMod && !ev.ModTime.IsZero() && !ev.ModTime.After(rec.LastMod) {
+		return true // duplicate: the record already carries this version
+	}
+	body := ev.Body
+	if ev.BaseDigest != "" && ev.DeltaCodec != 0 {
+		if push.DigestOf(base) != ev.BaseDigest {
+			p.pushDeltaBaseMiss.Add(1)
+			return false
+		}
+		full, err := push.ApplyDelta(ev.DeltaCodec, base, ev.Body, 0)
+		if err != nil || push.DigestOf(full) != ev.Digest {
+			p.pushDeltaBaseMiss.Add(1)
+			return false
+		}
+		body = full
+		p.pushDeltaApplied.Add(1)
+	} else if push.DigestOf(ev.Body) != ev.Digest {
+		return false
+	}
+	rec.ValidatedAt = p.cfg.Clock()
+	if ev.ContentType != "" {
+		rec.ContentType = ev.ContentType
+	}
+	if !ev.ModTime.IsZero() {
+		rec.LastMod, rec.HasLastMod = ev.ModTime, true
+	}
+	p.disk.Put(rec, body)
+	p.pushDiskApplied.Add(1)
 	return true
 }
 
@@ -454,6 +619,26 @@ type PushStats struct {
 	// refusal).
 	ValueApplied   uint64
 	ValueFallbacks uint64
+	// DeltaApplied counts pushed delta frames reconstructed, verified,
+	// and installed (resident or disk tier). DeltaBaseMisses counts
+	// deltas refused because the advertised base digest did not match
+	// the body actually held (forged, stale, or raced base) — each one
+	// degraded down the ladder instead of installing blind.
+	// DeltaRebased counts relay publications that carried a delta form
+	// for this proxy's own downstream (the upstream's delta reused when
+	// the base matched, or one computed locally after a poll).
+	// DiskApplied counts pushed payloads landed directly on a demoted
+	// object's disk record while nothing was resident.
+	DeltaApplied    uint64
+	DeltaBaseMisses uint64
+	DeltaRebased    uint64
+	DiskApplied     uint64
+	// ChunksAssembled counts chunked bodies the subscriber reassembled
+	// and delivered whole; ChunksBroken counts chunk sets it abandoned
+	// (hole, out-of-order frame, over-budget reassembly, or terminal
+	// digest mismatch), each degraded to a confirmation poll.
+	ChunksAssembled uint64
+	ChunksBroken    uint64
 	// Fallbacks counts healthy→disconnected transitions (each one ran a
 	// catch-up sweep).
 	Fallbacks uint64
@@ -489,18 +674,24 @@ type PushStats struct {
 // PushStats returns the invalidation-channel counters.
 func (p *Proxy) PushStats() PushStats {
 	st := PushStats{
-		Enabled:        p.sub != nil,
-		Connected:      p.pushHealthy.Load(),
-		Events:         p.pushEvents.Load(),
-		Polls:          p.pushPolls.Load(),
-		Dropped:        p.pushDropped.Load(),
-		Fallbacks:      p.pushFallbacks.Load(),
-		ValueApplied:   p.pushApplied.Load(),
-		ValueFallbacks: p.pushValueFallback.Load(),
-		LastSeq:        p.pushSeq.Load(),
+		Enabled:         p.sub != nil,
+		Connected:       p.pushHealthy.Load(),
+		Events:          p.pushEvents.Load(),
+		Polls:           p.pushPolls.Load(),
+		Dropped:         p.pushDropped.Load(),
+		Fallbacks:       p.pushFallbacks.Load(),
+		ValueApplied:    p.pushApplied.Load(),
+		ValueFallbacks:  p.pushValueFallback.Load(),
+		DeltaApplied:    p.pushDeltaApplied.Load(),
+		DeltaBaseMisses: p.pushDeltaBaseMiss.Load(),
+		DeltaRebased:    p.pushDeltaRebased.Load(),
+		DiskApplied:     p.pushDiskApplied.Load(),
+		LastSeq:         p.pushSeq.Load(),
 	}
 	if p.sub != nil {
 		st.Connects = p.sub.Connects()
+		st.ChunksAssembled = p.sub.ChunksAssembled()
+		st.ChunksBroken = p.sub.ChunksBroken()
 		st.Bounces = p.sub.Bounces()
 		st.Resets = p.sub.Resets()
 		st.SkippedFrames = p.sub.SkippedFrames()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"broadway/internal/core"
+	"broadway/internal/push"
 )
 
 // This file is the refresh engine: a dispatcher goroutine that pops due
@@ -314,6 +315,13 @@ func (p *Proxy) pollEntry(e *entry, kind pollKind) {
 				if p.applyPushedValue(e, pending) {
 					return // installed (or a recognized duplicate): no origin request
 				}
+				if e.evicted.Load() && p.applyPushedToDisk(*pending) {
+					// Demoted mid-flight: the entry left the store between
+					// the event and this job, but its disk record survives
+					// — landing the payload there keeps the demoted copy
+					// fresh for the next promotion.
+					return
+				}
 				p.pushValueFallback.Add(1)
 			}
 		}
@@ -378,7 +386,16 @@ func (p *Proxy) pollEntry(e *entry, kind pollKind) {
 		outcome.PrevValue = e.value
 		outcome.Value = e.value
 	}
+	var prevBody []byte
+	var prevDigest string
 	if !resp.notModified {
+		if p.cfg.PushValues {
+			// The outgoing body is the delta base downstream subscribers
+			// hold; snapshot it (and its digest) before the swap so the
+			// confirmation relay can publish a re-based delta form.
+			prevBody, prevDigest = e.body, e.bodyDigest
+			e.bodyDigest = push.DigestOf(resp.body)
+		}
 		e.body = resp.body
 		if resp.contentType != "" {
 			e.contentType = resp.contentType
@@ -413,7 +430,7 @@ func (p *Proxy) pollEntry(e *entry, kind pollKind) {
 		if resp.hasLastMod {
 			mod = resp.lastMod
 		}
-		rr.relay = func() { p.relayConfirmedUpdate(e, mod) }
+		rr.relay = func() { p.relayConfirmedUpdate(e, mod, prevBody, prevDigest) }
 	}
 	p.finishRefresh(e, rr)
 }

@@ -52,13 +52,25 @@ func (p *Proxy) relayUpstreamEvent(ev push.Event) {
 	p.relay.Publish(ev) // Publish re-assigns Seq into the relay's own space
 }
 
+// relayDeltaFloor is the body size below which the confirmation relay
+// does not bother computing a delta: the full payload of a tiny object
+// costs about as much as the delta frame's envelope, and the encoder
+// run is pure waste.
+const relayDeltaFloor = 256
+
 // relayConfirmedUpdate announces a locally confirmed modification of a
 // cached object to downstream subscribers (confirmation path). With
 // value-carrying push enabled the freshly installed body rides along —
 // published after the body swap — so even under a pure-polling parent
 // (relay on, upstream push off) the leaves install the update with zero
 // confirmation polls.
-func (p *Proxy) relayConfirmedUpdate(e *entry, modTime time.Time) {
+//
+// prevBody/prevDigest are the body this update replaced (nil/empty when
+// unknown or unchanged): the base downstream subscribers still hold.
+// When a delta against it pays, it rides the publication as a sidecar —
+// re-based to THIS proxy's body history, which is what its children
+// track — and the hub picks delta vs full vs chunked per subscriber.
+func (p *Proxy) relayConfirmedUpdate(e *entry, modTime time.Time, prevBody []byte, prevDigest string) {
 	if p.relay == nil {
 		return
 	}
@@ -73,8 +85,19 @@ func (p *Proxy) relayConfirmedUpdate(e *entry, modTime time.Time) {
 		ev.Body = e.body // replaced wholesale on refresh, never mutated: safe to share
 		ev.HasBody = true
 		ev.ContentType = e.contentType
+		ev.Digest = e.bodyDigest
 		e.mu.RUnlock()
-		ev.Digest = push.DigestOf(ev.Body)
+		if ev.Digest == "" {
+			ev.Digest = push.DigestOf(ev.Body)
+		}
+		if len(prevBody) >= relayDeltaFloor && prevDigest != "" && prevDigest != ev.Digest {
+			if d, ok := push.MakeDelta(prevBody, ev.Body); ok {
+				ev.DeltaBody = d
+				ev.BaseDigest = prevDigest
+				ev.DeltaCodec = push.DeltaCodecBlock
+				p.pushDeltaRebased.Add(1)
+			}
+		}
 	}
 	p.relay.Publish(ev)
 }

@@ -328,7 +328,14 @@ type entry struct {
 	mu     sync.RWMutex
 	policy core.Policy
 
-	body        []byte // replaced wholesale on refresh, never mutated
+	body []byte // replaced wholesale on refresh, never mutated
+	// bodyDigest is push.DigestOf(body), maintained alongside every
+	// body swap when value-carrying push is on (empty otherwise, and on
+	// entries admitted before a digest was needed — readers fall back
+	// to hashing the body). It is what the delta rung compares a pushed
+	// frame's base digest against, and what the subscriber advertises
+	// as held on connect.
+	bodyDigest  string
 	contentType string
 	// cacheControl is the origin's Cache-Control header, forwarded on
 	// responses so child proxies learn the same tolerance directives.
@@ -481,6 +488,22 @@ type Proxy struct {
 	// byte-budget refusal — while value application was enabled.
 	pushApplied       atomic.Uint64
 	pushValueFallback atomic.Uint64
+	// Delta-ladder counters: pushDeltaApplied counts pushed deltas
+	// reconstructed and installed (resident or disk tier);
+	// pushDeltaBaseMiss counts deltas refused because the advertised
+	// base did not match the body actually held (each one degraded down
+	// the ladder — full payload or confirmation poll — never installed
+	// blind); pushDeltaRebased counts relay publications that carried a
+	// delta form downstream (reused or locally computed);
+	// pushDiskApplied counts pushed payloads applied straight to a
+	// demoted object's disk record while nothing was resident.
+	pushDeltaApplied  atomic.Uint64
+	pushDeltaBaseMiss atomic.Uint64
+	pushDeltaRebased  atomic.Uint64
+	pushDiskApplied   atomic.Uint64
+	// toleranceOverrides counts runtime Δ/Δv changes applied through
+	// OverrideTolerance (the /admin/tolerance action).
+	toleranceOverrides atomic.Uint64
 	// downstream is the sticky union of every interest set a downstream
 	// subscriber has declared against the relay hub (see
 	// noteDownstreamInterest); folded into this proxy's own upstream
@@ -597,8 +620,11 @@ func New(cfg Config) (*Proxy, error) {
 			// The relay carries payloads downstream at the same cap the
 			// proxy negotiates upstream, so one origin message feeds the
 			// whole subtree. Leaves that did not ask for payloads get
-			// invalidation-only frames (per-stream negotiation).
+			// invalidation-only frames (per-stream negotiation), and
+			// bodies over a leaf's cap are chunked at it rather than
+			// degraded straight to an invalidation.
 			hubCfg.PayloadCap = cfg.PushPayloadCap
+			hubCfg.ChunkPayload = cfg.PushPayloadCap
 		}
 		if cfg.PushInterest && cfg.PushURL != nil {
 			// Every downstream declaration folds into this proxy's own
@@ -942,6 +968,9 @@ func (p *Proxy) installEntry(key string, a admission) (*entry, bool) {
 		groupDelta:   a.groupDelta,
 	}
 	e.suspect.Store(a.suspect)
+	if p.cfg.PushValues {
+		e.bodyDigest = push.DigestOf(a.body)
+	}
 	if p.sub != nil {
 		// An object the channel can never announce must not have its
 		// TTRs stretched — the object keeps pure-polling freshness
@@ -1294,6 +1323,9 @@ type CacheStats struct {
 	// PushFallbacks counts healthy→disconnected transitions, each of
 	// which ran a staleness-bounded catch-up sweep.
 	PushFallbacks uint64
+	// ToleranceOverrides counts runtime Δ/Δv changes applied through
+	// the /admin/tolerance action (see OverrideTolerance).
+	ToleranceOverrides uint64
 }
 
 // CacheStats returns the proxy-wide cache counters. Hits is summed over
@@ -1311,6 +1343,8 @@ func (p *Proxy) CacheStats() CacheStats {
 		PushEvents:      p.pushEvents.Load(),
 		PushPolls:       p.pushPolls.Load(),
 		PushFallbacks:   p.pushFallbacks.Load(),
+
+		ToleranceOverrides: p.toleranceOverrides.Load(),
 	}
 	for i := range p.store.shards {
 		sh := &p.store.shards[i]

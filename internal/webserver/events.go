@@ -16,10 +16,12 @@ import (
 // Reset, telling the proxy to fall back to a revalidation sweep.
 //
 // With WithPushValues the events also carry the object's new body
-// (protocol v2): the hub's replay ring is then byte-budgeted as well as
-// count-bounded, and each stream's payload cap is negotiated at
-// subscribe time (?maxpayload=), with oversized bodies degraded to
-// invalidation-only frames rather than dropped.
+// (protocol v2/v3): the hub's replay ring is then byte-budgeted as well
+// as count-bounded, and each stream's payload cap is negotiated at
+// subscribe time (?maxpayload=). Delivery walks the v3 ladder per
+// subscriber — delta against an advertised held body, full payload,
+// chunked body at the cap, invalidation-only — so an over-cap body
+// degrades one rung at a time instead of straight to a poll.
 //
 // The hub itself (sequence space, replay ring, slow-subscriber
 // termination, per-subscriber lag accounting, frame write deadlines,
@@ -38,5 +40,9 @@ func newEventHub(heartbeat time.Duration, payloadCap int) *push.Hub {
 		Heartbeat:  heartbeat,
 		ReplayLen:  replayBufferLen,
 		PayloadCap: payloadCap,
+		// Bodies over a stream's cap are chunked at the cap rather than
+		// degraded to invalidations — the large, slowly-mutating objects
+		// the payload channel exists for are exactly the over-cap ones.
+		ChunkPayload: payloadCap,
 	})
 }

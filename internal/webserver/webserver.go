@@ -135,6 +135,7 @@ func (o *Origin) Set(path string, body []byte, contentType string) {
 		obj = &object{}
 		o.objects[path] = obj
 	}
+	prev := obj.body
 	obj.body = append([]byte(nil), body...)
 	obj.contentType = contentType
 	// Guarantee strictly increasing modification times even when two
@@ -166,6 +167,15 @@ func (o *Origin) Set(path string, body []byte, contentType string) {
 			ev.HasBody = true
 			ev.ContentType = contentType
 			ev.Digest = push.DigestOf(published)
+			// Offer the update as a delta against the previous body too:
+			// subscribers that advertised holding it get the cheapest rung
+			// of the delivery ladder, everyone else still sees the full
+			// payload (the hub renders both forms once at Publish).
+			if delta, ok := push.MakeDelta(prev, published); ok {
+				ev.DeltaBody = delta
+				ev.BaseDigest = push.DigestOf(prev)
+				ev.DeltaCodec = push.DeltaCodecBlock
+			}
 		}
 		o.hub.Publish(ev)
 	}

@@ -14,4 +14,4 @@ go test -run '^$' -count "$COUNT" -benchtime 200ms \
 go test -run '^$' -count "$COUNT" -benchtime 200ms \
     -bench 'BenchmarkStoreEvictScan$|BenchmarkStoreHitMark$|BenchmarkValuePushApply$' ./internal/webproxy
 go test -run '^$' -count "$COUNT" -benchtime 200ms \
-    -bench 'BenchmarkHubPublishFanout$|BenchmarkHubPublishFanoutFiltered$|BenchmarkHubPublishFanoutPayload$|BenchmarkEventRender$' ./internal/push
+    -bench 'BenchmarkHubPublishFanout$|BenchmarkHubPublishFanoutFiltered$|BenchmarkHubPublishFanoutPayload$|BenchmarkHubPublishFanoutDelta$|BenchmarkEventRender$|BenchmarkDeltaApply$' ./internal/push
