@@ -23,6 +23,13 @@
 // significance). Benchmarks present in only one input, or with fewer
 // than -min-samples runs on either side, are reported but never gate.
 //
+// Benchmarks matching -alloc-filter additionally gate on allocs/op
+// (requires -benchmem output on both sides): allocation counts are
+// deterministic, so ANY median increase is a regression — no
+// significance test, no threshold. Inputs without allocs/op columns
+// skip the alloc gate silently, so the flag is safe against baselines
+// recorded before -benchmem was added.
+//
 // Exit status: 0 when no benchmark regresses, 1 on regression, 2 on
 // usage or parse errors.
 package main
@@ -51,6 +58,7 @@ func run(args []string, out *os.File) int {
 	threshold := fs.Float64("threshold", 0.15, "minimum relative median slowdown to gate on (0.15 = +15%)")
 	minSamples := fs.Int("min-samples", 4, "samples required on both sides before a benchmark can gate")
 	filter := fs.String("filter", "", "gate only benchmarks matching this `regexp` (others are reported)")
+	allocFilter := fs.String("alloc-filter", "", "benchmarks matching this `regexp` also gate on any allocs/op median increase (needs -benchmem output)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,6 +75,15 @@ func run(args []string, out *os.File) int {
 			return 2
 		}
 		gateRE = re
+	}
+	var allocRE *regexp.Regexp
+	if *allocFilter != "" {
+		re, err := regexp.Compile(*allocFilter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: bad -alloc-filter: %v\n", err)
+			return 2
+		}
+		allocRE = re
 	}
 
 	oldSamples, err := parseFile(*oldPath)
@@ -103,12 +120,12 @@ func run(args []string, out *os.File) int {
 	regressed := 0
 	for _, name := range common {
 		o, n := oldSamples[name], newSamples[name]
-		om, nm := median(o), median(n)
+		om, nm := median(o.ns), median(n.ns)
 		delta := (nm - om) / om
-		p := mannWhitneyP(o, n)
+		p := mannWhitneyP(o.ns, n.ns)
 		verdict := "ok"
 		switch {
-		case len(o) < *minSamples || len(n) < *minSamples:
+		case len(o.ns) < *minSamples || len(n.ns) < *minSamples:
 			verdict = "skip (too few samples)"
 		case gateRE != nil && !gateRE.MatchString(name):
 			verdict = "info (not gated)"
@@ -120,6 +137,16 @@ func run(args []string, out *os.File) int {
 		case p < *alpha:
 			verdict = "shifted (within threshold)"
 		}
+		// The alloc gate is absolute: allocation counts are deterministic,
+		// so a median increase needs no significance test. It never fires
+		// on inputs without -benchmem columns (old baselines).
+		if verdict != "REGRESSION" && allocRE != nil && allocRE.MatchString(name) &&
+			len(o.allocs) >= *minSamples && len(n.allocs) >= *minSamples {
+			if oa, na := median(o.allocs), median(n.allocs); na > oa {
+				verdict = fmt.Sprintf("REGRESSION (allocs/op %.1f -> %.1f)", oa, na)
+				regressed++
+			}
+		}
 		fmt.Fprintf(out, "%-44s %12.1fns %12.1fns %+7.1f%% %8.3f  %s\n",
 			name, om, nm, delta*100, p, verdict)
 	}
@@ -127,11 +154,11 @@ func run(args []string, out *os.File) int {
 	// added/removed benchmark is not a regression.
 	for _, name := range onlyOld {
 		fmt.Fprintf(out, "%-44s %12.1fns %14s %8s %8s  only in -old\n",
-			name, median(oldSamples[name]), "-", "-", "-")
+			name, median(oldSamples[name].ns), "-", "-", "-")
 	}
 	for _, name := range onlyNew {
 		fmt.Fprintf(out, "%-44s %14s %12.1fns %8s %8s  only in -new\n",
-			name, "-", median(newSamples[name]), "-", "-")
+			name, "-", median(newSamples[name].ns), "-", "-")
 	}
 	if len(common) == 0 {
 		fmt.Fprintln(out, "\nno benchmarks common to both inputs; nothing to gate")
@@ -145,22 +172,39 @@ func run(args []string, out *os.File) int {
 	return 0
 }
 
-// parseFile extracts ns/op samples per benchmark name from go test
-// -bench output. The trailing -N GOMAXPROCS suffix stays part of the
-// name (different parallelism is a different benchmark).
-func parseFile(path string) (map[string][]float64, error) {
+// benchSamples holds one benchmark's per-run measurements: ns/op
+// always, allocs/op when the input was produced with -benchmem.
+type benchSamples struct {
+	ns     []float64
+	allocs []float64
+}
+
+// parseFile extracts ns/op (and, with -benchmem input, allocs/op)
+// samples per benchmark name from go test -bench output. The trailing
+// -N GOMAXPROCS suffix stays part of the name (different parallelism is
+// a different benchmark).
+func parseFile(path string) (map[string]*benchSamples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	samples := make(map[string][]float64)
+	samples := make(map[string]*benchSamples)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
-		name, nsPerOp, ok := parseBenchLine(sc.Text())
-		if ok {
-			samples[name] = append(samples[name], nsPerOp)
+		name, nsPerOp, allocs, hasAllocs, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		s := samples[name]
+		if s == nil {
+			s = &benchSamples{}
+			samples[name] = s
+		}
+		s.ns = append(s.ns, nsPerOp)
+		if hasAllocs {
+			s.allocs = append(s.allocs, allocs)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -172,29 +216,37 @@ func parseFile(path string) (map[string][]float64, error) {
 	return samples, nil
 }
 
-// parseBenchLine parses one "BenchmarkName-8  1234  5678 ns/op ..."
-// result line.
-func parseBenchLine(line string) (name string, nsPerOp float64, ok bool) {
+// parseBenchLine parses one "BenchmarkName-8  1234  5678 ns/op 80 B/op
+// 4 allocs/op" result line (the B/op and allocs/op columns appear only
+// under -benchmem).
+func parseBenchLine(line string) (name string, nsPerOp, allocs float64, hasAllocs, ok bool) {
 	if !strings.HasPrefix(line, "Benchmark") {
-		return "", 0, false
+		return "", 0, 0, false, false
 	}
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
-		return "", 0, false
+		return "", 0, 0, false, false
 	}
 	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
-		return "", 0, false // not an iteration count: a status line
+		return "", 0, 0, false, false // not an iteration count: a status line
 	}
+	ok = false
 	for i := 2; i+1 < len(fields); i++ {
-		if fields[i+1] == "ns/op" {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return "", 0, false
-			}
-			return fields[0], v, true
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			nsPerOp, ok = v, true
+		case "allocs/op":
+			allocs, hasAllocs = v, true
 		}
 	}
-	return "", 0, false
+	if !ok {
+		return "", 0, 0, false, false
+	}
+	return fields[0], nsPerOp, allocs, hasAllocs, true
 }
 
 func median(xs []float64) float64 {

@@ -11,23 +11,25 @@ import (
 
 func TestParseBenchLine(t *testing.T) {
 	cases := []struct {
-		line string
-		name string
-		ns   float64
-		ok   bool
+		line      string
+		name      string
+		ns        float64
+		allocs    float64
+		hasAllocs bool
+		ok        bool
 	}{
-		{"BenchmarkProxyHitParallel-8   \t 1000000\t      1052 ns/op\t     288 B/op\t       5 allocs/op", "BenchmarkProxyHitParallel-8", 1052, true},
-		{"BenchmarkStoreHitMark-8   \t32071566\t        37.02 ns/op", "BenchmarkStoreHitMark-8", 37.02, true},
-		{"PASS", "", 0, false},
-		{"ok  \tbroadway\t1.2s", "", 0, false},
-		{"BenchmarkBroken but not a result", "", 0, false},
-		{"goos: linux", "", 0, false},
+		{"BenchmarkProxyHitParallel-8   \t 1000000\t      1052 ns/op\t     288 B/op\t       5 allocs/op", "BenchmarkProxyHitParallel-8", 1052, 5, true, true},
+		{"BenchmarkStoreHitMark-8   \t32071566\t        37.02 ns/op", "BenchmarkStoreHitMark-8", 37.02, 0, false, true},
+		{"PASS", "", 0, 0, false, false},
+		{"ok  \tbroadway\t1.2s", "", 0, 0, false, false},
+		{"BenchmarkBroken but not a result", "", 0, 0, false, false},
+		{"goos: linux", "", 0, 0, false, false},
 	}
 	for _, c := range cases {
-		name, ns, ok := parseBenchLine(c.line)
-		if ok != c.ok || name != c.name || ns != c.ns {
-			t.Errorf("parseBenchLine(%q) = %q %v %v, want %q %v %v",
-				c.line, name, ns, ok, c.name, c.ns, c.ok)
+		name, ns, allocs, hasAllocs, ok := parseBenchLine(c.line)
+		if ok != c.ok || name != c.name || ns != c.ns || allocs != c.allocs || hasAllocs != c.hasAllocs {
+			t.Errorf("parseBenchLine(%q) = %q %v %v %v %v, want %q %v %v %v %v",
+				c.line, name, ns, allocs, hasAllocs, ok, c.name, c.ns, c.allocs, c.hasAllocs, c.ok)
 		}
 	}
 }
@@ -138,5 +140,63 @@ func TestGateEndToEnd(t *testing.T) {
 	}
 	if code := run([]string{"-old", filepath.Join(dir, "nope.txt"), "-new", okPath}, os.Stdout); code != 2 {
 		t.Errorf("missing file: exit %d", code)
+	}
+	if code := run([]string{"-old", oldPath, "-new", okPath, "-alloc-filter", "("}, os.Stdout); code != 2 {
+		t.Errorf("bad -alloc-filter regexp: exit %d", code)
+	}
+}
+
+// writeBenchMem is writeBench with -benchmem columns: each sample is a
+// (ns/op, allocs/op) pair.
+func writeBenchMem(t *testing.T, dir, name string, samples map[string][][2]float64) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("goos: linux\ngoarch: amd64\npkg: broadway\n")
+	for bench, vals := range samples {
+		for _, v := range vals {
+			fmt.Fprintf(&sb, "%s\t1000\t%g ns/op\t%g B/op\t%g allocs/op\n", bench, v[0], 64*v[1], v[1])
+		}
+	}
+	sb.WriteString("PASS\n")
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBenchMem(t, dir, "old.txt", map[string][][2]float64{
+		"BenchmarkHubPublishFanout-8": {{900, 4}, {905, 4}, {898, 4}, {910, 4}, {902, 4}, {899, 4}},
+	})
+	// Latency unchanged, one extra allocation per op.
+	moreAllocs := writeBenchMem(t, dir, "alloc.txt", map[string][][2]float64{
+		"BenchmarkHubPublishFanout-8": {{901, 5}, {904, 5}, {899, 5}, {909, 5}, {903, 5}, {900, 5}},
+	})
+	// Same allocs, slightly faster: must pass.
+	same := writeBenchMem(t, dir, "same.txt", map[string][][2]float64{
+		"BenchmarkHubPublishFanout-8": {{880, 4}, {885, 4}, {878, 4}, {890, 4}, {882, 4}, {879, 4}},
+	})
+
+	if code := run([]string{"-old", oldPath, "-new", moreAllocs}, os.Stdout); code != 0 {
+		t.Errorf("without -alloc-filter an alloc increase gated: exit %d", code)
+	}
+	if code := run([]string{"-old", oldPath, "-new", moreAllocs, "-alloc-filter", "BenchmarkHubPublish"}, os.Stdout); code != 1 {
+		t.Errorf("alloc increase passed the alloc gate: exit %d", code)
+	}
+	if code := run([]string{"-old", oldPath, "-new", moreAllocs, "-alloc-filter", "BenchmarkSomethingElse"}, os.Stdout); code != 0 {
+		t.Errorf("non-matching -alloc-filter gated: exit %d", code)
+	}
+	if code := run([]string{"-old", oldPath, "-new", same, "-alloc-filter", "BenchmarkHubPublish"}, os.Stdout); code != 0 {
+		t.Errorf("unchanged allocs gated: exit %d", code)
+	}
+	// A baseline recorded without -benchmem has no allocs/op samples:
+	// the alloc gate must skip silently, not fail.
+	noMem := writeBench(t, dir, "nomem.txt", map[string][]float64{
+		"BenchmarkHubPublishFanout-8": {900, 905, 898, 910, 902, 899},
+	})
+	if code := run([]string{"-old", noMem, "-new", moreAllocs, "-alloc-filter", "BenchmarkHubPublish"}, os.Stdout); code != 0 {
+		t.Errorf("benchmem-less baseline gated on allocs: exit %d", code)
 	}
 }

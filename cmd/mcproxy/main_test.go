@@ -481,7 +481,11 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-demo", "-push-stretch", "-0.5"},        // rejected even without -push
 		{"-demo", "-shards", "0"},
 		{"-demo", "-disk-max-bytes", "-1"},
-		{"-demo", "-disk-max-bytes", "4096"}, // budget without -disk-dir
+		{"-demo", "-disk-max-bytes", "4096"},        // budget without -disk-dir
+		{"-demo", "-subscriber-buffer", "-1"},       // negative allowance
+		{"-demo", "-subscriber-buffer", "64"},       // allowance without -relay-events
+		{"-demo", "-mutex-profile-fraction", "-1"},  // negative sampling rate
+		{"-demo", "-mutex-profile-fraction", "100"}, // profile without -ops-listen to serve it
 	}
 	for _, args := range tests {
 		if err := run(args); err == nil {
@@ -495,6 +499,8 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-poll-workers", "0"},
 		{"-push-stretch", "0"},
 		{"-max-bytes", "0"},
+		{"-subscriber-buffer", "0"},
+		{"-mutex-profile-fraction", "0"},
 	} {
 		err := run(args)
 		if err == nil || !strings.Contains(err.Error(), "either -origin or -demo") {

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"broadway/internal/webproxy"
@@ -37,6 +39,10 @@ type StatsDump struct {
 
 // serveAdmin routes the (already authorized) admin API.
 func (h *Handler) serveAdmin(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/admin/pprof" || strings.HasPrefix(r.URL.Path, "/admin/pprof/") {
+		h.adminPprof(w, r)
+		return
+	}
 	switch r.URL.Path {
 	case "/admin/evict":
 		if !requireMethod(w, r, http.MethodPost) {
@@ -72,6 +78,40 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	w.Header().Set("Allow", method)
 	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	return false
+}
+
+// adminPprof serves the runtime profiles under /admin/pprof/ — behind
+// the same bearer token as the rest of the admin API and deliberately
+// OFF the unauthenticated scrape paths (/metrics, /healthz), so the
+// contention and allocation claims the hub benchmarks make are
+// verifiable against a production process without exposing goroutine
+// dumps to anything that can scrape it. The handlers come from
+// net/http/pprof but are routed here explicitly; nothing in the process
+// serves http.DefaultServeMux, so the import's side-effect
+// registrations are inert.
+func (h *Handler) adminPprof(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/admin/pprof")
+	name = strings.TrimPrefix(name, "/")
+	switch name {
+	case "":
+		// pprof.Index resolves profile names against the /debug/pprof/
+		// prefix it was written for; hand it the path shape it expects.
+		// Its index links are relative, so they resolve under this
+		// prefix too.
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = "/debug/pprof/"
+		pprof.Index(w, r2)
+	case "cmdline":
+		pprof.Cmdline(w, r)
+	case "profile":
+		pprof.Profile(w, r)
+	case "symbol":
+		pprof.Symbol(w, r)
+	case "trace":
+		pprof.Trace(w, r)
+	default:
+		pprof.Handler(name).ServeHTTP(w, r)
+	}
 }
 
 // adminEvict drops one cached object by key, mirroring Proxy.Evict: the

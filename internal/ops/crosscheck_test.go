@@ -77,6 +77,15 @@ func hubExpectations(hs push.HubStats, which string) map[string]fieldExpectation
 	for _, v := range hs.Lags {
 		lagSum += float64(v)
 	}
+	// Every resident partition must surface its byte share under its own
+	// partition label, alongside the partition-count gauge.
+	partChecks := []seriesCheck{
+		{SeriesKey("broadway_hub_ring_partitions", l), float64(len(hs.Partitions))},
+	}
+	for _, p := range hs.Partitions {
+		partChecks = append(partChecks, seriesCheck{
+			SeriesKey("broadway_hub_ring_bytes", l, Label{"partition", p.Name}), float64(p.Bytes)})
+	}
 	return map[string]fieldExpectation{
 		"Seq":           one("broadway_hub_seq", float64(hs.Seq), l),
 		"Subscribers":   one("broadway_hub_subscribers", float64(hs.Subscribers), l),
@@ -85,6 +94,8 @@ func hubExpectations(hs push.HubStats, which string) map[string]fieldExpectation
 		"ReplayCap":     one("broadway_hub_replay_events_cap", float64(hs.ReplayCap), l),
 		"ReplayBytes":   one("broadway_hub_replay_bytes", float64(hs.ReplayBytes), l),
 		"ReplayByteCap": one("broadway_hub_replay_bytes_cap", float64(hs.ReplayByteCap), l),
+		"Partitions":    {checks: partChecks},
+		"PublishWait":   one("broadway_hub_publish_wait_seconds", hs.PublishWait.Seconds(), l),
 		"Oversized":     one("broadway_hub_oversized_total", float64(hs.Oversized), l),
 		"Degraded":      one("broadway_hub_degraded_total", float64(hs.Degraded), l),
 		"Resets":        one("broadway_hub_resets_total", float64(hs.Resets), l),

@@ -112,6 +112,11 @@ func writeHubMetrics(e *exposition, hs push.HubStats, which string) {
 	e.gauge("broadway_hub_replay_events_cap", "Replay ring capacity in events.", float64(hs.ReplayCap), l)
 	e.gauge("broadway_hub_replay_bytes", "Replay ring resident wire bytes.", float64(hs.ReplayBytes), l)
 	e.gauge("broadway_hub_replay_bytes_cap", "Replay ring byte budget (-1 unbounded).", float64(hs.ReplayByteCap), l)
+	e.gauge("broadway_hub_ring_partitions", "Prefix partitions currently resident in the replay ring.", float64(len(hs.Partitions)), l)
+	for _, p := range hs.Partitions {
+		e.gauge("broadway_hub_ring_bytes", "Replay ring resident wire bytes per prefix partition (empty partition label is the catch-all).", float64(p.Bytes), l, Label{"partition", p.Name})
+	}
+	e.counter("broadway_hub_publish_wait_seconds", "Cumulative time publishers waited to acquire the ring lock.", hs.PublishWait.Seconds(), l)
 	e.counter("broadway_hub_oversized_total", "Update events dropped for exceeding the wire envelope limit.", float64(hs.Oversized), l)
 	e.counter("broadway_hub_degraded_total", "Payloads stripped at publish for exceeding the hub cap.", float64(hs.Degraded), l)
 	e.counter("broadway_hub_resets_total", "Hole announcements (mid-stream Resets) made.", float64(hs.Resets), l)

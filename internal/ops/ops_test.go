@@ -376,6 +376,37 @@ func TestAdminAuth(t *testing.T) {
 	}
 }
 
+// TestAdminPprof: the runtime profiles ride the admin bearer gate —
+// tokenless requests bounce, authorized ones get real profile data —
+// and are never reachable through the open scrape paths.
+func TestAdminPprof(t *testing.T) {
+	s := newOpsSetup(t, webproxy.Config{}, false, "open-sesame")
+
+	if rec := s.do(http.MethodGet, "/admin/pprof/", nil); rec.Code != http.StatusUnauthorized {
+		t.Errorf("tokenless pprof index = %d, want 401", rec.Code)
+	}
+	auth := http.Header{"Authorization": {"Bearer open-sesame"}}
+	rec := s.do(http.MethodGet, "/admin/pprof/", auth)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("pprof index = %d, body does not list profiles", rec.Code)
+	}
+	rec = s.do(http.MethodGet, "/admin/pprof/goroutine?debug=1", auth)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("goroutine profile = %d (%.80q)", rec.Code, rec.Body.String())
+	}
+	// The mutex profile serves (empty) even before any
+	// -mutex-profile-fraction opt-in; contention inspection must not
+	// require a restart to at least reach the endpoint.
+	if rec = s.do(http.MethodGet, "/admin/pprof/mutex?debug=1", auth); rec.Code != http.StatusOK {
+		t.Errorf("mutex profile = %d", rec.Code)
+	}
+	// Neither the conventional /debug/pprof/ mount nor the scrape paths
+	// expose profiles without credentials.
+	if rec = s.do(http.MethodGet, "/debug/pprof/", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("/debug/pprof/ = %d, want 404 — profiles ride the admin gate only", rec.Code)
+	}
+}
+
 // TestAdminKillStreams: the kill-streams action severs the origin hub's
 // connected streams, and the subscriber reconnects on its own — a
 // transient cut, not an outage.

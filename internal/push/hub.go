@@ -1,8 +1,8 @@
 package push
 
 import (
-	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -24,10 +24,19 @@ import (
 //     enter a replay ring bounded by count AND bytes (payload-carrying
 //     events are charged their body size), so a reconnecting subscriber
 //     (?since=<seq>) receives exactly the events it missed — payloads
-//     included, replayed faithfully.
+//     included, replayed faithfully. The ring is PARTITIONED by key
+//     prefix: residency and replay walks are charged per declared
+//     subtree, so a subscriber interested in one narrow prefix holds
+//     and replays only that partition's frames, and the byte budget
+//     trims the fattest partition first (a burst in one subtree cannot
+//     evict another subtree's replay history).
 //   - A subscriber too slow to drain its stream is terminated rather
 //     than ever blocking the publisher's write path; it reconnects and
 //     catches up from the replay ring.
+//   - Publish does no per-subscriber work: subscribers PULL batches
+//     from the partitioned ring under a read lock, and a publish wakes
+//     waiters by closing one channel. Publish latency is therefore
+//     independent of subscriber count and of any stalled serve loop.
 //   - An event whose encoded envelope exceeds the wire limit is dropped
 //     before it can enter the ring (one poisonous buffered frame would
 //     otherwise kill every reconnecting stream at the same replay
@@ -64,22 +73,46 @@ const DefaultHeartbeat = 15 * time.Second
 // after the hub terminated the subscription.
 const DefaultWriteTimeout = 10 * time.Second
 
-// defaultSubscriberBuffer is the per-subscriber frame queue; a
-// subscriber lagging further than this behind live publishes is
-// terminated.
-const defaultSubscriberBuffer = 256
+// DefaultSubscriberBuffer is the default slow-consumer allowance: a
+// subscriber lagging more than this many sequence numbers behind live
+// publishes is terminated. See HubConfig.SubscriberBuffer.
+const DefaultSubscriberBuffer = 256
+
+// maxRingPartitions bounds the replay ring's partition count; keys
+// whose prefix would open a partition beyond the bound land in the
+// catch-all partition instead (which every interest set treats as
+// relevant, so overflow costs precision, never correctness).
+const maxRingPartitions = 64
+
+// registryShards is the subscriber registry's shard count: streams
+// register against per-shard locks, never a hub-wide one, so
+// connect/disconnect churn and the amortized slow-consumer scan cannot
+// contend with the ring lock.
+const registryShards = 16
+
+// slowScanEvery is the amortization stride of the slow-consumer scan:
+// every N-th publish walks the registry for subscribers lagging past
+// the buffer allowance. Between scans a slow subscriber costs the
+// publisher nothing at all.
+const slowScanEvery = 64
+
+// fetchBatchLimit bounds the frames one ring walk hands a serve loop:
+// it caps the read-lock hold time and the coalesced write size while
+// letting a lagging subscriber catch up in few syscalls.
+const fetchBatchLimit = 64
 
 // HubConfig parameterizes a Hub. The zero value is usable.
 type HubConfig struct {
 	// Heartbeat is the keepalive interval of served streams. Defaults
 	// to DefaultHeartbeat.
 	Heartbeat time.Duration
-	// ReplayLen bounds the replay ring's event count. Defaults to
-	// DefaultReplayLen.
+	// ReplayLen bounds the replay ring's event count (summed across
+	// partitions). Defaults to DefaultReplayLen.
 	ReplayLen int
 	// ReplayBytes bounds the replay ring's resident bytes (payload
-	// bodies plus envelope overhead). Defaults to DefaultReplayBytes;
-	// negative disables the byte budget.
+	// bodies plus envelope overhead, summed across partitions; over
+	// budget the fattest partition is trimmed first). Defaults to
+	// DefaultReplayBytes; negative disables the byte budget.
 	ReplayBytes int64
 	// WriteTimeout is the per-frame write deadline of served streams.
 	// Defaults to DefaultWriteTimeout; negative disables the deadline.
@@ -101,20 +134,107 @@ type HubConfig struct {
 	// PayloadCap (a chunk frame must fit the caps streams can
 	// negotiate). Zero disables chunking (the pre-v3 hub).
 	ChunkPayload int
-	// AnchorEvery thins the replay ring when delta forms flow: an
-	// update carrying a delta stores only its delta + stripped forms
-	// in the ring, except every AnchorEvery-th sequence number, which
-	// keeps its full/chunked forms as an anchor a resuming subscriber
-	// without a matching base can still install. Live fan-out always
-	// carries every form. Zero defaults to 4; negative disables
-	// thinning (every ring event keeps all forms).
+	// AnchorEvery thins the replay ring when delta forms flow: once a
+	// newer publish supersedes it, an update carrying a delta keeps
+	// only its delta + stripped forms in the ring, except every
+	// AnchorEvery-th publish INTO ITS PARTITION, which keeps its
+	// full/chunked forms as an anchor a resuming subscriber without a
+	// matching base can still install (per-partition cadence, so a
+	// narrow subtree's anchor chain is never starved by traffic
+	// elsewhere). The partition's newest frame always carries every
+	// form — live delivery reads the ring, and the first payload a
+	// stream receives is what seeds its delta chain. Zero defaults to
+	// 4; negative disables thinning (every ring event keeps all
+	// forms).
 	AnchorEvery int
+	// SubscriberBuffer is the slow-consumer allowance: a subscriber
+	// whose stream position lags live publishes by more than this many
+	// sequence numbers is terminated (it reconnects and catches up from
+	// the replay ring). The effective allowance is also bounded by the
+	// ring itself — a subscriber whose next frame was pruned before it
+	// could be delivered is terminated regardless, since its stream can
+	// no longer be proven contiguous. Zero defaults to
+	// DefaultSubscriberBuffer.
+	SubscriberBuffer int
 	// OnSubscribe, when set, is invoked from ServeHTTP for every stream
 	// that successfully registers, with the interest set it declared. A
 	// relaying proxy uses it to learn that a downstream subscriber wants
 	// more than the relay's own upstream subscription currently covers
 	// (and to widen it). Called outside the hub's lock.
 	OnSubscribe func(InterestSet)
+}
+
+// ringPartition is one prefix's slice of the replay ring: the rendered
+// update frames whose keys share the partition's prefix, in sequence
+// order, plus the pruning high-water mark that decides resume holes for
+// subscribers interested in this partition.
+type ringPartition struct {
+	name string // key prefix ("" is the catch-all partition)
+	buf  []RenderedEvent
+	// bytes is the partition's resident wire cost (the ring's byte
+	// budget trims the fattest partition first).
+	bytes int64
+	// prunedTo is the highest sequence number ever trimmed from this
+	// partition: a subscriber interested in it resuming from below
+	// prunedTo has a genuine hole, while gaps made only of other
+	// partitions' frames prove nothing was missed.
+	prunedTo uint64
+	// pubs counts publishes into this partition — the per-partition
+	// anchor cadence (AnchorEvery).
+	pubs uint64
+	// thinTail marks the newest buf entry as a non-anchor delta frame
+	// whose full/chunked forms thin away on the next publish into the
+	// partition: the tail stays whole while it is the live head (pull
+	// delivery reads the ring), then keeps only delta + stripped for
+	// replay. The tail only leaves buf by becoming its last element and
+	// being pruned, so a set flag always refers to the current tail.
+	thinTail bool
+}
+
+// partitionName maps an update key to its ring partition: the key's
+// first path segment including both slashes ("/news/politics/1" →
+// "/news/"), the whole path when it has one segment ("/page" →
+// "/page"), query stripped, and the catch-all "" for keys that are not
+// rooted paths. The name is by construction a prefix of every key it
+// claims, which is what makes interest-to-partition relevance sound:
+// an interest prefix matching a key is always comparable (one a prefix
+// of the other) with that key's partition name.
+func partitionName(key string) string {
+	if len(key) == 0 || key[0] != '/' {
+		return ""
+	}
+	if i := strings.IndexByte(key, '?'); i >= 0 {
+		key = key[:i]
+	}
+	if i := strings.IndexByte(key[1:], '/'); i >= 0 {
+		return key[:i+2]
+	}
+	return key
+}
+
+// relevantToPartition reports whether a partition can hold frames the
+// set matches. Group terms make every partition relevant (group
+// membership is orthogonal to key shape), as does the catch-all
+// partition (its keys have no usable prefix). For prefix terms the
+// partition name and the term are both prefixes of any key they share,
+// so they must be comparable — either direction of containment means
+// the partition may hold matching keys.
+func (s InterestSet) relevantToPartition(name string) bool {
+	if s.all || len(s.groups) > 0 || name == "" {
+		return true
+	}
+	for _, p := range s.prefixes {
+		if strings.HasPrefix(name, p) || strings.HasPrefix(p, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// subShard is one shard of the subscriber registry.
+type subShard struct {
+	mu   sync.Mutex
+	subs map[*hubSub]struct{}
 }
 
 // Hub is a broadcast fan-out with one sequence space: events published
@@ -129,9 +249,9 @@ type Hub struct {
 	// Subscribers and ActiveStreams is write-pinned handlers).
 	active atomic.Int64
 
-	// filtered counts update frames skipped (not written) because they
-	// fell outside a stream's declared interest set; incremented from
-	// serve loops, hence atomic.
+	// filtered counts update frames withheld by interest filtering
+	// (position advanced, frame never written); incremented from serve
+	// loops, hence atomic.
 	filtered atomic.Uint64
 
 	// deltaFrames and chunkFrames count ladder deliveries: update
@@ -141,36 +261,68 @@ type Hub struct {
 	deltaFrames atomic.Uint64
 	chunkFrames atomic.Uint64
 
-	mu          sync.Mutex
-	seq         uint64          // last assigned sequence number
-	resetSeq    uint64          // hole barrier: resumes at or before it must Reset
-	buf         []RenderedEvent // ring of the most recent update events, pre-rendered
-	bufBytes    int64           // resident wire bytes of buf
-	subs        map[*hubSub]struct{}
+	// slowKills counts subscribers terminated for not draining —
+	// incremented by the publish-side lag scan and by ring walks that
+	// find the subscriber's next frame already pruned.
+	slowKills atomic.Uint64
+
+	// publishWait accumulates the nanoseconds publishers spent waiting
+	// to acquire the ring lock — the contention a stalled serve loop or
+	// a storm of replay walks would inflict on the publish path, and
+	// the number the contended benchmark holds flat.
+	publishWait atomic.Int64
+
+	// mu guards the sequence space and the partitioned ring. Publish
+	// and Reset take it exclusively; ring walks (fetch), subscribe's
+	// hole check, and Stats share it. Subscriber delivery state lives
+	// outside it entirely.
+	mu          sync.RWMutex
+	seq         uint64 // last assigned sequence number
+	resetSeq    uint64 // hole barrier: resumes at or before it must Reset
+	resets      uint64 // Reset announcements made; doubles as the reset generation
+	parts       []*ringPartition
+	partIdx     map[string]*ringPartition
+	bufBytes    int64 // resident wire bytes across all partitions
 	available   bool
 	oversized   uint64 // events dropped because their envelope exceeds MaxFrameLen
 	degraded    uint64 // payloads stripped at publish for exceeding the hub's cap
-	resets      uint64 // Reset announcements made
 	resumeHoles uint64 // Reset hellos served to resuming subscribers
-	slowKills   uint64 // subscribers terminated for not draining
+	pubCount    uint64 // publishes since birth, for the amortized slow scan
+	// notify is the publish wake-up: closed and nilled by every publish
+	// and Reset, lazily re-armed by the first serve loop that finds the
+	// ring drained. Publishing never allocates for it.
+	notify chan struct{}
+
+	nextShard atomic.Uint32
+	shards    [registryShards]subShard
 }
 
-// hubSub is one connected subscriber stream.
+// hubSub is one connected subscriber stream. Delivery state belongs to
+// the serve goroutine; the hub only ever reads cursor (atomically) and
+// closes done.
 type hubSub struct {
-	ch   chan RenderedEvent
 	done chan struct{} // closed to terminate the stream server-side
 	once sync.Once
 	// payloadCap is the stream's negotiated payload cap: updates with
 	// larger bodies are degraded to invalidation frames for this stream.
 	payloadCap int
-	// interest is the stream's declared interest set: update frames
-	// outside it are skipped at write time (position still advances).
+	// interest is the stream's declared interest set: it prunes which
+	// ring partitions the serve loop walks at all, and update frames
+	// inside a walked partition that still fall outside it are skipped
+	// (position advances, frame never written).
 	interest InterestSet
-	// lastSent is the stream's resume position: the sequence number of
-	// the last frame written to the wire OR skipped as uninteresting.
-	// Heartbeats carry it (so the subscriber's resume point tracks it),
-	// and Stats reads it to compute per-subscriber lag.
-	lastSent atomic.Uint64
+	// shard is the registry shard the subscriber lives in.
+	shard int
+	// cursor is the stream's position: the sequence number up to which
+	// every frame has been written, skipped as uninteresting, or
+	// jumped over as foreign-partition. Heartbeats carry it (so the
+	// subscriber's resume point tracks it), Stats reads it for lag,
+	// and the publish-side scan kills on it.
+	cursor atomic.Uint64
+	// resetGen is the hub reset generation this stream has seen; when
+	// the hub's generation moves past it the serve loop owes the
+	// stream a mid-stream hello/Reset frame. Serve-goroutine state.
+	resetGen uint64
 	// held maps object key → body digest this stream is known to hold:
 	// seeded from the connect-time ?held= declaration, advanced on
 	// every payload-form delivery, and dropped on any delivery the
@@ -206,17 +358,46 @@ func NewHub(cfg HubConfig) *Hub {
 	if cfg.AnchorEvery == 0 {
 		cfg.AnchorEvery = 4
 	}
-	return &Hub{
+	if cfg.SubscriberBuffer <= 0 {
+		cfg.SubscriberBuffer = DefaultSubscriberBuffer
+	}
+	h := &Hub{
 		cfg:       cfg,
-		subs:      make(map[*hubSub]struct{}),
+		partIdx:   make(map[string]*ringPartition),
 		available: true,
 	}
+	for i := range h.shards {
+		h.shards[i].subs = make(map[*hubSub]struct{})
+	}
+	return h
 }
 
-// Publish assigns the next sequence number, buffers the event, and fans
-// it out, returning the assigned number. A subscriber too slow to drain
-// its channel is terminated (it reconnects and catches up from the
-// replay ring) — a stalled consumer must never block the publisher.
+// partitionLocked returns (creating if needed) the ring partition for
+// name. Beyond maxRingPartitions new prefixes fold into the catch-all
+// partition. Callers hold h.mu exclusively.
+func (h *Hub) partitionLocked(name string) *ringPartition {
+	if p := h.partIdx[name]; p != nil {
+		return p
+	}
+	if name != "" && len(h.parts) >= maxRingPartitions {
+		name = ""
+		if p := h.partIdx[name]; p != nil {
+			return p
+		}
+	}
+	p := &ringPartition{name: name}
+	h.partIdx[name] = p
+	h.parts = append(h.parts, p)
+	return p
+}
+
+// Publish assigns the next sequence number, buffers the event in its
+// key's ring partition, and wakes every waiting serve loop, returning
+// the assigned number. Publish does NO per-subscriber work: delivery is
+// pulled by serve loops from the ring, so a stalled or slow consumer
+// cannot block or even slow the publisher (it is terminated by the
+// amortized lag scan instead, reconnects, and catches up from the
+// ring).
 //
 // An event whose encoded envelope exceeds the wire limit is dropped
 // before it can enter the ring: subscribers reject oversized frames, so
@@ -229,8 +410,11 @@ func NewHub(cfg HubConfig) *Hub {
 // skip, and consumers confirm by polling (the next rung of the
 // degradation ladder).
 func (h *Hub) Publish(ev Event) uint64 {
+	lockStart := time.Now()
 	h.mu.Lock()
-	defer h.mu.Unlock()
+	if wait := time.Since(lockStart); wait > 0 {
+		h.publishWait.Add(int64(wait))
+	}
 	in := ev
 	// Chunk fields are a render-time artifact of THIS hub's chunk size:
 	// they never survive republication (a consumer reassembles chunks
@@ -286,7 +470,9 @@ func (h *Hub) Publish(ev Event) uint64 {
 		stripped := ev.StripPayload()
 		if stripped.Oversized() {
 			h.oversized++
-			return h.seq
+			seq := h.seq
+			h.mu.Unlock()
+			return seq
 		}
 		ev = stripped
 		suppressFull = false
@@ -303,24 +489,121 @@ func (h *Hub) Publish(ev Event) uint64 {
 	if suppressFull {
 		re = re.SuppressFull()
 	}
-	ring := re
-	if h.cfg.AnchorEvery > 1 && ring.delta != "" && ev.Seq%uint64(h.cfg.AnchorEvery) != 0 {
-		// Delta-bearing events thin to delta + stripped in the ring: a
-		// resuming subscriber replays the delta chain against the base
-		// it holds, and the periodic full anchor (plus live fan-out,
-		// which keeps every form) covers the ones that hold nothing.
-		ring = ring.trimToDelta()
+	part := h.partitionLocked(partitionName(ev.Key))
+	part.pubs++
+	if part.thinTail && len(part.buf) > 0 {
+		// The frame this one supersedes stops being the partition's live
+		// head: thin it to delta + stripped. Live subscribers fetched its
+		// full forms while it led the partition (they are notified per
+		// publish, so only a reader lagging a whole publish behind loses
+		// the full form — and such a reader confirms by polling, never
+		// silently); from here on it serves replay, where the delta chain
+		// against a held base plus the periodic full anchor suffice.
+		i := len(part.buf) - 1
+		old := part.buf[i]
+		thinned := old.trimToDelta()
+		part.buf[i] = thinned
+		part.bytes += thinned.cost - old.cost
+		h.bufBytes += thinned.cost - old.cost
 	}
-	h.buf = append(h.buf, ring)
-	h.bufBytes += ring.cost
-	for len(h.buf) > h.cfg.ReplayLen ||
-		(h.cfg.ReplayBytes >= 0 && h.bufBytes > h.cfg.ReplayBytes && len(h.buf) > 1) {
-		h.bufBytes -= h.buf[0].cost
-		h.buf[0] = RenderedEvent{} // release the rendered forms
-		h.buf = h.buf[1:]
+	// Delta-bearing events between anchors thin once superseded; every
+	// AnchorEvery-th publish INTO THIS PARTITION keeps its full/chunked
+	// forms for resuming subscribers holding no base.
+	part.thinTail = h.cfg.AnchorEvery > 1 && re.delta != "" && part.pubs%uint64(h.cfg.AnchorEvery) != 0
+	part.buf = append(part.buf, re)
+	part.bytes += re.cost
+	h.bufBytes += re.cost
+	h.trimLocked()
+	if h.notify != nil {
+		close(h.notify)
+		h.notify = nil
 	}
-	h.broadcastLocked(re)
-	return h.seq
+	h.pubCount++
+	scan := h.pubCount%slowScanEvery == 0
+	seq := h.seq
+	h.mu.Unlock()
+	if scan {
+		h.scanSlowSubscribers(seq)
+	}
+	return seq
+}
+
+// trimLocked enforces the ring budgets. The event-count bound drops the
+// globally oldest frame (count is a hub-wide resource); the byte bound
+// drops the oldest frame of the FATTEST partition, so a burst of heavy
+// bodies in one subtree trims that subtree's own history instead of
+// evicting a narrow subtree's replay window — ring residency tracks
+// each subtree's traffic. Callers hold h.mu exclusively.
+func (h *Hub) trimLocked() {
+	totalLen := 0
+	for _, p := range h.parts {
+		totalLen += len(p.buf)
+	}
+	for totalLen > h.cfg.ReplayLen {
+		var victim *ringPartition
+		for _, p := range h.parts {
+			if len(p.buf) == 0 {
+				continue
+			}
+			if victim == nil || p.buf[0].Seq < victim.buf[0].Seq {
+				victim = p
+			}
+		}
+		if victim == nil {
+			break
+		}
+		h.dropHeadLocked(victim)
+		totalLen--
+	}
+	for h.cfg.ReplayBytes >= 0 && h.bufBytes > h.cfg.ReplayBytes && totalLen > 1 {
+		var victim *ringPartition
+		for _, p := range h.parts {
+			if len(p.buf) == 0 {
+				continue
+			}
+			if victim == nil || p.bytes > victim.bytes {
+				victim = p
+			}
+		}
+		if victim == nil {
+			break
+		}
+		h.dropHeadLocked(victim)
+		totalLen--
+	}
+}
+
+// dropHeadLocked prunes the partition's oldest frame, recording the
+// pruning high-water mark that decides resume holes.
+func (h *Hub) dropHeadLocked(p *ringPartition) {
+	head := p.buf[0]
+	p.bytes -= head.cost
+	h.bufBytes -= head.cost
+	if head.Seq > p.prunedTo {
+		p.prunedTo = head.Seq
+	}
+	p.buf[0] = RenderedEvent{} // release the rendered forms
+	p.buf = p.buf[1:]
+}
+
+// scanSlowSubscribers terminates every subscriber lagging past the
+// buffer allowance. It runs every slowScanEvery-th publish, outside the
+// ring lock, walking only the registry shards — the entire cost a slow
+// or stalled consumer can ever impose on the publish path.
+func (h *Hub) scanSlowSubscribers(seq uint64) {
+	allow := uint64(h.cfg.SubscriberBuffer)
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		for s := range sh.subs {
+			if c := s.cursor.Load(); c < seq && seq-c > allow {
+				s.terminate()
+				delete(sh.subs, s)
+				h.slowKills.Add(1)
+			}
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // chunkableLocked reports whether ev's body, too large for a single
@@ -363,41 +646,51 @@ func (h *Hub) chunkableLocked(ev Event, chunkPayload int) bool {
 // resumes (the replay ring cannot prove contiguity across the hole).
 func (h *Hub) Reset() {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.resets++
 	h.resetSeq = h.seq
-	h.broadcastLocked(renderedHello(h.seq, 0, true))
-}
-
-// broadcastLocked fans re out to every live subscriber, terminating the
-// ones that cannot take it. Callers hold h.mu. Interest filtering does
-// NOT happen here: a frame skipped at broadcast would let a later
-// heartbeat advance the subscriber's resume position past matching
-// frames still queued in its channel — the serve loop is the only place
-// that sees frames in wire order, so it is the only safe filter point.
-func (h *Hub) broadcastLocked(re RenderedEvent) {
-	for s := range h.subs {
-		select {
-		case s.ch <- re:
-		default:
-			s.terminate()
-			delete(h.subs, s)
-			h.slowKills++
-		}
+	if h.notify != nil {
+		close(h.notify)
+		h.notify = nil
 	}
+	h.mu.Unlock()
 }
 
-// subscribe returns the hello frame and replay backlog for a subscriber
-// resuming from since, and registers its stream. payloadCap is the
-// stream's negotiated payload cap (already clamped by the caller);
-// interest is its declared filter. The backlog is returned unfiltered —
-// the serve loop skips uninteresting frames while advancing the resume
-// position, keeping the filter logic in exactly one place.
-func (h *Hub) subscribe(since uint64, payloadCap int, interest InterestSet, held map[string]string) (hello RenderedEvent, backlog []RenderedEvent, sub *hubSub, ok bool) {
+// getNotify returns the channel the next publish (or Reset) will close.
+// The channel is lazily re-armed here, by waiters, so the publish path
+// itself never allocates to wake anyone. The protocol is sound because
+// a serve loop always fetches AFTER obtaining the channel: a publish
+// landing after that fetch closes either this exact channel or one
+// armed after this one was already closed — either way the waiter
+// wakes.
+func (h *Hub) getNotify() <-chan struct{} {
+	h.mu.RLock()
+	ch := h.notify
+	h.mu.RUnlock()
+	if ch != nil {
+		return ch
+	}
+	h.mu.Lock()
+	if h.notify == nil {
+		h.notify = make(chan struct{})
+	}
+	ch = h.notify
+	h.mu.Unlock()
+	return ch
+}
+
+// subscribe registers a stream resuming from since and returns its
+// hello frame. payloadCap is the stream's negotiated payload cap
+// (already clamped by the caller); interest is its declared filter,
+// which also decides which ring partitions can hole its resume: a gap
+// made only of frames in partitions the stream never declared is NOT a
+// hole, while a pruned frame inside a declared partition forces a
+// Reset. Replay is not materialized here — the serve loop pulls it
+// from the ring through the same batch path live frames use.
+func (h *Hub) subscribe(since uint64, payloadCap int, interest InterestSet, held map[string]string) (hello RenderedEvent, sub *hubSub, ok bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if !h.available {
-		return RenderedEvent{}, nil, nil, false
+		return RenderedEvent{}, nil, false
 	}
 	reset := false
 	switch {
@@ -412,16 +705,18 @@ func (h *Hub) subscribe(since uint64, payloadCap int, interest InterestSet, held
 		// hole: events were irrecoverably missed upstream of this hub,
 		// so a contiguous replay of the hub's own ring proves nothing.
 		reset = true
-	case since < h.seq:
-		oldest := h.seq - uint64(len(h.buf)) + 1
-		if len(h.buf) == 0 || since+1 < oldest {
-			// The gap outruns the ring: the subscriber's view is no
-			// longer contiguous. (An interest-filtered subscriber that
-			// kept up heard its position in every heartbeat, so only a
-			// gap in REAL wall-clock disconnection lands here.)
-			reset = true
-		} else {
-			backlog = append(backlog, h.buf[since-oldest+1:]...)
+	default:
+		// The ring must cover every RELEVANT partition back to the
+		// resume point: a partition pruned past since has lost a frame
+		// the stream may have needed, while prunes confined to foreign
+		// partitions prove nothing was missed. (An interest-filtered
+		// subscriber that kept up heard its position in every heartbeat,
+		// so only a gap in REAL wall-clock disconnection lands here.)
+		for _, p := range h.parts {
+			if p.prunedTo > since && interest.relevantToPartition(p.name) {
+				reset = true
+				break
+			}
 		}
 	}
 	hello = renderedHello(h.seq, uint64(payloadCap), reset)
@@ -429,22 +724,107 @@ func (h *Hub) subscribe(since uint64, payloadCap int, interest InterestSet, held
 		h.resumeHoles++
 	}
 	sub = &hubSub{
-		ch:         make(chan RenderedEvent, defaultSubscriberBuffer),
 		done:       make(chan struct{}),
 		payloadCap: payloadCap,
 		interest:   interest,
 		held:       held,
+		resetGen:   h.resets,
 	}
-	// Seed the lag baseline: a resuming subscriber starts its replay at
-	// since, everyone else (fresh, reset, already caught up) is about to
-	// be handed the stream head by the hello frame.
-	if backlog != nil {
-		sub.lastSent.Store(since)
+	// Seed the stream position: a resuming subscriber replays from
+	// since, everyone else (fresh, reset) is handed the stream head by
+	// the hello frame.
+	if reset || since == 0 {
+		sub.cursor.Store(h.seq)
 	} else {
-		sub.lastSent.Store(h.seq)
+		sub.cursor.Store(since)
 	}
-	h.subs[sub] = struct{}{}
-	return hello, backlog, sub, true
+	sub.shard = int(h.nextShard.Add(1) % registryShards)
+	sh := &h.shards[sub.shard]
+	sh.mu.Lock()
+	sh.subs[sub] = struct{}{}
+	sh.mu.Unlock()
+	return hello, sub, true
+}
+
+// fetch pulls the next batch of frames for sub from the partitioned
+// ring, appending deliverable frames to dst (a caller-owned scratch
+// slice, reused across calls). It walks only the partitions relevant to
+// the stream's interest, merging them in sequence order, and returns:
+// the batch; the walk boundary (the position the stream has now proven
+// up to — foreign-partition and non-matching frames are jumped, not
+// delivered); the reset generation after the batch (a pending hub
+// Reset appends a mid-stream hello/Reset frame once the walk reaches
+// the hole barrier); and killed, set when a relevant partition pruned
+// past the stream's position while it was connected — the stream can
+// no longer be proven contiguous and must reconnect (counted as a slow
+// kill: only a subscriber outrun by the ring lands here).
+func (h *Hub) fetch(sub *hubSub, dst []RenderedEvent) (batch []RenderedEvent, boundary uint64, gen uint64, killed bool) {
+	cursor := sub.cursor.Load()
+	gen = sub.resetGen
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	limit := h.seq
+	pendingReset := h.resets != gen
+	if pendingReset && h.resetSeq < limit {
+		// Frames past the hole barrier are delivered only after the
+		// stream has been handed the mid-stream Reset, preserving wire
+		// order around the hole announcement.
+		limit = h.resetSeq
+	}
+	var rel [maxRingPartitions + 1]*ringPartition
+	var idx [maxRingPartitions + 1]int
+	n := 0
+	for _, p := range h.parts {
+		if !sub.interest.relevantToPartition(p.name) {
+			continue
+		}
+		if !pendingReset && p.prunedTo > cursor {
+			// The ring outran this stream mid-connection: a frame it may
+			// have needed is gone, so its stream cannot be proven
+			// contiguous. (Under a pending Reset the hole announcement
+			// itself covers anything pruned at or before the barrier.)
+			h.slowKills.Add(1)
+			return dst, cursor, gen, true
+		}
+		if len(p.buf) == 0 || p.buf[len(p.buf)-1].Seq <= cursor {
+			continue
+		}
+		if n < len(rel) {
+			rel[n] = p
+			idx[n] = sort.Search(len(p.buf), func(i int) bool { return p.buf[i].Seq > cursor })
+			n++
+		}
+	}
+	boundary = cursor
+	for examined := 0; examined < fetchBatchLimit; examined++ {
+		best := -1
+		var bestSeq uint64
+		for k := 0; k < n; k++ {
+			if idx[k] >= len(rel[k].buf) {
+				continue
+			}
+			if s := rel[k].buf[idx[k]].Seq; s <= limit && (best == -1 || s < bestSeq) {
+				best, bestSeq = k, s
+			}
+		}
+		if best == -1 {
+			// Every relevant partition is drained up to the limit: the
+			// remaining gap is foreign-partition frames, jumped whole.
+			boundary = limit
+			break
+		}
+		re := rel[best].buf[idx[best]]
+		idx[best]++
+		boundary = re.Seq
+		if sub.interest.matchesFrame(re) {
+			dst = append(dst, re)
+		}
+	}
+	if pendingReset && boundary == limit {
+		dst = append(dst, renderedHello(h.resetSeq, 0, true))
+		gen = h.resets
+	}
+	return dst, boundary, gen, false
 }
 
 // maxHeldTerms bounds the connect-time ?held= declaration, mirroring
@@ -482,10 +862,25 @@ func parseHeld(terms []string) map[string]string {
 }
 
 func (h *Hub) unsubscribe(sub *hubSub) {
-	h.mu.Lock()
-	delete(h.subs, sub)
-	h.mu.Unlock()
+	sh := &h.shards[sub.shard]
+	sh.mu.Lock()
+	delete(sh.subs, sub)
+	sh.mu.Unlock()
 	sub.terminate()
+}
+
+// killAllLocked terminates and deregisters every stream. Callers hold
+// h.mu exclusively (shard locks nest inside it).
+func (h *Hub) killAllLocked() {
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		for s := range sh.subs {
+			s.terminate()
+			delete(sh.subs, s)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // KillAll terminates every connected stream (subscribers may reconnect
@@ -493,10 +888,7 @@ func (h *Hub) unsubscribe(sub *hubSub) {
 func (h *Hub) KillAll() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for s := range h.subs {
-		s.terminate()
-		delete(h.subs, s)
-	}
+	h.killAllLocked()
 }
 
 // SetAvailable toggles the endpoint; disabling also drops live streams
@@ -506,34 +898,44 @@ func (h *Hub) SetAvailable(up bool) {
 	h.mu.Lock()
 	h.available = up
 	if !up {
-		for s := range h.subs {
-			s.terminate()
-			delete(h.subs, s)
-		}
+		h.killAllLocked()
 	}
 	h.mu.Unlock()
 }
 
 // LastSeq returns the last assigned sequence number.
 func (h *Hub) LastSeq() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	return h.seq
 }
 
 // Subscribers returns the number of registered streams.
 func (h *Hub) Subscribers() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.subs)
+	n := 0
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		n += len(sh.subs)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Oversized returns the number of update events dropped because their
 // encoded envelope exceeded the wire limit.
 func (h *Hub) Oversized() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	return h.oversized
+}
+
+// HubPartitionStats is one replay-ring partition's residency snapshot.
+type HubPartitionStats struct {
+	// Name is the partition's key prefix ("" is the catch-all).
+	Name string
+	// Bytes is the partition's resident wire bytes.
+	Bytes int64
 }
 
 // HubStats is a point-in-time snapshot of a hub's backpressure state:
@@ -550,13 +952,19 @@ type HubStats struct {
 	ActiveStreams int
 	// ReplayLen and ReplayCap are the replay ring's occupancy and
 	// capacity in events; ReplayBytes and ReplayByteCap are the same in
-	// resident bytes (payload bodies are what dominate). A subscriber
-	// whose lag exceeds the ring at reconnect time gets a Reset instead
-	// of a replay.
+	// resident bytes (payload bodies are what dominate). Both are
+	// totals across partitions; Partitions breaks residency down per
+	// key prefix. A subscriber whose lag exceeds the ring at reconnect
+	// time gets a Reset instead of a replay.
 	ReplayLen     int
 	ReplayCap     int
 	ReplayBytes   int64
 	ReplayByteCap int64
+	// Partitions lists each replay-ring partition's resident bytes:
+	// the per-subtree residency the byte budget apportions (the
+	// fattest partition is trimmed first, so a narrow subtree's replay
+	// window survives bursts elsewhere).
+	Partitions []HubPartitionStats
 	// Oversized counts update events dropped for exceeding the wire
 	// envelope limit; Degraded counts payloads stripped at publish time
 	// for exceeding the hub's payload cap (the event itself survived as
@@ -579,27 +987,29 @@ type HubStats struct {
 	// or a degradation to invalidation.
 	DeltaFrames uint64
 	ChunkFrames uint64
+	// PublishWait is the cumulative time publishers spent waiting to
+	// acquire the ring lock — the contention serve-side load inflicts
+	// on the publish path (flat when the contention-free design holds).
+	PublishWait time.Duration
 	// Available reports whether the endpoint is accepting streams (see
 	// SetAvailable; a disabled hub 503s new connections).
 	Available bool
 	// MaxLag is the largest per-subscriber lag (sequence distance
-	// between the stream head and the last frame written to that
-	// subscriber's wire); Lags lists every subscriber's.
+	// between the stream head and that subscriber's proven position);
+	// Lags lists every subscriber's.
 	MaxLag uint64
 	Lags   []uint64
 }
 
-// Stats snapshots the hub's backpressure state. The per-subscriber lag
-// walk runs OUTSIDE the hub lock — subscriber pointers are snapshotted
-// under it, lastSent is atomic — so a metrics scraper polling Stats can
-// never contend with Publish for the duration of the walk.
+// Stats snapshots the hub's backpressure state. The ring snapshot rides
+// a read lock (never contending another reader) and the per-subscriber
+// lag walk runs outside the ring lock entirely — subscriber cursors are
+// atomic and the registry is sharded — so a metrics scraper polling
+// Stats cannot stall Publish for the duration of the walk.
 func (h *Hub) Stats() HubStats {
-	h.mu.Lock()
+	h.mu.RLock()
 	st := HubStats{
 		Seq:           h.seq,
-		Subscribers:   len(h.subs),
-		ActiveStreams: int(h.active.Load()),
-		ReplayLen:     len(h.buf),
 		ReplayCap:     h.cfg.ReplayLen,
 		ReplayBytes:   h.bufBytes,
 		ReplayByteCap: h.cfg.ReplayBytes,
@@ -607,29 +1017,65 @@ func (h *Hub) Stats() HubStats {
 		Degraded:      h.degraded,
 		Resets:        h.resets,
 		ResumeHoles:   h.resumeHoles,
-		SlowKills:     h.slowKills,
-		Filtered:      h.filtered.Load(),
-		DeltaFrames:   h.deltaFrames.Load(),
-		ChunkFrames:   h.chunkFrames.Load(),
 		Available:     h.available,
 	}
-	subs := make([]*hubSub, 0, len(h.subs))
-	for s := range h.subs {
-		subs = append(subs, s)
+	if len(h.parts) > 0 {
+		st.Partitions = make([]HubPartitionStats, 0, len(h.parts))
+		for _, p := range h.parts {
+			st.ReplayLen += len(p.buf)
+			st.Partitions = append(st.Partitions, HubPartitionStats{Name: p.name, Bytes: p.bytes})
+		}
 	}
-	h.mu.Unlock()
-	st.Lags = make([]uint64, 0, len(subs))
-	for _, s := range subs {
-		var lag uint64
-		if sent := s.lastSent.Load(); sent < st.Seq {
-			lag = st.Seq - sent
+	h.mu.RUnlock()
+	st.ActiveStreams = int(h.active.Load())
+	st.SlowKills = h.slowKills.Load()
+	st.Filtered = h.filtered.Load()
+	st.DeltaFrames = h.deltaFrames.Load()
+	st.ChunkFrames = h.chunkFrames.Load()
+	st.PublishWait = time.Duration(h.publishWait.Load())
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		for s := range sh.subs {
+			st.Subscribers++
+			var lag uint64
+			if c := s.cursor.Load(); c < st.Seq {
+				lag = st.Seq - c
+			}
+			st.Lags = append(st.Lags, lag)
+			if lag > st.MaxLag {
+				st.MaxLag = lag
+			}
 		}
-		st.Lags = append(st.Lags, lag)
-		if lag > st.MaxLag {
-			st.MaxLag = lag
-		}
+		sh.mu.Unlock()
 	}
 	return st
+}
+
+// frameBufPool holds the serve loops' coalescing write buffers: each
+// batch of frames (plus its trailing heartbeat) is assembled in one
+// pooled buffer and hits the connection as one deadline-bounded write
+// and one flush, instead of a write+flush per frame.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// maxPooledFrameBuf bounds the buffers returned to frameBufPool; a
+// batch that ballooned past it (huge chunked bodies) is left for the
+// collector rather than pinned in the pool.
+const maxPooledFrameBuf = 256 << 10
+
+// appendFrame appends one SSE frame ("id: <seq>\ndata: <wire>\n\n").
+func appendFrame(b []byte, seq uint64, wire string) []byte {
+	b = append(b, "id: "...)
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, "\ndata: "...)
+	b = append(b, wire...)
+	b = append(b, '\n', '\n')
+	return b
 }
 
 // ServeHTTP streams invalidation events over SSE until the client
@@ -643,10 +1089,12 @@ func (h *Hub) Stats() HubStats {
 // position still advances past them: heartbeats carry the per-stream
 // position (not the hub head), so a filtered subscriber that kept up
 // resumes cleanly across holes it never wanted, and a Reset is earned
-// only by a gap the ring genuinely cannot replay. Every frame write
-// carries a deadline (HubConfig.WriteTimeout): a client that stops
-// reading is abandoned on that timescale instead of pinning the handler
-// goroutine inside the write until the kernel buffer drains.
+// only by a gap inside a partition the stream declared. Frames are
+// delivered in batches coalesced into a single buffered write per ring
+// walk; every batch write carries a deadline (HubConfig.WriteTimeout),
+// so a client that stops reading is abandoned on that timescale instead
+// of pinning the handler goroutine inside the write until the kernel
+// buffer drains.
 func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
@@ -684,7 +1132,7 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if payloadCap > 0 {
 		held = parseHeld(query["held"])
 	}
-	hello, backlog, sub, ok := h.subscribe(since, payloadCap, interest, held)
+	hello, sub, ok := h.subscribe(since, payloadCap, interest, held)
 	if !ok {
 		http.Error(w, "event stream unavailable", http.StatusServiceUnavailable)
 		return
@@ -701,7 +1149,16 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
 	deadline := h.cfg.WriteTimeout > 0
-	writeFrame := func(seq uint64, wire string) bool {
+	bufp := frameBufPool.Get().(*[]byte)
+	defer func() {
+		if cap(*bufp) <= maxPooledFrameBuf {
+			*bufp = (*bufp)[:0]
+			frameBufPool.Put(bufp)
+		}
+	}()
+	// flush lands one assembled batch on the wire: one deadline, one
+	// write, one flush.
+	flush := func(b []byte) bool {
 		if deadline {
 			if err := rc.SetWriteDeadline(time.Now().Add(h.cfg.WriteTimeout)); err != nil {
 				// The connection cannot carry deadlines (an exotic
@@ -709,7 +1166,7 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				deadline = false
 			}
 		}
-		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", seq, wire); err != nil {
+		if _, err := w.Write(b); err != nil {
 			return false
 		}
 		return rc.Flush() == nil
@@ -726,139 +1183,123 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		sub.held[key] = digest
 	}
-	// write delivers one event on the cheapest ladder rung this stream
-	// can use: delta when the stream holds the delta's base, the full
-	// body in one frame when the cap carries it, the chunk set when
-	// only per-chunk frames fit, and the stripped invalidation
-	// otherwise (the stream then confirms by polling — the next rung
-	// down, never a dropped update). Every pick is a pre-rendered
-	// byte-slice; the only per-subscriber work is the cap compare and,
-	// when deltas flow, one map probe.
-	write := func(re RenderedEvent) bool {
-		if re.Kind == KindUpdate {
-			if re.delta != "" && re.deltaLen >= 0 && re.deltaLen <= sub.payloadCap && len(sub.held) > 0 {
-				if d, ok := sub.held[re.Key]; ok && d == re.baseDigest {
-					if !writeFrame(re.Seq, re.delta) {
-						return false
-					}
-					holdSet(re.Key, re.digest)
-					h.deltaFrames.Add(1)
-					sub.lastSent.Store(re.Seq)
-					return true
-				}
-			}
-			if re.full != "" && re.payloadLen >= 0 && sub.payloadCap > 0 && re.payloadLen <= sub.payloadCap {
-				if !writeFrame(re.Seq, re.full) {
-					return false
-				}
+	// appendUpdate renders one update on the cheapest ladder rung this
+	// stream can use: delta when the stream holds the delta's base, the
+	// full body in one frame when the cap carries it, the chunk set when
+	// only per-chunk frames fit, and the stripped invalidation otherwise
+	// (the stream then confirms by polling — the next rung down, never a
+	// dropped update). Every pick is a pre-rendered byte-slice; the only
+	// per-subscriber work is the cap compare and, when deltas flow, one
+	// map probe.
+	appendUpdate := func(b []byte, re RenderedEvent) []byte {
+		if re.delta != "" && re.deltaLen >= 0 && re.deltaLen <= sub.payloadCap && len(sub.held) > 0 {
+			if d, ok := sub.held[re.Key]; ok && d == re.baseDigest {
 				holdSet(re.Key, re.digest)
-				sub.lastSent.Store(re.Seq)
-				return true
+				h.deltaFrames.Add(1)
+				return appendFrame(b, re.Seq, re.delta)
 			}
-			if len(re.chunks) > 0 && re.chunkLen > 0 && re.chunkLen <= sub.payloadCap {
-				// All chunk frames ride back to back under one sequence
-				// number; the position advances once, after the terminal
-				// chunk, so a disconnect mid-set resumes before the set
-				// and replays it whole.
-				for _, c := range re.chunks {
-					if !writeFrame(re.Seq, c) {
-						return false
-					}
-				}
-				holdSet(re.Key, re.digest)
-				h.chunkFrames.Add(1)
-				sub.lastSent.Store(re.Seq)
-				return true
-			}
-			wire := re.WireFor(sub.payloadCap)
-			if !writeFrame(re.Seq, wire) {
-				return false
-			}
-			if sub.held != nil && (re.digest != "" || re.payloadLen >= 0 || wire == re.stripped) {
-				// The stream confirms this update by polling; the hub no
-				// longer knows which body that poll will install.
-				delete(sub.held, re.Key)
-			}
-			sub.lastSent.Store(re.Seq)
-			return true
 		}
-		if !writeFrame(re.Seq, re.WireFor(sub.payloadCap)) {
-			return false
+		if re.full != "" && re.payloadLen >= 0 && sub.payloadCap > 0 && re.payloadLen <= sub.payloadCap {
+			holdSet(re.Key, re.digest)
+			return appendFrame(b, re.Seq, re.full)
 		}
-		// Frames that advance the subscriber's position feed the resume
-		// point and the lag metric: update events (above) and Reset
-		// hellos (the subscriber fast-forwards to their Seq). Plain
-		// hellos and heartbeats carry a position the stream already
-		// holds.
-		if re.Kind == KindHello && re.Reset {
-			sub.lastSent.Store(re.Seq)
-			// The stream's owner now revalidates by polling; every held
-			// digest is stale knowledge.
-			sub.held = nil
+		if len(re.chunks) > 0 && re.chunkLen > 0 && re.chunkLen <= sub.payloadCap {
+			// All chunk frames ride back to back under one sequence
+			// number; the position advances once, past the whole set, so
+			// a disconnect mid-set resumes before the set and replays it
+			// whole.
+			for _, c := range re.chunks {
+				b = appendFrame(b, re.Seq, c)
+			}
+			holdSet(re.Key, re.digest)
+			h.chunkFrames.Add(1)
+			return b
 		}
-		return true
-	}
-	// skip records a frame withheld by the interest filter: the stream's
-	// position advances exactly as if the frame had been written, so the
-	// subscriber's resume point (fed by the next heartbeat) never asks
-	// the ring to replay a hole it chose not to hear.
-	skip := func(re RenderedEvent) {
-		sub.lastSent.Store(re.Seq)
-		if sub.held != nil && re.Kind == KindUpdate {
+		wire := re.WireFor(sub.payloadCap)
+		if sub.held != nil && (re.digest != "" || re.payloadLen >= 0 || wire == re.stripped) {
+			// The stream confirms this update by polling; the hub no
+			// longer knows which body that poll will install.
 			delete(sub.held, re.Key)
 		}
-		h.filtered.Add(1)
+		return appendFrame(b, re.Seq, wire)
 	}
-	if !write(hello) {
+	// writeBatch coalesces one fetched batch — frames, a mid-stream
+	// Reset if one is due, and the position-bearing heartbeat that
+	// covers any skipped tail — into a single buffered write. The
+	// stream position advances to the walk boundary: frames the walk
+	// jumped (foreign-partition or interest-filtered) are proven
+	// positions the stream simply never needed on the wire.
+	writeBatch := func(batch []RenderedEvent, boundary uint64) bool {
+		b := (*bufp)[:0]
+		prev := sub.cursor.Load()
+		updates := 0
+		lastSeq := prev
+		for _, re := range batch {
+			if re.Kind == KindUpdate {
+				b = appendUpdate(b, re)
+				updates++
+				lastSeq = re.Seq
+				continue
+			}
+			b = appendFrame(b, re.Seq, re.WireFor(sub.payloadCap))
+			if re.Kind == KindHello && re.Reset {
+				// The stream's owner now revalidates by polling; every
+				// held digest is stale knowledge.
+				sub.held = nil
+				lastSeq = re.Seq
+			}
+		}
+		if boundary > lastSeq {
+			// The walk ended past the last written frame (a skipped
+			// tail): hand the subscriber its advanced position in the
+			// same write instead of waiting a heartbeat interval, so a
+			// reconnect in that window resumes past the skipped frames.
+			b = appendFrame(b, boundary, renderedHeartbeat(boundary).full)
+		}
+		if skipped := boundary - prev - uint64(updates); skipped > 0 && boundary > prev {
+			h.filtered.Add(skipped)
+		}
+		sub.cursor.Store(boundary)
+		*bufp = b
+		return flush(b)
+	}
+	b := appendFrame((*bufp)[:0], hello.Seq, hello.WireFor(sub.payloadCap))
+	*bufp = b
+	if !flush(b) {
 		return
 	}
-	skipped := false
-	for _, re := range backlog {
-		if !sub.interest.matchesFrame(re) {
-			skip(re)
-			skipped = true
-			continue
-		}
-		if !write(re) {
-			return
-		}
-		skipped = false
-	}
-	if skipped {
-		// The replay ended on filtered frames: hand the subscriber its
-		// advanced position now instead of waiting a heartbeat interval,
-		// so a reconnect in that window resumes past the skipped tail.
-		if !write(renderedHeartbeat(sub.lastSent.Load())) {
-			return
-		}
-	}
 
+	scratch := make([]RenderedEvent, 0, fetchBatchLimit+1)
 	ticker := time.NewTicker(h.cfg.Heartbeat)
 	defer ticker.Stop()
 	for {
+		// Arm the wake-up BEFORE walking the ring: a publish landing
+		// after the walk closes this exact channel (or one armed after
+		// it was closed), so no frame can slip between an empty walk and
+		// the wait.
+		ch := h.getNotify()
+		batch, boundary, gen, killed := h.fetch(sub, scratch[:0])
+		if killed {
+			return
+		}
+		if len(batch) > 0 || boundary > sub.cursor.Load() {
+			sub.resetGen = gen
+			if !writeBatch(batch, boundary) {
+				return
+			}
+			continue
+		}
 		select {
 		case <-r.Context().Done():
 			return
 		case <-sub.done:
 			return
-		case re := <-sub.ch:
-			if !sub.interest.matchesFrame(re) {
-				skip(re)
-				if len(sub.ch) == 0 {
-					// Quiet after a filtered frame: flush the advanced
-					// position immediately (a queued frame would carry
-					// it anyway).
-					if !write(renderedHeartbeat(sub.lastSent.Load())) {
-						return
-					}
-				}
-				continue
-			}
-			if !write(re) {
-				return
-			}
+		case <-ch:
 		case <-ticker.C:
-			if !write(renderedHeartbeat(sub.lastSent.Load())) {
+			hb := renderedHeartbeat(sub.cursor.Load())
+			b := appendFrame((*bufp)[:0], hb.Seq, hb.full)
+			*bufp = b
+			if !flush(b) {
 				return
 			}
 		}

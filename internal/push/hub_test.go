@@ -139,14 +139,14 @@ func TestHubResetBarrierOnResume(t *testing.T) {
 		{3, true},  // exactly at the barrier: the hole follows it
 	}
 	for _, c := range cases {
-		hello, backlog, sub, ok := h.subscribe(c.since, 0, InterestAll(), nil)
+		hello, sub, ok := h.subscribe(c.since, 0, InterestAll(), nil)
 		if !ok {
 			t.Fatalf("since=%d: unavailable", c.since)
 		}
 		if hello.Reset != c.wantReset {
 			t.Errorf("since=%d: hello.Reset=%v want %v", c.since, hello.Reset, c.wantReset)
 		}
-		if hello.Reset && len(backlog) != 0 {
+		if backlog := fetchAll(h, sub); hello.Reset && len(backlog) != 0 {
 			t.Errorf("since=%d: Reset hello with %d backlog events", c.since, len(backlog))
 		}
 		h.unsubscribe(sub)
@@ -155,8 +155,9 @@ func TestHubResetBarrierOnResume(t *testing.T) {
 	// Past the barrier normal replay resumes.
 	h.Publish(Event{Kind: KindUpdate, Key: "/b"}) // seq 4
 	h.Publish(Event{Kind: KindUpdate, Key: "/c"}) // seq 5
-	hello, backlog, sub, _ := h.subscribe(4, 0, InterestAll(), nil)
+	hello, sub, _ := h.subscribe(4, 0, InterestAll(), nil)
 	defer h.unsubscribe(sub)
+	backlog := fetchAll(h, sub)
 	if hello.Reset || len(backlog) != 1 || backlog[0].Seq != 5 {
 		t.Errorf("post-barrier resume: hello=%+v backlog=%+v", hello, backlog)
 	}
@@ -213,7 +214,7 @@ func TestHubWriteDeadlineUnpinsStalledClient(t *testing.T) {
 // the hub actually holds.
 func TestHubStatsLagAndOccupancy(t *testing.T) {
 	h := NewHub(HubConfig{ReplayLen: 8})
-	_, _, sub, ok := h.subscribe(0, 0, InterestAll(), nil)
+	_, sub, ok := h.subscribe(0, 0, InterestAll(), nil)
 	if !ok {
 		t.Fatal("subscribe failed")
 	}
@@ -522,7 +523,7 @@ func TestHubReplayRingByteBudget(t *testing.T) {
 	// A resume within the surviving window replays payloads verbatim
 	// (the ring holds pre-rendered wire forms; decode the full form to
 	// check what a payload-negotiated stream would receive).
-	hello, backlog, sub, ok := h.subscribe(uint64(12-st.ReplayLen), 4096, InterestAll(), nil)
+	hello, sub, ok := h.subscribe(uint64(12-st.ReplayLen), 4096, InterestAll(), nil)
 	if !ok {
 		t.Fatal("subscribe failed")
 	}
@@ -530,6 +531,7 @@ func TestHubReplayRingByteBudget(t *testing.T) {
 	if hello.Reset {
 		t.Fatal("in-window resume got a Reset")
 	}
+	backlog := fetchAll(h, sub)
 	if len(backlog) != st.ReplayLen {
 		t.Fatalf("backlog %d events, want %d", len(backlog), st.ReplayLen)
 	}
@@ -546,7 +548,7 @@ func TestHubReplayRingByteBudget(t *testing.T) {
 
 	// A resume from before the trimmed-off history must Reset: the ring
 	// cannot prove contiguity it no longer holds.
-	hello2, _, sub2, _ := h.subscribe(1, 4096, InterestAll(), nil)
+	hello2, sub2, _ := h.subscribe(1, 4096, InterestAll(), nil)
 	defer h.unsubscribe(sub2)
 	if !hello2.Reset {
 		t.Error("out-of-window resume not Reset")
@@ -556,28 +558,63 @@ func TestHubReplayRingByteBudget(t *testing.T) {
 	}
 }
 
+// fetchAll pulls every frame the hub currently holds for sub, advancing
+// its cursor — the test-side analogue of one serve-loop catch-up sweep.
+func fetchAll(h *Hub, sub *hubSub) []RenderedEvent {
+	var out []RenderedEvent
+	for {
+		batch, boundary, gen, killed := h.fetch(sub, nil)
+		if killed {
+			return out
+		}
+		out = append(out, batch...)
+		progressed := len(batch) > 0 || boundary > sub.cursor.Load()
+		sub.cursor.Store(boundary)
+		sub.resetGen = gen
+		if !progressed {
+			return out
+		}
+	}
+}
+
+// drainSub runs the pull loop a serve goroutine would: wait for the
+// publish notification, fetch a batch, advance the cursor, repeat until
+// the subscriber is terminated.
+func drainSub(h *Hub, sub *hubSub, wg *sync.WaitGroup) {
+	defer wg.Done()
+	scratch := make([]RenderedEvent, 0, fetchBatchLimit+1)
+	for {
+		ch := h.getNotify()
+		batch, boundary, gen, killed := h.fetch(sub, scratch[:0])
+		if killed {
+			return
+		}
+		if len(batch) > 0 || boundary > sub.cursor.Load() {
+			sub.cursor.Store(boundary)
+			sub.resetGen = gen
+			continue
+		}
+		select {
+		case <-ch:
+		case <-sub.done:
+			return
+		}
+	}
+}
+
 // drainHubFleet registers fleet subscribers with the given interest and
-// drains their channels until KillAll; it returns a wait func for the
-// drain goroutines.
+// pull-drains them until KillAll; it returns a wait func for the drain
+// goroutines.
 func drainHubFleet(b *testing.B, h *Hub, fleet int, interest InterestSet) func() {
 	b.Helper()
 	var wg sync.WaitGroup
 	for i := 0; i < fleet; i++ {
-		_, _, sub, ok := h.subscribe(0, 0, interest, nil)
+		_, sub, ok := h.subscribe(0, 0, interest, nil)
 		if !ok {
 			b.Fatal("subscribe failed")
 		}
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-sub.ch:
-				case <-sub.done:
-					return
-				}
-			}
-		}()
+		go drainSub(h, sub, &wg)
 		b.Cleanup(func() { h.unsubscribe(sub) })
 	}
 	return wg.Wait
@@ -586,8 +623,9 @@ func drainHubFleet(b *testing.B, h *Hub, fleet int, interest InterestSet) func()
 // BenchmarkHubPublishFanout measures the push fan-out hot path: one
 // publisher broadcasting to fleets of draining subscribers. The
 // allocation count must be INDEPENDENT of the fleet size — the event is
-// rendered once at publish, and each delivery is a channel send of the
-// pre-rendered forms (TestPublishAllocsIndependentOfFanout pins this).
+// rendered once at publish into the partitioned ring, and subscribers
+// pull batches on their own goroutines
+// (TestPublishAllocsIndependentOfFanout pins this).
 func BenchmarkHubPublishFanout(b *testing.B) {
 	for _, fleet := range []int{1, 16, 128} {
 		b.Run(fmt.Sprintf("subs=%d", fleet), func(b *testing.B) {
@@ -608,8 +646,8 @@ func BenchmarkHubPublishFanout(b *testing.B) {
 
 // BenchmarkHubPublishFanoutFiltered measures fan-out through interest
 // filtering: a fleet of subscribers that declared a disjoint prefix, so
-// every published frame is skipped at the serve stage — the publish
-// cost is one render plus per-subscriber channel sends, with zero wire
+// every published frame lands in a partition none of them walk — the
+// publish cost is one render plus the ring append, with zero wire
 // writes. (The serve-side skip itself is exercised by the HTTP-path
 // tests; here the subscribers never drain through ServeHTTP, so this
 // bounds the publish half of the filtered path.)
@@ -629,18 +667,21 @@ func BenchmarkHubPublishFanoutFiltered(b *testing.B) {
 
 // TestPublishAllocsIndependentOfFanout pins the render-once contract:
 // the allocations of one Publish must not grow with the subscriber
-// count, because the only per-subscriber work is a channel send of the
-// pre-rendered event.
+// count, because Publish does zero per-subscriber work — subscribers
+// pull from the ring on their own goroutines.
 func TestPublishAllocsIndependentOfFanout(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation perturbs process-wide allocation counts")
+	}
 	allocsWith := func(fleet int) float64 {
-		h := NewHub(HubConfig{})
+		// A large SubscriberBuffer keeps the amortized slow-consumer
+		// scan from killing the idle subscribers mid-measurement.
+		h := NewHub(HubConfig{SubscriberBuffer: 1 << 20})
 		subs := make([]*hubSub, fleet)
 		for i := range subs {
-			// No drain goroutines: the per-sub channels hold
-			// defaultSubscriberBuffer frames, far more than the measured
-			// runs publish, so sends never fall into the terminate path
-			// (and nothing concurrent disturbs the allocation count).
-			_, _, sub, ok := h.subscribe(0, 0, InterestAll(), nil)
+			// No drain goroutines: nothing concurrent disturbs the
+			// allocation count; the idle cursors just fall behind.
+			_, sub, ok := h.subscribe(0, 0, InterestAll(), nil)
 			if !ok {
 				t.Fatal("subscribe failed")
 			}
@@ -670,21 +711,12 @@ func BenchmarkHubPublishFanoutPayload(b *testing.B) {
 	const fleet = 16
 	var wg sync.WaitGroup
 	for i := 0; i < fleet; i++ {
-		_, _, sub, ok := h.subscribe(0, DefaultPayloadCap, InterestAll(), nil)
+		_, sub, ok := h.subscribe(0, DefaultPayloadCap, InterestAll(), nil)
 		if !ok {
 			b.Fatal("subscribe failed")
 		}
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-sub.ch:
-				case <-sub.done:
-					return
-				}
-			}
-		}()
+		go drainSub(h, sub, &wg)
 		defer h.unsubscribe(sub)
 	}
 	body := bytes.Repeat([]byte("v"), 512)

@@ -717,21 +717,12 @@ func BenchmarkHubPublishFanoutDelta(b *testing.B) {
 	const fleet = 16
 	var wg sync.WaitGroup
 	for i := 0; i < fleet; i++ {
-		_, _, sub, ok := h.subscribe(0, DefaultPayloadCap, InterestAll(), nil)
+		_, sub, ok := h.subscribe(0, DefaultPayloadCap, InterestAll(), nil)
 		if !ok {
 			b.Fatal("subscribe failed")
 		}
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-sub.ch:
-				case <-sub.done:
-					return
-				}
-			}
-		}()
+		go drainSub(h, sub, &wg)
 		defer h.unsubscribe(sub)
 	}
 	base := bytes.Repeat([]byte("v"), 4096)

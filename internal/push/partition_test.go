@@ -1,0 +1,339 @@
+package push
+
+// This file pins the prefix-partitioned replay ring: partition naming,
+// the partition-scoped resume-hole rule (a gap made only of foreign-
+// partition frames is no hole), the byte budget's fattest-first trim
+// (a narrow subtree's replay window survives bursts elsewhere), the
+// partition-local anchor cadence for the delta ladder, and the
+// contention benchmarks the ISSUE's publish-latency bound is gated on.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestPartitionName(t *testing.T) {
+	cases := []struct{ key, want string }{
+		{"/news/politics/1", "/news/"},
+		{"/news/", "/news/"},
+		{"/news", "/news"},
+		{"/", "/"},
+		{"/a/b?x=1", "/a/"},
+		{"/page?x=1", "/page"},
+		{"", ""},
+		{"relative/key", ""},
+		{"urn:object:7", ""},
+	}
+	for _, c := range cases {
+		if got := partitionName(c.key); got != c.want {
+			t.Errorf("partitionName(%q) = %q, want %q", c.key, got, c.want)
+		}
+	}
+	// The name must be a prefix of its key — that is what makes
+	// interest-to-partition relevance sound.
+	for _, c := range cases {
+		if p := partitionName(c.key); p != "" && !bytes.HasPrefix([]byte(c.key), []byte(p)) {
+			t.Errorf("partition %q is not a prefix of its key %q", p, c.key)
+		}
+	}
+}
+
+// fillTwoPartitions interleaves a narrow subtree of plain invalidations
+// with a wide subtree of fat payloads until the wide partition blows
+// the hub's byte budget and gets trimmed. Narrow frames land on odd
+// sequence numbers (1, 3, ... 23), wide on even.
+func fillTwoPartitions(t testing.TB) *Hub {
+	t.Helper()
+	h := NewHub(HubConfig{PayloadCap: 4096, ReplayLen: 1024, ReplayBytes: 8192})
+	for i := 0; i < 12; i++ {
+		h.Publish(Event{Kind: KindUpdate, Key: fmt.Sprintf("/narrow/%d", i)})
+		body := bytes.Repeat([]byte{byte('a' + i)}, 900)
+		h.Publish(Event{Kind: KindUpdate, Key: fmt.Sprintf("/wide/%d", i),
+			Body: body, HasBody: true, Digest: DigestOf(body)})
+	}
+	return h
+}
+
+// TestHubPartitionedResumeForeignHole: after the byte budget trims the
+// fat /wide/ partition, a /narrow/-interested resumer crossing the gap
+// gets a clean replay (the pruned frames are foreign to it), while a
+// /wide/-interested or unfiltered resumer over the same gap still
+// Resets — the hole is real inside a partition they declared.
+func TestHubPartitionedResumeForeignHole(t *testing.T) {
+	h := fillTwoPartitions(t)
+	if st := h.Stats(); st.ReplayLen >= 24 {
+		t.Fatalf("byte budget did not trim: ReplayLen=%d", st.ReplayLen)
+	}
+
+	hello, sub, ok := h.subscribe(1, 0, NewInterest([]string{"/narrow/"}, nil), nil)
+	if !ok {
+		t.Fatal("subscribe failed")
+	}
+	defer h.unsubscribe(sub)
+	if hello.Reset {
+		t.Fatal("narrow resumer Reset over a hole made only of foreign-partition frames")
+	}
+	backlog := fetchAll(h, sub)
+	if len(backlog) != 11 {
+		t.Fatalf("narrow replay delivered %d frames, want 11", len(backlog))
+	}
+	for i, re := range backlog {
+		ev, err := Decode(re.WireFor(0))
+		if err != nil {
+			t.Fatalf("backlog[%d] does not decode: %v", i, err)
+		}
+		if want := fmt.Sprintf("/narrow/%d", i+1); ev.Key != want {
+			t.Fatalf("backlog[%d] = %q, want %q", i, ev.Key, want)
+		}
+	}
+	// The position proven by the walk must be the stream head, not the
+	// last narrow frame: the foreign gap is jumped, so a reconnect from
+	// here never re-crosses it.
+	if cur := sub.cursor.Load(); cur != h.LastSeq() {
+		t.Errorf("narrow walk proved position %d, want head %d", cur, h.LastSeq())
+	}
+	if h.Stats().ResumeHoles != 0 {
+		t.Error("a foreign-partition gap was counted as a resume hole")
+	}
+
+	hello2, sub2, _ := h.subscribe(1, 4096, NewInterest([]string{"/wide/"}, nil), nil)
+	defer h.unsubscribe(sub2)
+	if !hello2.Reset {
+		t.Error("wide resumer not Reset over a genuine gap in its own partition")
+	}
+	hello3, sub3, _ := h.subscribe(1, 0, InterestAll(), nil)
+	defer h.unsubscribe(sub3)
+	if !hello3.Reset {
+		t.Error("unfiltered resumer not Reset over a pruned partition")
+	}
+	if holes := h.Stats().ResumeHoles; holes != 2 {
+		t.Errorf("ResumeHoles = %d, want 2", holes)
+	}
+}
+
+// TestHubPartitionBudgetProtectsNarrowSubtree pins the acceptance
+// behavior: the ring's byte budget trims the fattest partition first,
+// so a narrow subtree's residency is bounded by ITS OWN traffic — the
+// wide partition's burst cannot evict the narrow history — and the
+// per-partition split is visible in Stats (and through /metrics).
+func TestHubPartitionBudgetProtectsNarrowSubtree(t *testing.T) {
+	h := fillTwoPartitions(t)
+	st := h.Stats()
+	if st.ReplayBytes > st.ReplayByteCap {
+		t.Fatalf("ring over budget: %d > %d", st.ReplayBytes, st.ReplayByteCap)
+	}
+	if len(st.Partitions) != 2 {
+		t.Fatalf("Partitions = %+v, want a /narrow/ and a /wide/ entry", st.Partitions)
+	}
+	var narrow, wide *HubPartitionStats
+	for i := range st.Partitions {
+		switch st.Partitions[i].Name {
+		case "/narrow/":
+			narrow = &st.Partitions[i]
+		case "/wide/":
+			wide = &st.Partitions[i]
+		}
+	}
+	if narrow == nil || wide == nil {
+		t.Fatalf("Partitions = %+v", st.Partitions)
+	}
+	// All 12 narrow invalidations cost well under a single wide body;
+	// every one of them must still be resident.
+	if narrow.Bytes >= 900 {
+		t.Errorf("narrow partition holds %d bytes — foreign traffic charged to it?", narrow.Bytes)
+	}
+	if wide.Bytes+narrow.Bytes != st.ReplayBytes {
+		t.Errorf("partition bytes %d+%d do not sum to ReplayBytes %d",
+			narrow.Bytes, wide.Bytes, st.ReplayBytes)
+	}
+	_, sub, ok := h.subscribe(1, 0, NewInterest([]string{"/narrow/"}, nil), nil)
+	if !ok {
+		t.Fatal("subscribe failed")
+	}
+	defer h.unsubscribe(sub)
+	if got := len(fetchAll(h, sub)); got != 11 {
+		t.Errorf("narrow history trimmed to %d frames by the wide burst, want 11", got)
+	}
+}
+
+// TestHubHeldDeltaReplayPartitionLocalAnchors re-proves the PR 9 anchor
+// ladder over the partitioned ring: the thinning cadence is counted per
+// partition, not per global sequence number. /narrow/obj revisions ride
+// even sequence numbers (foreign traffic interleaves on odd ones), so a
+// global-seq cadence would anchor the wrong frames; the partition-local
+// count anchors revisions 4 and 8 exactly as an unshared hub would.
+func TestHubHeldDeltaReplayPartitionLocalAnchors(t *testing.T) {
+	h := NewHub(HubConfig{PayloadCap: DefaultPayloadCap, AnchorEvery: 4})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	bodies := make([][]byte, 9)
+	bodies[0] = bytes.Repeat([]byte("revision zero body line\n"), 20)
+	for i := 1; i <= 8; i++ {
+		// Foreign-partition traffic interleaves: revision i lands on
+		// global seq 2i while its partition-local publish count is i.
+		h.Publish(Event{Kind: KindUpdate, Key: fmt.Sprintf("/noise/%d", i)})
+		bodies[i] = append(append([]byte(nil), bodies[i-1]...),
+			[]byte(fmt.Sprintf("line added at revision %d\n", i))...)
+		delta, ok := MakeDelta(bodies[i-1], bodies[i])
+		if !ok {
+			t.Fatalf("no delta at revision %d", i)
+		}
+		h.Publish(Event{Kind: KindUpdate, Key: "/narrow/obj", Body: bodies[i], HasBody: true,
+			Digest: DigestOf(bodies[i]), BaseDigest: DigestOf(bodies[i-1]),
+			DeltaCodec: DeltaCodecBlock, DeltaBody: delta})
+	}
+
+	start := func(sink *hubSink, held func() []HeldDigest) {
+		sub, err := NewSubscriber(SubscriberConfig{
+			URL:        ts.URL,
+			OnEvent:    sink.onEvent,
+			OnConnect:  sink.onConnect,
+			BackoffMin: 5 * time.Millisecond,
+			BackoffMax: 50 * time.Millisecond,
+			PayloadCap: DefaultPayloadCap,
+			Interest:   func() InterestSet { return NewInterest([]string{"/narrow/"}, nil) },
+			Held:       held,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub.lastSeq.Store(2) // resume holding revision 1 (global seq 2)
+		ctx, cancel := context.WithCancel(context.Background())
+		t.Cleanup(cancel)
+		go sub.Run(ctx)
+	}
+
+	// A resumer holding revision 1: the partition-local replay (revisions
+	// 2..8) must arrive entirely on the delta rung — and never a /noise/
+	// frame, which its interest excludes.
+	held := &hubSink{}
+	start(held, func() []HeldDigest {
+		return []HeldDigest{{Key: "/narrow/obj", Digest: DigestOf(bodies[1])}}
+	})
+	if !waitCond(t, 2*time.Second, func() bool {
+		evs, _, _ := held.snapshot()
+		return len(evs) == 7
+	}) {
+		evs, _, _ := held.snapshot()
+		t.Fatalf("held replay delivered %d events, want 7", len(evs))
+	}
+	evs, _, _ := held.snapshot()
+	for _, ev := range evs {
+		if ev.Key != "/narrow/obj" {
+			t.Fatalf("interest-filtered replay leaked a foreign frame: %+v", ev)
+		}
+		if ev.BaseDigest == "" {
+			t.Fatalf("a held resumer fell off the delta rung: %+v", ev)
+		}
+	}
+	cur, _ := applyLadderChain(t, evs, bodies[1], true)
+	if !bytes.Equal(cur, bodies[8]) {
+		t.Fatal("held replay did not converge on the final body")
+	}
+
+	// A blank resumer rides stripped frames until the partition-LOCAL
+	// anchor at revision 4 (global seq 8 — a global-seq cadence of 4
+	// would have anchored revision 2 instead), then chains deltas.
+	blank := &hubSink{}
+	start(blank, nil)
+	if !waitCond(t, 2*time.Second, func() bool {
+		evs, _, _ := blank.snapshot()
+		return len(evs) == 7
+	}) {
+		evs, _, _ := blank.snapshot()
+		t.Fatalf("blank replay delivered %d events, want 7", len(evs))
+	}
+	bevs, _, _ := blank.snapshot()
+	for i, ev := range bevs[:2] { // revisions 2 and 3: thinned, no base held
+		if ev.HasBody || ev.BaseDigest != "" {
+			t.Fatalf("pre-anchor frame %d should be stripped for a blank resumer: %+v", i, ev)
+		}
+	}
+	if !bevs[2].HasBody || bevs[2].BaseDigest != "" {
+		t.Fatalf("revision 4 is the partition-local anchor and must replay full: %+v", bevs[2])
+	}
+	cur, sawAnchor := applyLadderChain(t, bevs, nil, false)
+	if !sawAnchor {
+		t.Fatal("no full anchor in the thinned partition-local replay")
+	}
+	if !bytes.Equal(cur, bodies[8]) {
+		t.Fatal("blank replay did not converge on the final body")
+	}
+}
+
+// BenchmarkHubPublishContended is the ISSUE's publish-latency gate: one
+// publisher against fleets of concurrently pulling subscribers PLUS an
+// equal count of stalled ones that never drain. Publish takes the ring
+// write lock only — it does zero per-subscriber work — so ns/op must
+// stay flat (≤1.3x) from subs=1 to subs=256 and allocations must not
+// grow with the fleet.
+func BenchmarkHubPublishContended(b *testing.B) {
+	for _, fleet := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("subs=%d", fleet), func(b *testing.B) {
+			// A huge SubscriberBuffer keeps the slow-consumer scan from
+			// reaping the deliberately stalled half of the fleet.
+			h := NewHub(HubConfig{SubscriberBuffer: 1 << 30})
+			wait := drainHubFleet(b, h, fleet, InterestAll())
+			for i := 0; i < fleet; i++ {
+				_, sub, ok := h.subscribe(0, 0, InterestAll(), nil)
+				if !ok {
+					b.Fatal("subscribe failed")
+				}
+				b.Cleanup(func() { h.unsubscribe(sub) })
+			}
+			ev := Event{Kind: KindUpdate, Key: "/obj/path", Group: "g"}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Publish(ev)
+			}
+			b.StopTimer()
+			h.KillAll()
+			wait()
+		})
+	}
+}
+
+// BenchmarkHubReplayPartitioned measures a narrow-interest resume
+// against a ring filled by eight subtrees: the walk merges only the
+// declared partition's frames and jumps the foreign seven-eighths of
+// the sequence space without touching them.
+func BenchmarkHubReplayPartitioned(b *testing.B) {
+	h := NewHub(HubConfig{ReplayLen: 1024})
+	for i := 0; i < 1024; i++ {
+		h.Publish(Event{Kind: KindUpdate, Key: fmt.Sprintf("/p%d/obj/%d", i%8, i)})
+	}
+	interest := NewInterest([]string{"/p3/"}, nil)
+	scratch := make([]RenderedEvent, 0, fetchBatchLimit+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sub, ok := h.subscribe(1, 0, interest, nil)
+		if !ok {
+			b.Fatal("subscribe failed")
+		}
+		n := 0
+		for {
+			batch, boundary, gen, killed := h.fetch(sub, scratch[:0])
+			if killed {
+				b.Fatal("replay walk killed")
+			}
+			progressed := len(batch) > 0 || boundary > sub.cursor.Load()
+			n += len(batch)
+			sub.cursor.Store(boundary)
+			sub.resetGen = gen
+			if !progressed {
+				break
+			}
+		}
+		if n != 128 {
+			b.Fatalf("replayed %d frames, want 128", n)
+		}
+		h.unsubscribe(sub)
+	}
+}

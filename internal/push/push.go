@@ -55,6 +55,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -243,6 +244,35 @@ var (
 // construction, which is what lets one frame travel as one SSE data
 // line.
 func (e Event) Encode() string {
+	bp := encodePool.Get().(*[]byte)
+	b := e.appendWire((*bp)[:0])
+	s := string(b)
+	if cap(b) <= maxPooledEncodeBuf {
+		*bp = b
+		encodePool.Put(bp)
+	}
+	return s
+}
+
+// encodePool holds Encode's scratch buffers: the wire form is built
+// with append-style renderers into a pooled buffer and copied out as
+// one string, so the hot publish path (RenderLadder calls Encode for
+// every ladder rung) costs one allocation per rendered form instead of
+// fmt's boxing and formatting state.
+var encodePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
+// maxPooledEncodeBuf bounds the buffers returned to encodePool; a
+// near-MaxPayloadCap body's base64 would otherwise pin megabytes in
+// the pool long after the burst that needed them.
+const maxPooledEncodeBuf = 128 << 10
+
+// appendWire appends the event's wire form (see Encode) to b.
+func (e Event) appendWire(b []byte) []byte {
 	key, group := "-", "-"
 	if e.Key != "" {
 		key = escapeField(e.Key)
@@ -264,32 +294,63 @@ func (e Event) Encode() string {
 		flags = "p"
 	}
 	v3 := e.BaseDigest != "" || e.DeltaCodec != 0 || e.ChunkIndex != 0 || e.ChunkTotal != 0
-	if !v3 && !e.HasBody && e.ContentType == "" && e.Digest == "" && e.PayloadCap == 0 {
-		return fmt.Sprintf("v%d %d %d %d %s %s %s",
-			ProtocolV1, uint8(e.Kind), e.Seq, mod, flags, key, group)
+	version := byte('3')
+	switch {
+	case !v3 && !e.HasBody && e.ContentType == "" && e.Digest == "" && e.PayloadCap == 0:
+		version = '1'
+	case !v3:
+		version = '2'
 	}
-	ctype, digest, payload := "-", "-", "-"
+	b = append(b, 'v', version, ' ')
+	b = strconv.AppendUint(b, uint64(e.Kind), 10)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, mod, 10)
+	b = append(b, ' ')
+	b = append(b, flags...)
+	b = append(b, ' ')
+	b = append(b, key...)
+	b = append(b, ' ')
+	b = append(b, group...)
+	if version == '1' {
+		return b
+	}
+	b = append(b, ' ')
 	if e.ContentType != "" {
-		ctype = escapeField(e.ContentType)
+		b = append(b, escapeField(e.ContentType)...)
+	} else {
+		b = append(b, '-')
 	}
+	b = append(b, ' ')
 	if e.Digest != "" {
-		digest = e.Digest
+		b = append(b, e.Digest...)
+	} else {
+		b = append(b, '-')
 	}
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, e.PayloadCap, 10)
+	if version == '3' {
+		b = append(b, ' ')
+		if e.BaseDigest != "" {
+			b = append(b, e.BaseDigest...)
+		} else {
+			b = append(b, '-')
+		}
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, uint64(e.DeltaCodec), 10)
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, uint64(e.ChunkIndex), 10)
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, uint64(e.ChunkTotal), 10)
+	}
+	b = append(b, ' ')
 	if e.HasBody && len(e.Body) > 0 {
-		payload = base64.StdEncoding.EncodeToString(e.Body)
+		b = base64.StdEncoding.AppendEncode(b, e.Body)
+	} else {
+		b = append(b, '-')
 	}
-	if !v3 {
-		return fmt.Sprintf("v%d %d %d %d %s %s %s %s %s %d %s",
-			ProtocolV2, uint8(e.Kind), e.Seq, mod, flags, key, group,
-			ctype, digest, e.PayloadCap, payload)
-	}
-	base := "-"
-	if e.BaseDigest != "" {
-		base = e.BaseDigest
-	}
-	return fmt.Sprintf("v%d %d %d %d %s %s %s %s %s %d %s %d %d %d %s",
-		ProtocolV3, uint8(e.Kind), e.Seq, mod, flags, key, group,
-		ctype, digest, e.PayloadCap, base, e.DeltaCodec, e.ChunkIndex, e.ChunkTotal, payload)
+	return b
 }
 
 // RenderedEvent is one published event rendered to its canonical wire
@@ -503,9 +564,9 @@ func (re RenderedEvent) Digest() string { return re.digest }
 // cannot parse a 'p'-flagged frame even for an empty body), the full
 // form otherwise. Byte-identical to what per-subscriber
 // StripPayload-then-Encode produced before rendering moved to publish
-// time. Delta and chunk selection live in the hub's serve loop
-// (framesFor), which needs per-subscriber held-digest state WireFor
-// deliberately knows nothing about.
+// time. Delta and chunk selection live in the hub's serve loop, which
+// needs per-subscriber held-digest state WireFor deliberately knows
+// nothing about.
 func (re RenderedEvent) WireFor(payloadCap int) string {
 	if re.full == "" || (re.payloadLen >= 0 && (payloadCap <= 0 || re.payloadLen > payloadCap)) {
 		return re.stripped

@@ -1,0 +1,8 @@
+//go:build race
+
+package push
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// -count assertions skip under it because its instrumentation perturbs
+// process-wide allocation counters.
+const raceEnabled = true

@@ -225,6 +225,12 @@ type Config struct {
 	// child reconnect catch-up). Zero selects push.DefaultReplayLen.
 	// Chaos tests shrink it to force resume-time Resets.
 	RelayReplay int
+	// RelaySubscriberBuffer is the relay hub's slow-consumer allowance:
+	// a child stream whose proven position falls this many events
+	// behind the head is terminated (it reconnects and resumes, or
+	// Resets if the ring has moved on). Zero selects
+	// push.DefaultSubscriberBuffer.
+	RelaySubscriberBuffer int
 	// PollObserver, when non-nil, is invoked after every successful
 	// origin poll of a cached object (including the admission fetch).
 	// It runs on the polling goroutine and must be fast and
@@ -615,7 +621,11 @@ func New(cfg Config) (*Proxy, error) {
 		p.workers[i] = &worker{wake: make(chan struct{}, 1)}
 	}
 	if cfg.RelayEvents {
-		hubCfg := push.HubConfig{Heartbeat: cfg.RelayHeartbeat, ReplayLen: cfg.RelayReplay}
+		hubCfg := push.HubConfig{
+			Heartbeat:        cfg.RelayHeartbeat,
+			ReplayLen:        cfg.RelayReplay,
+			SubscriberBuffer: cfg.RelaySubscriberBuffer,
+		}
 		if cfg.PushValues {
 			// The relay carries payloads downstream at the same cap the
 			// proxy negotiates upstream, so one origin message feeds the

@@ -13,5 +13,7 @@ go test -run '^$' -count "$COUNT" -benchtime 200ms \
     -bench 'BenchmarkProxyHitParallel$|BenchmarkProxyHitSingleObject$|BenchmarkProxyChurnParallel$|BenchmarkRefreshSchedulerThroughput$' .
 go test -run '^$' -count "$COUNT" -benchtime 200ms \
     -bench 'BenchmarkStoreEvictScan$|BenchmarkStoreHitMark$|BenchmarkValuePushApply$' ./internal/webproxy
-go test -run '^$' -count "$COUNT" -benchtime 200ms \
-    -bench 'BenchmarkHubPublishFanout$|BenchmarkHubPublishFanoutFiltered$|BenchmarkHubPublishFanoutPayload$|BenchmarkHubPublishFanoutDelta$|BenchmarkEventRender$|BenchmarkDeltaApply$' ./internal/push
+# -benchmem so benchgate's alloc gate (-alloc-filter) can hold the
+# publish path to its allocation budget, not just its latency.
+go test -run '^$' -count "$COUNT" -benchtime 200ms -benchmem \
+    -bench 'BenchmarkHubPublishFanout$|BenchmarkHubPublishFanoutFiltered$|BenchmarkHubPublishFanoutPayload$|BenchmarkHubPublishFanoutDelta$|BenchmarkHubPublishContended$|BenchmarkHubReplayPartitioned$|BenchmarkEventRender$|BenchmarkDeltaApply$' ./internal/push
